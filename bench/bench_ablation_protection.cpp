@@ -1,0 +1,90 @@
+// Ablation: protection-plan choices (§III-B.1's parity/DMR rule and the
+// §VIII hardened alternatives), priced in hardware and measured by fault
+// injection under single- and double-bit strikes.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fault/injector.hpp"
+#include "hwmodel/core_model.hpp"
+#include "isa/assembler.hpp"
+
+namespace {
+
+unsync::isa::Program campaign_program() {
+  return unsync::isa::Assembler::assemble(R"(
+  buf:
+    .space 512
+    addi r10, r0, 50
+    addi r2, r0, 1
+    la   r20, buf
+  loop:
+    add  r2, r2, r10
+    mul  r3, r2, r10
+    st   r3, 0(r20)
+    ld   r4, 0(r20)
+    xor  r2, r2, r4
+    addi r20, r20, 8
+    addi r10, r10, -1
+    bne  r10, r0, loop
+    addi r1, r0, 1
+    syscall
+    halt
+  )");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace unsync;
+  using namespace unsync::fault;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Ablation: protection plans x fault multiplicity",
+                      args);
+
+  struct Variant {
+    ProtectionPlan plan;
+    hwmodel::CoreHw hw;
+  };
+  const Variant variants[] = {
+      {baseline_plan(), hwmodel::mips_baseline()},
+      {unsync_plan(), hwmodel::unsync_core(10)},
+      {unsync_hardened_plan(), hwmodel::unsync_hardened_core(10)},
+      {reunion_plan(), hwmodel::reunion_core(10)},
+  };
+
+  const auto prog = campaign_program();
+  const auto mips = hwmodel::mips_baseline();
+
+  for (const int flips : {1, 2}) {
+    TextTable t(std::string(flips == 1 ? "Single-bit" : "Double-bit") +
+                " strikes (500 trials per plan)");
+    t.set_header({"plan", "area ovh", "power ovh", "masked", "corrected",
+                  "recovered", "unrecoverable", "SDC"});
+    for (const auto& v : variants) {
+      InjectionConfig cfg;
+      cfg.trials = 500;
+      cfg.seed = args.seed;
+      cfg.flips_per_fault = flips;
+      const auto r = run_campaign(prog, v.plan, cfg);
+      t.add_row({v.plan.name, TextTable::pct(v.hw.area_overhead_vs(mips)),
+                 TextTable::pct(v.hw.power_overhead_vs(mips)),
+                 std::to_string(r.masked),
+                 std::to_string(r.corrected_in_place),
+                 std::to_string(r.recovered),
+                 std::to_string(r.unrecoverable), std::to_string(r.sdc)});
+      if (r.recovery_failures != 0) {
+        std::cerr << "MODEL BUG: recovery failures in plan " << v.plan.name
+                  << "\n";
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  bench::print_shape_note(
+      "single-bit strikes: the base UnSync plan already yields zero SDC at "
+      "+7.45% area; double-bit strikes slip past 1-bit parity (SDC "
+      "reappears) and motivate the paper's §VIII hardened variant (SECDED / "
+      "TMR), which restores zero SDC at higher cost.");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: the cost structure of "always forward execution" recovery
+// (UnSync) versus checkpoint rollback (Reunion).
+//
+// UnSync's recovery is expensive per event (architectural state + L1 +
+// CB copy through the L2) but happens without re-executing anything;
+// Reunion's rollback is cheap per event but re-executes the window since
+// the last verified fingerprint. This bench measures both costs per error
+// empirically and shows where each wins — the trade the paper's §III-B.2
+// argues and §VI-C quantifies via the break-even SER.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace unsync;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Ablation: forward recovery vs rollback cost", args);
+
+  core::UnSyncParams up;
+  up.cb_entries = 256;
+  core::ReunionParams rp;
+
+  // Per-error cost: run each system error-free and at a rate that yields a
+  // healthy error count; the marginal cycles per error are the cost.
+  TextTable t;
+  t.set_header({"benchmark", "UnSync cyc/err", "(state+L1 copy)",
+                "Reunion cyc/err", "(re-execution)", "cheaper per error"});
+  const char* benches[] = {"gzip", "bzip2", "mcf", "galgel", "susan"};
+  const double rate = 5e-4;
+  for (const auto* name : benches) {
+    const auto u_clean = bench::unsync_run(args, name, up, 0.0);
+    const auto u_err = bench::unsync_run(args, name, up, rate);
+    const auto r_clean = bench::reunion_run(args, name, rp, 0.0);
+    const auto r_err = bench::reunion_run(args, name, rp, rate);
+    const double u_per =
+        u_err.recoveries
+            ? static_cast<double>(u_err.cycles - u_clean.cycles) /
+                  static_cast<double>(u_err.recoveries)
+            : 0.0;
+    const double r_per =
+        r_err.rollbacks
+            ? static_cast<double>(r_err.cycles - r_clean.cycles) /
+                  static_cast<double>(r_err.rollbacks)
+            : 0.0;
+    const double u_charged =
+        u_err.recoveries ? static_cast<double>(u_err.recovery_cycles_total) /
+                               static_cast<double>(u_err.recoveries)
+                         : 0.0;
+    t.add_row({name, TextTable::num(u_per, 0), TextTable::num(u_charged, 0),
+               TextTable::num(r_per, 0),
+               TextTable::num(r_per - 20.0, 0),  // minus the flush penalty
+               u_per < r_per ? "unsync" : "reunion"});
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nInterpretation: UnSync pays a large fixed copy cost per error "
+         "(dominated by the L1 content copy)\nbut zero re-execution; Reunion "
+         "pays a small flush penalty plus the re-executed window.\nBecause "
+         "errors are rare at real SER rates (2.89e-17/inst at 90 nm), the "
+         "error-free advantage of\nUnSync dominates total runtime — the "
+         "per-error cost only matters near the 1.29e-3 break-even.\n";
+
+  bench::print_shape_note(
+      "paper §III-B.2: 'Our recovery mechanism has a higher overhead... "
+      "However, by reducing the performance overheads during error free "
+      "execution, and given the fact that errors are infrequent, UnSync "
+      "achieves better performance.'");
+  return 0;
+}

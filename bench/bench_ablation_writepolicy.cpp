@@ -1,0 +1,88 @@
+// Ablation: the write-through L1 requirement (§III-C.1 / Figure 2).
+//
+// Two sides of the design decision:
+//   * reliability — with a write-back L1, a detected fault on a dirty line
+//     has no clean copy anywhere (unrecoverable); write-through always has
+//     the L2 copy. Measured by fault injection.
+//   * performance — write-through pays a store-traffic tax on the shared
+//     bus. Measured as UnSync (write-through + CB) versus the write-back
+//     baseline store path, per benchmark.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fault/injector.hpp"
+#include "isa/assembler.hpp"
+
+namespace {
+
+unsync::isa::Program campaign_program() {
+  return unsync::isa::Assembler::assemble(R"(
+  buf:
+    .space 1024
+    addi r10, r0, 100
+    addi r2, r0, 7
+    la   r20, buf
+  loop:
+    mul  r3, r2, r10
+    st   r3, 0(r20)
+    ld   r4, 0(r20)
+    add  r2, r2, r4
+    addi r20, r20, 8
+    addi r10, r10, -1
+    bne  r10, r0, loop
+    addi r1, r0, 1
+    syscall
+    halt
+  )");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace unsync;
+  using namespace unsync::fault;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Ablation: write-through vs write-back L1 (Fig. 2)",
+                      args);
+
+  // --- Reliability side -----------------------------------------------------
+  const auto prog = campaign_program();
+  TextTable rel("Memory-data strikes under the UnSync plan (600 trials)");
+  rel.set_header({"L1 policy", "masked", "recovered", "unrecoverable", "SDC"});
+  for (const bool wt : {true, false}) {
+    InjectionConfig cfg;
+    cfg.trials = 600;
+    cfg.seed = args.seed;
+    cfg.sites = {FaultSite::kMemoryData};
+    cfg.l1_write_through = wt;
+    const auto r = run_campaign(prog, unsync_plan(), cfg);
+    rel.add_row({wt ? "write-through" : "write-back",
+                 std::to_string(r.masked), std::to_string(r.recovered),
+                 std::to_string(r.unrecoverable), std::to_string(r.sdc)});
+  }
+  rel.print(std::cout);
+
+  // --- Performance side -------------------------------------------------------
+  std::cout << "\n";
+  TextTable perf("Store-path cost: write-through+CB (UnSync) vs write-back "
+                 "(baseline), per thread");
+  perf.set_header({"benchmark", "store%", "baseline IPC", "UnSync IPC",
+                   "write-through tax"});
+  core::UnSyncParams up;
+  up.cb_entries = 256;
+  for (const char* name : {"susan", "gzip", "bzip2", "mcf", "galgel"}) {
+    const auto& profmix = workload::profile(name).mix;
+    const double b = bench::baseline_ipc(args, name);
+    const double u = bench::unsync_run(args, name, up).thread_ipc();
+    perf.add_row({name, TextTable::pct(profmix.store, 1), TextTable::num(b, 3),
+                  TextTable::num(u, 3), TextTable::pct((b - u) / b)});
+  }
+  perf.print(std::cout);
+
+  bench::print_shape_note(
+      "paper §III-C.1: write-back leaves detected faults on dirty lines "
+      "unrecoverable (Fig. 2), so UnSync requires write-through; the "
+      "performance table shows the write-through tax the CB + drain "
+      "protocol keeps negligible.");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// §IV / §VI-A component analysis: where each architecture's overhead lives,
+// and how Reunion's CHECK stage scales with the fingerprint interval.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hwmodel/cell_library.hpp"
+#include "hwmodel/components.hpp"
+#include "hwmodel/core_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace unsync;
+  using namespace unsync::hwmodel;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Component breakdown (hardware model)", args);
+
+  // --- Reunion CHECK stage vs fingerprint interval -------------------------
+  TextTable t("Reunion CHECK stage vs fingerprint interval");
+  t.set_header({"FI", "CSB entries", "CSB bits", "CSB um^2", "CRC um^2",
+                "datapath um^2", "CHECK um^2", "CHECK W",
+                "CSB / MIPS-core-sans-cache"});
+  for (const int fi : {1, 10, 20, 30, 50, 100}) {
+    const BlockHw csb = check_stage_buffer(fi);
+    const BlockHw crc = fingerprint_generator();
+    const BlockHw dp = forwarding_datapath(fi);
+    const BlockHw total = check_stage(fi);
+    t.add_row({std::to_string(fi), std::to_string(csb_entries_for_fi(fi)),
+               std::to_string(csb_bits_for_fi(fi)),
+               TextTable::num(csb.area_um2, 0), TextTable::num(crc.area_um2, 0),
+               TextTable::num(dp.area_um2, 0),
+               TextTable::num(total.area_um2, 0),
+               TextTable::num(total.power_w, 3),
+               TextTable::pct(csb.area_um2 / kPaperMipsCellAreaNoCache)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReference points from the paper: CSB cell 10.40 um^2 vs RF "
+               "cell 7.80 um^2 (1.33x);\n17x66-bit CSB = "
+            << TextTable::num(check_stage_buffer(10).area_um2 /
+                                  register_file_area_32x32(),
+                              2)
+            << "x a 32x32 register file (paper: 1.46x); CRC block = "
+            << kPaperCrcGateCount << " gates.\n\n";
+
+  // --- UnSync detection blocks ---------------------------------------------
+  const BlockHw dmr = dmr_detection();
+  const BlockHw parity = parity_detection();
+  const BlockHw cb = communication_buffer(10);
+  const BlockHw eih = error_interrupt_handler();
+  TextTable u("UnSync detection hardware (per core)");
+  u.set_header({"Block", "area um^2", "power W", "share of core overhead"});
+  const double total_area = dmr.area_um2 + parity.area_um2;
+  u.add_row({"DMR (PC + pipeline registers)", TextTable::num(dmr.area_um2, 0),
+             TextTable::num(dmr.power_w, 4),
+             TextTable::pct(dmr.area_um2 / total_area)});
+  u.add_row({"Parity trees (RF/ROB/IQ/LSQ/TLB)",
+             TextTable::num(parity.area_um2, 0),
+             TextTable::num(parity.power_w, 4),
+             TextTable::pct(parity.area_um2 / total_area)});
+  u.add_row({"Communication Buffer (10 entries)",
+             TextTable::num(cb.area_um2, 0), TextTable::num(cb.power_w, 6),
+             "separate"});
+  u.add_row({"EIH (per core pair)", TextTable::num(eih.area_um2, 0),
+             TextTable::num(eih.power_w, 6), "separate"});
+  u.print(std::cout);
+
+  // --- Where the core overheads come from ----------------------------------
+  const CoreHw mips = mips_baseline();
+  const CoreHw reunion = reunion_core(10);
+  const CoreHw unsync = unsync_core(10);
+  std::cout << "\nCHECK stage = "
+            << TextTable::pct((reunion.core_area_um2 - mips.core_area_um2) /
+                              mips.core_area_um2)
+            << " extra core area (paper: ~46%); UnSync detection = "
+            << TextTable::pct((unsync.core_area_um2 - mips.core_area_um2) /
+                              mips.core_area_um2)
+            << " (paper: 17.6%).\n";
+
+  bench::print_shape_note(
+      "paper §IV-A: CSB at FI=50 is 39125 um^2 = 91% of the 42818 um^2 "
+      "MIPS core excluding cache; the CHECK stage dominates Reunion's "
+      "overhead while UnSync's detection blocks are mostly cheap "
+      "combinational logic.");
+  return 0;
+}

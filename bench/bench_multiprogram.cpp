@@ -1,0 +1,65 @@
+// Extension: multiprogrammed interference on the shared L2/bus — the
+// "4 logical cores" deployment of Table I with *different* programs per
+// core pair. Shows that UnSync's decoupling also holds under co-runner
+// pressure, and quantifies the noisy-neighbour cost each victim pays.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace unsync;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Multiprogrammed interference (extension)", args);
+
+  struct Mix {
+    const char* victim;
+    const char* aggressor;
+  };
+  const Mix mixes[] = {
+      {"gzip", "mcf"},     // cache-friendly victim, miss-storm aggressor
+      {"bzip2", "equake"}, // serializing victim, streaming-fp aggressor
+      {"susan", "galgel"}, // store-heavy victim, MLP-heavy aggressor
+      {"qsort", "mcf"},
+  };
+
+  core::UnSyncParams up;
+  up.cb_entries = 256;
+
+  TextTable t;
+  t.set_header({"victim + aggressor", "victim alone (base)",
+                "victim shared (base)", "slowdown", "victim shared (unsync)",
+                "unsync ovh vs shared base"});
+  for (const auto& mix : mixes) {
+    workload::SyntheticStream victim(workload::profile(mix.victim),
+                                     args.seed, args.insts);
+    workload::SyntheticStream aggressor(workload::profile(mix.aggressor),
+                                        args.seed + 1, args.insts);
+
+    core::SystemConfig solo_cfg = args.system_config();
+    solo_cfg.num_threads = 1;
+    core::BaselineSystem solo(solo_cfg, victim);
+    const double alone = solo.run().core_stats[0].ipc();
+
+    core::SystemConfig duo_cfg = args.system_config();
+    duo_cfg.num_threads = 2;
+    core::BaselineSystem duo(duo_cfg, {&victim, &aggressor});
+    const double shared_base = duo.run().core_stats[0].ipc();
+
+    core::UnSyncSystem duo_unsync(duo_cfg, up, {&victim, &aggressor});
+    const double shared_unsync = duo_unsync.run().core_stats[0].ipc();
+
+    t.add_row({std::string(mix.victim) + " + " + mix.aggressor,
+               TextTable::num(alone, 3), TextTable::num(shared_base, 3),
+               TextTable::pct(1.0 - shared_base / alone),
+               TextTable::num(shared_unsync, 3),
+               TextTable::pct(1.0 - shared_unsync / shared_base)});
+  }
+  t.print(std::cout);
+
+  bench::print_shape_note(
+      "extension (not a paper figure): the aggressor's L2/bus traffic slows "
+      "the victim; running the victim redundantly under UnSync adds only "
+      "its usual small overhead on top — decoupling is robust to co-runner "
+      "interference.");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// §VI-D: region of error coverage (ROEC), plus the write-through ablation
+// of §III-C.1 (Figure 2) verified by fault injection on the golden model.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fault/injector.hpp"
+#include "fault/protection.hpp"
+#include "fault/ser.hpp"
+#include "fault/vulnerability.hpp"
+#include "isa/assembler.hpp"
+
+namespace {
+
+unsync::isa::Program campaign_program() {
+  return unsync::isa::Assembler::assemble(R"(
+  buf:
+    .space 512
+    addi r10, r0, 60
+    addi r2, r0, 1
+    la   r20, buf
+  loop:
+    add  r2, r2, r10
+    mul  r3, r2, r10
+    st   r3, 0(r20)
+    ld   r4, 0(r20)
+    xor  r2, r2, r4
+    fmovi f1, r4
+    fadd f2, f2, f1
+    addi r20, r20, 8
+    addi r10, r10, -1
+    bne  r10, r0, loop
+    addi r1, r0, 1
+    syscall
+    halt
+  )");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace unsync;
+  using namespace unsync::fault;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("ROEC: region of error coverage + recovery validation",
+                      args);
+
+  // --- Part 1: structural coverage of each protection plan. ---------------
+  TextTable cov("Per-structure protection (mechanism per plan)");
+  cov.set_header({"Structure", "bits", "residency", "UnSync", "Reunion"});
+  const auto up = unsync_plan();
+  const auto rp = reunion_plan();
+  for (const auto& s : structure_inventory()) {
+    cov.add_row({name_of(s.id), std::to_string(s.bits),
+                 s.residency == Residency::kEveryCycle ? "every-cycle"
+                                                       : "storage",
+                 name_of(up.of(s.id)), name_of(rp.of(s.id))});
+  }
+  cov.print(std::cout);
+
+  std::cout << "\nROEC (bit-weighted detection coverage):\n"
+            << "  UnSync:   " << TextTable::pct(up.roec()) << "\n"
+            << "  Reunion:  " << TextTable::pct(rp.roec()) << "\n"
+            << "  Baseline: " << TextTable::pct(baseline_plan().roec())
+            << "\n\n";
+
+  // --- Part 2: Monte-Carlo injection campaigns on the golden model. -------
+  const auto prog = campaign_program();
+  auto campaign = [&](const ProtectionPlan& plan, bool write_through,
+                      const char* label) {
+    InjectionConfig cfg;
+    cfg.trials = 400;
+    cfg.seed = args.seed;
+    cfg.l1_write_through = write_through;
+    const auto r = run_campaign(prog, plan, cfg);
+    TextTable t(std::string("Campaign: ") + label);
+    t.set_header({"outcome", "count", "fraction"});
+    t.add_row({"masked", std::to_string(r.masked),
+               TextTable::pct(static_cast<double>(r.masked) / r.total())});
+    t.add_row({"corrected in place", std::to_string(r.corrected_in_place),
+               TextTable::pct(static_cast<double>(r.corrected_in_place) /
+                              r.total())});
+    t.add_row({"detected+recovered", std::to_string(r.recovered),
+               TextTable::pct(static_cast<double>(r.recovered) / r.total())});
+    t.add_row({"detected, unrecoverable", std::to_string(r.unrecoverable),
+               TextTable::pct(static_cast<double>(r.unrecoverable) /
+                              r.total())});
+    t.add_row({"silent corruption (SDC)", std::to_string(r.sdc),
+               TextTable::pct(static_cast<double>(r.sdc) / r.total())});
+    t.add_row({"recovery failures (must be 0)",
+               std::to_string(r.recovery_failures), ""});
+    t.print(std::cout);
+    std::cout << "\n";
+  };
+
+  campaign(unsync_plan(), true, "UnSync plan, write-through L1");
+  campaign(unsync_plan(), false,
+           "UnSync plan, write-back L1 (Fig. 2 ablation)");
+  campaign(reunion_plan(), true, "Reunion plan");
+  campaign(baseline_plan(), true, "unprotected baseline");
+
+  // --- Part 3: AVF-style exposure weighting (a timing-sim run drives the
+  // residency model; the paper's [25] argument made quantitative). --------
+  {
+    const auto stats_run = bench::unsync_run(args, "gzip",
+                                             core::UnSyncParams{});
+    const double rate = per_bit_cycle_rate(/*FIT/Mbit=*/1000.0, 2e9);
+    const auto unsync_rep =
+        analyze_vulnerability(stats_run.core_stats[0], unsync_plan(), rate);
+    const auto reunion_rep =
+        analyze_vulnerability(stats_run.core_stats[0], reunion_plan(), rate);
+    std::cout << unsync_rep.table(
+                     "Exposure-weighted vulnerability (gzip run, UnSync plan)")
+              << "\nExposure-weighted coverage: UnSync "
+              << TextTable::pct(unsync_rep.weighted_coverage()) << ", Reunion "
+              << TextTable::pct(reunion_rep.weighted_coverage()) << "\n\n";
+  }
+
+  unsync::bench::print_shape_note(
+      "paper §VI-D: UnSync covers every sequential block plus the L1 "
+      "(larger ROEC than Reunion's pre-commit pipeline) with zero SDC; the "
+      "write-back ablation reproduces Fig. 2's unrecoverable dirty-line "
+      "hazard; the unprotected baseline shows the SDC rate redundancy "
+      "removes.");
+  return 0;
+}

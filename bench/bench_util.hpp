@@ -1,0 +1,85 @@
+// Shared plumbing for the table/figure harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper. Output
+// is a TextTable whose rows mirror the paper's rows/series, plus a short
+// PAPER-SHAPE note stating what to compare against the publication.
+// Common knobs (overridable as key=value argv):
+//   insts=<N>    dynamic instructions per benchmark run   (default 30000)
+//   seed=<N>     workload seed                             (default 42)
+//   threads=<N>  application threads (pairs for redundant) (default 1)
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/baseline.hpp"
+#include "core/reunion_system.hpp"
+#include "core/unsync_system.hpp"
+#include "workload/profile.hpp"
+#include "workload/synthetic.hpp"
+
+namespace unsync::bench {
+
+struct BenchArgs {
+  std::uint64_t insts = 30000;
+  std::uint64_t seed = 42;
+  unsigned threads = 1;
+
+  static BenchArgs parse(int argc, char** argv) {
+    const Config cfg = Config::from_args(argc, argv);
+    BenchArgs a;
+    a.insts = static_cast<std::uint64_t>(cfg.get_int("insts", 30000));
+    a.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+    a.threads = static_cast<unsigned>(cfg.get_int("threads", 1));
+    return a;
+  }
+
+  core::SystemConfig system_config(double ser = 0.0) const {
+    core::SystemConfig cfg;
+    cfg.num_threads = threads;
+    cfg.ser_per_inst = ser;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  workload::SyntheticStream stream(const std::string& benchmark) const {
+    return workload::SyntheticStream(workload::profile(benchmark), seed,
+                                     insts);
+  }
+};
+
+inline double baseline_ipc(const BenchArgs& a, const std::string& bench) {
+  workload::SyntheticStream s = a.stream(bench);
+  core::BaselineSystem sys(a.system_config(), s);
+  return sys.run().thread_ipc();
+}
+
+inline core::RunResult unsync_run(const BenchArgs& a, const std::string& bench,
+                                  const core::UnSyncParams& p,
+                                  double ser = 0.0) {
+  workload::SyntheticStream s = a.stream(bench);
+  core::UnSyncSystem sys(a.system_config(ser), p, s);
+  return sys.run();
+}
+
+inline core::RunResult reunion_run(const BenchArgs& a, const std::string& bench,
+                                   const core::ReunionParams& p,
+                                   double ser = 0.0) {
+  workload::SyntheticStream s = a.stream(bench);
+  core::ReunionSystem sys(a.system_config(ser), p, s);
+  return sys.run();
+}
+
+inline void print_header(const std::string& what, const BenchArgs& a) {
+  std::cout << "\n=== " << what << " ===\n"
+            << "(insts=" << a.insts << " seed=" << a.seed
+            << " threads=" << a.threads << ")\n\n";
+}
+
+inline void print_shape_note(const std::string& note) {
+  std::cout << "\nPAPER SHAPE: " << note << "\n";
+}
+
+}  // namespace unsync::bench

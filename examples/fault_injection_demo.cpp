@@ -1,0 +1,152 @@
+// Fault-injection walkthrough on a real program.
+//
+// Runs a matrix-multiply kernel on the golden model, then injects single-bit
+// faults under three protection plans and both L1 write policies, printing
+// what each architecture would have done with the strike — including the
+// paper's Figure-2 write-back hazard.
+//
+//   ./build/examples/fault_injection_demo [trials=300] [seed=1]
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "fault/injector.hpp"
+#include "isa/assembler.hpp"
+#include "isa/functional_sim.hpp"
+
+namespace {
+
+const char* kMatMulSource = R"(
+  # 8x8 integer matrix multiply: C = A * B, then emit the trace of C.
+  a:
+    .space 512
+  b:
+    .space 512
+  c:
+    .space 512
+    addi r10, r0, 8        # n
+    # initialise A[i][j] = i + j, B[i][j] = i - j
+    addi r11, r0, 0        # i
+  init_i:
+    addi r12, r0, 0        # j
+  init_j:
+    mul  r1, r11, r10
+    add  r1, r1, r12
+    slli r1, r1, 3         # offset
+    la   r2, a
+    add  r2, r2, r1
+    add  r3, r11, r12
+    st   r3, 0(r2)
+    la   r2, b
+    add  r2, r2, r1
+    sub  r3, r11, r12
+    st   r3, 0(r2)
+    addi r12, r12, 1
+    blt  r12, r10, init_j
+    addi r11, r11, 1
+    blt  r11, r10, init_i
+    # multiply
+    addi r11, r0, 0        # i
+  mul_i:
+    addi r12, r0, 0        # j
+  mul_j:
+    addi r13, r0, 0        # k
+    addi r14, r0, 0        # acc
+  mul_k:
+    mul  r1, r11, r10
+    add  r1, r1, r13
+    slli r1, r1, 3
+    la   r2, a
+    add  r2, r2, r1
+    ld   r3, 0(r2)         # A[i][k]
+    mul  r1, r13, r10
+    add  r1, r1, r12
+    slli r1, r1, 3
+    la   r2, b
+    add  r2, r2, r1
+    ld   r4, 0(r2)         # B[k][j]
+    mul  r5, r3, r4
+    add  r14, r14, r5
+    addi r13, r13, 1
+    blt  r13, r10, mul_k
+    mul  r1, r11, r10
+    add  r1, r1, r12
+    slli r1, r1, 3
+    la   r2, c
+    add  r2, r2, r1
+    st   r14, 0(r2)
+    addi r12, r12, 1
+    blt  r12, r10, mul_j
+    addi r11, r11, 1
+    blt  r11, r10, mul_i
+    # emit trace(C) = sum of diagonal
+    addi r11, r0, 0
+    addi r4, r0, 0
+  trace:
+    mul  r1, r11, r10
+    add  r1, r1, r11
+    slli r1, r1, 3
+    la   r2, c
+    add  r2, r2, r1
+    ld   r3, 0(r2)
+    add  r4, r4, r3
+    addi r11, r11, 1
+    blt  r11, r10, trace
+    addi r1, r0, 1
+    add  r2, r0, r4
+    syscall
+    halt
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace unsync;
+  using namespace unsync::fault;
+  const Config cfg = Config::from_args(argc, argv);
+
+  const isa::Program prog = isa::Assembler::assemble(kMatMulSource);
+  isa::FunctionalSim golden(prog);
+  golden.run(1'000'000);
+  std::cout << "Golden run: " << golden.retired()
+            << " instructions, trace(C) = " << golden.output().at(0)
+            << "\n\n";
+
+  InjectionConfig icfg;
+  icfg.trials = static_cast<std::uint64_t>(cfg.get_int("trials", 300));
+  icfg.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+
+  TextTable t("Single-bit fault outcomes (" + std::to_string(icfg.trials) +
+              " trials per row)");
+  t.set_header({"plan", "L1 policy", "masked", "corrected", "recovered",
+                "unrecoverable", "SDC"});
+  auto row = [&](const ProtectionPlan& plan, bool wt, const char* policy) {
+    icfg.l1_write_through = wt;
+    const auto r = run_campaign(prog, plan, icfg);
+    t.add_row({plan.name, policy, std::to_string(r.masked),
+               std::to_string(r.corrected_in_place),
+               std::to_string(r.recovered), std::to_string(r.unrecoverable),
+               std::to_string(r.sdc)});
+    if (r.recovery_failures != 0) {
+      std::cerr << "MODEL BUG: " << r.recovery_failures
+                << " recoveries diverged from golden\n";
+    }
+  };
+  row(unsync_plan(), true, "write-through");
+  row(unsync_plan(), false, "write-back (Fig.2)");
+  row(reunion_plan(), true, "write-through");
+  row(baseline_plan(), true, "write-through");
+  t.print(std::cout);
+
+  std::cout << "\nReading the table:\n"
+            << "  * unsync + write-through: every strike is masked or "
+               "recovered — zero SDC.\n"
+            << "  * unsync + write-back: detected strikes on dirty lines "
+               "have no clean copy -> unrecoverable (the paper's Fig. 2 "
+               "argument for write-through L1s).\n"
+            << "  * reunion: strikes on post-commit state (register file) "
+               "escape the fingerprint -> SDC.\n"
+            << "  * baseline: whatever is not masked is silent data "
+               "corruption.\n";
+  return 0;
+}

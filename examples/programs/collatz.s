@@ -1,0 +1,36 @@
+# Longest Collatz chain for seeds 1..200: emits (best_seed, best_length).
+    li   r10, 200           # max seed
+    li   r15, 0             # best length
+    li   r16, 0             # best seed
+    li   r11, 1             # seed
+  seeds:
+    mv   r20, r11           # x = seed
+    li   r21, 0             # len
+  chain:
+    li   r22, 1
+    beq  r20, r22, chain_done
+    andi r23, r20, 1
+    bne  r23, r0, odd
+    li   r24, 2
+    div  r20, r20, r24      # x /= 2
+    j    next
+  odd:
+    li   r24, 3
+    mul  r20, r20, r24
+    addi r20, r20, 1        # x = 3x + 1
+  next:
+    addi r21, r21, 1
+    j    chain
+  chain_done:
+    bge  r15, r21, not_best
+    mv   r15, r21
+    mv   r16, r11
+  not_best:
+    addi r11, r11, 1
+    bge  r10, r11, seeds
+    li   r1, 1
+    mv   r2, r16
+    syscall
+    mv   r2, r15
+    syscall
+    halt

@@ -1,0 +1,42 @@
+# Dot product of two 64-element vectors, emitted via the syscall channel.
+# Run:  unsync_sim asm program=examples/programs/dot_product.s
+#       unsync_sim run system=unsync program=examples/programs/dot_product.s
+  a:
+    .space 512
+  b:
+    .space 512
+    li   r10, 64          # n
+    # init: a[i] = i + 1, b[i] = 2*i + 1
+    li   r11, 0
+  init:
+    slli r20, r11, 3
+    la   r21, a
+    add  r21, r21, r20
+    addi r22, r11, 1
+    st   r22, 0(r21)
+    la   r21, b
+    add  r21, r21, r20
+    slli r22, r11, 1
+    addi r22, r22, 1
+    st   r22, 0(r21)
+    addi r11, r11, 1
+    blt  r11, r10, init
+    # dot = sum a[i]*b[i]
+    li   r11, 0
+    li   r4, 0
+  dot:
+    slli r20, r11, 3
+    la   r21, a
+    add  r21, r21, r20
+    ld   r22, 0(r21)
+    la   r21, b
+    add  r21, r21, r20
+    ld   r23, 0(r21)
+    mul  r24, r22, r23
+    add  r4, r4, r24
+    addi r11, r11, 1
+    blt  r11, r10, dot
+    li   r1, 1
+    mv   r2, r4
+    syscall
+    halt

@@ -1,0 +1,22 @@
+# FNV-style hash over an embedded string; demonstrates .ascii, lb, and the
+# pseudo-instructions. Emits the 64-bit hash.
+  msg:
+    .ascii "the quick brown fox jumps over the lazy dog"
+  msg_end:
+    .align 8
+    la   r10, msg
+    la   r11, msg_end
+    la   r12, 0x1000193       # FNV-32 prime (fits la's 27-bit reach)
+    la   r4, 0x23456          # offset basis
+  loop:
+    bge  r10, r11, done
+    lb   r20, 0(r10)
+    xor  r4, r4, r20
+    mul  r4, r4, r12
+    addi r10, r10, 1
+    j    loop
+  done:
+    li   r1, 1
+    mv   r2, r4
+    syscall
+    halt

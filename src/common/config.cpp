@@ -1,0 +1,89 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace unsync {
+
+Config Config::from_args(int argc, const char* const* argv,
+                         std::vector<std::string>* positional) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (positional) positional->push_back(arg);
+      continue;
+    }
+    cfg.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  entries_.emplace_back(key, value);
+}
+
+bool Config::has(const std::string& key) const { return find(key).has_value(); }
+
+std::optional<std::string> Config::find(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return find(key).value_or(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto v = find(key);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key +
+                                "' is not an integer: " + *v);
+  }
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto v = find(key);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key +
+                                "' is not a number: " + *v);
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto v = find(key);
+  if (!v) return fallback;
+  std::string s = *v;
+  std::transform(s.begin(), s.end(), s.begin(), ::tolower);
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  throw std::invalid_argument("config key '" + key +
+                              "' is not a boolean: " + *v);
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) out.push_back(k);
+  return out;
+}
+
+}  // namespace unsync

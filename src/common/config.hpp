@@ -1,0 +1,41 @@
+// Tiny key=value configuration store with typed getters.
+//
+// Used by the examples and benches so that simulator parameters (Table I and
+// the architecture knobs) can be overridden from the command line without a
+// heavyweight flags library:  ./quickstart cb_entries=64 fi=30
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace unsync {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" tokens (e.g. argv). Unrecognised tokens without '='
+  /// are returned as positional arguments.
+  static Config from_args(int argc, const char* const* argv,
+                          std::vector<std::string>* positional = nullptr);
+
+  void set(const std::string& key, const std::string& value);
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All keys in insertion order (for help / echo output).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::optional<std::string> find(const std::string& key) const;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace unsync

@@ -1,0 +1,30 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace unsync {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kInfo:  return "[info ] ";
+    case LogLevel::kWarn:  return "[warn ] ";
+    case LogLevel::kError: return "[error] ";
+    case LogLevel::kOff:   return "";
+  }
+  return "";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(level); }
+LogLevel Log::level() { return g_level.load(); }
+
+void Log::write(LogLevel level, const std::string& msg) {
+  if (!enabled(level)) return;
+  std::cerr << prefix(level) << msg << "\n";
+}
+
+}  // namespace unsync

@@ -1,0 +1,29 @@
+// Minimal leveled logger. The simulator is hot-loop code, so logging is
+// macro-free and compiled in always, but level checks are a single branch.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace unsync {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-global log configuration. Not thread-safe to mutate concurrently
+/// with logging; set once at startup (tests set kOff by default).
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+
+  /// Writes one line with a level prefix to stderr.
+  static void write(LogLevel level, const std::string& msg);
+
+  static void debug(const std::string& msg) { write(LogLevel::kDebug, msg); }
+  static void info(const std::string& msg) { write(LogLevel::kInfo, msg); }
+  static void warn(const std::string& msg) { write(LogLevel::kWarn, msg); }
+  static void error(const std::string& msg) { write(LogLevel::kError, msg); }
+};
+
+}  // namespace unsync

@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// We use xoshiro256** (Blackman & Vigna) rather than std::mt19937 because it
+// is faster, has a tiny state (32 bytes) that can be embedded per-component,
+// and gives identical sequences across standard libraries — important for a
+// simulator whose results must be reproducible bit-for-bit across platforms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace unsync {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state from a single 64-bit value via SplitMix64, which
+  /// guarantees a well-mixed state even for small consecutive seeds.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64-bit draw (xoshiro256** scrambler).
+  std::uint64_t next();
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Geometric-like draw: number of failures before first success with
+  /// success probability p (p in (0,1]).
+  std::uint64_t geometric(double p);
+
+  /// Draws an index from a discrete distribution given cumulative weights
+  /// (cumulative[i] = sum of weights[0..i], last element = total weight).
+  std::size_t pick_cumulative(const double* cumulative, std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace unsync

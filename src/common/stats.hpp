@@ -1,0 +1,74 @@
+// Lightweight online statistics used by the simulator and the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unsync {
+
+/// Welford online mean / variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStat& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range samples are
+/// clamped into the first / last bucket so totals always balance.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::size_t buckets() const { return counts_.size(); }
+  double bucket_low(std::size_t i) const;
+
+  /// Value below which `q` (in [0,1]) of the mass lies, interpolated
+  /// linearly within the containing bucket.
+  double quantile(double q) const;
+
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Simple named counter set used for per-component simulator statistics.
+class CounterSet {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1);
+  std::uint64_t get(const std::string& name) const;
+  std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+};
+
+}  // namespace unsync

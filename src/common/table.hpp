@@ -1,0 +1,40 @@
+// ASCII table / CSV emitters used by the bench harness to print the paper's
+// tables and figure series in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace unsync {
+
+/// Column-aligned ASCII table with an optional title, printed to any ostream.
+/// Cells are strings; numeric helpers format with fixed precision so bench
+/// output is stable across runs.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `precision` fractional digits.
+  static std::string num(double v, int precision = 2);
+  /// Formats a percentage (value 0.20 -> "20.00%").
+  static std::string pct(double fraction, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string str() const;
+
+  /// Emits the same data as CSV (header row first).
+  std::string csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace unsync

@@ -1,0 +1,29 @@
+// Core scalar types shared across all UnSync libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace unsync {
+
+/// Simulated clock cycle count. All timing models advance in units of Cycle.
+using Cycle = std::uint64_t;
+
+/// Physical / simulated byte address.
+using Addr = std::uint64_t;
+
+/// Dynamic-instruction sequence number (monotonic per thread).
+using SeqNum = std::uint64_t;
+
+/// Architectural register index for the mini ISA (32 integer + 32 fp).
+using RegIndex = std::uint8_t;
+
+/// Identifies a core inside the simulated CMP.
+using CoreId = std::uint32_t;
+
+/// An invalid / "no value" sentinel for sequence numbers.
+inline constexpr SeqNum kNoSeq = ~SeqNum{0};
+
+/// An invalid address sentinel.
+inline constexpr Addr kNoAddr = ~Addr{0};
+
+}  // namespace unsync

@@ -1,0 +1,62 @@
+#include "core/baseline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace unsync::core {
+
+bool BaselineSystem::StoreBufferEnv::on_store_commit(CoreId core,
+                                                     const workload::DynOp& op,
+                                                     Cycle now) {
+  if (in_flight_.size() <= core) in_flight_.resize(core + 1);
+  auto& buf = in_flight_[core];
+  std::erase_if(buf, [now](Cycle done) { return done <= now; });
+  if (buf.size() >= entries_) return false;
+  buf.push_back(memory_->store_writeback(core, op.mem_addr, now).done);
+  return true;
+}
+
+BaselineSystem::BaselineSystem(const SystemConfig& config,
+                               const workload::InstStream& stream)
+    : BaselineSystem(config, detail::replicate(stream, config.num_threads)) {}
+
+BaselineSystem::BaselineSystem(
+    const SystemConfig& config,
+    const std::vector<const workload::InstStream*>& streams)
+    : config_(config),
+      thread_lengths_(detail::lengths_of(streams)),
+      memory_(config.mem, config.num_threads),
+      env_(&memory_, kStoreBufferEntries) {
+  if (streams.size() != config.num_threads) {
+    throw std::invalid_argument("BaselineSystem: need one stream per thread");
+  }
+  detail::prewarm_from(memory_, streams);
+  for (unsigned t = 0; t < config.num_threads; ++t) {
+    cores_.push_back(std::make_unique<cpu::OooCore>(
+        t, config.core, &memory_, streams[t]->clone(), &env_));
+  }
+}
+
+RunResult BaselineSystem::run(Cycle max_cycles) {
+  Cycle now = 0;
+  auto all_done = [&] {
+    return std::all_of(cores_.begin(), cores_.end(),
+                       [](const auto& c) { return c->done(); });
+  };
+  while (!all_done() && now < max_cycles) {
+    for (auto& core : cores_) {
+      if (!core->done()) core->tick(now);
+    }
+    ++now;
+  }
+
+  RunResult r;
+  r.system = name_;
+  r.cycles = now;
+  r.thread_instructions = thread_lengths_;
+  r.instructions = detail::max_length(thread_lengths_);
+  for (const auto& core : cores_) r.core_stats.push_back(core->stats());
+  return r;
+}
+
+}  // namespace unsync::core

@@ -1,0 +1,61 @@
+// Baseline CMP: one core per thread, write-back L1, no redundancy.
+//
+// This is the reference every figure normalises against ("baseline CMP
+// architecture", Table I) — and it is also the performance a soft error
+// silently corrupts.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/system.hpp"
+#include "mem/hierarchy.hpp"
+#include "workload/dyn_op.hpp"
+
+namespace unsync::core {
+
+class BaselineSystem final : public System {
+ public:
+  /// Homogeneous: `stream` is cloned once per thread.
+  BaselineSystem(const SystemConfig& config,
+                 const workload::InstStream& stream);
+
+  /// Heterogeneous multiprogramming: one stream per thread
+  /// (`streams.size()` must equal `config.num_threads`).
+  BaselineSystem(const SystemConfig& config,
+                 const std::vector<const workload::InstStream*>& streams);
+
+  RunResult run(Cycle max_cycles = ~Cycle{0}) override;
+  const std::string& name() const override { return name_; }
+
+  mem::MemoryHierarchy& memory() { return memory_; }
+
+ private:
+  /// Commit environment: a small post-commit store buffer in front of the
+  /// write-back L1; commit stalls when it fills.
+  class StoreBufferEnv final : public cpu::CommitEnv {
+   public:
+    StoreBufferEnv(mem::MemoryHierarchy* memory, std::size_t entries)
+        : memory_(memory), entries_(entries) {}
+
+    bool on_store_commit(CoreId core, const workload::DynOp& op,
+                         Cycle now) override;
+
+   private:
+    mem::MemoryHierarchy* memory_;
+    std::size_t entries_;
+    std::vector<std::vector<Cycle>> in_flight_;  // per core: completion times
+  };
+
+  std::string name_ = "baseline";
+  SystemConfig config_;
+  std::vector<std::uint64_t> thread_lengths_;
+  mem::MemoryHierarchy memory_;
+  StoreBufferEnv env_;
+  std::vector<std::unique_ptr<cpu::OooCore>> cores_;
+};
+
+/// Size of the post-commit store buffer used by write-back configurations.
+inline constexpr std::size_t kStoreBufferEntries = 8;
+
+}  // namespace unsync::core

@@ -1,0 +1,71 @@
+#include "core/fingerprint.hpp"
+
+namespace unsync::core {
+
+void Crc16::add_byte(std::uint8_t byte) {
+  crc_ ^= static_cast<std::uint16_t>(byte) << 8;
+  for (int i = 0; i < 8; ++i) {
+    if (crc_ & 0x8000) {
+      crc_ = static_cast<std::uint16_t>((crc_ << 1) ^ kPoly);
+    } else {
+      crc_ = static_cast<std::uint16_t>(crc_ << 1);
+    }
+  }
+}
+
+void Crc16::add_word(std::uint64_t word) {
+  for (int b = 0; b < 8; ++b) {
+    add_byte(static_cast<std::uint8_t>(word >> (8 * b)));
+  }
+}
+
+void Crc16::add_op(const workload::DynOp& op) {
+  add_word(op.pc);
+  if (op.mem_addr != kNoAddr) add_word(op.mem_addr);
+  // Destination value is represented by the op's sequence number in the
+  // timing-level model (the functional value lives in the golden model);
+  // any divergence in retirement order or addresses perturbs the hash.
+  add_word(op.seq);
+}
+
+std::uint16_t fingerprint_of(const workload::DynOp* ops, std::size_t n) {
+  Crc16 crc;
+  for (std::size_t i = 0; i < n; ++i) crc.add_op(ops[i]);
+  return crc.value();
+}
+
+ParallelCrc16::ParallelCrc16() {
+  // Precompute the 8-bit transition table; two table steps per halfword
+  // realise the two-stage parallel structure of the paper's generator.
+  for (unsigned byte = 0; byte < 256; ++byte) {
+    std::uint16_t crc = static_cast<std::uint16_t>(byte << 8);
+    for (int i = 0; i < 8; ++i) {
+      if (crc & 0x8000) {
+        crc = static_cast<std::uint16_t>((crc << 1) ^ Crc16::kPoly);
+      } else {
+        crc = static_cast<std::uint16_t>(crc << 1);
+      }
+    }
+    table_[byte] = crc;
+  }
+}
+
+void ParallelCrc16::add_halfword(std::uint16_t bits) {
+  // Stage 1: high byte; stage 2: low byte — both in "one cycle".
+  const auto hi = static_cast<std::uint8_t>(bits >> 8);
+  const auto lo = static_cast<std::uint8_t>(bits);
+  crc_ = static_cast<std::uint16_t>((crc_ << 8) ^ table_[(crc_ >> 8) ^ hi]);
+  crc_ = static_cast<std::uint16_t>((crc_ << 8) ^ table_[(crc_ >> 8) ^ lo]);
+}
+
+void ParallelCrc16::add_word(std::uint64_t word) {
+  // Same byte order as Crc16::add_word (little-endian byte emission),
+  // grouped two bytes per halfword step.
+  for (int b = 0; b < 8; b += 2) {
+    const auto first = static_cast<std::uint8_t>(word >> (8 * b));
+    const auto second = static_cast<std::uint8_t>(word >> (8 * (b + 1)));
+    add_halfword(static_cast<std::uint16_t>((first << 8) | second));
+  }
+}
+
+}  // namespace unsync::core

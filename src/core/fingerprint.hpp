@@ -1,0 +1,64 @@
+// Fingerprint generation — the Reunion comparison primitive.
+//
+// A CRC-16 (CCITT polynomial 0x1021) hash over the architectural updates of
+// a fingerprint interval's worth of instructions, computed the way the
+// paper's two-stage parallel generator would observe them: per retired
+// instruction, the (pc, destination value / store address) words are folded
+// into the running CRC. Two redundant cores executing identically produce
+// equal fingerprints; any single-bit divergence flips the CRC with
+// probability 1 - 2^-16.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "workload/dyn_op.hpp"
+
+namespace unsync::core {
+
+class Crc16 {
+ public:
+  /// CCITT polynomial, init 0xFFFF.
+  static constexpr std::uint16_t kPoly = 0x1021;
+
+  void reset() { crc_ = 0xFFFF; }
+  std::uint16_t value() const { return crc_; }
+
+  void add_byte(std::uint8_t byte);
+  void add_word(std::uint64_t word);
+
+  /// Folds one retired instruction's architectural update into the hash.
+  void add_op(const workload::DynOp& op);
+
+ private:
+  std::uint16_t crc_ = 0xFFFF;
+};
+
+/// Convenience: fingerprint of a whole op sequence (tests, examples).
+std::uint16_t fingerprint_of(const workload::DynOp* ops, std::size_t n);
+
+/// The paper's generator is a two-stage *parallel* CRC (Albertengo & Sisto
+/// [28]): it folds 16 input bits per clock instead of one. This class
+/// computes the identical CRC-16/CCITT-FALSE value via a precomputed
+/// 16-bit-parallel transition table; tests prove bit-exact equivalence with
+/// the serial Crc16. The table models what the 238-gate XOR network does in
+/// one cycle.
+class ParallelCrc16 {
+ public:
+  ParallelCrc16();
+
+  void reset() { crc_ = 0xFFFF; }
+  std::uint16_t value() const { return crc_; }
+
+  /// Absorbs 16 message bits (two bytes, MSB-first like the serial CRC).
+  void add_halfword(std::uint16_t bits);
+
+  /// Absorbs a 64-bit word in the same byte order as Crc16::add_word.
+  void add_word(std::uint64_t word);
+
+ private:
+  std::uint16_t table_[256];  // byte-parallel transition table
+  std::uint16_t crc_ = 0xFFFF;
+};
+
+}  // namespace unsync::core

@@ -1,0 +1,286 @@
+#include "core/related_work.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/baseline.hpp"
+#include "fault/ser.hpp"
+
+namespace unsync::core {
+
+namespace {
+
+/// Shared write-back store-buffer behaviour (same as the baseline CMP).
+bool store_buffer_commit(mem::MemoryHierarchy& memory,
+                         std::vector<Cycle>& buffer, CoreId core, Addr addr,
+                         Cycle now) {
+  std::erase_if(buffer, [now](Cycle done) { return done <= now; });
+  if (buffer.size() >= kStoreBufferEntries) return false;
+  buffer.push_back(memory.store_writeback(core, addr, now).done);
+  return true;
+}
+
+}  // namespace
+
+// ---- LockstepSystem -----------------------------------------------------------
+
+bool LockstepSystem::LockstepEnv::can_commit(CoreId core,
+                                             const workload::DynOp& op,
+                                             Cycle now) {
+  (void)core;
+  (void)now;
+  // Tight coupling: neither core may retire past its partner by more than
+  // one commit group.
+  const auto& other = *pair_->core[1 - side_];
+  if (op.seq >= other.retired() + sys_->params_.max_skew) {
+    ++pair_->lockstep_stalls;
+    return false;
+  }
+  return true;
+}
+
+bool LockstepSystem::LockstepEnv::on_store_commit(CoreId core,
+                                                  const workload::DynOp& op,
+                                                  Cycle now) {
+  return store_buffer_commit(sys_->memory_, pair_->store_buffer[side_], core,
+                             op.mem_addr, now);
+}
+
+LockstepSystem::LockstepSystem(const SystemConfig& config,
+                               const LockstepParams& params,
+                               const workload::InstStream& stream)
+    : LockstepSystem(config, params,
+                     detail::replicate(stream, config.num_threads)) {}
+
+LockstepSystem::LockstepSystem(
+    const SystemConfig& config, const LockstepParams& params,
+    const std::vector<const workload::InstStream*>& streams)
+    : config_(config),
+      params_(params),
+      thread_lengths_(detail::lengths_of(streams)),
+      memory_(config.mem, config.num_threads * 2),
+      rng_(config.seed) {
+  if (streams.size() != config_.num_threads) {
+    throw std::invalid_argument("LockstepSystem: need one stream per thread");
+  }
+  detail::prewarm_from(memory_, streams);
+  cpu::CoreConfig core_cfg = config_.core;
+  core_cfg.extra_load_latency = params_.load_check_latency;
+  for (unsigned t = 0; t < config_.num_threads; ++t) {
+    auto pair = std::make_unique<Pair>();
+    pair->store_buffer.resize(2);
+    for (unsigned side = 0; side < 2; ++side) {
+      pair->env[side] = std::make_unique<LockstepEnv>(this, pair.get(), side);
+      pair->core[side] = std::make_unique<cpu::OooCore>(
+          t * 2 + side, core_cfg, &memory_, streams[t]->clone(),
+          pair->env[side].get());
+    }
+    if (config_.ser_per_inst > 0 && thread_lengths_[t] > 0) {
+      pair->error_arrivals = fault::sample_error_arrivals(
+          config_.ser_per_inst, thread_lengths_[t], rng_);
+    }
+    pairs_.push_back(std::move(pair));
+  }
+}
+
+void LockstepSystem::maybe_inject_error(Pair& pair, unsigned thread,
+                                        Cycle now, RunResult* result) {
+  if (pair.next_error >= pair.error_arrivals.size()) return;
+  const SeqNum progress =
+      std::max(pair.core[0]->retired(), pair.core[1]->retired());
+  if (progress < pair.error_arrivals[pair.next_error]) return;
+  const SeqNum position = pair.error_arrivals[pair.next_error];
+  ++pair.next_error;
+  ++result->errors_injected;
+  ++result->recoveries;
+  // Lock-step sees the divergence the cycle it occurs; recovery is a
+  // flush + instruction retry on both cores.
+  const Cycle resume_at = now + params_.resync_penalty;
+  result->recovery_cycles_total += params_.resync_penalty;
+  result->error_log.push_back(
+      {.cycle = now, .position = position, .thread = thread,
+       .struck_core = static_cast<unsigned>(rng_.below(2)),
+       .cost = params_.resync_penalty, .rollback = false});
+  for (unsigned side = 0; side < 2; ++side) {
+    pair.core[side]->stall_until(resume_at);
+  }
+}
+
+RunResult LockstepSystem::run(Cycle max_cycles) {
+  RunResult r;
+  r.system = name_;
+  r.thread_instructions = thread_lengths_;
+  r.instructions = detail::max_length(thread_lengths_);
+
+  Cycle now = 0;
+  auto pair_done = [](const Pair& p) {
+    return p.core[0]->done() && p.core[1]->done();
+  };
+  auto all_done = [&] {
+    return std::all_of(pairs_.begin(), pairs_.end(),
+                       [&](const auto& p) { return pair_done(*p); });
+  };
+  while (!all_done() && now < max_cycles) {
+    for (auto& pair : pairs_) {
+      if (pair_done(*pair)) continue;
+      for (unsigned side = 0; side < 2; ++side) {
+        if (!pair->core[side]->done()) pair->core[side]->tick(now);
+      }
+      maybe_inject_error(*pair,
+                         static_cast<unsigned>(&pair - pairs_.data()), now,
+                         &r);
+    }
+    ++now;
+  }
+  r.cycles = now;
+  for (auto& pair : pairs_) {
+    for (unsigned side = 0; side < 2; ++side) {
+      r.core_stats.push_back(pair->core[side]->stats());
+    }
+    r.fingerprint_syncs += pair->lockstep_stalls;  // repurposed: sync stalls
+  }
+  return r;
+}
+
+// ---- DmrCheckpointSystem --------------------------------------------------------
+
+bool DmrCheckpointSystem::CheckpointEnv::can_commit(CoreId core,
+                                                    const workload::DynOp& op,
+                                                    Cycle now) {
+  (void)core;
+  Pair& p = *pair_;
+  if (op.seq < p.next_boundary) return true;
+
+  // This core reached the checkpoint boundary: wait for the partner, then
+  // the (heavyweight) capture + hash comparison.
+  if (!p.reached[side_]) {
+    p.reached[side_] = true;
+    p.reached_at[side_] = now;
+  }
+  if (!(p.reached[0] && p.reached[1])) return false;
+  if (p.checkpoint_done == 0) {
+    p.checkpoint_done = std::max(p.reached_at[0], p.reached_at[1]) +
+                        sys_->params_.checkpoint_cost +
+                        sys_->params_.compare_latency;
+    ++sys_->checkpoints_taken_;
+  }
+  if (now < p.checkpoint_done) return false;
+
+  // Checkpoint committed: open the next epoch.
+  p.last_committed_boundary = p.next_boundary;
+  p.next_boundary += sys_->params_.checkpoint_interval;
+  p.reached[0] = p.reached[1] = false;
+  p.checkpoint_done = 0;
+  return true;
+}
+
+bool DmrCheckpointSystem::CheckpointEnv::on_store_commit(
+    CoreId core, const workload::DynOp& op, Cycle now) {
+  return store_buffer_commit(sys_->memory_, pair_->store_buffer[side_], core,
+                             op.mem_addr, now);
+}
+
+DmrCheckpointSystem::DmrCheckpointSystem(const SystemConfig& config,
+                                         const CheckpointParams& params,
+                                         const workload::InstStream& stream)
+    : DmrCheckpointSystem(config, params,
+                          detail::replicate(stream, config.num_threads)) {}
+
+DmrCheckpointSystem::DmrCheckpointSystem(
+    const SystemConfig& config, const CheckpointParams& params,
+    const std::vector<const workload::InstStream*>& streams)
+    : config_(config),
+      params_(params),
+      thread_lengths_(detail::lengths_of(streams)),
+      memory_(config.mem, config.num_threads * 2),
+      rng_(config.seed) {
+  assert(params_.checkpoint_interval > 0);
+  if (streams.size() != config_.num_threads) {
+    throw std::invalid_argument(
+        "DmrCheckpointSystem: need one stream per thread");
+  }
+  detail::prewarm_from(memory_, streams);
+  for (unsigned t = 0; t < config_.num_threads; ++t) {
+    auto pair = std::make_unique<Pair>();
+    pair->store_buffer.resize(2);
+    pair->next_boundary = params_.checkpoint_interval;
+    for (unsigned side = 0; side < 2; ++side) {
+      pair->env[side] =
+          std::make_unique<CheckpointEnv>(this, pair.get(), side);
+      pair->core[side] = std::make_unique<cpu::OooCore>(
+          t * 2 + side, config_.core, &memory_, streams[t]->clone(),
+          pair->env[side].get());
+    }
+    if (config_.ser_per_inst > 0 && thread_lengths_[t] > 0) {
+      pair->error_arrivals = fault::sample_error_arrivals(
+          config_.ser_per_inst, thread_lengths_[t], rng_);
+    }
+    pairs_.push_back(std::move(pair));
+  }
+}
+
+void DmrCheckpointSystem::maybe_inject_error(Pair& pair, unsigned thread,
+                                             Cycle now, RunResult* result) {
+  if (pair.next_error >= pair.error_arrivals.size()) return;
+  const SeqNum progress =
+      std::max(pair.core[0]->retired(), pair.core[1]->retired());
+  if (progress < pair.error_arrivals[pair.next_error]) return;
+  const SeqNum position = pair.error_arrivals[pair.next_error];
+  ++pair.next_error;
+  ++result->errors_injected;
+  ++result->rollbacks;
+  // The mismatch surfaces at the next checkpoint hash; both cores restore
+  // the previous checkpoint (heavyweight) and re-execute the whole epoch.
+  const Cycle resume_at = now + params_.restore_cost;
+  result->recovery_cycles_total += params_.restore_cost;
+  result->error_log.push_back(
+      {.cycle = now, .position = position, .thread = thread,
+       .struck_core = static_cast<unsigned>(rng_.below(2)),
+       .cost = params_.restore_cost, .rollback = true});
+  for (unsigned side = 0; side < 2; ++side) {
+    pair.core[side]->set_position(pair.last_committed_boundary);
+    pair.core[side]->stall_until(resume_at);
+  }
+  pair.next_boundary =
+      pair.last_committed_boundary + params_.checkpoint_interval;
+  pair.reached[0] = pair.reached[1] = false;
+  pair.checkpoint_done = 0;
+}
+
+RunResult DmrCheckpointSystem::run(Cycle max_cycles) {
+  RunResult r;
+  r.system = name_;
+  r.thread_instructions = thread_lengths_;
+  r.instructions = detail::max_length(thread_lengths_);
+
+  Cycle now = 0;
+  auto pair_done = [](const Pair& p) {
+    return p.core[0]->done() && p.core[1]->done();
+  };
+  auto all_done = [&] {
+    return std::all_of(pairs_.begin(), pairs_.end(),
+                       [&](const auto& p) { return pair_done(*p); });
+  };
+  while (!all_done() && now < max_cycles) {
+    for (auto& pair : pairs_) {
+      if (pair_done(*pair)) continue;
+      for (unsigned side = 0; side < 2; ++side) {
+        if (!pair->core[side]->done()) pair->core[side]->tick(now);
+      }
+      maybe_inject_error(*pair,
+                         static_cast<unsigned>(&pair - pairs_.data()), now,
+                         &r);
+    }
+    ++now;
+  }
+  r.cycles = now;
+  for (auto& pair : pairs_) {
+    for (unsigned side = 0; side < 2; ++side) {
+      r.core_stats.push_back(pair->core[side]->stats());
+    }
+  }
+  return r;
+}
+
+}  // namespace unsync::core

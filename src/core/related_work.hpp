@@ -1,0 +1,163 @@
+// Related-work redundancy schemes (paper §II), implemented as additional
+// comparison points around UnSync and Reunion:
+//
+//  * LockstepSystem — mainframe-style tight lock-step (IBM S/390 G5 [15]):
+//    the two cores stay cycle-coupled (neither may retire past the other by
+//    more than a commit group), and every load value passes through the
+//    input-replication checker before use. Divergence is detected the cycle
+//    it happens, so recovery is a cheap pipeline flush — but the coupling
+//    and load-path checker tax every error-free cycle, which is exactly why
+//    "lock-step becomes an increasing burden as device scaling continues".
+//
+//  * DmrCheckpointSystem — Fingerprinting-style checkpointing (Smolens et
+//    al. [19]): cores run decoupled between checkpoints; every
+//    `checkpoint_interval` instructions both cores synchronise, capture a
+//    heavyweight checkpoint (architectural + memory state), and exchange a
+//    hash. Errors surface at the *next* checkpoint and roll back to the
+//    previous one — long detection latency and a per-checkpoint capture
+//    cost, traded against zero coupling in between.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/system.hpp"
+#include "mem/hierarchy.hpp"
+#include "workload/dyn_op.hpp"
+
+namespace unsync::core {
+
+struct LockstepParams {
+  /// Maximum retirement skew between the coupled cores, in instructions
+  /// (one commit group).
+  std::uint32_t max_skew = 4;
+  /// Checker delay added to every load (input replication).
+  Cycle load_check_latency = 2;
+  /// Pipeline flush + resynchronisation penalty on a detected divergence.
+  Cycle resync_penalty = 30;
+};
+
+class LockstepSystem final : public System {
+ public:
+  LockstepSystem(const SystemConfig& config, const LockstepParams& params,
+                 const workload::InstStream& stream);
+  LockstepSystem(const SystemConfig& config, const LockstepParams& params,
+                 const std::vector<const workload::InstStream*>& streams);
+
+  RunResult run(Cycle max_cycles = ~Cycle{0}) override;
+  const std::string& name() const override { return name_; }
+  mem::MemoryHierarchy& memory() { return memory_; }
+
+ private:
+  struct Pair;
+
+  class LockstepEnv final : public cpu::CommitEnv {
+   public:
+    LockstepEnv(LockstepSystem* sys, Pair* pair, unsigned side)
+        : sys_(sys), pair_(pair), side_(side) {}
+    bool can_commit(CoreId core, const workload::DynOp& op,
+                    Cycle now) override;
+    bool on_store_commit(CoreId core, const workload::DynOp& op,
+                         Cycle now) override;
+
+   private:
+    LockstepSystem* sys_;
+    Pair* pair_;
+    unsigned side_;
+  };
+
+  struct Pair {
+    std::unique_ptr<cpu::OooCore> core[2];
+    std::unique_ptr<LockstepEnv> env[2];
+    std::vector<std::vector<Cycle>> store_buffer;
+    std::vector<SeqNum> error_arrivals;
+    std::size_t next_error = 0;
+    std::uint64_t lockstep_stalls = 0;
+  };
+
+  void maybe_inject_error(Pair& pair, unsigned thread, Cycle now,
+                          RunResult* result);
+
+  std::string name_ = "lockstep";
+  SystemConfig config_;
+  LockstepParams params_;
+  std::vector<std::uint64_t> thread_lengths_;
+  mem::MemoryHierarchy memory_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Pair>> pairs_;
+};
+
+struct CheckpointParams {
+  /// Instructions between checkpoints.
+  std::uint64_t checkpoint_interval = 1000;
+  /// Cycles both cores stall to capture a checkpoint (architectural state
+  /// plus the memory-state capture the paper calls "heavy-weight").
+  Cycle checkpoint_cost = 120;
+  /// Hash exchange + compare latency at each checkpoint.
+  Cycle compare_latency = 10;
+  /// Checkpoint-restore cost on rollback (before re-execution begins).
+  Cycle restore_cost = 200;
+};
+
+class DmrCheckpointSystem final : public System {
+ public:
+  DmrCheckpointSystem(const SystemConfig& config,
+                      const CheckpointParams& params,
+                      const workload::InstStream& stream);
+  DmrCheckpointSystem(const SystemConfig& config,
+                      const CheckpointParams& params,
+                      const std::vector<const workload::InstStream*>& streams);
+
+  RunResult run(Cycle max_cycles = ~Cycle{0}) override;
+  const std::string& name() const override { return name_; }
+  mem::MemoryHierarchy& memory() { return memory_; }
+
+  std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+
+ private:
+  struct Pair;
+
+  class CheckpointEnv final : public cpu::CommitEnv {
+   public:
+    CheckpointEnv(DmrCheckpointSystem* sys, Pair* pair, unsigned side)
+        : sys_(sys), pair_(pair), side_(side) {}
+    bool can_commit(CoreId core, const workload::DynOp& op,
+                    Cycle now) override;
+    bool on_store_commit(CoreId core, const workload::DynOp& op,
+                         Cycle now) override;
+
+   private:
+    DmrCheckpointSystem* sys_;
+    Pair* pair_;
+    unsigned side_;
+  };
+
+  struct Pair {
+    std::unique_ptr<cpu::OooCore> core[2];
+    std::unique_ptr<CheckpointEnv> env[2];
+    std::vector<std::vector<Cycle>> store_buffer;
+    /// Next checkpoint boundary (instruction count) and sync state.
+    SeqNum next_boundary = 0;
+    bool reached[2] = {false, false};
+    Cycle reached_at[2] = {0, 0};
+    Cycle checkpoint_done = 0;  ///< when the in-progress capture finishes
+    SeqNum last_committed_boundary = 0;  ///< rollback target
+    std::vector<SeqNum> error_arrivals;
+    std::size_t next_error = 0;
+  };
+
+  void maybe_inject_error(Pair& pair, unsigned thread, Cycle now,
+                          RunResult* result);
+
+  std::string name_ = "dmr-checkpoint";
+  SystemConfig config_;
+  CheckpointParams params_;
+  std::vector<std::uint64_t> thread_lengths_;
+  mem::MemoryHierarchy memory_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Pair>> pairs_;
+  std::uint64_t checkpoints_taken_ = 0;
+};
+
+}  // namespace unsync::core

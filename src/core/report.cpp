@@ -1,0 +1,145 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace unsync::core {
+
+void RunReport::print(std::ostream& os) const {
+  TextTable head("Run: " + result_.system);
+  head.set_header({"metric", "value"});
+  head.add_row({"cycles", std::to_string(result_.cycles)});
+  head.add_row({"instructions/thread", std::to_string(result_.instructions)});
+  head.add_row({"thread IPC", TextTable::num(result_.thread_ipc(), 4)});
+  head.add_row({"errors injected", std::to_string(result_.errors_injected)});
+  head.add_row({"forward recoveries", std::to_string(result_.recoveries)});
+  head.add_row({"rollbacks", std::to_string(result_.rollbacks)});
+  head.add_row({"recovery cycles", std::to_string(result_.recovery_cycles_total)});
+  head.add_row({"CB-full commit stalls", std::to_string(result_.cb_full_stalls)});
+  head.add_row({"serializing syncs", std::to_string(result_.fingerprint_syncs)});
+  head.print(os);
+  os << "\n";
+
+  TextTable cores("Per-core pipeline");
+  cores.set_header({"core", "committed", "IPC", "avgROB", "mispredict%",
+                    "robFull", "iqFull", "lsqFull", "storeStall", "gateStall",
+                    "fetchBr", "fetchSer", "fetchIc", "dtlbMiss", "itlbMiss"});
+  for (std::size_t i = 0; i < result_.core_stats.size(); ++i) {
+    const auto& cs = result_.core_stats[i];
+    const double mp =
+        cs.branches ? 100.0 * static_cast<double>(cs.mispredicts) /
+                          static_cast<double>(cs.branches)
+                    : 0.0;
+    cores.add_row({std::to_string(i), std::to_string(cs.committed),
+                   TextTable::num(cs.ipc(), 3),
+                   TextTable::num(cs.avg_rob_occupancy(), 1),
+                   TextTable::num(mp, 1), std::to_string(cs.dispatch_stall_rob),
+                   std::to_string(cs.dispatch_stall_iq),
+                   std::to_string(cs.dispatch_stall_lsq),
+                   std::to_string(cs.commit_stall_store),
+                   std::to_string(cs.commit_stall_gate),
+                   std::to_string(cs.fetch_blocked_branch),
+                   std::to_string(cs.fetch_blocked_serialize),
+                   std::to_string(cs.fetch_blocked_icache),
+                   std::to_string(cs.dtlb_misses),
+                   std::to_string(cs.itlb_misses)});
+  }
+  cores.print(os);
+
+  if (!result_.error_log.empty()) {
+    os << "\n";
+    TextTable err("Soft-error events (" +
+                  std::to_string(result_.error_log.size()) + ")");
+    err.set_header({"#", "cycle", "position", "thread", "struck core",
+                    "cost (cycles)", "handling"});
+    // Cap the listing; a stress run can have thousands of events.
+    const std::size_t shown = std::min<std::size_t>(result_.error_log.size(),
+                                                    20);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const auto& e = result_.error_log[i];
+      err.add_row({std::to_string(i), std::to_string(e.cycle),
+                   std::to_string(e.position), std::to_string(e.thread),
+                   std::to_string(e.struck_core), std::to_string(e.cost),
+                   e.rollback ? "rollback" : "forward recovery"});
+    }
+    if (shown < result_.error_log.size()) {
+      err.add_row({"...", "", "", "", "", "", ""});
+    }
+    err.print(os);
+  }
+
+  // IPC-over-time sparkline when the cores sampled intervals.
+  if (!result_.core_stats.empty() &&
+      result_.core_stats[0].interval_committed.size() > 1) {
+    const auto& samples = result_.core_stats[0].interval_committed;
+    os << "\nIPC over time (core 0, " << samples.size() << " samples): ";
+    static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+    std::uint64_t max_delta = 1;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      max_delta = std::max(max_delta, samples[i] - samples[i - 1]);
+    }
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      const auto delta = samples[i] - samples[i - 1];
+      os << kLevels[delta * 7 / max_delta];
+    }
+    os << "\n";
+  }
+
+  if (memory_ != nullptr) {
+    os << "\n";
+    TextTable mem("Memory system");
+    mem.set_header({"component", "hits", "misses", "miss rate", "extra"});
+    for (unsigned c = 0; c < memory_->num_cores(); ++c) {
+      const auto& l1 = memory_->l1(c);
+      mem.add_row({"L1D core " + std::to_string(c), std::to_string(l1.hits()),
+                   std::to_string(l1.misses()), TextTable::pct(l1.miss_rate()),
+                   "wb=" + std::to_string(l1.writebacks())});
+      const auto& l1i = memory_->icache(c);
+      mem.add_row({"L1I core " + std::to_string(c), std::to_string(l1i.hits()),
+                   std::to_string(l1i.misses()),
+                   TextTable::pct(l1i.miss_rate()), ""});
+    }
+    const auto& l2 = memory_->l2();
+    mem.add_row({"L2 shared", std::to_string(l2.hits()),
+                 std::to_string(l2.misses()), TextTable::pct(l2.miss_rate()),
+                 "wb=" + std::to_string(l2.writebacks())});
+    mem.add_row({"bus", "", "", "",
+                 "busy=" + std::to_string(memory_->bus().busy_cycles()) +
+                     " txn=" + std::to_string(memory_->bus().transactions())});
+    mem.print(os);
+  }
+}
+
+std::string RunReport::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string RunReport::csv_header() {
+  return "system,core,cycles,committed,ipc,avg_rob,branches,mispredicts,"
+         "loads,stores,serializing,dispatch_stall_rob,dispatch_stall_iq,"
+         "commit_stall_store,commit_stall_gate,recovery_stall_cycles,"
+         "dtlb_misses,itlb_misses\n";
+}
+
+std::string RunReport::csv_rows() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < result_.core_stats.size(); ++i) {
+    const auto& cs = result_.core_stats[i];
+    os << result_.system << ',' << i << ',' << result_.cycles << ','
+       << cs.committed << ',' << TextTable::num(cs.ipc(), 4) << ','
+       << TextTable::num(cs.avg_rob_occupancy(), 1) << ',' << cs.branches
+       << ',' << cs.mispredicts << ',' << cs.loads << ',' << cs.stores << ','
+       << cs.serializing << ',' << cs.dispatch_stall_rob << ','
+       << cs.dispatch_stall_iq << ',' << cs.commit_stall_store << ','
+       << cs.commit_stall_gate << ',' << cs.recovery_stall_cycles << ','
+       << cs.dtlb_misses << ',' << cs.itlb_misses << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace unsync::core

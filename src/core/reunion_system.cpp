@@ -1,0 +1,282 @@
+#include "core/reunion_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/baseline.hpp"
+#include "fault/ser.hpp"
+
+namespace unsync::core {
+
+namespace {
+constexpr Cycle kNever = ~Cycle{0};
+}  // namespace
+
+// ---- Fingerprint bookkeeping ------------------------------------------------
+
+void ReunionSystem::prune_verified(Pair& pair, Cycle now) {
+  while (!pair.fingerprints.empty()) {
+    const Fingerprint& front = pair.fingerprints.front();
+    if (!(front.closed[0] && front.closed[1]) || front.verify_done > now) {
+      break;
+    }
+    assert(front.count[0] == front.count[1] &&
+           "redundant cores must close identical intervals");
+    pair.verified_watermark[0] += front.count[0];
+    pair.verified_watermark[1] += front.count[1];
+    pair.fingerprints.pop_front();
+  }
+}
+
+void ReunionSystem::close_side(Pair& pair, Fingerprint& fp, unsigned side,
+                               Cycle now) {
+  fp.closed[side] = true;
+  fp.closed_at[side] = now;
+  if (fp.closed[0] && fp.closed[1]) {
+    fp.verify_done =
+        std::max(fp.closed_at[0], fp.closed_at[1]) + params_.compare_latency;
+  }
+  (void)pair;
+}
+
+std::uint64_t ReunionSystem::unverified_insts(const Pair& pair, unsigned side,
+                                              Cycle now) const {
+  (void)now;
+  std::uint64_t n = 0;
+  for (const auto& fp : pair.fingerprints) n += fp.count[side];
+  return n;
+}
+
+// ---- Commit environment -----------------------------------------------------
+
+bool ReunionSystem::ReunionEnv::can_commit(CoreId core,
+                                           const workload::DynOp& op,
+                                           Cycle now) {
+  (void)core;
+  Pair& pair = *pair_;
+  sys_->prune_verified(pair, now);
+
+  if (op.is_serializing()) {
+    // Find (or open) the synchronisation record for this instruction.
+    SerializeSync* found = nullptr;
+    for (auto& s : pair.serialize_queue) {
+      if (s.seq == op.seq) {
+        found = &s;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      pair.serialize_queue.emplace_back();
+      found = &pair.serialize_queue.back();
+      found->seq = op.seq;
+    }
+    SerializeSync& sync = *found;
+    if (!sync.requested[side_]) {
+      sync.requested[side_] = true;
+      sync.request_at[side_] = now;
+      // Force-close this side's forming interval so everything older can
+      // verify (the pipeline "stalls till the fingerprint including the
+      // serializing instruction is verified").
+      for (auto& fp : pair.fingerprints) {
+        if (!fp.closed[side_] && fp.count[side_] > 0) {
+          sys_->close_side(pair, fp, side_, now);
+        }
+      }
+    }
+    if (!(sync.requested[0] && sync.requested[1])) return false;
+    if (sync.ready_at == kNever) {
+      // Both cores arrived: everything outstanding must verify, then one
+      // extra comparison round covers the serializing instruction itself.
+      Cycle last = std::max(sync.request_at[0], sync.request_at[1]);
+      for (const auto& fp : pair.fingerprints) {
+        if (!(fp.closed[0] && fp.closed[1])) return false;  // still filling
+        last = std::max(last, fp.verify_done);
+      }
+      sync.ready_at = last + sys_->params_.compare_latency;
+      ++pair.serializing_syncs;
+    }
+    return now >= sync.ready_at;
+  }
+
+  // Regular instruction: the CHECK-stage buffer must have room for one
+  // more committed-but-unverified instruction (§IV-A.3).
+  return sys_->unverified_insts(pair, side_, now) <
+         sys_->params_.effective_csb_entries();
+}
+
+bool ReunionSystem::ReunionEnv::on_store_commit(CoreId core,
+                                                const workload::DynOp& op,
+                                                Cycle now) {
+  Pair& pair = *pair_;
+  auto& buf = pair.store_buffer[side_];
+  std::erase_if(buf, [now](Cycle done) { return done <= now; });
+  if (buf.size() >= kStoreBufferEntries) return false;
+  buf.push_back(sys_->memory_.store_writeback(core, op.mem_addr, now).done);
+  return true;
+}
+
+void ReunionSystem::ReunionEnv::on_commit(CoreId core,
+                                          const workload::DynOp& op,
+                                          Cycle now) {
+  (void)core;
+  Pair& pair = *pair_;
+
+  // Find (or open) this side's forming interval.
+  Fingerprint* forming = nullptr;
+  for (auto& fp : pair.fingerprints) {
+    if (!fp.closed[side_]) {
+      forming = &fp;
+      break;
+    }
+  }
+  if (forming == nullptr) {
+    pair.fingerprints.emplace_back();
+    forming = &pair.fingerprints.back();
+  }
+
+  ++forming->count[side_];
+  if (op.is_serializing()) {
+    // The serializing instruction closes its own (verified) interval.
+    sys_->close_side(pair, *forming, side_, now);
+    // Its synchronisation round already completed in can_commit; the
+    // closing comparison is accounted there. Mark it pre-verified.
+    if (forming->closed[0] && forming->closed[1]) {
+      forming->verify_done = std::min(forming->verify_done, now);
+    }
+    for (auto it = pair.serialize_queue.begin();
+         it != pair.serialize_queue.end(); ++it) {
+      if (it->seq == op.seq) {
+        it->committed[side_] = true;
+        if (it->committed[0] && it->committed[1]) {
+          pair.serialize_queue.erase(it);
+        }
+        break;
+      }
+    }
+  } else if (forming->count[side_] >= sys_->effective_fi()) {
+    sys_->close_side(pair, *forming, side_, now);
+  }
+}
+
+std::uint32_t ReunionSystem::ReunionEnv::reserved_rob_slots(CoreId core,
+                                                            Cycle now) {
+  (void)core;
+  sys_->prune_verified(*pair_, now);
+  // Committed-but-unverified instructions keep their ROB slots (§IV-A.5).
+  const std::uint64_t held = sys_->unverified_insts(*pair_, side_, now);
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(held, sys_->config_.core.rob_entries));
+}
+
+// ---- System -----------------------------------------------------------------
+
+ReunionSystem::ReunionSystem(const SystemConfig& config,
+                             const ReunionParams& params,
+                             const workload::InstStream& stream)
+    : ReunionSystem(config, params,
+                    detail::replicate(stream, config.num_threads)) {}
+
+ReunionSystem::ReunionSystem(
+    const SystemConfig& config, const ReunionParams& params,
+    const std::vector<const workload::InstStream*>& streams)
+    : config_(config),
+      params_(params),
+      plan_(fault::reunion_plan()),
+      thread_lengths_(detail::lengths_of(streams)),
+      memory_(config.mem, config.num_threads * 2),
+      rng_(config.seed) {
+  effective_fi_ = std::min(
+      params_.fingerprint_interval,
+      std::max(1u, config_.core.rob_entries - config_.core.commit_width));
+  if (streams.size() != config_.num_threads) {
+    throw std::invalid_argument("ReunionSystem: need one stream per thread");
+  }
+  detail::prewarm_from(memory_, streams);
+  for (unsigned t = 0; t < config_.num_threads; ++t) {
+    auto pair = std::make_unique<Pair>();
+    pair->store_buffer.resize(2);
+    for (unsigned side = 0; side < 2; ++side) {
+      const CoreId core_id = t * 2 + side;
+      pair->env[side] = std::make_unique<ReunionEnv>(this, pair.get(), side);
+      pair->core[side] = std::make_unique<cpu::OooCore>(
+          core_id, config_.core, &memory_, streams[t]->clone(),
+          pair->env[side].get());
+    }
+    if (config_.ser_per_inst > 0 && thread_lengths_[t] > 0) {
+      pair->error_arrivals = fault::sample_error_arrivals(
+          config_.ser_per_inst, thread_lengths_[t], rng_);
+    }
+    pairs_.push_back(std::move(pair));
+  }
+}
+
+void ReunionSystem::maybe_inject_error(Pair& pair, unsigned thread,
+                                       Cycle now, RunResult* result) {
+  if (pair.next_error >= pair.error_arrivals.size()) return;
+  const SeqNum progress =
+      std::max(pair.core[0]->retired(), pair.core[1]->retired());
+  if (progress < pair.error_arrivals[pair.next_error]) return;
+  const SeqNum position = pair.error_arrivals[pair.next_error];
+  ++pair.next_error;
+  ++result->errors_injected;
+  ++result->rollbacks;
+
+  // The corrupted fingerprint mismatches at the next comparison; both cores
+  // squash and resume from the last verified fingerprint boundary,
+  // re-executing everything since (checkpoint rollback).
+  const SeqNum target =
+      std::min(pair.verified_watermark[0], pair.verified_watermark[1]);
+  const Cycle resume_at = now + params_.rollback_penalty;
+  result->recovery_cycles_total += params_.rollback_penalty;
+  result->error_log.push_back(
+      {.cycle = now, .position = position, .thread = thread,
+       .struck_core = static_cast<unsigned>(rng_.below(2)),
+       .cost = params_.rollback_penalty, .rollback = true});
+  for (unsigned side = 0; side < 2; ++side) {
+    pair.core[side]->set_position(target);
+    pair.core[side]->stall_until(resume_at);
+  }
+  pair.fingerprints.clear();
+  pair.serialize_queue.clear();
+}
+
+RunResult ReunionSystem::run(Cycle max_cycles) {
+  RunResult r;
+  r.system = name_;
+  r.thread_instructions = thread_lengths_;
+  r.instructions = detail::max_length(thread_lengths_);
+
+  Cycle now = 0;
+  auto pair_done = [](const Pair& p) {
+    return p.core[0]->done() && p.core[1]->done();
+  };
+  auto all_done = [&] {
+    return std::all_of(pairs_.begin(), pairs_.end(),
+                       [&](const auto& p) { return pair_done(*p); });
+  };
+
+  while (!all_done() && now < max_cycles) {
+    for (auto& pair : pairs_) {
+      if (pair_done(*pair)) continue;
+      for (unsigned side = 0; side < 2; ++side) {
+        if (!pair->core[side]->done()) pair->core[side]->tick(now);
+      }
+      maybe_inject_error(*pair,
+                         static_cast<unsigned>(&pair - pairs_.data()), now,
+                         &r);
+    }
+    ++now;
+  }
+
+  r.cycles = now;
+  for (auto& pair : pairs_) {
+    for (unsigned side = 0; side < 2; ++side) {
+      r.core_stats.push_back(pair->core[side]->stats());
+    }
+    r.fingerprint_syncs += pair->serializing_syncs;
+  }
+  return r;
+}
+
+}  // namespace unsync::core

@@ -1,0 +1,122 @@
+// Common interface of the simulated CMP systems (baseline / UnSync /
+// Reunion): configuration, the run loop contract, and the result record
+// every bench consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "cpu/core_config.hpp"
+#include "cpu/ooo_core.hpp"
+#include "mem/config.hpp"
+#include "mem/hierarchy.hpp"
+#include "workload/dyn_op.hpp"
+
+namespace unsync::core {
+
+/// Shared configuration (Table I defaults).
+struct SystemConfig {
+  cpu::CoreConfig core;
+  mem::MemConfig mem;
+  /// Number of application threads. Baseline runs one core per thread;
+  /// the redundant systems run one *core pair* per thread.
+  unsigned num_threads = 2;
+  /// Per-instruction soft-error probability (0 = error-free run).
+  double ser_per_inst = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// One injected soft-error event as the timing system handled it.
+struct ErrorEvent {
+  Cycle cycle = 0;          ///< when the strike was handled
+  SeqNum position = 0;      ///< commit position it was attached to
+  unsigned thread = 0;      ///< which thread / redundancy group
+  unsigned struck_core = 0; ///< side within the group (bad core)
+  Cycle cost = 0;           ///< stall / penalty cycles charged
+  bool rollback = false;    ///< true = re-execution; false = forward recovery
+};
+
+struct RunResult {
+  std::string system;
+  Cycle cycles = 0;                 ///< cycles until every thread finished
+  /// Program instructions of the longest thread (for homogeneous runs this
+  /// is simply "the" program length).
+  std::uint64_t instructions = 0;
+  /// Per-thread program lengths (heterogeneous multiprogramming).
+  std::vector<std::uint64_t> thread_instructions;
+  std::vector<cpu::CoreStats> core_stats;
+
+  std::uint64_t errors_injected = 0;
+  std::uint64_t recoveries = 0;       ///< UnSync forward recoveries
+  std::uint64_t rollbacks = 0;        ///< Reunion checkpoint rollbacks
+  Cycle recovery_cycles_total = 0;
+
+  std::uint64_t cb_full_stalls = 0;   ///< UnSync commit stalls on full CB
+  std::uint64_t fingerprint_syncs = 0;///< Reunion serializing synchronisations
+
+  /// Chronological log of every injected error (all systems fill this).
+  std::vector<ErrorEvent> error_log;
+
+  /// Per-thread IPC: program instructions over total cycles (a redundant
+  /// pair retires the program once even though two cores execute it).
+  double thread_ipc() const {
+    return cycles ? static_cast<double>(instructions) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+};
+
+/// A simulated CMP. run() executes every thread's stream to completion (or
+/// max_cycles) and reports the aggregate result.
+class System {
+ public:
+  virtual ~System() = default;
+  virtual RunResult run(Cycle max_cycles = ~Cycle{0}) = 0;
+  virtual const std::string& name() const = 0;
+};
+
+namespace detail {
+
+/// Homogeneous convenience: the same stream for every thread (the paper's
+/// setup — every core pair runs the benchmark under test).
+inline std::vector<const workload::InstStream*> replicate(
+    const workload::InstStream& stream, unsigned threads) {
+  return std::vector<const workload::InstStream*>(threads, &stream);
+}
+
+/// Pre-warms the L2 / I-caches from every distinct stream's advertised
+/// regions (standard warm-up methodology; see docs/SIMULATOR.md).
+inline void prewarm_from(mem::MemoryHierarchy& memory,
+                         const std::vector<const workload::InstStream*>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) seen |= v[j] == v[i];
+    if (seen) continue;
+    if (const auto warm = v[i]->warm_region()) {
+      memory.prewarm_l2(warm->base, warm->bytes);
+    }
+    if (const auto code = v[i]->code_region()) {
+      memory.prewarm_icaches(code->base, code->bytes);
+    }
+  }
+}
+
+inline std::vector<std::uint64_t> lengths_of(
+    const std::vector<const workload::InstStream*>& v) {
+  std::vector<std::uint64_t> out;
+  out.reserve(v.size());
+  for (const auto* s : v) out.push_back(s->length());
+  return out;
+}
+
+inline std::uint64_t max_length(const std::vector<std::uint64_t>& lengths) {
+  std::uint64_t m = 0;
+  for (const auto l : lengths) m = l > m ? l : m;
+  return m;
+}
+
+}  // namespace detail
+
+}  // namespace unsync::core

@@ -1,0 +1,198 @@
+#include "core/unsync_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "fault/ser.hpp"
+
+namespace unsync::core {
+
+bool UnSyncSystem::CbEnv::on_store_commit(CoreId core,
+                                          const workload::DynOp& op,
+                                          Cycle now) {
+  mem::WriteBuffer& cb = *group_->cbs[side_];
+  if (cb.full()) {
+    ++group_->cb_full_stalls;
+    return false;
+  }
+  // Write-through: the word updates the local L1 (no dirty state) and a
+  // copy enters this core's CB for the group drain to L2.
+  sys_->memory_.store_writethrough_local(core, op.mem_addr, now);
+  cb.push(op.mem_addr, op.seq, now);
+  return true;
+}
+
+UnSyncSystem::UnSyncSystem(const SystemConfig& config,
+                           const UnSyncParams& params,
+                           const workload::InstStream& stream)
+    : UnSyncSystem(config, params,
+                   detail::replicate(stream, config.num_threads)) {}
+
+UnSyncSystem::UnSyncSystem(
+    const SystemConfig& config, const UnSyncParams& params,
+    const std::vector<const workload::InstStream*>& streams)
+    : config_(config),
+      params_(params),
+      plan_(fault::unsync_plan()),
+      thread_lengths_(detail::lengths_of(streams)),
+      memory_([&] {
+        // UnSync requires write-through L1s (§III-C.1).
+        mem::MemConfig m = config.mem;
+        m.l1d.write_policy = mem::WritePolicy::kWriteThrough;
+        return m;
+      }(), config.num_threads * params.group_size),
+      rng_(config.seed) {
+  assert(params_.group_size >= 2 && "redundancy needs at least two cores");
+  if (streams.size() != config_.num_threads) {
+    throw std::invalid_argument("UnSyncSystem: need one stream per thread");
+  }
+  detail::prewarm_from(memory_, streams);
+  for (unsigned t = 0; t < config_.num_threads; ++t) {
+    auto group = std::make_unique<Group>();
+    for (unsigned side = 0; side < params_.group_size; ++side) {
+      const CoreId core_id = t * params_.group_size + side;
+      group->cbs.push_back(
+          std::make_unique<mem::WriteBuffer>(params_.cb_entries));
+      group->envs.push_back(
+          std::make_unique<CbEnv>(this, group.get(), side));
+      group->cores.push_back(std::make_unique<cpu::OooCore>(
+          core_id, config_.core, &memory_, streams[t]->clone(),
+          group->envs.back().get()));
+    }
+    if (config_.ser_per_inst > 0 && thread_lengths_[t] > 0) {
+      group->error_arrivals = fault::sample_error_arrivals(
+          config_.ser_per_inst, thread_lengths_[t], rng_);
+    }
+    groups_.push_back(std::move(group));
+  }
+}
+
+void UnSyncSystem::drain_cbs(Group& group, Cycle now) {
+  // The drain frontier is the newest store committed on EVERY core of the
+  // group; since all cores commit the identical store sequence, the CBs
+  // agree on their common prefix and drain head-to-head, one L2 copy per
+  // entry.
+  for (unsigned n = 0; n < params_.drain_per_cycle; ++n) {
+    for (const auto& cb : group.cbs) {
+      if (cb->empty()) return;
+    }
+    // "As and when the L1-L2 data bus is free" (§III-A(a)).
+    if (!memory_.bus().free_at(now)) return;
+#ifndef NDEBUG
+    const SeqNum front_seq = group.cbs.front()->front().seq;
+    for (const auto& cb : group.cbs) {
+      assert(cb->front().seq == front_seq &&
+             "redundant CBs must agree on their drain frontier");
+    }
+#endif
+    memory_.push_word_to_l2(group.cbs.front()->front().addr, now);
+    for (const auto& cb : group.cbs) cb->pop();
+  }
+}
+
+Cycle UnSyncSystem::recovery_cost(const Group& group,
+                                  unsigned error_free_side) const {
+  // §III-A(c): EIH signalling, architectural-state copy, and the L1 content
+  // copy from the error-free core, all through the shared L2.
+  const auto& good_core = *group.cores[error_free_side];
+  const std::uint64_t l1_lines = memory_.l1(good_core.id()).lines_valid();
+  return params_.eih_signal_cycles +
+         params_.arch_state_words * params_.state_copy_word_cycles +
+         l1_lines * params_.l1_copy_line_cycles;
+}
+
+void UnSyncSystem::maybe_inject_error(Group& group, unsigned thread,
+                                      Cycle now, RunResult* result) {
+  if (group.next_error >= group.error_arrivals.size()) return;
+  // An error strikes when program progress (the leading core's commit
+  // watermark) crosses the arrival position.
+  SeqNum progress = 0;
+  for (const auto& core : group.cores) {
+    progress = std::max(progress, core->retired());
+  }
+  if (progress < group.error_arrivals[group.next_error]) return;
+  const SeqNum position = group.error_arrivals[group.next_error];
+  ++group.next_error;
+  ++result->errors_injected;
+
+  // Any core of the group is equally likely to be struck. Detection is
+  // certain under the UnSync plan (parity/DMR cover every sequential
+  // element), so recovery always engages. The state source is the leading
+  // error-free core ("always forward": laggards are forwarded, a faster
+  // erroneous core re-traces).
+  const auto n = static_cast<unsigned>(group.cores.size());
+  const unsigned bad = static_cast<unsigned>(rng_.below(n));
+  unsigned good = bad == 0 ? 1 : 0;
+  for (unsigned side = 0; side < n; ++side) {
+    if (side == bad) continue;
+    if (group.cores[side]->retired() > group.cores[good]->retired()) {
+      good = side;
+    }
+  }
+
+  const Cycle cost = recovery_cost(group, good);
+  const Cycle resume_at = now + cost;
+  ++result->recoveries;
+  result->recovery_cycles_total += cost;
+  result->error_log.push_back({.cycle = now, .position = position,
+                               .thread = thread, .struck_core = bad,
+                               .cost = cost, .rollback = false});
+
+  // 1-2) Stop every core; flush the erroneous pipeline.
+  group.cores[bad]->flush_pipeline();
+  // 3+6) Copy architectural state: the erroneous core resumes from the
+  // error-free core's position.
+  group.cores[bad]->set_position(group.cores[good]->retired());
+  for (auto& core : group.cores) core->stall_until(resume_at);
+  // 4-5) In-flight CB transfers complete (drain continues naturally); the
+  // erroneous CB is overwritten from the error-free CB.
+  group.cbs[bad]->copy_from(*group.cbs[good]);
+}
+
+RunResult UnSyncSystem::run(Cycle max_cycles) {
+  RunResult r;
+  r.system = name_;
+  r.thread_instructions = thread_lengths_;
+  r.instructions = detail::max_length(thread_lengths_);
+
+  Cycle now = 0;
+  auto group_done = [](const Group& g) {
+    for (const auto& core : g.cores) {
+      if (!core->done()) return false;
+    }
+    for (const auto& cb : g.cbs) {
+      if (!cb->empty()) return false;
+    }
+    return true;
+  };
+  auto all_done = [&] {
+    return std::all_of(groups_.begin(), groups_.end(),
+                       [&](const auto& g) { return group_done(*g); });
+  };
+
+  while (!all_done() && now < max_cycles) {
+    for (auto& group : groups_) {
+      if (group_done(*group)) continue;
+      for (auto& core : group->cores) {
+        if (!core->done()) core->tick(now);
+      }
+      drain_cbs(*group, now);
+      maybe_inject_error(*group,
+                         static_cast<unsigned>(&group - groups_.data()), now,
+                         &r);
+    }
+    ++now;
+  }
+
+  r.cycles = now;
+  for (auto& group : groups_) {
+    for (const auto& core : group->cores) {
+      r.core_stats.push_back(core->stats());
+    }
+    r.cb_full_stalls += group->cb_full_stalls;
+  }
+  return r;
+}
+
+}  // namespace unsync::core

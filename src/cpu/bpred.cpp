@@ -1,0 +1,33 @@
+#include "cpu/bpred.hpp"
+
+namespace unsync::cpu {
+
+GsharePredictor::GsharePredictor(unsigned table_bits)
+    : bits_(table_bits), counters_(std::size_t{1} << table_bits, 2) {}
+
+std::size_t GsharePredictor::index(Addr pc) const {
+  const std::uint64_t mask = (std::uint64_t{1} << bits_) - 1;
+  return static_cast<std::size_t>(((pc >> 2) ^ history_) & mask);
+}
+
+bool GsharePredictor::predict(Addr pc) const {
+  return counters_[index(pc)] >= 2;
+}
+
+void GsharePredictor::update(Addr pc, bool taken) {
+  std::uint8_t& c = counters_[index(pc)];
+  if (taken && c < 3) ++c;
+  if (!taken && c > 0) --c;
+  const std::uint64_t mask = (std::uint64_t{1} << bits_) - 1;
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask;
+}
+
+bool GsharePredictor::mispredicted(Addr pc, bool taken) {
+  ++lookups_;
+  const bool wrong = predict(pc) != taken;
+  update(pc, taken);
+  if (wrong) ++wrong_;
+  return wrong;
+}
+
+}  // namespace unsync::cpu

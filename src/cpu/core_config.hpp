@@ -1,0 +1,66 @@
+// Core microarchitecture parameters (defaults per Table I: 4-wide
+// fetch/issue/commit out-of-order core, 64-entry issue queue, 2 GHz,
+// 5-stage pipeline, Alpha-21264-class resources).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "mem/tlb.hpp"
+
+namespace unsync::cpu {
+
+struct FuPoolConfig {
+  std::uint32_t count = 1;
+  Cycle latency = 1;
+  bool pipelined = true;
+};
+
+struct CoreConfig {
+  std::uint32_t fetch_width = 4;
+  std::uint32_t issue_width = 4;
+  std::uint32_t commit_width = 4;
+
+  std::uint32_t rob_entries = 80;  // Alpha-21264-class window
+  std::uint32_t iq_entries = 64;   // Table I: Issue Queue 64
+  std::uint32_t lq_entries = 32;
+  std::uint32_t sq_entries = 32;
+  std::uint32_t fetch_queue_entries = 16;
+
+  /// Front-end refill penalty after a branch misprediction, and the drain
+  /// penalty a serializing instruction imposes on the fetch stage.
+  Cycle mispredict_penalty = 8;
+  Cycle serialize_fetch_penalty = 5;
+
+  /// Store-to-load forwarding latency from the store queue.
+  Cycle store_forward_latency = 1;
+
+  /// Extra cycles added to every load's completion — used by the lockstep
+  /// related-work model, where load values pass through the input
+  /// replication checker before either core may consume them (§II).
+  Cycle extra_load_latency = 0;
+
+  /// TLBs (Table I: I-TLB 48 entries 2-way, D-TLB 64 entries 2-way) and the
+  /// page-walk latency charged on a miss. `model_frontend` also enables the
+  /// split I-cache in the fetch stage.
+  mem::TlbConfig itlb{.entries = 48, .assoc = 2, .page_bits = 12};
+  mem::TlbConfig dtlb{.entries = 64, .assoc = 2, .page_bits = 12};
+  Cycle tlb_walk_latency = 30;
+  bool model_frontend = true;
+
+  /// When non-zero, the core records its committed-instruction count every
+  /// `sample_interval` cycles (phase/IPC-over-time diagnostics in
+  /// CoreStats::interval_committed).
+  Cycle sample_interval = 0;
+
+  FuPoolConfig int_alu{.count = 4, .latency = 1, .pipelined = true};
+  FuPoolConfig int_mul{.count = 1, .latency = 4, .pipelined = true};
+  FuPoolConfig int_div{.count = 1, .latency = 20, .pipelined = false};
+  FuPoolConfig fp_alu{.count = 2, .latency = 4, .pipelined = true};
+  FuPoolConfig fp_mul{.count = 1, .latency = 6, .pipelined = true};
+  FuPoolConfig fp_div{.count = 1, .latency = 24, .pipelined = false};
+  /// Cache ports shared by loads and stores.
+  FuPoolConfig mem_port{.count = 2, .latency = 1, .pipelined = true};
+};
+
+}  // namespace unsync::cpu

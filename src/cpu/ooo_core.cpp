@@ -1,0 +1,403 @@
+#include "cpu/ooo_core.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace unsync::cpu {
+
+namespace {
+Addr word_of(Addr addr) { return addr & ~Addr{7}; }
+}  // namespace
+
+OooCore::OooCore(CoreId id, const CoreConfig& config,
+                 mem::MemoryHierarchy* memory,
+                 std::unique_ptr<workload::InstStream> stream, CommitEnv* env)
+    : id_(id),
+      config_(config),
+      memory_(memory),
+      stream_(std::move(stream)),
+      env_(env ? env : &default_env_),
+      itlb_(config.itlb),
+      dtlb_(config.dtlb),
+      fu_int_alu_{config.int_alu, {}},
+      fu_int_mul_{config.int_mul, {}},
+      fu_int_div_{config.int_div, {}},
+      fu_fp_alu_{config.fp_alu, {}},
+      fu_fp_mul_{config.fp_mul, {}},
+      fu_fp_div_{config.fp_div, {}},
+      fu_mem_{config.mem_port, {}} {
+  assert(memory_ != nullptr);
+  assert(stream_ != nullptr);
+  for (FuPool* p : {&fu_int_alu_, &fu_int_mul_, &fu_int_div_, &fu_fp_alu_,
+                    &fu_fp_mul_, &fu_fp_div_, &fu_mem_}) {
+    p->next_free.assign(p->cfg.count, 0);
+  }
+}
+
+bool OooCore::done() const {
+  return stream_done_ && !pending_stream_op_valid_ && fetch_queue_.empty() &&
+         rob_.empty();
+}
+
+void OooCore::stall_until(Cycle cycle) {
+  frozen_until_ = std::max(frozen_until_, cycle);
+}
+
+void OooCore::flush_pipeline() {
+  const SeqNum resume = stats_.committed;
+  fetch_queue_.clear();
+  rob_.clear();
+  completion_.clear();
+  committed_store_words_.clear();
+  iq_count_ = lq_count_ = sq_count_ = 0;
+  fetch_blocked_on_ = kNoSeq;
+  pending_stream_op_valid_ = false;
+  // Reposition the stream cursor at the oldest uncommitted instruction.
+  stream_->reset();
+  stream_done_ = false;
+  workload::DynOp tmp;
+  for (SeqNum i = 0; i < resume; ++i) {
+    if (!stream_->next(&tmp)) {
+      stream_done_ = true;
+      break;
+    }
+  }
+}
+
+void OooCore::set_position(SeqNum seq) {
+  stats_.committed = seq;
+  flush_pipeline();
+}
+
+OooCore::FuPool* OooCore::pool_for(isa::InstClass cls) {
+  using isa::InstClass;
+  switch (cls) {
+    case InstClass::kIntAlu:
+    case InstClass::kBranch:
+      return &fu_int_alu_;
+    case InstClass::kIntMul: return &fu_int_mul_;
+    case InstClass::kIntDiv: return &fu_int_div_;
+    case InstClass::kFpAlu: return &fu_fp_alu_;
+    case InstClass::kFpMul: return &fu_fp_mul_;
+    case InstClass::kFpDiv: return &fu_fp_div_;
+    case InstClass::kLoad:
+    case InstClass::kStore:
+      return &fu_mem_;
+    case InstClass::kSerializing:
+    case InstClass::kHalt:
+      return nullptr;  // no functional unit needed
+  }
+  return nullptr;
+}
+
+bool OooCore::try_fu(FuPool& pool, Cycle now, Cycle* complete_at) {
+  for (auto& free_at : pool.next_free) {
+    if (free_at <= now) {
+      free_at = pool.cfg.pipelined ? now + 1 : now + pool.cfg.latency;
+      *complete_at = now + pool.cfg.latency;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool OooCore::src_ready(SeqNum src, Cycle now, Cycle* ready_at) const {
+  if (src == kNoSeq) return true;
+  const auto it = completion_.find(src);
+  if (it == completion_.end()) return true;  // producer already committed
+  if (ready_at) *ready_at = it->second;
+  return it->second <= now;
+}
+
+void OooCore::tick(Cycle now) {
+  ++stats_.cycles;
+  stats_.rob_occupancy_accum += rob_.size();
+
+  if (config_.sample_interval != 0 && now >= next_sample_) {
+    stats_.interval_committed.push_back(stats_.committed);
+    next_sample_ = now + config_.sample_interval;
+  }
+
+  if (now < frozen_until_) {
+    ++stats_.recovery_stall_cycles;
+    return;
+  }
+
+  do_commit(now);
+  do_issue(now);
+  do_dispatch(now);
+  do_fetch(now);
+}
+
+void OooCore::do_commit(Cycle now) {
+  for (std::uint32_t n = 0; n < config_.commit_width && !rob_.empty(); ++n) {
+    RobEntry& head = rob_.front();
+    if (!head.issued || head.complete_at > now) break;
+
+    if (!env_->can_commit(id_, head.op, now)) {
+      ++stats_.commit_stall_gate;
+      break;
+    }
+    if (head.op.is_store()) {
+      if (!env_->on_store_commit(id_, head.op, now)) {
+        ++stats_.commit_stall_store;
+        break;
+      }
+      --sq_count_;
+      ++stats_.stores;
+      committed_store_words_.push_back(head.op.mem_addr & ~Addr{7});
+      if (committed_store_words_.size() > 16) {
+        committed_store_words_.pop_front();
+      }
+    }
+
+    switch (head.op.cls) {
+      case isa::InstClass::kLoad:
+        --lq_count_;
+        ++stats_.loads;
+        break;
+      case isa::InstClass::kBranch:
+        ++stats_.branches;
+        if (head.mispredicted) ++stats_.mispredicts;
+        break;
+      case isa::InstClass::kSerializing:
+        ++stats_.serializing;
+        // Trap/barrier drains the front end after it retires.
+        fetch_resume_at_ =
+            std::max(fetch_resume_at_, now + config_.serialize_fetch_penalty);
+        break;
+      default:
+        break;
+    }
+
+    env_->on_commit(id_, head.op, now);
+    completion_.erase(head.op.seq);
+    rob_.pop_front();
+    ++stats_.committed;
+  }
+}
+
+bool OooCore::lsq_load_can_issue(const RobEntry& e, Cycle now,
+                                 bool* forwarded) const {
+  *forwarded = false;
+  const Addr word = word_of(e.op.mem_addr);
+  // Youngest older store to the same word decides: not-yet-executed blocks
+  // the load; an executed one forwards. Memory ops never pass an in-flight
+  // serializing instruction (fence semantics).
+  const RobEntry* match = nullptr;
+  for (const RobEntry& other : rob_) {
+    if (other.op.seq >= e.op.seq) break;
+    if (other.op.is_serializing()) return false;
+    if (other.op.is_store() && word_of(other.op.mem_addr) == word) {
+      match = &other;
+    }
+  }
+  if (match) {
+    if (!match->issued || match->complete_at > now) return false;
+    *forwarded = true;
+    return true;
+  }
+  // No in-ROB producer: the word may still live in the post-commit store
+  // buffer on its way to the cache.
+  for (const Addr w : committed_store_words_) {
+    if (w == word) {
+      *forwarded = true;
+      break;
+    }
+  }
+  return true;
+}
+
+void OooCore::do_issue(Cycle now) {
+  std::uint32_t issued = 0;
+  std::uint32_t examined = 0;
+  for (RobEntry& e : rob_) {
+    if (issued >= config_.issue_width) break;
+    if (!e.in_iq) continue;
+    // Only entries inside the issue-queue window are candidates.
+    if (++examined > config_.iq_entries) break;
+
+    if (!src_ready(e.op.src[0], now, nullptr) ||
+        !src_ready(e.op.src[1], now, nullptr)) {
+      continue;
+    }
+
+    Cycle complete_at = kNever;
+    switch (e.op.cls) {
+      case isa::InstClass::kSerializing: {
+        // Issues only from the ROB head, after everything older retired.
+        if (rob_.front().op.seq != e.op.seq) continue;
+        complete_at = now + 1;
+        break;
+      }
+      case isa::InstClass::kLoad: {
+        bool forwarded = false;
+        if (!lsq_load_can_issue(e, now, &forwarded)) continue;
+        Cycle port_done = 0;
+        if (!try_fu(fu_mem_, now, &port_done)) continue;
+        // Address translation precedes the cache access; a D-TLB miss
+        // inserts the page-walk latency.
+        Cycle start = now;
+        if (!dtlb_.access(e.op.mem_addr)) {
+          start += config_.tlb_walk_latency;
+          ++stats_.dtlb_misses;
+        }
+        if (forwarded) {
+          complete_at = start + config_.store_forward_latency;
+        } else {
+          complete_at = memory_->load(id_, e.op.mem_addr, start).done;
+        }
+        complete_at += config_.extra_load_latency;
+        break;
+      }
+      case isa::InstClass::kStore: {
+        // Execution = address generation + data capture; the memory write
+        // happens at commit through the CommitEnv.
+        bool blocked = false;
+        for (const RobEntry& other : rob_) {
+          if (other.op.seq >= e.op.seq) break;
+          if (other.op.is_serializing()) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) continue;
+        Cycle port_done = 0;
+        if (!try_fu(fu_mem_, now, &port_done)) continue;
+        complete_at = now + 1;
+        if (!dtlb_.access(e.op.mem_addr)) {
+          complete_at += config_.tlb_walk_latency;
+          ++stats_.dtlb_misses;
+        }
+        break;
+      }
+      default: {
+        FuPool* pool = pool_for(e.op.cls);
+        assert(pool != nullptr);
+        if (!try_fu(*pool, now, &complete_at)) continue;
+        break;
+      }
+    }
+
+    e.in_iq = false;
+    e.issued = true;
+    e.complete_at = complete_at;
+    completion_[e.op.seq] = complete_at;
+    --iq_count_;
+    ++issued;
+
+    // A resolving mispredicted branch un-blocks the front end.
+    if (e.op.is_branch() && fetch_blocked_on_ == e.op.seq) {
+      fetch_blocked_on_ = kNoSeq;
+      fetch_resume_at_ =
+          std::max(fetch_resume_at_, complete_at + config_.mispredict_penalty);
+    }
+  }
+}
+
+void OooCore::do_dispatch(Cycle now) {
+  const std::uint32_t reserved = env_->reserved_rob_slots(id_, now);
+  for (std::uint32_t n = 0; n < config_.fetch_width; ++n) {
+    if (fetch_queue_.empty()) break;
+    if (rob_.size() + reserved >= config_.rob_entries) {
+      ++stats_.dispatch_stall_rob;
+      break;
+    }
+    if (iq_count_ >= config_.iq_entries) {
+      ++stats_.dispatch_stall_iq;
+      break;
+    }
+    const workload::DynOp& op = fetch_queue_.front();
+    if (op.is_load() && lq_count_ >= config_.lq_entries) {
+      ++stats_.dispatch_stall_lsq;
+      break;
+    }
+    if (op.is_store() && sq_count_ >= config_.sq_entries) {
+      ++stats_.dispatch_stall_lsq;
+      break;
+    }
+
+    RobEntry e;
+    e.op = op;
+    e.mispredicted = op.is_branch() && op.has_mispredict_hint
+                         ? op.mispredict_hint
+                         : false;
+    rob_.push_back(e);
+    completion_[op.seq] = kNever;
+    ++iq_count_;
+    if (op.is_load()) ++lq_count_;
+    if (op.is_store()) ++sq_count_;
+    fetch_queue_.pop_front();
+  }
+}
+
+void OooCore::do_fetch(Cycle now) {
+  if (fetch_blocked_on_ != kNoSeq) {
+    ++stats_.fetch_blocked_branch;
+    return;
+  }
+  if (now < fetch_resume_at_) {
+    ++stats_.fetch_blocked_serialize;
+    return;
+  }
+  for (std::uint32_t n = 0; n < config_.fetch_width; ++n) {
+    if (fetch_queue_.size() >= config_.fetch_queue_entries) break;
+
+    workload::DynOp op;
+    if (pending_stream_op_valid_) {
+      op = pending_stream_op_;
+      pending_stream_op_valid_ = false;
+    } else {
+      if (stream_done_ || !stream_->next(&op)) {
+        stream_done_ = true;
+        break;
+      }
+    }
+
+    // Front end: translate and fetch the instruction's line. An I-TLB miss
+    // or I-cache miss stalls fetch until the walk / fill completes; the op
+    // is retried (kept pending) afterwards.
+    if (config_.model_frontend) {
+      Cycle blocked_until = 0;
+      if (!itlb_.access(op.pc)) {
+        ++stats_.itlb_misses;
+        blocked_until = now + config_.tlb_walk_latency;
+      }
+      const auto fetch_result = memory_->ifetch(id_, op.pc, now);
+      if (!fetch_result.l1_hit) {
+        blocked_until = std::max(blocked_until, fetch_result.done);
+      }
+      if (blocked_until > now) {
+        ++stats_.fetch_blocked_icache;
+        pending_stream_op_ = op;
+        pending_stream_op_valid_ = true;
+        fetch_resume_at_ = std::max(fetch_resume_at_, blocked_until);
+        return;
+      }
+    }
+
+    if (op.is_branch()) {
+      // Resolve the prediction now: hinted streams carry the outcome;
+      // recorded traces consult the core's own predictor.
+      bool wrong;
+      if (op.has_mispredict_hint) {
+        wrong = op.mispredict_hint;
+        // Keep predictor state warm even in hinted mode (cheap, harmless).
+      } else {
+        wrong = bpred_.mispredicted(op.pc, op.taken);
+        op.has_mispredict_hint = true;
+        op.mispredict_hint = wrong;
+      }
+      fetch_queue_.push_back(op);
+      if (wrong) {
+        // The front end chases the wrong path until this branch resolves.
+        fetch_blocked_on_ = op.seq;
+        return;
+      }
+      continue;
+    }
+    fetch_queue_.push_back(op);
+  }
+}
+
+}  // namespace unsync::cpu

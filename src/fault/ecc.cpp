@@ -1,0 +1,142 @@
+#include "fault/ecc.hpp"
+
+#include <bit>
+
+namespace unsync::fault {
+
+bool parity_bit(std::uint64_t word) {
+  return (std::popcount(word) & 1) != 0;
+}
+
+bool parity_check(std::uint64_t word, bool stored_parity) {
+  return parity_bit(word) == stored_parity;
+}
+
+bool dmr_mismatch(std::uint64_t copy_a, std::uint64_t copy_b) {
+  return copy_a != copy_b;
+}
+
+TmrResult tmr_vote(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  TmrResult r;
+  r.voted = (a & b) | (a & c) | (b & c);  // bitwise majority
+  const bool all_equal = a == b && b == c;
+  r.corrected = !all_equal;
+  // Uncorrectable only when no two copies agree as whole words AND the
+  // voted word equals none of them in a way that signals multi-copy
+  // corruption. For the bitwise vote, "all three pairwise different" is
+  // the observable alarm condition.
+  r.uncorrectable = (a != b) && (b != c) && (a != c);
+  return r;
+}
+
+namespace {
+
+// Codeword positions are numbered 1..72 (classic Hamming convention):
+// powers of two hold the 7 check bits, remaining positions hold the data
+// bits in ascending order. Position 0 is unused; the overall parity bit is
+// kept separately (check bit 7).
+
+constexpr bool is_pow2(unsigned x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Maps data-bit index 0..63 to its codeword position 3..72.
+constexpr unsigned data_position(unsigned data_bit) {
+  unsigned pos = 0;
+  unsigned seen = 0;
+  for (pos = 1; pos <= 72; ++pos) {
+    if (is_pow2(pos)) continue;
+    if (seen == data_bit) return pos;
+    ++seen;
+  }
+  return 0;  // unreachable for data_bit < 64
+}
+
+/// Inverse map: codeword position -> data-bit index (only for non-pow2).
+constexpr unsigned position_data_bit(unsigned pos) {
+  unsigned seen = 0;
+  for (unsigned p = 1; p < pos; ++p) {
+    if (!is_pow2(p)) ++seen;
+  }
+  return seen;
+}
+
+/// Hamming syndrome over data bits only: XOR of codeword positions of all
+/// set data bits.
+unsigned data_syndrome(std::uint64_t data) {
+  unsigned syn = 0;
+  while (data != 0) {
+    const int bit = std::countr_zero(data);
+    data &= data - 1;
+    syn ^= data_position(static_cast<unsigned>(bit));
+  }
+  return syn;
+}
+
+}  // namespace
+
+SecdedWord secded_encode(std::uint64_t data) {
+  SecdedWord w;
+  w.data = data;
+  // Choose check bits so that the full-codeword syndrome is zero: each
+  // check bit at position 2^i equals syndrome bit i of the data.
+  const unsigned syn = data_syndrome(data);
+  w.check = static_cast<std::uint8_t>(syn & 0x7f);
+  // Overall parity over data + the 7 Hamming checks (even parity).
+  const bool overall =
+      parity_bit(data) ^ ((std::popcount(static_cast<unsigned>(w.check)) & 1) != 0);
+  if (overall) w.check |= 0x80;
+  return w;
+}
+
+SecdedDecode secded_decode(const SecdedWord& word) {
+  SecdedDecode out;
+  out.data = word.data;
+
+  const unsigned stored_checks = word.check & 0x7f;
+  const bool stored_overall = (word.check & 0x80) != 0;
+  const unsigned syn = data_syndrome(word.data) ^ stored_checks;
+  const bool overall_now =
+      parity_bit(word.data) ^
+      ((std::popcount(stored_checks) & 1) != 0);
+  const bool overall_error = overall_now != stored_overall;
+
+  if (syn == 0 && !overall_error) {
+    out.status = SecdedStatus::kClean;
+    return out;
+  }
+  if (syn == 0 && overall_error) {
+    // Only the overall parity bit itself flipped.
+    out.status = SecdedStatus::kCorrectedCheck;
+    return out;
+  }
+  if (overall_error) {
+    // Odd-weight error with a non-zero syndrome: a single-bit error whose
+    // codeword position is the syndrome.
+    if (is_pow2(syn)) {
+      out.status = SecdedStatus::kCorrectedCheck;  // a Hamming check bit
+      return out;
+    }
+    if (syn <= 72) {
+      out.data = word.data ^ (std::uint64_t{1} << position_data_bit(syn));
+      out.status = SecdedStatus::kCorrectedData;
+      return out;
+    }
+    // Syndrome points outside the codeword: treat as uncorrectable.
+    out.status = SecdedStatus::kDoubleError;
+    return out;
+  }
+  // Even-weight error with a non-zero syndrome: double-bit error.
+  out.status = SecdedStatus::kDoubleError;
+  return out;
+}
+
+SecdedWord secded_flip(const SecdedWord& word, unsigned bit) {
+  SecdedWord w = word;
+  if (bit < 64) {
+    w.data ^= std::uint64_t{1} << bit;
+  } else {
+    w.check ^= static_cast<std::uint8_t>(1u << (bit - 64));
+  }
+  return w;
+}
+
+}  // namespace unsync::fault

@@ -1,0 +1,69 @@
+// Bit-level models of the detection/correction circuits the architectures
+// deploy: even parity, dual- and triple-modular redundancy, and a real
+// Hamming SECDED(72,64) codec — the "8 check bits for every 64 bit data
+// chunk" the paper prices into Reunion's L1 (§VI-A.1).
+//
+// These are functional models of the circuits whose *cost* lives in
+// src/hwmodel and whose *coverage* the protection plans assert; the tests
+// exhaustively verify the detection guarantees the plans rely on
+// (parity detects all odd flips, SECDED corrects 1 and detects 2).
+#pragma once
+
+#include <cstdint>
+
+namespace unsync::fault {
+
+// ---- 1-bit even parity -------------------------------------------------------
+
+/// Even-parity bit over a 64-bit word (XOR reduction).
+bool parity_bit(std::uint64_t word);
+
+/// True when (word, stored_parity) is consistent — i.e. no odd-weight error.
+bool parity_check(std::uint64_t word, bool stored_parity);
+
+// ---- Dual modular redundancy -------------------------------------------------
+
+/// DMR detection: a mismatch between the two copies flags an error; which
+/// copy is wrong is unknown (detect-only, §III-B.1).
+bool dmr_mismatch(std::uint64_t copy_a, std::uint64_t copy_b);
+
+// ---- Triple modular redundancy -----------------------------------------------
+
+struct TmrResult {
+  std::uint64_t voted = 0;
+  bool corrected = false;     ///< exactly one copy disagreed (outvoted)
+  bool uncorrectable = false; ///< all three copies differ pairwise
+};
+
+/// Bitwise majority vote across three copies.
+TmrResult tmr_vote(std::uint64_t a, std::uint64_t b, std::uint64_t c);
+
+// ---- Hamming SECDED (72,64) ----------------------------------------------------
+
+/// Codeword = 64 data bits + 7 Hamming check bits + 1 overall parity bit.
+struct SecdedWord {
+  std::uint64_t data = 0;
+  std::uint8_t check = 0;  ///< bits 0..6: Hamming checks; bit 7: overall parity
+};
+
+enum class SecdedStatus : std::uint8_t {
+  kClean,          ///< no error
+  kCorrectedData,  ///< single-bit error in the data, corrected
+  kCorrectedCheck, ///< single-bit error in a check bit, corrected
+  kDoubleError,    ///< two-bit error: detected, not correctable
+};
+
+SecdedWord secded_encode(std::uint64_t data);
+
+struct SecdedDecode {
+  std::uint64_t data = 0;  ///< corrected data (valid unless kDoubleError)
+  SecdedStatus status = SecdedStatus::kClean;
+};
+
+SecdedDecode secded_decode(const SecdedWord& word);
+
+/// Test helper: returns `word` with codeword bit `bit` flipped. Bits 0..63
+/// address the data; bits 64..71 address the stored check byte.
+SecdedWord secded_flip(const SecdedWord& word, unsigned bit);
+
+}  // namespace unsync::fault

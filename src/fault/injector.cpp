@@ -1,0 +1,221 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "isa/functional_sim.hpp"
+
+namespace unsync::fault {
+
+const char* name_of(FaultSite s) {
+  switch (s) {
+    case FaultSite::kRegisterFile: return "register_file";
+    case FaultSite::kFpRegisterFile: return "fp_register_file";
+    case FaultSite::kProgramCounter: return "program_counter";
+    case FaultSite::kMemoryData: return "memory_data";
+  }
+  return "?";
+}
+
+const char* name_of(Outcome o) {
+  switch (o) {
+    case Outcome::kMasked: return "masked";
+    case Outcome::kCorrectedInPlace: return "corrected_in_place";
+    case Outcome::kDetectedRecovered: return "detected_recovered";
+    case Outcome::kDetectedUnrecoverable: return "detected_unrecoverable";
+    case Outcome::kSilentCorruption: return "silent_corruption";
+  }
+  return "?";
+}
+
+namespace {
+
+struct GoldenRun {
+  isa::ArchState final_state;
+  isa::SparseMemory final_memory;
+  std::vector<std::uint64_t> output;
+  std::uint64_t retired = 0;
+};
+
+GoldenRun run_golden(const isa::Program& program, std::uint64_t max_insts) {
+  isa::FunctionalSim sim(program);
+  sim.run(max_insts);
+  return {sim.state(), sim.memory(), sim.output(), sim.retired()};
+}
+
+Structure structure_of(FaultSite site) {
+  switch (site) {
+    case FaultSite::kRegisterFile:
+    case FaultSite::kFpRegisterFile:
+      return Structure::kRegisterFile;
+    case FaultSite::kProgramCounter:
+      return Structure::kProgramCounter;
+    case FaultSite::kMemoryData:
+      return Structure::kL1Data;
+  }
+  return Structure::kRegisterFile;
+}
+
+// Silent corruption is judged on program-visible state: the output channel
+// and memory. A flip that only lingers in a dead register is architecturally
+// masked (comparing whole register files would over-count SDC).
+bool matches_golden(const isa::FunctionalSim& sim, const GoldenRun& golden) {
+  return sim.output() == golden.output && sim.memory() == golden.final_memory;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const isa::Program& program,
+                            const ProtectionPlan& plan,
+                            const InjectionConfig& config) {
+  assert(!config.sites.empty());
+  const GoldenRun golden = run_golden(program, config.max_insts);
+  assert(golden.retired > 0);
+
+  CampaignResult result;
+  Rng rng(config.seed);
+
+  for (std::uint64_t trial = 0; trial < config.trials; ++trial) {
+    const FaultSite site =
+        config.sites[rng.below(config.sites.size())];
+    const SeqNum inject_at = rng.below(golden.retired);
+
+    isa::FunctionalSim sim(program);
+    // Run to the injection point, tracking written data words so the
+    // memory-data site can target a genuinely cache-resident line.
+    std::vector<Addr> written;
+    for (SeqNum i = 0; i < inject_at && !sim.halted(); ++i) {
+      const auto step = sim.step();
+      if (step.inst.is_store()) written.push_back(step.mem_addr & ~Addr{7});
+    }
+
+    // --- Inject a (possibly multi-bit) flip; remember how to undo it. ----
+    const int flips = std::max(1, config.flips_per_fault);
+    auto flip_mask = [&](unsigned field_bits) {
+      const std::uint64_t run =
+          flips >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << flips) - 1;
+      const auto span = static_cast<unsigned>(flips);
+      const unsigned start =
+          span >= field_bits ? 0
+                             : static_cast<unsigned>(
+                                   rng.below(field_bits - span + 1));
+      return run << start;
+    };
+    bool injected = true;
+    bool dirty_line = false;
+    Addr mem_addr = 0;
+    std::uint64_t old_value = 0;
+    auto& st = sim.mutable_state();
+    switch (site) {
+      case FaultSite::kRegisterFile: {
+        const auto reg = 1 + rng.below(31);  // r0 is hardwired zero
+        old_value = st.regs[reg];
+        st.regs[reg] = old_value ^ flip_mask(64);
+        break;
+      }
+      case FaultSite::kFpRegisterFile: {
+        const auto reg = rng.below(32);
+        old_value = st.fregs[reg];
+        st.fregs[reg] = old_value ^ flip_mask(64);
+        break;
+      }
+      case FaultSite::kProgramCounter: {
+        old_value = st.pc;
+        // Flip within the low 16 bits: wider flips trivially leave the
+        // image and add no information.
+        st.pc = old_value ^ flip_mask(16);
+        break;
+      }
+      case FaultSite::kMemoryData: {
+        if (written.empty()) {
+          injected = false;
+          break;
+        }
+        mem_addr = written[rng.below(written.size())];
+        old_value = sim.memory().read64(mem_addr);
+        // Under write-back, a written-and-resident line is dirty: the only
+        // up-to-date copy is the corrupted one (paper Fig. 2).
+        dirty_line = !config.l1_write_through;
+        sim.mutable_memory().write64(mem_addr, old_value ^ flip_mask(64));
+        break;
+      }
+    }
+    if (!injected) {
+      // Nothing stored yet at this point of the run: the strike hits an
+      // invalid line — architecturally masked.
+      ++result.masked;
+      result.trials.push_back({site, inject_at, Outcome::kMasked});
+      continue;
+    }
+
+    // --- Detection, per the protection plan. -----------------------------
+    const Structure structure = structure_of(site);
+    const double coverage = plan.detection_coverage(structure, flips);
+    const bool detected = rng.chance(coverage);
+    const bool in_place = detected && plan.corrects_in_place(structure, flips);
+
+    Outcome outcome;
+    if (in_place) {
+      // The mechanism itself repairs the word (SECDED / TMR): no pair-level
+      // recovery engages at all.
+      outcome = Outcome::kCorrectedInPlace;
+    } else if (detected) {
+      if (site == FaultSite::kMemoryData && dirty_line) {
+        // Detected on read, but the dirty line has no clean copy in L2:
+        // unrecoverable (this is exactly the write-back hazard of Fig. 2).
+        outcome = Outcome::kDetectedUnrecoverable;
+      } else {
+        // Recovery: architectural state is re-supplied by the error-free
+        // redundant core (UnSync state copy) or the clean L2 copy
+        // (write-through invalidate+refill); performed below.
+        outcome = Outcome::kDetectedRecovered;
+      }
+    } else {
+      outcome = Outcome::kMasked;  // refined after the run completes
+    }
+
+    // Undo-the-flip recovery for the recovered / corrected paths.
+    if (outcome == Outcome::kDetectedRecovered ||
+        outcome == Outcome::kCorrectedInPlace) {
+      switch (site) {
+        case FaultSite::kRegisterFile:
+        case FaultSite::kFpRegisterFile:
+        case FaultSite::kProgramCounter: {
+          // Restore from the redundant core's copy = exact pre-fault value.
+          // We re-inject the old value by re-running from scratch to the
+          // injection point: simplest exact model.
+          sim = isa::FunctionalSim(program);
+          for (SeqNum i = 0; i < inject_at && !sim.halted(); ++i) sim.step();
+          break;
+        }
+        case FaultSite::kMemoryData:
+          sim.mutable_memory().write64(mem_addr, old_value);
+          break;
+      }
+    }
+
+    sim.run(config.max_insts);
+    const bool ok = matches_golden(sim, golden);
+
+    if (outcome == Outcome::kCorrectedInPlace) {
+      if (!ok) ++result.recovery_failures;
+      ++result.corrected_in_place;
+    } else if (outcome == Outcome::kDetectedRecovered) {
+      if (!ok) ++result.recovery_failures;
+      ++result.recovered;
+    } else if (outcome == Outcome::kDetectedUnrecoverable) {
+      ++result.unrecoverable;
+    } else {
+      outcome = ok ? Outcome::kMasked : Outcome::kSilentCorruption;
+      if (ok) {
+        ++result.masked;
+      } else {
+        ++result.sdc;
+      }
+    }
+    result.trials.push_back({site, inject_at, outcome});
+  }
+  return result;
+}
+
+}  // namespace unsync::fault

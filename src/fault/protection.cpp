@@ -1,0 +1,167 @@
+#include "fault/protection.hpp"
+
+namespace unsync::fault {
+
+const char* name_of(Structure s) {
+  switch (s) {
+    case Structure::kProgramCounter: return "program_counter";
+    case Structure::kPipelineRegisters: return "pipeline_registers";
+    case Structure::kRegisterFile: return "register_file";
+    case Structure::kReorderBuffer: return "reorder_buffer";
+    case Structure::kIssueQueue: return "issue_queue";
+    case Structure::kLoadStoreQueue: return "load_store_queue";
+    case Structure::kTlb: return "tlb";
+    case Structure::kL1Data: return "l1_data";
+    case Structure::kCommunicationBuffer: return "communication_buffer";
+    case Structure::kCount: break;
+  }
+  return "?";
+}
+
+const char* name_of(Mechanism m) {
+  switch (m) {
+    case Mechanism::kNone: return "none";
+    case Mechanism::kParity1: return "parity-1";
+    case Mechanism::kDmr: return "DMR";
+    case Mechanism::kSecded: return "SECDED";
+    case Mechanism::kTmr: return "TMR";
+    case Mechanism::kFingerprint: return "fingerprint";
+  }
+  return "?";
+}
+
+const std::vector<StructureInfo>& structure_inventory() {
+  // Bit counts for an Alpha-21264-class 4-wide core with Table I structure
+  // sizes: 64-entry IQ, 128-entry ROB, 32+32 LSQ, 48+64 entry TLBs,
+  // 32 KiB L1-D. Pipeline registers: ~5 stages x 4-wide x ~200 bits/slot.
+  static const std::vector<StructureInfo> inv = {
+      {Structure::kProgramCounter, 64, Residency::kEveryCycle},
+      {Structure::kPipelineRegisters, 4000, Residency::kEveryCycle},
+      {Structure::kRegisterFile, 2 * 32 * 64, Residency::kStorage},
+      {Structure::kReorderBuffer, 128 * 80, Residency::kStorage},
+      {Structure::kIssueQueue, 64 * 64, Residency::kStorage},
+      {Structure::kLoadStoreQueue, 64 * 96, Residency::kStorage},
+      {Structure::kTlb, (48 + 64) * 96, Residency::kStorage},
+      {Structure::kL1Data, 32 * 1024 * 8, Residency::kStorage},
+      {Structure::kCommunicationBuffer, 17 * 66, Residency::kStorage},
+  };
+  return inv;
+}
+
+double ProtectionPlan::detection_coverage(Structure s) const {
+  return detection_coverage(s, 1);
+}
+
+double ProtectionPlan::detection_coverage(Structure s, int flips) const {
+  if (flips <= 0) return 1.0;
+  switch (of(s)) {
+    case Mechanism::kNone:
+      return 0.0;
+    case Mechanism::kParity1:
+      // Parity sees the error's weight: blind to even-weight errors.
+      return flips % 2 == 1 ? 1.0 : 0.0;
+    case Mechanism::kDmr:
+    case Mechanism::kTmr:
+      // Any divergence between copies is visible regardless of weight.
+      return 1.0;
+    case Mechanism::kSecded:
+      // Corrects 1, detects 2; 3+ flips may alias to a valid or
+      // miscorrected codeword.
+      return flips <= 2 ? 1.0 : 0.5;
+    case Mechanism::kFingerprint:
+      // A flip is caught only if it perturbs a value that flows into the
+      // fingerprint hash before commit; flips in already-committed or
+      // control-only state escape. The 16-bit CRC also aliases 2^-16 of
+      // corruptions. Net detection inside the covered window:
+      return 1.0 - 1.0 / 65536.0;
+  }
+  return 0.0;
+}
+
+bool ProtectionPlan::corrects_in_place(Structure s, int flips) const {
+  switch (of(s)) {
+    case Mechanism::kSecded:
+      return flips == 1;
+    case Mechanism::kTmr:
+      // All flips land in one copy (a particle strike is spatially local);
+      // the other two outvote it.
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t ProtectionPlan::covered_bits() const {
+  std::uint64_t covered = 0;
+  for (const auto& s : structure_inventory()) {
+    if (of(s.id) != Mechanism::kNone) covered += s.bits;
+  }
+  return covered;
+}
+
+std::uint64_t ProtectionPlan::total_bits() const {
+  std::uint64_t total = 0;
+  for (const auto& s : structure_inventory()) total += s.bits;
+  return total;
+}
+
+double ProtectionPlan::roec() const {
+  double covered = 0;
+  for (const auto& s : structure_inventory()) {
+    covered += static_cast<double>(s.bits) * detection_coverage(s.id);
+  }
+  return covered / static_cast<double>(total_bits());
+}
+
+ProtectionPlan unsync_plan() {
+  ProtectionPlan p;
+  p.name = "unsync";
+  // Rule (§III-B.1): parity where the 1-cycle check lag is tolerable,
+  // DMR where the element is touched every cycle.
+  for (const auto& s : structure_inventory()) {
+    p.set(s.id, s.residency == Residency::kEveryCycle ? Mechanism::kDmr
+                                                      : Mechanism::kParity1);
+  }
+  return p;
+}
+
+ProtectionPlan reunion_plan() {
+  ProtectionPlan p;
+  p.name = "reunion";
+  p.set(Structure::kProgramCounter, Mechanism::kFingerprint);
+  p.set(Structure::kPipelineRegisters, Mechanism::kFingerprint);
+  p.set(Structure::kReorderBuffer, Mechanism::kFingerprint);
+  p.set(Structure::kIssueQueue, Mechanism::kFingerprint);
+  p.set(Structure::kLoadStoreQueue, Mechanism::kFingerprint);
+  // Post-commit architectural state and the TLB are outside the
+  // fingerprint's reach (paper §VI-D).
+  p.set(Structure::kRegisterFile, Mechanism::kNone);
+  p.set(Structure::kTlb, Mechanism::kNone);
+  // Reunion assumes an ECC-protected L1 (not part of its own ROEC, but
+  // protected — we model the mechanism that is actually present).
+  p.set(Structure::kL1Data, Mechanism::kSecded);
+  // CHECK-stage buffer holds pre-commit values inside the fingerprint window.
+  p.set(Structure::kCommunicationBuffer, Mechanism::kFingerprint);
+  return p;
+}
+
+ProtectionPlan baseline_plan() {
+  ProtectionPlan p;
+  p.name = "baseline";
+  for (const auto& s : structure_inventory()) p.set(s.id, Mechanism::kNone);
+  return p;
+}
+
+ProtectionPlan unsync_hardened_plan() {
+  ProtectionPlan p = unsync_plan();
+  p.name = "unsync-hardened";
+  // §VIII: "hardened pipeline registers, efficient register file
+  // protection, multi-bit correction for cache blocks".
+  p.set(Structure::kProgramCounter, Mechanism::kTmr);
+  p.set(Structure::kPipelineRegisters, Mechanism::kTmr);
+  p.set(Structure::kRegisterFile, Mechanism::kSecded);
+  p.set(Structure::kL1Data, Mechanism::kSecded);
+  return p;
+}
+
+}  // namespace unsync::fault

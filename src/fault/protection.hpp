@@ -1,0 +1,119 @@
+// Protection domains: which error-detection mechanism guards each sequential
+// structure of the core.
+//
+// This is the single source of truth the paper's design rests on (§III-B.1):
+//   * storage elements with >= 1 cycle between write and read (register
+//     file, LSQ, TLB, L1 data) take 1-bit parity — negligible cost;
+//   * elements accessed every cycle (PC, pipeline registers) cannot afford
+//     the parity-check cycle and take DMR;
+//   * the shared L2 carries SECDED ECC in every configuration;
+//   * Reunion instead covers the pre-commit pipeline with fingerprints and
+//     assumes an ECC L1 — so its Region Of Error Coverage (ROEC) excludes
+//     post-execute state, while UnSync covers every sequential block + L1.
+// Both the fault injector (coverage) and the hardware model (cost) consume
+// the same plan, keeping the reliability/overhead trade-off consistent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unsync::fault {
+
+enum class Structure : std::uint8_t {
+  kProgramCounter,
+  kPipelineRegisters,
+  kRegisterFile,
+  kReorderBuffer,
+  kIssueQueue,
+  kLoadStoreQueue,
+  kTlb,
+  kL1Data,
+  kCommunicationBuffer,  // UnSync CB / Reunion CHECK-stage buffer
+  kCount,
+};
+
+enum class Mechanism : std::uint8_t {
+  kNone,
+  kParity1,      ///< 1-bit parity: detects all single-bit flips, 1-cycle lag
+  kDmr,          ///< dual modular redundancy: detect-only, same-cycle
+  kSecded,       ///< ECC: corrects 1, detects 2
+  kTmr,          ///< triple modular redundancy: corrects in place (§VIII)
+  kFingerprint,  ///< Reunion: detected at the next fingerprint comparison
+};
+
+const char* name_of(Structure s);
+const char* name_of(Mechanism m);
+
+/// Residency class drives the mechanism choice rule above.
+enum class Residency : std::uint8_t {
+  kEveryCycle,  ///< read/written every cycle (parity's 1-cycle lag unusable)
+  kStorage,     ///< >= 1 cycle between write and read
+};
+
+struct StructureInfo {
+  Structure id;
+  /// Approximate sequential-bit count for an Alpha-21264-class core; used
+  /// to weight vulnerability by exposure (bigger structure, more strikes).
+  std::uint64_t bits;
+  Residency residency;
+};
+
+/// Per-core structure inventory (single source for ROEC math and for the
+/// vulnerability-weighted fault injector).
+const std::vector<StructureInfo>& structure_inventory();
+
+struct ProtectionPlan {
+  std::string name;
+  Mechanism mechanism[static_cast<std::size_t>(Structure::kCount)] = {};
+
+  Mechanism of(Structure s) const {
+    return mechanism[static_cast<std::size_t>(s)];
+  }
+  void set(Structure s, Mechanism m) {
+    mechanism[static_cast<std::size_t>(s)] = m;
+  }
+
+  /// Probability that a single-bit flip in `s` is detected before it can
+  /// corrupt architectural state.
+  double detection_coverage(Structure s) const;
+
+  /// Multi-bit generalisation: probability an error of `flips` bits inside
+  /// one protected word of `s` is detected. Parity is blind to even-weight
+  /// errors — the limitation the paper's future work (§VIII) addresses with
+  /// multi-bit cache protection.
+  double detection_coverage(Structure s, int flips) const;
+
+  /// True when the mechanism repairs the error locally (SECDED single-bit,
+  /// TMR) — no pair-level recovery is needed at all.
+  bool corrects_in_place(Structure s, int flips) const;
+
+  /// Region-of-error-coverage: fraction of the core's sequential bits whose
+  /// single-bit flips are detected (bit-weighted across the inventory).
+  double roec() const;
+
+  /// Total protected bits / total bits (for the coverage table).
+  std::uint64_t covered_bits() const;
+  std::uint64_t total_bits() const;
+};
+
+/// UnSync: parity on storage structures + L1, DMR on every-cycle elements,
+/// parity on the CB.
+ProtectionPlan unsync_plan();
+
+/// Reunion: fingerprint comparison covers the pre-commit pipeline
+/// (pipeline regs, ROB, IQ, LSQ, PC); SECDED on the L1 (assumed by the
+/// paper); the architectural register file is *outside* the ROEC because
+/// the fingerprint verifies values only up to commit.
+ProtectionPlan reunion_plan();
+
+/// Unprotected baseline core.
+ProtectionPlan baseline_plan();
+
+/// Paper §VIII ("Future Work") hardened UnSync variant: TMR-hardened
+/// pipeline registers and PC, SECDED register file, and multi-bit (SECDED)
+/// cache protection. Costs more (src/hwmodel prices it) but corrects most
+/// errors in place and survives double-bit flips that defeat parity.
+ProtectionPlan unsync_hardened_plan();
+
+}  // namespace unsync::fault

@@ -1,0 +1,64 @@
+#include "hwmodel/cache_model.hpp"
+
+#include <cmath>
+
+#include "hwmodel/cell_library.hpp"
+
+namespace unsync::hwmodel {
+
+namespace {
+std::uint64_t lines_of(const CacheGeometry& g) {
+  return g.size_bytes / g.line_bytes;
+}
+}  // namespace
+
+std::uint64_t protection_check_bits(const CacheGeometry& g,
+                                    CacheProtection protection) {
+  switch (protection) {
+    case CacheProtection::kNone:
+      return 0;
+    case CacheProtection::kParityPerLine:
+      return lines_of(g);  // 1 bit per line
+    case CacheProtection::kSecded:
+      // (72,64): 8 check bits per 64 data bits.
+      return g.size_bytes * 8 / 8;  // = data_bits / 8
+  }
+  return 0;
+}
+
+CacheHw cache_hw(const CacheGeometry& g, CacheProtection protection) {
+  CacheHw hw;
+  hw.data_bits = g.size_bytes * 8;
+  hw.tag_bits = lines_of(g) * g.tag_bits_per_line;
+  hw.check_bits = protection_check_bits(g, protection);
+
+  const double stored_bits =
+      static_cast<double>(hw.data_bits + hw.tag_bits + hw.check_bits);
+
+  // Periphery scales with sqrt(capacity) relative to the 32 KiB anchor
+  // (decoder depth and wordline length grow with array dimensions).
+  constexpr double kAnchorBits = 32.0 * 1024 * 8 + 512 * 21;
+  const double periphery_scale =
+      std::sqrt(static_cast<double>(hw.data_bits + hw.tag_bits) / kAnchorBits);
+
+  hw.area_um2 = stored_bits * kCacheAreaPerBit +
+                kCachePeripheryArea * periphery_scale;
+  double power = kPaperL1Power * periphery_scale;
+
+  switch (protection) {
+    case CacheProtection::kNone:
+      break;
+    case CacheProtection::kParityPerLine:
+      hw.area_um2 += kParityLogicArea;
+      power += kParityPowerAdder * periphery_scale;
+      break;
+    case CacheProtection::kSecded:
+      hw.area_um2 += kSecdedLogicArea;
+      power += (kSecdedLogicPower + kSecdedStoragePower) * periphery_scale;
+      break;
+  }
+  hw.power_w = power;
+  return hw;
+}
+
+}  // namespace unsync::hwmodel

@@ -1,0 +1,45 @@
+// CACTI-style analytic SRAM cache area/power model.
+//
+// Substitutes for the CACTI 6.0 runs of the paper's §V: area is an array
+// term (per-bit, covering data + tag + protection check bits) plus a
+// periphery term (decoders, sense amplifiers, drivers) that scales
+// sub-linearly with capacity; power follows the same decomposition. The
+// model is anchored at the paper's 32 KiB L1 point and reproduces the three
+// protection variants of Table II: unprotected, +1-bit-parity-per-line, and
+// +SECDED (8 check bits per 64-bit chunk).
+#pragma once
+
+#include <cstdint>
+
+namespace unsync::hwmodel {
+
+enum class CacheProtection : std::uint8_t {
+  kNone,
+  kParityPerLine,  ///< 1 parity bit per cache line (UnSync L1)
+  kSecded,         ///< (72,64) SECDED on every 64-bit chunk (Reunion L1)
+};
+
+struct CacheGeometry {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t assoc = 2;
+  std::uint32_t tag_bits_per_line = 21;  // tag + valid/dirty/LRU state
+};
+
+struct CacheHw {
+  double area_um2 = 0;
+  double power_w = 0;
+  std::uint64_t data_bits = 0;
+  std::uint64_t tag_bits = 0;
+  std::uint64_t check_bits = 0;
+};
+
+/// Evaluates the model for a geometry + protection scheme at 300 MHz, 65 nm.
+CacheHw cache_hw(const CacheGeometry& geometry, CacheProtection protection);
+
+/// Protection check bits for a geometry (exposed for tests and the
+/// component-breakdown bench).
+std::uint64_t protection_check_bits(const CacheGeometry& geometry,
+                                    CacheProtection protection);
+
+}  // namespace unsync::hwmodel

@@ -1,0 +1,151 @@
+#include "hwmodel/components.hpp"
+
+#include "hwmodel/cell_library.hpp"
+
+namespace unsync::hwmodel {
+
+int csb_entries_for_fi(int fingerprint_interval) {
+  return fingerprint_interval + kCsbEntryMargin;
+}
+
+std::uint64_t csb_bits_for_fi(int fingerprint_interval) {
+  return static_cast<std::uint64_t>(csb_entries_for_fi(fingerprint_interval)) *
+         kCsbEntryBits;
+}
+
+BlockHw check_stage_buffer(int fi) {
+  const auto bits = static_cast<double>(csb_bits_for_fi(fi));
+  return {.area_um2 = bits * kPaperCsbCellArea,
+          .power_w = bits * kCsbPowerPerBit};
+}
+
+BlockHw fingerprint_generator() {
+  return {.area_um2 = kPaperCrcGateCount * kGateArea, .power_w = kCrcPower};
+}
+
+BlockHw forwarding_datapath(int fi) {
+  const auto bits = static_cast<double>(csb_bits_for_fi(fi));
+  return {.area_um2 = bits * kDatapathAreaPerCsbBit + kCheckFixedArea,
+          .power_w = bits * kDatapathPowerPerCsbBit};
+}
+
+BlockHw check_stage(int fi) {
+  return check_stage_buffer(fi) + fingerprint_generator() +
+         forwarding_datapath(fi);
+}
+
+namespace {
+
+/// Bits of every-cycle sequential state (PC + pipeline registers) from the
+/// shared structure inventory.
+double every_cycle_bits() {
+  double bits = 0;
+  for (const auto& s : fault::structure_inventory()) {
+    if (s.residency == fault::Residency::kEveryCycle) {
+      bits += static_cast<double>(s.bits);
+    }
+  }
+  return bits;
+}
+
+/// Number of parity-protected in-core storage structures (L1 and CB are
+/// priced in their own models).
+int parity_structure_count() {
+  int n = 0;
+  for (const auto& s : fault::structure_inventory()) {
+    if (s.residency == fault::Residency::kStorage &&
+        s.id != fault::Structure::kL1Data &&
+        s.id != fault::Structure::kCommunicationBuffer) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+BlockHw dmr_detection() {
+  const double bits = every_cycle_bits();
+  return {.area_um2 = bits * kDmrAreaPerBit, .power_w = bits * kDmrPowerPerBit};
+}
+
+BlockHw parity_detection() {
+  return {.area_um2 = parity_structure_count() * kParityTreeAreaPerStructure,
+          .power_w = kParityCorePower};
+}
+
+BlockHw unsync_detection() { return dmr_detection() + parity_detection(); }
+
+BlockHw tmr_detection() {
+  // Two extra storage copies plus a majority voter versus DMR's single
+  // duplicate and comparator: ~2.2x the DMR per-bit cost.
+  const double bits = every_cycle_bits();
+  return {.area_um2 = bits * kDmrAreaPerBit * 2.2,
+          .power_w = bits * kDmrPowerPerBit * 2.2};
+}
+
+BlockHw secded_structure(std::uint64_t bits) {
+  const double check_bits = static_cast<double>(bits) / 8.0;  // (72,64)
+  constexpr double kL1DataBits = 32.0 * 1024 * 8;
+  const double scale = static_cast<double>(bits) / kL1DataBits;
+  return {.area_um2 = check_bits * kPaperRfCellArea + kSecdedLogicArea,
+          .power_w = (kSecdedLogicPower + kSecdedStoragePower) * scale +
+                     // structure codecs run at core speed; keep a floor so
+                     // tiny structures still pay for their XOR trees
+                     0.2e-3};
+}
+
+BlockHw detection_hardware(const fault::ProtectionPlan& plan) {
+  using fault::Mechanism;
+  using fault::Structure;
+  BlockHw total;
+  int parity_structures = 0;
+  double dmr_bits = 0;
+  double tmr_bits = 0;
+  for (const auto& s : fault::structure_inventory()) {
+    // L1 and CB carry their own cost models.
+    if (s.id == Structure::kL1Data ||
+        s.id == Structure::kCommunicationBuffer) {
+      continue;
+    }
+    switch (plan.of(s.id)) {
+      case Mechanism::kParity1:
+        ++parity_structures;
+        break;
+      case Mechanism::kDmr:
+        dmr_bits += static_cast<double>(s.bits);
+        break;
+      case Mechanism::kTmr:
+        tmr_bits += static_cast<double>(s.bits);
+        break;
+      case Mechanism::kSecded:
+        total += secded_structure(s.bits);
+        break;
+      case Mechanism::kNone:
+      case Mechanism::kFingerprint:
+        break;  // priced elsewhere (CHECK stage) or free
+    }
+  }
+  total += {parity_structures * kParityTreeAreaPerStructure,
+            parity_structures > 0
+                ? kParityCorePower * parity_structures / 5.0
+                : 0.0};
+  total += {dmr_bits * kDmrAreaPerBit, dmr_bits * kDmrPowerPerBit};
+  total += {tmr_bits * kDmrAreaPerBit * 2.2, tmr_bits * kDmrPowerPerBit * 2.2};
+  return total;
+}
+
+BlockHw communication_buffer(int entries) {
+  return {.area_um2 = entries * kCbAreaPerEntry,
+          .power_w = entries * kCbPowerPerEntry};
+}
+
+BlockHw error_interrupt_handler() {
+  return {.area_um2 = kEihArea, .power_w = kEihPower};
+}
+
+double register_file_area_32x32() {
+  return 32.0 * 32.0 * kPaperRfCellArea;
+}
+
+}  // namespace unsync::hwmodel

@@ -1,0 +1,82 @@
+// Area/power models of the individual hardware blocks each architecture
+// adds to the baseline core.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/protection.hpp"
+
+namespace unsync::hwmodel {
+
+struct BlockHw {
+  double area_um2 = 0;
+  double power_w = 0;
+
+  BlockHw& operator+=(const BlockHw& other) {
+    area_um2 += other.area_um2;
+    power_w += other.power_w;
+    return *this;
+  }
+};
+
+inline BlockHw operator+(BlockHw a, const BlockHw& b) { return a += b; }
+
+// ---- Reunion CHECK-stage blocks (§IV-A) -----------------------------------
+
+/// CSB entries required for a fingerprint interval (entries = FI + margin;
+/// FI=10 -> 17 entries, matching §IV-A.3).
+int csb_entries_for_fi(int fingerprint_interval);
+std::uint64_t csb_bits_for_fi(int fingerprint_interval);
+
+/// CHECK Stage Buffer: multi-ported array of 66-bit entries.
+BlockHw check_stage_buffer(int fingerprint_interval);
+
+/// Two-stage parallel CRC-16 fingerprint generator (238 gates).
+BlockHw fingerprint_generator();
+
+/// Register-forwarding logic + routed datapaths between CSB and pipeline;
+/// grows with the buffer width (the paper measures +34% metal wiring).
+BlockHw forwarding_datapath(int fingerprint_interval);
+
+/// The complete CHECK stage for a given FI.
+BlockHw check_stage(int fingerprint_interval);
+
+// ---- UnSync detection blocks (§III-B.1) ------------------------------------
+
+/// DMR detection on every-cycle sequential elements (PC, pipeline regs).
+BlockHw dmr_detection();
+
+/// Parity generate/verify trees on the storage structures (RF, ROB, IQ,
+/// LSQ, TLB) — the L1's own parity lives in the cache model.
+BlockHw parity_detection();
+
+/// All in-core UnSync detection hardware.
+BlockHw unsync_detection();
+
+/// TMR hardening of every-cycle elements (paper §VIII): three copies plus
+/// a voter — priced at 3x the DMR duplicate-and-compare cost per bit (two
+/// extra copies and a majority voter versus one copy and a comparator).
+BlockHw tmr_detection();
+
+/// SECDED protection of an in-core storage structure of `bits` data bits
+/// (e.g. the register file, §VIII): (72,64) check-bit storage in RF cells
+/// plus encode/verify logic, with access power scaled from the L1's
+/// calibrated SECDED adders by relative capacity.
+BlockHw secded_structure(std::uint64_t bits);
+
+/// Prices the in-core detection hardware an arbitrary protection plan
+/// implies (the L1 and the CB are priced by their own models; fingerprint
+/// mechanisms are priced by check_stage()).
+BlockHw detection_hardware(const fault::ProtectionPlan& plan);
+
+/// Communication Buffer (per core).
+BlockHw communication_buffer(int entries);
+
+/// Error Interrupt Handler (per core-pair; halved when charged per core).
+BlockHw error_interrupt_handler();
+
+/// Reference: a 32-entry x 32-bit register file in RF cells — the yardstick
+/// the paper compares the CSB against (CSB = 1.46x this).
+double register_file_area_32x32();
+
+}  // namespace unsync::hwmodel

@@ -1,0 +1,57 @@
+// Composition of the three per-core hardware configurations of Table II:
+// baseline MIPS, Reunion (CHECK stage + SECDED L1), and UnSync (in-core
+// detection + parity L1 + Communication Buffer).
+#pragma once
+
+#include <string>
+
+#include "hwmodel/cache_model.hpp"
+#include "hwmodel/components.hpp"
+
+namespace unsync::hwmodel {
+
+/// Per-core hardware summary in the units of Table II.
+struct CoreHw {
+  std::string name;
+  double core_area_um2 = 0;
+  double l1_area_um2 = 0;
+  double cb_area_um2 = 0;  ///< CB (UnSync) — 0 elsewhere
+  double core_power_w = 0;
+  double l1_power_w = 0;
+  double cb_power_w = 0;
+
+  double total_area_um2() const {
+    return core_area_um2 + l1_area_um2 + cb_area_um2;
+  }
+  double total_power_w() const {
+    return core_power_w + l1_power_w + cb_power_w;
+  }
+
+  /// Fractional overheads versus a reference configuration.
+  double area_overhead_vs(const CoreHw& base) const {
+    return total_area_um2() / base.total_area_um2() - 1.0;
+  }
+  double power_overhead_vs(const CoreHw& base) const {
+    return total_power_w() / base.total_power_w() - 1.0;
+  }
+};
+
+/// Baseline MIPS core + unprotected 32 KiB L1.
+CoreHw mips_baseline();
+
+/// Reunion configuration for a fingerprint interval (Table II uses FI=10).
+CoreHw reunion_core(int fingerprint_interval = 10);
+
+/// UnSync configuration (Table II uses a 10-entry CB).
+CoreHw unsync_core(int cb_entries = 10);
+
+/// The §VIII hardened UnSync variant: TMR pipeline/PC, SECDED register
+/// file, SECDED (multi-bit) L1 — the cost side of unsync_hardened_plan().
+CoreHw unsync_hardened_core(int cb_entries = 10);
+
+/// Generic composition: price an arbitrary in-core protection plan with a
+/// chosen L1 scheme (the exploration API behind the ablation bench).
+CoreHw core_for_plan(const fault::ProtectionPlan& plan,
+                     CacheProtection l1_protection, int cb_entries);
+
+}  // namespace unsync::hwmodel

@@ -1,0 +1,38 @@
+#include "hwmodel/die_projection.hpp"
+
+#include "hwmodel/core_model.hpp"
+
+namespace unsync::hwmodel {
+
+const std::vector<ManyCoreChip>& table3_chips() {
+  static const std::vector<ManyCoreChip> chips = {
+      {"Intel Polaris", 65, 80, 2.5, 275.0},
+      {"Tilera Tile64", 90, 64, 3.6, 330.0},
+      {"NVIDIA GeForce", 90, 128, 3.0, 470.0},
+  };
+  return chips;
+}
+
+DieProjection project(const ManyCoreChip& chip, double reunion_cao,
+                      double unsync_cao) {
+  DieProjection p;
+  p.chip = chip;
+  const double core_area_total = chip.cores * chip.per_core_area_mm2;
+  p.reunion_die_mm2 = chip.die_area_mm2 + core_area_total * reunion_cao;
+  p.unsync_die_mm2 = chip.die_area_mm2 + core_area_total * unsync_cao;
+  p.difference_mm2 = p.reunion_die_mm2 - p.unsync_die_mm2;
+  return p;
+}
+
+std::vector<DieProjection> project_table3() {
+  const CoreHw base = mips_baseline();
+  const double reunion_cao = reunion_core().area_overhead_vs(base);
+  const double unsync_cao = unsync_core().area_overhead_vs(base);
+  std::vector<DieProjection> out;
+  for (const auto& chip : table3_chips()) {
+    out.push_back(project(chip, reunion_cao, unsync_cao));
+  }
+  return out;
+}
+
+}  // namespace unsync::hwmodel

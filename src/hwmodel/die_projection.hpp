@@ -1,0 +1,41 @@
+// Die-size projection to existing many-core processors (Table III).
+//
+// The paper scales each architecture's per-core area overhead (CAO, from
+// Table II) onto published many-core die parameters:
+//   CA_inc = n * CA * CAO
+//   DA     = CA_inc + DA_orig
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace unsync::hwmodel {
+
+struct ManyCoreChip {
+  std::string name;
+  int technology_nm;
+  int cores;
+  double per_core_area_mm2;
+  double die_area_mm2;
+};
+
+/// The three chips of Table III: Intel Polaris, Tilera Tile64, NVIDIA
+/// GeForce 8800.
+const std::vector<ManyCoreChip>& table3_chips();
+
+struct DieProjection {
+  ManyCoreChip chip;
+  double reunion_die_mm2 = 0;
+  double unsync_die_mm2 = 0;
+  double difference_mm2 = 0;  ///< DA_reunion - DA_unsync
+};
+
+/// Projects a chip's die area under both error-resilient implementations
+/// given the per-core area-overhead factors (fractions, e.g. 0.2077).
+DieProjection project(const ManyCoreChip& chip, double reunion_cao,
+                      double unsync_cao);
+
+/// Full Table III using the CAO factors computed from the core model.
+std::vector<DieProjection> project_table3();
+
+}  // namespace unsync::hwmodel

@@ -1,0 +1,18 @@
+#include "hwmodel/energy.hpp"
+
+namespace unsync::hwmodel {
+
+EnergyReport energy_for_run(const CoreHw& per_core_hw, unsigned cores,
+                            Cycle cycles, std::uint64_t instructions,
+                            double hz) {
+  EnergyReport r;
+  r.runtime_s = static_cast<double>(cycles) / hz;
+  r.energy_j = per_core_hw.total_power_w() * cores * r.runtime_s;
+  r.energy_per_inst_nj =
+      instructions ? r.energy_j / static_cast<double>(instructions) * 1e9
+                   : 0.0;
+  r.edp = r.energy_j * r.runtime_s;
+  return r;
+}
+
+}  // namespace unsync::hwmodel

@@ -1,0 +1,29 @@
+// Energy metrics: joins the power model (src/hwmodel) with timing results
+// (src/core) into run energy and energy-delay product — the figures of
+// merit a design-space exploration ranks by (examples/design_explorer).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "hwmodel/core_model.hpp"
+
+namespace unsync::hwmodel {
+
+struct EnergyReport {
+  double runtime_s = 0;
+  double energy_j = 0;
+  double energy_per_inst_nj = 0;
+  /// Energy-delay product (J*s): lower is better; rewards designs that are
+  /// both fast and frugal.
+  double edp = 0;
+};
+
+/// Energy of a run: `cores` copies of `per_core_hw` running for `cycles`
+/// at `hz` (the synthesis model's 300 MHz by default). Power is treated as
+/// the synthesis model's average active power.
+EnergyReport energy_for_run(const CoreHw& per_core_hw, unsigned cores,
+                            Cycle cycles, std::uint64_t instructions,
+                            double hz = 300e6);
+
+}  // namespace unsync::hwmodel

@@ -1,0 +1,54 @@
+// Two-pass assembler for the URISC mini ISA.
+//
+// Syntax (one statement per line, '#' starts a comment):
+//   label:                     define a code label
+//   add  r1, r2, r3            R-type
+//   addi r1, r2, -5            I-type
+//   ld   r1, 8(r2)             load  (st/sb/fld/fst use the same form)
+//   beq  r1, r2, loop          branch to label (pc-relative, in instructions)
+//   jal  r31, func             jump-and-link to label
+//   .word 42                   emit a 64-bit data word into the data image
+//   .space 128                 reserve zeroed data bytes
+//   .align 8                   align the data cursor
+//
+// Data directives build a separate data image loaded at Program::data_base.
+// Register names: r0..r31 (r0 reads as zero), f0..f31 for fp instructions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/isa.hpp"
+
+namespace unsync::isa {
+
+/// An assembled program: code image (decoded instructions, one per slot,
+/// loaded at code_base) plus an initialised data image at data_base.
+struct Program {
+  std::vector<Inst> code;
+  std::vector<std::uint8_t> data;
+  Addr code_base = 0x1000;
+  Addr data_base = 0x100000;
+
+  Addr code_end() const { return code_base + code.size() * 4; }
+};
+
+/// Error with line number and message; thrown by Assembler::assemble.
+struct AsmError {
+  int line;
+  std::string message;
+  std::string what() const {
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+class Assembler {
+ public:
+  /// Assembles source text into a Program. Throws AsmError on the first
+  /// syntax or range error encountered.
+  static Program assemble(const std::string& source);
+};
+
+}  // namespace unsync::isa

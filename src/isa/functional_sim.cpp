@@ -1,0 +1,246 @@
+#include "isa/functional_sim.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace unsync::isa {
+
+SparseMemory& SparseMemory::operator=(const SparseMemory& other) {
+  if (this == &other) return *this;
+  pages_.clear();
+  for (const auto& [idx, page] : other.pages_) {
+    pages_[idx] = std::make_unique<Page>(*page);
+  }
+  return *this;
+}
+
+const SparseMemory::Page* SparseMemory::page_for(Addr addr) const {
+  const auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+SparseMemory::Page& SparseMemory::page_for_write(Addr addr) {
+  auto& slot = pages_[addr >> kPageBits];
+  if (!slot) slot = std::make_unique<Page>(Page{});
+  return *slot;
+}
+
+std::uint8_t SparseMemory::read8(Addr addr) const {
+  const Page* p = page_for(addr);
+  return p ? (*p)[addr & (kPageSize - 1)] : 0;
+}
+
+void SparseMemory::write8(Addr addr, std::uint8_t value) {
+  page_for_write(addr)[addr & (kPageSize - 1)] = value;
+}
+
+std::uint64_t SparseMemory::read64(Addr addr) const {
+  std::uint64_t v = 0;
+  for (int b = 7; b >= 0; --b) {
+    v = (v << 8) | read8(addr + static_cast<Addr>(b));
+  }
+  return v;
+}
+
+void SparseMemory::write64(Addr addr, std::uint64_t value) {
+  for (int b = 0; b < 8; ++b) {
+    write8(addr + static_cast<Addr>(b), static_cast<std::uint8_t>(value >> (8 * b)));
+  }
+}
+
+void SparseMemory::load_image(Addr base, const std::vector<std::uint8_t>& bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    write8(base + i, bytes[i]);
+  }
+}
+
+bool SparseMemory::operator==(const SparseMemory& other) const {
+  // Pages absent on one side must be all-zero on the other.
+  auto covered = [](const SparseMemory& a, const SparseMemory& b) {
+    for (const auto& [idx, page] : a.pages_) {
+      const Page* q = nullptr;
+      if (const auto it = b.pages_.find(idx); it != b.pages_.end()) {
+        q = it->second.get();
+      }
+      for (std::size_t i = 0; i < kPageSize; ++i) {
+        const std::uint8_t lhs = (*page)[i];
+        const std::uint8_t rhs = q ? (*q)[i] : 0;
+        if (lhs != rhs) return false;
+      }
+    }
+    return true;
+  };
+  return covered(*this, other) && covered(other, *this);
+}
+
+FunctionalSim::FunctionalSim(const Program& program) : program_(program) {
+  state_.pc = program_.code_base;
+  mem_.load_image(program_.data_base, program_.data);
+}
+
+Inst FunctionalSim::fetch(Addr pc) const {
+  if (pc < program_.code_base || pc >= program_.code_end() ||
+      (pc - program_.code_base) % 4 != 0) {
+    return Inst{};  // halt outside the image: fail safe
+  }
+  return program_.code[(pc - program_.code_base) / 4];
+}
+
+std::uint64_t FunctionalSim::run(std::uint64_t max_steps) {
+  std::uint64_t n = 0;
+  while (n < max_steps && !halted_) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+StepResult FunctionalSim::step() {
+  StepResult r;
+  r.pc = state_.pc;
+  if (halted_) {
+    r.halted = true;
+    r.next_pc = state_.pc;
+    return r;
+  }
+  const Inst inst = fetch(state_.pc);
+  r.inst = inst;
+  Addr next_pc = state_.pc + 4;
+
+  auto& regs = state_.regs;
+  auto& fregs = state_.fregs;
+  auto rs1 = [&] { return regs[inst.rs1]; };
+  auto rs2 = [&] { return regs[inst.rs2]; };
+  auto srs1 = [&] { return static_cast<std::int64_t>(regs[inst.rs1]); };
+  auto srs2 = [&] { return static_cast<std::int64_t>(regs[inst.rs2]); };
+  auto f1 = [&] { return std::bit_cast<double>(fregs[inst.rs1]); };
+  auto f2 = [&] { return std::bit_cast<double>(fregs[inst.rs2]); };
+  auto wr = [&](std::uint64_t v) {
+    if (inst.rd != 0) regs[inst.rd] = v;
+    r.result = inst.rd != 0 ? v : 0;
+  };
+  auto wf = [&](double v) {
+    fregs[inst.rd] = std::bit_cast<std::uint64_t>(v);
+    r.result = fregs[inst.rd];
+  };
+  // Branch targets are in instruction slots relative to the branch itself.
+  auto branch_to = [&](std::int32_t slots) {
+    next_pc = state_.pc + static_cast<Addr>(static_cast<std::int64_t>(slots) * 4);
+    r.taken = true;
+  };
+
+  switch (inst.op) {
+    case Opcode::kAdd: wr(rs1() + rs2()); break;
+    case Opcode::kSub: wr(rs1() - rs2()); break;
+    case Opcode::kAnd: wr(rs1() & rs2()); break;
+    case Opcode::kOr: wr(rs1() | rs2()); break;
+    case Opcode::kXor: wr(rs1() ^ rs2()); break;
+    case Opcode::kSlt: wr(srs1() < srs2() ? 1 : 0); break;
+    case Opcode::kSll: wr(rs1() << (rs2() & 63)); break;
+    case Opcode::kSrl: wr(rs1() >> (rs2() & 63)); break;
+    case Opcode::kSra:
+      wr(static_cast<std::uint64_t>(srs1() >> (rs2() & 63)));
+      break;
+    case Opcode::kMul: wr(rs1() * rs2()); break;
+    case Opcode::kDiv:
+      // Division by zero returns all-ones, mirroring RISC-V semantics.
+      wr(rs2() == 0 ? ~std::uint64_t{0}
+                    : static_cast<std::uint64_t>(srs1() / srs2()));
+      break;
+    case Opcode::kRem:
+      wr(rs2() == 0 ? rs1() : static_cast<std::uint64_t>(srs1() % srs2()));
+      break;
+    case Opcode::kAddi:
+      wr(rs1() + static_cast<std::uint64_t>(static_cast<std::int64_t>(inst.imm)));
+      break;
+    // Logical immediates are zero-extended (MIPS convention), which lets
+    // the `la` pseudo-instruction build full addresses with lui+ori.
+    case Opcode::kAndi:
+      wr(rs1() & (static_cast<std::uint64_t>(inst.imm) & 0x3fff));
+      break;
+    case Opcode::kOri:
+      wr(rs1() | (static_cast<std::uint64_t>(inst.imm) & 0x3fff));
+      break;
+    case Opcode::kXori:
+      wr(rs1() ^ (static_cast<std::uint64_t>(inst.imm) & 0x3fff));
+      break;
+    case Opcode::kSlti:
+      wr(srs1() < static_cast<std::int64_t>(inst.imm) ? 1 : 0);
+      break;
+    case Opcode::kSlli: wr(rs1() << (inst.imm & 63)); break;
+    case Opcode::kSrli: wr(rs1() >> (inst.imm & 63)); break;
+    case Opcode::kLui:
+      wr(static_cast<std::uint64_t>(static_cast<std::int64_t>(inst.imm)) << 14);
+      break;
+    case Opcode::kLd:
+      r.mem_addr = rs1() + static_cast<Addr>(static_cast<std::int64_t>(inst.imm));
+      wr(mem_.read64(r.mem_addr));
+      break;
+    case Opcode::kLb:
+      r.mem_addr = rs1() + static_cast<Addr>(static_cast<std::int64_t>(inst.imm));
+      wr(mem_.read8(r.mem_addr));
+      break;
+    case Opcode::kSt:
+      r.mem_addr = rs1() + static_cast<Addr>(static_cast<std::int64_t>(inst.imm));
+      mem_.write64(r.mem_addr, regs[inst.store_data_reg()]);
+      break;
+    case Opcode::kSb:
+      r.mem_addr = rs1() + static_cast<Addr>(static_cast<std::int64_t>(inst.imm));
+      mem_.write8(r.mem_addr,
+                  static_cast<std::uint8_t>(regs[inst.store_data_reg()]));
+      break;
+    case Opcode::kFadd: wf(f1() + f2()); break;
+    case Opcode::kFsub: wf(f1() - f2()); break;
+    case Opcode::kFmul: wf(f1() * f2()); break;
+    case Opcode::kFdiv: wf(f1() / f2()); break;
+    case Opcode::kFld:
+      r.mem_addr = rs1() + static_cast<Addr>(static_cast<std::int64_t>(inst.imm));
+      fregs[inst.rd] = mem_.read64(r.mem_addr);
+      r.result = fregs[inst.rd];
+      break;
+    case Opcode::kFst:
+      r.mem_addr = rs1() + static_cast<Addr>(static_cast<std::int64_t>(inst.imm));
+      mem_.write64(r.mem_addr, fregs[inst.store_data_reg()]);
+      break;
+    case Opcode::kFmovi:
+      wf(static_cast<double>(srs1()));
+      break;
+    case Opcode::kFcmplt: wr(f1() < f2() ? 1 : 0); break;
+    case Opcode::kBeq: if (rs1() == rs2()) branch_to(inst.imm); break;
+    case Opcode::kBne: if (rs1() != rs2()) branch_to(inst.imm); break;
+    case Opcode::kBlt: if (srs1() < srs2()) branch_to(inst.imm); break;
+    case Opcode::kBge: if (srs1() >= srs2()) branch_to(inst.imm); break;
+    case Opcode::kJal:
+      wr(state_.pc + 4);
+      branch_to(inst.imm);
+      break;
+    case Opcode::kJalr: {
+      const Addr target = rs1();
+      wr(state_.pc + 4);
+      next_pc = target;
+      r.taken = true;
+      break;
+    }
+    case Opcode::kSyscall:
+      // Mini ABI: r1 selects the service; service 1 emits r2 on the output
+      // channel. Unknown services are no-ops (still serializing for timing).
+      if (regs[1] == 1) output_.push_back(regs[2]);
+      break;
+    case Opcode::kMembar:
+      break;  // purely a timing fence
+    case Opcode::kHalt:
+      halted_ = true;
+      r.halted = true;
+      next_pc = state_.pc;
+      break;
+    case Opcode::kCount:
+      break;  // unreachable: decode never produces kCount
+  }
+
+  state_.pc = next_pc;
+  r.next_pc = next_pc;
+  if (!r.halted) ++retired_;
+  return r;
+}
+
+}  // namespace unsync::isa

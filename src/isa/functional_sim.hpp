@@ -1,0 +1,118 @@
+// Architectural (functional) simulator for URISC programs.
+//
+// This is the golden-model executor: it defines what every instruction does,
+// independent of timing. The timing model (src/cpu) replays its dynamic
+// stream; the fault framework (src/fault) compares a corrupted run's final
+// architectural state against this model's.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/assembler.hpp"
+#include "isa/isa.hpp"
+
+namespace unsync::isa {
+
+/// Sparse byte-addressable memory backed by 4 KiB pages allocated on first
+/// touch. Reads of untouched memory return zero.
+class SparseMemory {
+ public:
+  SparseMemory() = default;
+  SparseMemory(const SparseMemory& other) { *this = other; }
+  SparseMemory& operator=(const SparseMemory& other);
+  SparseMemory(SparseMemory&&) = default;
+  SparseMemory& operator=(SparseMemory&&) = default;
+
+  std::uint8_t read8(Addr addr) const;
+  void write8(Addr addr, std::uint8_t value);
+
+  /// Little-endian 64-bit accesses; unaligned addresses are legal and are
+  /// composed from byte accesses.
+  std::uint64_t read64(Addr addr) const;
+  void write64(Addr addr, std::uint64_t value);
+
+  /// Copies a block into memory (program loading).
+  void load_image(Addr base, const std::vector<std::uint8_t>& bytes);
+
+  /// Number of pages currently allocated (test / footprint introspection).
+  std::size_t pages_touched() const { return pages_.size(); }
+
+  bool operator==(const SparseMemory& other) const;
+
+ private:
+  static constexpr Addr kPageBits = 12;
+  static constexpr Addr kPageSize = Addr{1} << kPageBits;
+  using Page = std::array<std::uint8_t, kPageSize>;
+
+  const Page* page_for(Addr addr) const;
+  Page& page_for_write(Addr addr);
+
+  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+/// The architectural register state: 32 integer registers (r0 hardwired to
+/// zero), 32 fp registers (IEEE-754 double bit patterns), and the PC.
+struct ArchState {
+  Addr pc = 0;
+  std::array<std::uint64_t, 32> regs{};
+  std::array<std::uint64_t, 32> fregs{};
+
+  bool operator==(const ArchState&) const = default;
+};
+
+/// Everything observable about one retired instruction; consumed by the
+/// trace recorder and by tests.
+struct StepResult {
+  Inst inst;
+  Addr pc = 0;        ///< address of this instruction
+  Addr next_pc = 0;   ///< architectural successor
+  bool taken = false; ///< branch outcome (true also for jumps)
+  Addr mem_addr = kNoAddr;  ///< effective address for loads/stores
+  std::uint64_t result = 0; ///< value written to the destination register
+  bool halted = false;
+};
+
+class FunctionalSim {
+ public:
+  explicit FunctionalSim(const Program& program);
+
+  /// Retires exactly one instruction. Calling step() after HALT retires
+  /// returns halted=true and changes nothing.
+  StepResult step();
+
+  /// Runs until HALT or max_steps, returning instructions retired.
+  std::uint64_t run(std::uint64_t max_steps);
+
+  bool halted() const { return halted_; }
+  std::uint64_t retired() const { return retired_; }
+
+  const ArchState& state() const { return state_; }
+  ArchState& mutable_state() { return state_; }  ///< fault-injection hook
+  const SparseMemory& memory() const { return mem_; }
+  SparseMemory& mutable_memory() { return mem_; }
+
+  /// Values the program emitted via `syscall` with r1==1 (value in r2) —
+  /// the mini ABI's "print" channel used by the examples and tests.
+  const std::vector<std::uint64_t>& output() const { return output_; }
+
+  const Program& program() const { return program_; }
+
+  /// Fetches the instruction at an arbitrary code address (kHalt outside
+  /// the code image) — used by the timing front-end.
+  Inst fetch(Addr pc) const;
+
+ private:
+  Program program_;
+  ArchState state_;
+  SparseMemory mem_;
+  std::vector<std::uint64_t> output_;
+  bool halted_ = false;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace unsync::isa

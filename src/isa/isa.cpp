@@ -1,0 +1,224 @@
+#include "isa/isa.hpp"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+namespace unsync::isa {
+namespace {
+
+struct OpInfo {
+  const char* name;
+  InstClass cls;
+  enum class Fmt { kR, kI, kB, kJ, kNone } fmt;
+};
+
+using Fmt = OpInfo::Fmt;
+
+constexpr std::array<OpInfo, static_cast<std::size_t>(Opcode::kCount)> kOps = {{
+    {"add", InstClass::kIntAlu, Fmt::kR},
+    {"sub", InstClass::kIntAlu, Fmt::kR},
+    {"and", InstClass::kIntAlu, Fmt::kR},
+    {"or", InstClass::kIntAlu, Fmt::kR},
+    {"xor", InstClass::kIntAlu, Fmt::kR},
+    {"slt", InstClass::kIntAlu, Fmt::kR},
+    {"sll", InstClass::kIntAlu, Fmt::kR},
+    {"srl", InstClass::kIntAlu, Fmt::kR},
+    {"sra", InstClass::kIntAlu, Fmt::kR},
+    {"mul", InstClass::kIntMul, Fmt::kR},
+    {"div", InstClass::kIntDiv, Fmt::kR},
+    {"rem", InstClass::kIntDiv, Fmt::kR},
+    {"addi", InstClass::kIntAlu, Fmt::kI},
+    {"andi", InstClass::kIntAlu, Fmt::kI},
+    {"ori", InstClass::kIntAlu, Fmt::kI},
+    {"xori", InstClass::kIntAlu, Fmt::kI},
+    {"slti", InstClass::kIntAlu, Fmt::kI},
+    {"slli", InstClass::kIntAlu, Fmt::kI},
+    {"srli", InstClass::kIntAlu, Fmt::kI},
+    {"lui", InstClass::kIntAlu, Fmt::kI},
+    {"ld", InstClass::kLoad, Fmt::kI},
+    {"st", InstClass::kStore, Fmt::kI},
+    {"lb", InstClass::kLoad, Fmt::kI},
+    {"sb", InstClass::kStore, Fmt::kI},
+    {"fadd", InstClass::kFpAlu, Fmt::kR},
+    {"fsub", InstClass::kFpAlu, Fmt::kR},
+    {"fmul", InstClass::kFpMul, Fmt::kR},
+    {"fdiv", InstClass::kFpDiv, Fmt::kR},
+    {"fld", InstClass::kLoad, Fmt::kI},
+    {"fst", InstClass::kStore, Fmt::kI},
+    {"fmovi", InstClass::kFpAlu, Fmt::kR},
+    {"fcmplt", InstClass::kFpAlu, Fmt::kR},
+    {"beq", InstClass::kBranch, Fmt::kB},
+    {"bne", InstClass::kBranch, Fmt::kB},
+    {"blt", InstClass::kBranch, Fmt::kB},
+    {"bge", InstClass::kBranch, Fmt::kB},
+    {"jal", InstClass::kBranch, Fmt::kJ},
+    {"jalr", InstClass::kBranch, Fmt::kI},
+    {"syscall", InstClass::kSerializing, Fmt::kNone},
+    {"membar", InstClass::kSerializing, Fmt::kNone},
+    {"halt", InstClass::kHalt, Fmt::kNone},
+}};
+
+const OpInfo& info(Opcode op) {
+  return kOps[static_cast<std::size_t>(op)];
+}
+
+std::int32_t sign_extend(std::uint32_t v, int bits) {
+  const std::uint32_t mask = 1u << (bits - 1);
+  v &= (1u << bits) - 1;
+  return static_cast<std::int32_t>((v ^ mask) - mask);
+}
+
+void check_imm(std::int32_t imm, std::int32_t lo, std::int32_t hi) {
+  if (imm < lo || imm > hi) {
+    throw std::out_of_range("immediate " + std::to_string(imm) +
+                            " out of range [" + std::to_string(lo) + ", " +
+                            std::to_string(hi) + "]");
+  }
+}
+
+}  // namespace
+
+InstClass class_of(Opcode op) { return info(op).cls; }
+
+const char* name_of(Opcode op) { return info(op).name; }
+
+const char* name_of(InstClass c) {
+  switch (c) {
+    case InstClass::kIntAlu: return "int_alu";
+    case InstClass::kIntMul: return "int_mul";
+    case InstClass::kIntDiv: return "int_div";
+    case InstClass::kFpAlu: return "fp_alu";
+    case InstClass::kFpMul: return "fp_mul";
+    case InstClass::kFpDiv: return "fp_div";
+    case InstClass::kLoad: return "load";
+    case InstClass::kStore: return "store";
+    case InstClass::kBranch: return "branch";
+    case InstClass::kSerializing: return "serializing";
+    case InstClass::kHalt: return "halt";
+  }
+  return "?";
+}
+
+std::optional<Opcode> opcode_from_name(const std::string& mnemonic) {
+  for (std::size_t i = 0; i < kOps.size(); ++i) {
+    if (mnemonic == kOps[i].name) return static_cast<Opcode>(i);
+  }
+  return std::nullopt;
+}
+
+bool Inst::writes_reg() const {
+  switch (info(op).fmt) {
+    case Fmt::kR:
+      // fcmplt writes an integer register; all other R-types write rd.
+      return true;
+    case Fmt::kI:
+      // Stores use the I format but write memory, not a register.
+      return !is_store();
+    case Fmt::kJ:
+      return true;  // jal writes the link register.
+    case Fmt::kB:
+    case Fmt::kNone:
+      return false;
+  }
+  return false;
+}
+
+int Inst::num_srcs() const {
+  switch (info(op).fmt) {
+    case Fmt::kR: return 2;
+    case Fmt::kI: return is_store() ? 2 : 1;  // store reads base + data.
+    case Fmt::kB: return 2;
+    case Fmt::kJ: return 0;
+    case Fmt::kNone: return 0;
+  }
+  return 0;
+}
+
+std::string Inst::to_string() const {
+  std::ostringstream os;
+  os << name_of(op);
+  switch (info(op).fmt) {
+    case Fmt::kR:
+      os << " r" << int{rd} << ", r" << int{rs1} << ", r" << int{rs2};
+      break;
+    case Fmt::kI:
+      if (is_load() || is_store()) {
+        // Stores keep their data register in the rd field slot.
+        os << " r" << int{rd} << ", " << imm << "(r" << int{rs1} << ")";
+      } else {
+        os << " r" << int{rd} << ", r" << int{rs1} << ", " << imm;
+      }
+      break;
+    case Fmt::kB:
+      os << " r" << int{rs1} << ", r" << int{rs2} << ", " << imm;
+      break;
+    case Fmt::kJ:
+      os << " r" << int{rd} << ", " << imm;
+      break;
+    case Fmt::kNone:
+      break;
+  }
+  return os.str();
+}
+
+std::uint32_t encode(const Inst& inst) {
+  const auto opbits = static_cast<std::uint32_t>(inst.op) << 24;
+  switch (info(inst.op).fmt) {
+    case Fmt::kR:
+      return opbits | (std::uint32_t{inst.rd} << 19) |
+             (std::uint32_t{inst.rs1} << 14) | (std::uint32_t{inst.rs2} << 9);
+    case Fmt::kI:
+      check_imm(inst.imm, kImm14Min, kImm14Max);
+      return opbits | (std::uint32_t{inst.rd} << 19) |
+             (std::uint32_t{inst.rs1} << 14) |
+             (static_cast<std::uint32_t>(inst.imm) & 0x3fffu);
+    case Fmt::kB:
+      check_imm(inst.imm, kImm14Min, kImm14Max);
+      return opbits | (std::uint32_t{inst.rs1} << 19) |
+             (std::uint32_t{inst.rs2} << 14) |
+             (static_cast<std::uint32_t>(inst.imm) & 0x3fffu);
+    case Fmt::kJ:
+      check_imm(inst.imm, kImm19Min, kImm19Max);
+      return opbits | (std::uint32_t{inst.rd} << 19) |
+             (static_cast<std::uint32_t>(inst.imm) & 0x7ffffu);
+    case Fmt::kNone:
+      return opbits;
+  }
+  return opbits;
+}
+
+Inst decode(std::uint32_t word) {
+  const auto opbyte = static_cast<std::uint8_t>(word >> 24);
+  if (opbyte >= static_cast<std::uint8_t>(Opcode::kCount)) {
+    return Inst{};  // fail safe: decodes as halt
+  }
+  Inst inst;
+  inst.op = static_cast<Opcode>(opbyte);
+  switch (info(inst.op).fmt) {
+    case Fmt::kR:
+      inst.rd = static_cast<RegIndex>((word >> 19) & 0x1f);
+      inst.rs1 = static_cast<RegIndex>((word >> 14) & 0x1f);
+      inst.rs2 = static_cast<RegIndex>((word >> 9) & 0x1f);
+      break;
+    case Fmt::kI:
+      inst.rd = static_cast<RegIndex>((word >> 19) & 0x1f);
+      inst.rs1 = static_cast<RegIndex>((word >> 14) & 0x1f);
+      inst.imm = sign_extend(word, 14);
+      break;
+    case Fmt::kB:
+      inst.rs1 = static_cast<RegIndex>((word >> 19) & 0x1f);
+      inst.rs2 = static_cast<RegIndex>((word >> 14) & 0x1f);
+      inst.imm = sign_extend(word, 14);
+      break;
+    case Fmt::kJ:
+      inst.rd = static_cast<RegIndex>((word >> 19) & 0x1f);
+      inst.imm = sign_extend(word, 19);
+      break;
+    case Fmt::kNone:
+      break;
+  }
+  return inst;
+}
+
+}  // namespace unsync::isa

@@ -1,0 +1,110 @@
+// The URISC mini instruction set.
+//
+// A 32-bit fixed-width RISC ISA with 32 integer and 32 floating-point
+// registers, rich enough to express real kernels (the examples assemble and
+// run sorting, checksum and stencil programs) while staying small enough to
+// simulate fast. Serializing instructions (SYSCALL, MEMBAR) exist explicitly
+// because the paper's Figure 4 hinges on their frequency.
+//
+// Encoding (32 bits):
+//   R-type:  op[31:24] rd[23:19] rs1[18:14] rs2[13:9]  pad[8:0]
+//   I-type:  op[31:24] rd[23:19] rs1[18:14] imm14[13:0]   (sign-extended)
+//   B-type:  op[31:24] rs1[23:19] rs2[18:14] imm14[13:0]  (inst offset)
+//   J-type:  op[31:24] rd[23:19] imm19[18:0]              (inst offset)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace unsync::isa {
+
+enum class Opcode : std::uint8_t {
+  // R-type integer ALU.
+  kAdd, kSub, kAnd, kOr, kXor, kSlt, kSll, kSrl, kSra,
+  // R-type integer multiply / divide.
+  kMul, kDiv, kRem,
+  // I-type integer ALU.
+  kAddi, kAndi, kOri, kXori, kSlti, kSlli, kSrli, kLui,
+  // Memory (I-type addressing: rs1 + imm).
+  kLd, kSt, kLb, kSb,
+  // Floating point (R-type on f-registers; kFld/kFst use I-type addressing).
+  kFadd, kFsub, kFmul, kFdiv, kFld, kFst, kFmovi, kFcmplt,
+  // Control flow.
+  kBeq, kBne, kBlt, kBge, kJal, kJalr,
+  // Serializing instructions.
+  kSyscall, kMembar,
+  kHalt,
+  kCount,
+};
+
+/// Broad functional class used by the timing model to choose a functional
+/// unit and latency; derived from the opcode.
+enum class InstClass : std::uint8_t {
+  kIntAlu,
+  kIntMul,
+  kIntDiv,
+  kFpAlu,
+  kFpMul,
+  kFpDiv,
+  kLoad,
+  kStore,
+  kBranch,
+  kSerializing,
+  kHalt,
+};
+
+InstClass class_of(Opcode op);
+const char* name_of(Opcode op);
+const char* name_of(InstClass c);
+
+/// Looks up an opcode by its assembler mnemonic (lower case).
+std::optional<Opcode> opcode_from_name(const std::string& mnemonic);
+
+/// Decoded instruction. Register fields are 0..31; fp instructions index the
+/// f-register file with the same 5-bit fields.
+struct Inst {
+  Opcode op = Opcode::kHalt;
+  RegIndex rd = 0;
+  RegIndex rs1 = 0;
+  RegIndex rs2 = 0;
+  std::int32_t imm = 0;
+
+  bool operator==(const Inst&) const = default;
+
+  bool is_branch() const { return class_of(op) == InstClass::kBranch; }
+  bool is_load() const { return class_of(op) == InstClass::kLoad; }
+  bool is_store() const { return class_of(op) == InstClass::kStore; }
+  bool is_serializing() const {
+    return class_of(op) == InstClass::kSerializing;
+  }
+
+  /// True when the instruction writes an (integer or fp) destination register.
+  bool writes_reg() const;
+  /// Number of source register operands actually read (0..2).
+  int num_srcs() const;
+
+  /// For stores, the register holding the data to write (kept in the rd
+  /// field slot of the I-type encoding).
+  RegIndex store_data_reg() const { return rd; }
+
+  std::string to_string() const;
+};
+
+/// Encodes to the 32-bit machine word. Immediates out of field range throw
+/// std::out_of_range (the assembler surfaces this as a source error).
+std::uint32_t encode(const Inst& inst);
+
+/// Decodes a machine word. Unknown opcode bytes decode to kHalt so that a
+/// corrupted instruction stream fails safe rather than invoking UB.
+Inst decode(std::uint32_t word);
+
+/// Field range limits used by encode() and the assembler's diagnostics.
+inline constexpr std::int32_t kImm14Min = -(1 << 13);
+inline constexpr std::int32_t kImm14Max = (1 << 13) - 1;
+inline constexpr std::int32_t kImm19Min = -(1 << 18);
+inline constexpr std::int32_t kImm19Max = (1 << 18) - 1;
+
+}  // namespace unsync::isa

@@ -1,0 +1,38 @@
+// A shared bus modelled as a single serially-granted resource.
+//
+// acquire(now, hold) returns the grant cycle — the first cycle at or after
+// `now` when the bus is free — and reserves it for `hold` cycles. This
+// first-come-first-served reservation discipline is how both the L1<->L2
+// interconnect contention and the Communication-Buffer drain arbitration
+// ("as and when the L1-L2 data bus is free", paper §III-A) are modelled.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace unsync::mem {
+
+class Bus {
+ public:
+  /// Reserves the bus for [grant, grant+hold) and returns grant.
+  Cycle acquire(Cycle now, Cycle hold);
+
+  /// True when the bus would grant immediately at `now`.
+  bool free_at(Cycle now) const { return next_free_ <= now; }
+
+  Cycle next_free() const { return next_free_; }
+
+  /// Total cycles the bus has been held (utilisation accounting).
+  Cycle busy_cycles() const { return busy_cycles_; }
+  std::uint64_t transactions() const { return transactions_; }
+
+  void reset();
+
+ private:
+  Cycle next_free_ = 0;
+  Cycle busy_cycles_ = 0;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace unsync::mem

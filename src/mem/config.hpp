@@ -1,0 +1,51 @@
+// Memory-system configuration (defaults follow Table I of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace unsync::mem {
+
+enum class WritePolicy : std::uint8_t {
+  kWriteThrough,  ///< every store is propagated to the next level
+  kWriteBack,     ///< stores dirty the line; eviction writes back
+};
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t assoc = 2;
+  Cycle hit_latency = 2;
+  std::uint32_t mshrs = 10;
+  WritePolicy write_policy = WritePolicy::kWriteBack;
+
+  std::uint32_t num_sets() const {
+    return size_bytes / (line_bytes * assoc);
+  }
+};
+
+struct MemConfig {
+  CacheConfig l1d{.size_bytes = 32 * 1024, .line_bytes = 64, .assoc = 2,
+                  .hit_latency = 2, .mshrs = 10,
+                  .write_policy = WritePolicy::kWriteBack};
+  /// Split instruction cache (Table I: 32 KB split I/D, 2-way).
+  CacheConfig l1i{.size_bytes = 32 * 1024, .line_bytes = 64, .assoc = 2,
+                  .hit_latency = 1, .mshrs = 4,
+                  .write_policy = WritePolicy::kWriteBack};
+  CacheConfig l2{.size_bytes = 4 * 1024 * 1024, .line_bytes = 64, .assoc = 8,
+                 .hit_latency = 20, .mshrs = 20,
+                 .write_policy = WritePolicy::kWriteBack};
+
+  /// L1<->L2 bus occupancy per cache-line transfer, and per-word store
+  /// write-through transfer, in cycles.
+  Cycle bus_line_cycles = 4;
+  Cycle bus_word_cycles = 1;
+
+  /// DRAM access latency (Table I: 400 cycles) and per-line bandwidth
+  /// occupancy on the memory channel (64-bit wide bus, 64-byte lines).
+  Cycle dram_latency = 400;
+  Cycle dram_line_cycles = 8;
+};
+
+}  // namespace unsync::mem

@@ -1,0 +1,546 @@
+#include "workload/kernels.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.hpp"
+#include "isa/functional_sim.hpp"
+
+namespace unsync::workload {
+
+namespace {
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+/// The three-instruction emit idiom: r1 = service 1, r2 = value-register.
+constexpr const char* kEmitR4 = R"(
+    addi r1, r0, 1
+    add  r2, r0, r4
+    syscall
+)";
+
+}  // namespace
+
+isa::Program assemble(const Kernel& kernel) {
+  return isa::Assembler::assemble(kernel.source);
+}
+
+Kernel make_vector_sum(unsigned n) {
+  Kernel k;
+  k.name = "vector_sum_" + num(n);
+  k.source = R"(
+    addi r10, r0, )" + num(n) + R"(   # i = n down to 1
+    addi r4, r0, 0                    # sum
+  loop:
+    mul  r5, r10, r10
+    add  r4, r4, r5
+    addi r10, r10, -1
+    bne  r10, r0, loop
+)" + kEmitR4 + "    halt\n";
+
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += i * i;
+  k.expected = {sum};
+  return k;
+}
+
+Kernel make_fibonacci(unsigned n) {
+  assert(n >= 1 && n <= 90);
+  Kernel k;
+  k.name = "fibonacci_" + num(n);
+  k.source = R"(
+    addi r10, r0, )" + num(n) + R"(
+    addi r5, r0, 0          # a = fib(0)
+    addi r6, r0, 1          # b = fib(1)
+  loop:
+    add  r7, r5, r6
+    add  r5, r0, r6
+    add  r6, r0, r7
+    addi r10, r10, -1
+    bne  r10, r0, loop
+    add  r4, r0, r5
+)" + kEmitR4 + "    halt\n";
+
+  std::uint64_t a = 0, b = 1;
+  for (unsigned i = 0; i < n; ++i) {
+    const std::uint64_t t = a + b;
+    a = b;
+    b = t;
+  }
+  k.expected = {a};
+  return k;
+}
+
+Kernel make_bubble_sort(unsigned n, std::uint64_t seed) {
+  assert(n >= 2 && n <= 512);
+  Rng rng(seed);
+  std::vector<std::uint64_t> values;
+  for (unsigned i = 0; i < n; ++i) values.push_back(rng.below(8000));
+
+  std::string words;
+  for (unsigned i = 0; i < n; ++i) {
+    words += (i ? ", " : "") + num(values[i]);
+  }
+
+  Kernel k;
+  k.name = "bubble_sort_" + num(n);
+  k.source = R"(
+  arr:
+    .word )" + words + R"(
+    addi r10, r0, )" + num(n) + R"(   # n
+  outer:
+    addi r11, r0, 0         # i
+    addi r12, r0, 0         # swapped
+  inner:
+    addi r13, r10, -1
+    bge  r11, r13, done_in
+    la   r20, arr
+    slli r21, r11, 3
+    add  r20, r20, r21
+    ld   r22, 0(r20)
+    ld   r23, 8(r20)
+    bge  r23, r22, noswap
+    st   r23, 0(r20)
+    st   r22, 8(r20)
+    addi r12, r0, 1
+  noswap:
+    addi r11, r11, 1
+    beq  r0, r0, inner
+  done_in:
+    bne  r12, r0, outer
+    addi r11, r0, 0
+    addi r1, r0, 1
+  emit:
+    bge  r11, r10, end
+    la   r20, arr
+    slli r21, r11, 3
+    add  r20, r20, r21
+    ld   r2, 0(r20)
+    syscall
+    addi r11, r11, 1
+    beq  r0, r0, emit
+  end:
+    halt
+)";
+
+  std::sort(values.begin(), values.end());
+  k.expected = values;
+  return k;
+}
+
+Kernel make_matmul(unsigned n) {
+  assert(n >= 2 && n <= 24);
+  Kernel k;
+  k.name = "matmul_" + num(n);
+  const std::string N = num(n);
+  k.source = R"(
+  a:
+    .space )" + num(n * n * 8) + R"(
+  b:
+    .space )" + num(n * n * 8) + R"(
+  c:
+    .space )" + num(n * n * 8) + R"(
+    addi r10, r0, )" + N + R"(
+    addi r11, r0, 0          # i
+  init_i:
+    addi r12, r0, 0          # j
+  init_j:
+    mul  r20, r11, r10
+    add  r20, r20, r12
+    slli r20, r20, 3
+    la   r21, a
+    add  r21, r21, r20
+    add  r22, r11, r12       # A[i][j] = i + j
+    st   r22, 0(r21)
+    la   r21, b
+    add  r21, r21, r20
+    mul  r22, r11, r12
+    addi r22, r22, 1         # B[i][j] = i*j + 1
+    st   r22, 0(r21)
+    addi r12, r12, 1
+    blt  r12, r10, init_j
+    addi r11, r11, 1
+    blt  r11, r10, init_i
+    addi r11, r0, 0          # i
+  mul_i:
+    addi r12, r0, 0          # j
+  mul_j:
+    addi r13, r0, 0          # kk
+    addi r14, r0, 0          # acc
+  mul_k:
+    mul  r20, r11, r10
+    add  r20, r20, r13
+    slli r20, r20, 3
+    la   r21, a
+    add  r21, r21, r20
+    ld   r22, 0(r21)
+    mul  r20, r13, r10
+    add  r20, r20, r12
+    slli r20, r20, 3
+    la   r21, b
+    add  r21, r21, r20
+    ld   r23, 0(r21)
+    mul  r24, r22, r23
+    add  r14, r14, r24
+    addi r13, r13, 1
+    blt  r13, r10, mul_k
+    mul  r20, r11, r10
+    add  r20, r20, r12
+    slli r20, r20, 3
+    la   r21, c
+    add  r21, r21, r20
+    st   r14, 0(r21)
+    addi r12, r12, 1
+    blt  r12, r10, mul_j
+    addi r11, r11, 1
+    blt  r11, r10, mul_i
+    # emit trace(C)
+    addi r11, r0, 0
+    addi r4, r0, 0
+  trace:
+    mul  r20, r11, r10
+    add  r20, r20, r11
+    slli r20, r20, 3
+    la   r21, c
+    add  r21, r21, r20
+    ld   r22, 0(r21)
+    add  r4, r4, r22
+    addi r11, r11, 1
+    blt  r11, r10, trace
+)" + kEmitR4 + "    halt\n";
+
+  std::uint64_t trace = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    std::uint64_t acc = 0;
+    for (unsigned kk = 0; kk < n; ++kk) {
+      acc += static_cast<std::uint64_t>(i + kk) * (kk * i + 1);
+    }
+    trace += acc;
+  }
+  k.expected = {trace};
+  return k;
+}
+
+Kernel make_checksum(unsigned bytes, std::uint64_t seed) {
+  assert(bytes >= 8 && bytes % 8 == 0 && bytes <= 4096);
+  Rng rng(seed);
+  std::vector<std::uint8_t> buf;
+  for (unsigned i = 0; i < bytes; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(rng.below(256)));
+  }
+  std::string words;
+  for (unsigned i = 0; i < bytes; i += 8) {
+    std::uint64_t w = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+      w |= static_cast<std::uint64_t>(buf[i + b]) << (8 * b);
+    }
+    words += (i ? ", " : "") + num(w);
+  }
+
+  Kernel k;
+  k.name = "checksum_" + num(bytes);
+  k.source = R"(
+  buf:
+    .word )" + words + R"(
+    addi r10, r0, )" + num(bytes) + R"(
+    addi r11, r0, 0          # index
+    addi r4, r0, 0           # hash
+    addi r12, r0, 31
+    la   r20, buf
+  loop:
+    add  r21, r20, r11
+    lb   r22, 0(r21)
+    mul  r4, r4, r12
+    xor  r4, r4, r22
+    addi r11, r11, 1
+    blt  r11, r10, loop
+)" + kEmitR4 + "    halt\n";
+
+  std::uint64_t h = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    h = h * 31 ^ buf[i];
+  }
+  k.expected = {h};
+  return k;
+}
+
+Kernel make_stencil(unsigned n, unsigned iters) {
+  assert(n >= 4 && n <= 512 && iters >= 1);
+  Kernel k;
+  k.name = "stencil_" + num(n) + "x" + num(iters);
+  k.source = R"(
+  grid_a:
+    .space )" + num(n * 8) + R"(
+  grid_b:
+    .space )" + num(n * 8) + R"(
+    addi r10, r0, )" + num(n) + R"(
+    addi r15, r0, )" + num(iters) + R"(
+    # init a[i] = i*i
+    addi r11, r0, 0
+  init:
+    la   r20, grid_a
+    slli r21, r11, 3
+    add  r20, r20, r21
+    mul  r22, r11, r11
+    st   r22, 0(r20)
+    addi r11, r11, 1
+    blt  r11, r10, init
+  sweep:
+    addi r11, r0, 1
+    addi r13, r10, -1
+  row:
+    la   r20, grid_a
+    slli r21, r11, 3
+    add  r20, r20, r21
+    ld   r22, -8(r20)
+    ld   r23, 0(r20)
+    ld   r24, 8(r20)
+    add  r22, r22, r23
+    add  r22, r22, r24
+    addi r25, r0, 3
+    div  r22, r22, r25
+    la   r26, grid_b
+    add  r26, r26, r21
+    st   r22, 0(r26)
+    addi r11, r11, 1
+    blt  r11, r13, row
+    # copy interior of b back to a
+    addi r11, r0, 1
+  copy:
+    la   r20, grid_b
+    slli r21, r11, 3
+    add  r20, r20, r21
+    ld   r22, 0(r20)
+    la   r26, grid_a
+    add  r26, r26, r21
+    st   r22, 0(r26)
+    addi r11, r11, 1
+    blt  r11, r13, copy
+    addi r15, r15, -1
+    bne  r15, r0, sweep
+    # emit a[n/2]
+    la   r20, grid_a
+    addi r21, r0, )" + num((n / 2) * 8) + R"(
+    add  r20, r20, r21
+    ld   r4, 0(r20)
+)" + kEmitR4 + "    halt\n";
+
+  std::vector<std::int64_t> a(n), b(n);
+  for (unsigned i = 0; i < n; ++i) a[i] = static_cast<std::int64_t>(i) * i;
+  for (unsigned it = 0; it < iters; ++it) {
+    for (unsigned i = 1; i + 1 < n; ++i) {
+      b[i] = (a[i - 1] + a[i] + a[i + 1]) / 3;
+    }
+    for (unsigned i = 1; i + 1 < n; ++i) a[i] = b[i];
+  }
+  k.expected = {static_cast<std::uint64_t>(a[n / 2])};
+  return k;
+}
+
+Kernel make_sieve(unsigned n) {
+  assert(n >= 4 && n <= 4096);
+  Kernel k;
+  k.name = "sieve_" + num(n);
+  k.source = R"(
+  flags:
+    .space )" + num(n) + R"(
+    addi r10, r0, )" + num(n) + R"(
+    addi r11, r0, 2          # p
+  outer:
+    mul  r12, r11, r11
+    bge  r12, r10, count     # p*p >= n -> done marking
+    la   r20, flags
+    add  r21, r20, r11
+    lb   r22, 0(r21)
+    bne  r22, r0, next_p     # already composite
+    # mark multiples from p*p
+  mark:
+    la   r20, flags
+    add  r21, r20, r12
+    addi r23, r0, 1
+    sb   r23, 0(r21)
+    add  r12, r12, r11
+    blt  r12, r10, mark
+  next_p:
+    addi r11, r11, 1
+    beq  r0, r0, outer
+  count:
+    addi r11, r0, 2
+    addi r4, r0, 0
+  cloop:
+    bge  r11, r10, done
+    la   r20, flags
+    add  r21, r20, r11
+    lb   r22, 0(r21)
+    bne  r22, r0, notprime
+    addi r4, r4, 1
+  notprime:
+    addi r11, r11, 1
+    beq  r0, r0, cloop
+  done:
+)" + kEmitR4 + "    halt\n";
+
+  std::vector<bool> composite(n, false);
+  std::uint64_t count = 0;
+  for (unsigned p = 2; p < n; ++p) {
+    if (!composite[p]) {
+      ++count;
+      for (unsigned m = p * p; m < n; m += p) composite[m] = true;
+    }
+  }
+  k.expected = {count};
+  return k;
+}
+
+Kernel make_dijkstra(unsigned nodes) {
+  assert(nodes >= 2 && nodes <= 64);
+  Kernel k;
+  k.name = "dijkstra_" + num(nodes);
+  const std::string N = num(nodes);
+  // Edge weights are computed on the fly: w(i,j) = ((i*7 + j*13) % 19) + 1.
+  k.source = R"(
+  dist:
+    .space )" + num(nodes * 8) + R"(
+  vis:
+    .space )" + num(nodes * 8) + R"(
+    addi r10, r0, )" + N + R"(
+    # init: dist[0] = 0, dist[i>0] = 9999
+    addi r11, r0, 0
+  init:
+    la   r20, dist
+    slli r21, r11, 3
+    add  r20, r20, r21
+    la   r22, 9999
+    beq  r11, r0, zero
+    st   r22, 0(r20)
+    beq  r0, r0, init_next
+  zero:
+    st   r0, 0(r20)
+  init_next:
+    addi r11, r11, 1
+    blt  r11, r10, init
+    addi r15, r0, 0          # iteration
+  main:
+    # find unvisited u with min dist
+    addi r12, r0, -1         # u
+    la   r13, 10000          # best
+    addi r11, r0, 0
+  find:
+    la   r20, vis
+    slli r21, r11, 3
+    add  r20, r20, r21
+    ld   r22, 0(r20)
+    bne  r22, r0, find_next
+    la   r20, dist
+    add  r20, r20, r21
+    ld   r23, 0(r20)
+    bge  r23, r13, find_next
+    add  r13, r0, r23
+    add  r12, r0, r11
+  find_next:
+    addi r11, r11, 1
+    blt  r11, r10, find
+    # mark u visited
+    la   r20, vis
+    slli r21, r12, 3
+    add  r20, r20, r21
+    addi r22, r0, 1
+    st   r22, 0(r20)
+    # relax all j
+    addi r14, r0, 0
+  relax:
+    la   r20, vis
+    slli r21, r14, 3
+    add  r20, r20, r21
+    ld   r22, 0(r20)
+    bne  r22, r0, relax_next
+    # w = ((u*7 + j*13) % 19) + 1
+    addi r23, r0, 7
+    mul  r24, r12, r23
+    addi r23, r0, 13
+    mul  r25, r14, r23
+    add  r24, r24, r25
+    addi r23, r0, 19
+    rem  r24, r24, r23
+    addi r24, r24, 1
+    add  r24, r13, r24       # dist[u] + w
+    la   r20, dist
+    add  r20, r20, r21
+    ld   r25, 0(r20)
+    bge  r24, r25, relax_next
+    st   r24, 0(r20)
+  relax_next:
+    addi r14, r14, 1
+    blt  r14, r10, relax
+    addi r15, r15, 1
+    blt  r15, r10, main
+    # emit dist[n-1]
+    la   r20, dist
+    addi r21, r10, -1
+    slli r21, r21, 3
+    add  r20, r20, r21
+    ld   r4, 0(r20)
+)" + kEmitR4 + "    halt\n";
+
+  std::vector<std::int64_t> dist(nodes, 9999);
+  std::vector<bool> vis(nodes, false);
+  dist[0] = 0;
+  for (unsigned it = 0; it < nodes; ++it) {
+    std::int64_t best = 10000;
+    int u = -1;
+    for (unsigned i = 0; i < nodes; ++i) {
+      if (!vis[i] && dist[i] < best) {
+        best = dist[i];
+        u = static_cast<int>(i);
+      }
+    }
+    if (u < 0) break;
+    vis[static_cast<unsigned>(u)] = true;
+    for (unsigned j = 0; j < nodes; ++j) {
+      if (vis[j]) continue;
+      const std::int64_t w =
+          static_cast<std::int64_t>((u * 7 + j * 13) % 19) + 1;
+      if (best + w < dist[j]) dist[j] = best + w;
+    }
+  }
+  k.expected = {static_cast<std::uint64_t>(dist[nodes - 1])};
+  return k;
+}
+
+Kernel make_membar_ping(unsigned iterations) {
+  assert(iterations >= 1 && iterations <= 8000);
+  Kernel k;
+  k.name = "membar_ping_" + num(iterations);
+  k.source = R"(
+  mailbox:
+    .word 0
+    addi r10, r0, )" + num(iterations) + R"(
+    addi r4, r0, 0
+    la   r20, mailbox
+  loop:
+    st   r4, 0(r20)
+    membar
+    ld   r22, 0(r20)
+    addi r4, r22, 1
+    addi r10, r10, -1
+    bne  r10, r0, loop
+)" + kEmitR4 + "    halt\n";
+  k.expected = {iterations};
+  return k;
+}
+
+std::vector<Kernel> standard_kernel_suite() {
+  return {
+      make_vector_sum(64),
+      make_fibonacci(60),
+      make_bubble_sort(48, 7),
+      make_matmul(8),
+      make_checksum(512, 3),
+      make_stencil(64, 4),
+      make_sieve(512),
+      make_dijkstra(16),
+      make_membar_ping(128),
+  };
+}
+
+}  // namespace unsync::workload

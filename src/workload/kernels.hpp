@@ -1,0 +1,61 @@
+// A library of real URISC assembly kernels — the execution-driven workload
+// suite. Each kernel is a parameterised program with a C++ reference
+// implementation, so tests can validate the golden model end-to-end and the
+// timing systems can run genuine programs (not just statistical streams).
+//
+// Kernels mirror the flavour of the paper's benchmark suites: compression-
+// style bit twiddling (checksum), sorting (qsort/bubble), graph traversal
+// (dijkstra), dense numeric kernels (matmul, stencil), and a sieve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+
+namespace unsync::workload {
+
+struct Kernel {
+  std::string name;
+  std::string source;                   ///< URISC assembly
+  std::vector<std::uint64_t> expected;  ///< golden output channel contents
+};
+
+/// Sum of i*i for i in [1, n], emitted once.
+Kernel make_vector_sum(unsigned n);
+
+/// Iterative Fibonacci: emits fib(n) (n <= 90 to stay in 64 bits).
+Kernel make_fibonacci(unsigned n);
+
+/// Bubble sort of a pseudo-random array; emits the sorted array.
+Kernel make_bubble_sort(unsigned n, std::uint64_t seed);
+
+/// Dense n x n integer matrix multiply (A[i][j]=i+j, B[i][j]=i*j+1);
+/// emits the trace of C.
+Kernel make_matmul(unsigned n);
+
+/// Byte-wise checksum (multiply-xor hash) over a generated buffer.
+Kernel make_checksum(unsigned bytes, std::uint64_t seed);
+
+/// 1-D 3-point stencil over an array, `iters` sweeps; emits final center.
+Kernel make_stencil(unsigned n, unsigned iters);
+
+/// Sieve of Eratosthenes; emits the count of primes below n.
+Kernel make_sieve(unsigned n);
+
+/// Dijkstra-style relaxation over a small dense graph (adjacency matrix
+/// with deterministic weights); emits the distance to the last node.
+Kernel make_dijkstra(unsigned nodes);
+
+/// Memory-barrier-heavy producer/consumer loop: stresses serializing
+/// instructions the way the paper's trap-heavy benchmarks do.
+Kernel make_membar_ping(unsigned iterations);
+
+/// All kernels at a small default scale (used by sweeping tests/benches).
+std::vector<Kernel> standard_kernel_suite();
+
+/// Assembles a kernel (convenience wrapper).
+isa::Program assemble(const Kernel& kernel);
+
+}  // namespace unsync::workload

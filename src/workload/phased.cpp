@@ -1,0 +1,67 @@
+#include "workload/phased.hpp"
+
+#include <cassert>
+
+namespace unsync::workload {
+
+PhasedStream::PhasedStream(std::vector<BenchmarkProfile> profiles,
+                           std::uint64_t seed, std::uint64_t phase_length,
+                           std::uint64_t length)
+    : profiles_(std::move(profiles)),
+      seed_(seed),
+      phase_length_(phase_length),
+      length_(length) {
+  assert(!profiles_.empty());
+  assert(phase_length_ > 0);
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    // Every sub-generator is sized for the whole stream; only the ops of
+    // its own phases are consumed. Each phase draws from its own data
+    // region (programs touch different structures in different phases);
+    // regions revisit across phase repetitions, so caches warm organically
+    // after the first visit.
+    phases_.push_back(
+        std::make_unique<SyntheticStream>(profiles_[i], seed_, length_));
+  }
+}
+
+std::size_t PhasedStream::current_phase() const {
+  return static_cast<std::size_t>((next_seq_ / phase_length_) %
+                                  phases_.size());
+}
+
+bool PhasedStream::next(DynOp* out) {
+  if (next_seq_ >= length_) return false;
+  SyntheticStream& gen = *phases_[current_phase()];
+  if (!gen.next(out)) return false;
+  // The sub-generator numbers its own ops; renumber into the global order
+  // and rebase the dependency distances it chose.
+  const SeqNum local = out->seq;
+  out->seq = next_seq_;
+  for (SeqNum& src : out->src) {
+    if (src == kNoSeq) continue;
+    const SeqNum dist = local - src;
+    src = dist <= next_seq_ ? next_seq_ - dist : kNoSeq;
+  }
+  ++next_seq_;
+  return true;
+}
+
+void PhasedStream::reset() {
+  next_seq_ = 0;
+  for (auto& p : phases_) p->reset();
+}
+
+std::unique_ptr<InstStream> PhasedStream::clone() const {
+  return std::make_unique<PhasedStream>(profiles_, seed_, phase_length_,
+                                        length_);
+}
+
+std::optional<InstStream::WarmRegion> PhasedStream::warm_region() const {
+  return phases_.front()->warm_region();
+}
+
+std::optional<InstStream::WarmRegion> PhasedStream::code_region() const {
+  return phases_.front()->code_region();
+}
+
+}  // namespace unsync::workload

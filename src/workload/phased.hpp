@@ -1,0 +1,50 @@
+// Phased workloads: programs alternate between behavioural phases (compute
+// kernels, I/O bursts, pointer-chasing sections). A PhasedStream cycles
+// through a list of profiles, emitting `phase_length` instructions from
+// each in turn — the time-varying behaviour the interval-IPC sampler and
+// the Communication Buffer see in real applications.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/profile.hpp"
+#include "workload/synthetic.hpp"
+
+namespace unsync::workload {
+
+class PhasedStream final : public InstStream {
+ public:
+  /// Cycles through `profiles` every `phase_length` instructions, for
+  /// `length` instructions total. Deterministic in (profiles, seed,
+  /// phase_length, length). Each phase owns a data region; regions are
+  /// revisited on every phase repetition, so caches warm after the first
+  /// lap.
+  PhasedStream(std::vector<BenchmarkProfile> profiles, std::uint64_t seed,
+               std::uint64_t phase_length, std::uint64_t length);
+
+  bool next(DynOp* out) override;
+  std::unique_ptr<InstStream> clone() const override;
+  void reset() override;
+  std::uint64_t length() const override { return length_; }
+  std::optional<WarmRegion> warm_region() const override;
+  std::optional<WarmRegion> code_region() const override;
+
+  std::size_t phase_count() const { return phases_.size(); }
+  /// Which phase the next instruction belongs to.
+  std::size_t current_phase() const;
+
+ private:
+  std::vector<BenchmarkProfile> profiles_;
+  std::uint64_t seed_;
+  std::uint64_t phase_length_;
+  std::uint64_t length_;
+
+  /// One long-lived generator per profile; each is consulted only for ops
+  /// in its phases, so the whole stream remains a pure function of the
+  /// constructor arguments.
+  std::vector<std::unique_ptr<SyntheticStream>> phases_;
+  SeqNum next_seq_ = 0;
+};
+
+}  // namespace unsync::workload

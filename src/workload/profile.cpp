@@ -1,0 +1,187 @@
+#include "workload/profile.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace unsync::workload {
+
+double InstMix::sum() const {
+  return int_alu + int_mul + int_div + fp_alu + fp_mul + fp_div + load +
+         store + branch + serializing;
+}
+
+std::optional<std::string> BenchmarkProfile::validate() const {
+  if (std::abs(mix.sum() - 1.0) > 1e-6) {
+    return "instruction mix of '" + name + "' sums to " +
+           std::to_string(mix.sum()) + ", expected 1.0";
+  }
+  auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (!in01(branch_mispredict_rate)) return "branch_mispredict_rate out of [0,1]";
+  if (!in01(l1_miss_rate)) return "l1_miss_rate out of [0,1]";
+  if (!in01(l2_miss_rate)) return "l2_miss_rate out of [0,1]";
+  if (mean_dep_distance < 1.0) return "mean_dep_distance must be >= 1";
+  return std::nullopt;
+}
+
+namespace {
+
+std::vector<BenchmarkProfile> build_profiles() {
+  std::vector<BenchmarkProfile> v;
+
+  // ---- SPEC2000 integer -------------------------------------------------
+  // bzip2: compression; 2% serializing instructions (paper, Fig. 4 text),
+  // store-heavy output phase, good cache locality.
+  v.push_back({.name = "bzip2", .suite = "spec2000int",
+               .mix = {.int_alu = 0.47, .int_mul = 0.01, .int_div = 0.00,
+                       .fp_alu = 0.00, .fp_mul = 0.00, .fp_div = 0.00,
+                       .load = 0.24, .store = 0.12, .branch = 0.14,
+                       .serializing = 0.02},
+               .mean_dep_distance = 6.0, .branch_mispredict_rate = 0.06,
+               .store_burstiness = 0.7,
+               .l1_miss_rate = 0.015, .l2_miss_rate = 0.08});
+  // gzip: compression, store-rich, very regular branches.
+  v.push_back({.name = "gzip", .suite = "spec2000int",
+               .mix = {.int_alu = 0.45, .int_mul = 0.00, .int_div = 0.00,
+                       .fp_alu = 0.00, .fp_mul = 0.00, .fp_div = 0.00,
+                       .load = 0.22, .store = 0.15, .branch = 0.175,
+                       .serializing = 0.005},
+               .mean_dep_distance = 5.0, .branch_mispredict_rate = 0.05,
+               .store_burstiness = 0.7,
+               .l1_miss_rate = 0.02, .l2_miss_rate = 0.05});
+  // mcf: pointer chasing; dominated by L2/DRAM misses, low ILP.
+  v.push_back({.name = "mcf", .suite = "spec2000int",
+               .mix = {.int_alu = 0.40, .int_mul = 0.00, .int_div = 0.00,
+                       .fp_alu = 0.00, .fp_mul = 0.00, .fp_div = 0.00,
+                       .load = 0.33, .store = 0.07, .branch = 0.198,
+                       .serializing = 0.002},
+               .mean_dep_distance = 3.0, .branch_mispredict_rate = 0.09,
+               .l1_miss_rate = 0.12, .l2_miss_rate = 0.45});
+  // gcc: large irregular control flow, mispredict-bound.
+  v.push_back({.name = "gcc", .suite = "spec2000int",
+               .mix = {.int_alu = 0.42, .int_mul = 0.00, .int_div = 0.00,
+                       .fp_alu = 0.00, .fp_mul = 0.00, .fp_div = 0.00,
+                       .load = 0.26, .store = 0.11, .branch = 0.206,
+                       .serializing = 0.004},
+               .mean_dep_distance = 5.0, .branch_mispredict_rate = 0.08,
+               .l1_miss_rate = 0.03, .l2_miss_rate = 0.12});
+  // parser: recursive descent, branchy with modest locality.
+  v.push_back({.name = "parser", .suite = "spec2000int",
+               .mix = {.int_alu = 0.41, .int_mul = 0.00, .int_div = 0.00,
+                       .fp_alu = 0.00, .fp_mul = 0.00, .fp_div = 0.00,
+                       .load = 0.27, .store = 0.09, .branch = 0.227,
+                       .serializing = 0.003},
+               .mean_dep_distance = 4.0, .branch_mispredict_rate = 0.07,
+               .l1_miss_rate = 0.035, .l2_miss_rate = 0.15});
+  // vpr: place & route, fp-tinged integer code.
+  v.push_back({.name = "vpr", .suite = "spec2000int",
+               .mix = {.int_alu = 0.36, .int_mul = 0.01, .int_div = 0.005,
+                       .fp_alu = 0.08, .fp_mul = 0.03, .fp_div = 0.005,
+                       .load = 0.26, .store = 0.08, .branch = 0.168,
+                       .serializing = 0.002},
+               .mean_dep_distance = 6.0, .branch_mispredict_rate = 0.07,
+               .l1_miss_rate = 0.03, .l2_miss_rate = 0.20});
+  // twolf: placement; small kernels, cache resident.
+  v.push_back({.name = "twolf", .suite = "spec2000int",
+               .mix = {.int_alu = 0.38, .int_mul = 0.01, .int_div = 0.00,
+                       .fp_alu = 0.05, .fp_mul = 0.02, .fp_div = 0.00,
+                       .load = 0.29, .store = 0.07, .branch = 0.178,
+                       .serializing = 0.002},
+               .mean_dep_distance = 5.0, .branch_mispredict_rate = 0.08,
+               .l1_miss_rate = 0.045, .l2_miss_rate = 0.10});
+
+  // ---- SPEC2000 floating point -------------------------------------------
+  // ammp: molecular dynamics; 1.7% serializing (paper), long fp chains.
+  v.push_back({.name = "ammp", .suite = "spec2000fp",
+               .mix = {.int_alu = 0.21, .int_mul = 0.00, .int_div = 0.00,
+                       .fp_alu = 0.22, .fp_mul = 0.15, .fp_div = 0.013,
+                       .load = 0.26, .store = 0.08, .branch = 0.05,
+                       .serializing = 0.017},
+               .mean_dep_distance = 10.0, .branch_mispredict_rate = 0.02,
+               .l1_miss_rate = 0.07, .l2_miss_rate = 0.30});
+  // galgel: fluid dynamics; 1% serializing (paper) AND ROB-saturating —
+  // wide independent fp work over long-latency loads (high MLP).
+  v.push_back({.name = "galgel", .suite = "spec2000fp",
+               .mix = {.int_alu = 0.16, .int_mul = 0.00, .int_div = 0.00,
+                       .fp_alu = 0.25, .fp_mul = 0.19, .fp_div = 0.00,
+                       .load = 0.29, .store = 0.05, .branch = 0.05,
+                       .serializing = 0.01},
+               .mean_dep_distance = 24.0, .branch_mispredict_rate = 0.01,
+               .l1_miss_rate = 0.09, .l2_miss_rate = 0.35});
+  // equake: earthquake simulation; streaming fp loads.
+  v.push_back({.name = "equake", .suite = "spec2000fp",
+               .mix = {.int_alu = 0.19, .int_mul = 0.00, .int_div = 0.00,
+                       .fp_alu = 0.21, .fp_mul = 0.17, .fp_div = 0.005,
+                       .load = 0.31, .store = 0.06, .branch = 0.054,
+                       .serializing = 0.001},
+               .mean_dep_distance = 12.0, .branch_mispredict_rate = 0.02,
+               .l1_miss_rate = 0.08, .l2_miss_rate = 0.40});
+  // art: neural network; tiny kernel, dense fp multiply-accumulate.
+  v.push_back({.name = "art", .suite = "spec2000fp",
+               .mix = {.int_alu = 0.17, .int_mul = 0.00, .int_div = 0.00,
+                       .fp_alu = 0.24, .fp_mul = 0.20, .fp_div = 0.00,
+                       .load = 0.30, .store = 0.04, .branch = 0.049,
+                       .serializing = 0.001},
+               .mean_dep_distance = 14.0, .branch_mispredict_rate = 0.01,
+               .l1_miss_rate = 0.10, .l2_miss_rate = 0.25});
+
+  // ---- MiBench -------------------------------------------------------------
+  // qsort: comparison sort; branch- and load-heavy.
+  v.push_back({.name = "qsort", .suite = "mibench",
+               .mix = {.int_alu = 0.37, .int_mul = 0.00, .int_div = 0.00,
+                       .fp_alu = 0.00, .fp_mul = 0.00, .fp_div = 0.00,
+                       .load = 0.30, .store = 0.11, .branch = 0.216,
+                       .serializing = 0.004},
+               .mean_dep_distance = 4.0, .branch_mispredict_rate = 0.10,
+               .l1_miss_rate = 0.04, .l2_miss_rate = 0.10});
+  // dijkstra: graph shortest path; pointer walking, cache resident.
+  v.push_back({.name = "dijkstra", .suite = "mibench",
+               .mix = {.int_alu = 0.40, .int_mul = 0.00, .int_div = 0.00,
+                       .fp_alu = 0.00, .fp_mul = 0.00, .fp_div = 0.00,
+                       .load = 0.31, .store = 0.06, .branch = 0.228,
+                       .serializing = 0.002},
+               .mean_dep_distance = 3.5, .branch_mispredict_rate = 0.06,
+               .l1_miss_rate = 0.025, .l2_miss_rate = 0.08});
+  // susan: image smoothing; the most store-intensive workload here —
+  // exercises the Communication Buffer in Figure 6.
+  v.push_back({.name = "susan", .suite = "mibench",
+               .mix = {.int_alu = 0.40, .int_mul = 0.03, .int_div = 0.00,
+                       .fp_alu = 0.02, .fp_mul = 0.01, .fp_div = 0.00,
+                       .load = 0.26, .store = 0.19, .branch = 0.087,
+                       .serializing = 0.003},
+               .mean_dep_distance = 8.0, .branch_mispredict_rate = 0.03,
+               .store_burstiness = 0.8,
+               .l1_miss_rate = 0.03, .l2_miss_rate = 0.12});
+
+  for (const auto& p : v) {
+    if (const auto err = p.validate()) {
+      throw std::logic_error("built-in profile invalid: " + *err);
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkProfile>& all_profiles() {
+  static const std::vector<BenchmarkProfile> profiles = build_profiles();
+  return profiles;
+}
+
+const BenchmarkProfile& profile(const std::string& name) {
+  for (const auto& p : all_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown benchmark profile: " + name);
+}
+
+std::vector<std::string> profile_names() {
+  std::vector<std::string> names;
+  for (const auto& p : all_profiles()) names.push_back(p.name);
+  return names;
+}
+
+std::vector<std::string> fig5_benchmarks() {
+  return {"bzip2", "gzip", "mcf", "ammp", "galgel", "equake", "qsort", "susan"};
+}
+
+}  // namespace unsync::workload

@@ -1,0 +1,79 @@
+// Statistical benchmark profiles.
+//
+// SPEC2000 and MiBench binaries are licensed and unavailable here, so the
+// reproduction models each benchmark as a statistical profile of its dynamic
+// instruction stream — the properties that drive every result in the paper:
+//   * serializing-instruction fraction  (Figure 4: bzip2 2%, ammp 1.7%,
+//     galgel 1% — quoted directly from the paper),
+//   * store intensity                   (Figure 6: CB pressure),
+//   * dependency distance / MLP         (Figure 5: ROB occupancy),
+//   * cache locality                    (memory-system load).
+// Mixes and rates for the remaining benchmarks follow the published
+// characterisations of SPEC2000 (int vs fp) and MiBench kernels.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace unsync::workload {
+
+/// Fractions of the dynamic instruction mix; must sum to ~1.0 (validated by
+/// BenchmarkProfile::validate).
+struct InstMix {
+  double int_alu = 0;
+  double int_mul = 0;
+  double int_div = 0;
+  double fp_alu = 0;
+  double fp_mul = 0;
+  double fp_div = 0;
+  double load = 0;
+  double store = 0;
+  double branch = 0;
+  double serializing = 0;
+
+  double sum() const;
+};
+
+struct BenchmarkProfile {
+  std::string name;
+  std::string suite;  ///< "spec2000int", "spec2000fp", "mibench"
+  InstMix mix;
+
+  /// Mean register dependency distance (in dynamic instructions). Small
+  /// values serialise the stream (low ILP); large values expose parallelism.
+  double mean_dep_distance = 8.0;
+
+  /// Branch misprediction rate (fraction of branches).
+  double branch_mispredict_rate = 0.05;
+
+  /// Store burstiness: P(next inst is a store | this inst is a store) in the
+  /// Markov store-emission model. Real programs write arrays in runs, which
+  /// is what pressures small store/Communication buffers (Figure 6). Mean
+  /// run length = 1 / (1 - burstiness). Must satisfy burstiness < 1 and
+  /// produce a valid complement rate for the profile's store fraction.
+  double store_burstiness = 0.4;
+
+  /// L1-D miss rate (fraction of loads+stores) and local L2 miss rate
+  /// (fraction of L1 misses that also miss in L2).
+  double l1_miss_rate = 0.03;
+  double l2_miss_rate = 0.10;
+
+  /// Checks internal consistency; returns an error string on failure.
+  std::optional<std::string> validate() const;
+};
+
+/// All built-in profiles (11 SPEC2000 + 3 MiBench).
+const std::vector<BenchmarkProfile>& all_profiles();
+
+/// Profile lookup by name; throws std::out_of_range for unknown names.
+const BenchmarkProfile& profile(const std::string& name);
+
+/// Names only, in canonical bench-harness order.
+std::vector<std::string> profile_names();
+
+/// The subset used in the paper's Figure 5 sweep (ROB-pressure sensitive
+/// plus representative others).
+std::vector<std::string> fig5_benchmarks();
+
+}  // namespace unsync::workload

@@ -1,0 +1,81 @@
+#include "workload/stream_stats.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/table.hpp"
+
+namespace unsync::workload {
+
+StreamStats characterize(InstStream& stream, std::uint64_t max_ops) {
+  StreamStats s;
+  std::unordered_set<Addr> lines;
+  std::unordered_set<Addr> pages;
+  std::uint64_t store_run = 0;
+
+  DynOp op;
+  while (s.total < max_ops && stream.next(&op)) {
+    ++s.total;
+    switch (op.cls) {
+      case isa::InstClass::kLoad: ++s.loads; break;
+      case isa::InstClass::kStore: ++s.stores; break;
+      case isa::InstClass::kBranch: ++s.branches; break;
+      case isa::InstClass::kSerializing: ++s.serializing; break;
+      case isa::InstClass::kFpAlu:
+      case isa::InstClass::kFpMul:
+      case isa::InstClass::kFpDiv: ++s.fp_ops; break;
+      case isa::InstClass::kIntMul:
+      case isa::InstClass::kIntDiv: ++s.int_mul_div; break;
+      default: break;
+    }
+
+    if (op.is_store()) {
+      ++store_run;
+    } else if (store_run > 0) {
+      s.store_run_length.add(static_cast<double>(store_run));
+      store_run = 0;
+    }
+
+    if (op.is_branch()) {
+      s.taken_branches += op.taken;
+      if (op.has_mispredict_hint) s.hinted_mispredicts += op.mispredict_hint;
+    }
+
+    for (const SeqNum src : op.src) {
+      if (src != kNoSeq) {
+        s.dep_distance.add(static_cast<double>(op.seq - src));
+      }
+    }
+    if (op.mem_addr != kNoAddr) {
+      lines.insert(op.mem_addr >> 6);
+      pages.insert(op.mem_addr >> 12);
+    }
+  }
+  if (store_run > 0) s.store_run_length.add(static_cast<double>(store_run));
+  s.distinct_lines_touched = lines.size();
+  s.distinct_pages_touched = pages.size();
+  return s;
+}
+
+std::string StreamStats::summary(const std::string& name) const {
+  TextTable t("Stream characterisation: " + name);
+  t.set_header({"metric", "value"});
+  t.add_row({"instructions", std::to_string(total)});
+  t.add_row({"loads", TextTable::pct(load_fraction(), 1)});
+  t.add_row({"stores", TextTable::pct(store_fraction(), 1)});
+  t.add_row({"branches", TextTable::pct(branch_fraction(), 1)});
+  t.add_row({"serializing", TextTable::pct(serializing_fraction(), 2)});
+  t.add_row({"fp ops", TextTable::pct(
+                           total ? static_cast<double>(fp_ops) / total : 0, 1)});
+  t.add_row({"branch taken rate", TextTable::pct(taken_rate(), 1)});
+  t.add_row({"mean dep distance", TextTable::num(dep_distance.mean(), 2)});
+  t.add_row({"mean store-burst length",
+             TextTable::num(store_run_length.mean(), 2)});
+  t.add_row({"data lines touched (64B)",
+             std::to_string(distinct_lines_touched)});
+  t.add_row({"data pages touched (4KB)",
+             std::to_string(distinct_pages_touched)});
+  return t.str();
+}
+
+}  // namespace unsync::workload

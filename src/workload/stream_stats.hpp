@@ -1,0 +1,62 @@
+// Empirical characterisation of a dynamic instruction stream — the
+// measurement side of the workload model. Used to validate that synthetic
+// streams hit their profile targets, to characterise recorded program
+// traces the same way the paper characterises benchmarks (serializing
+// fraction, store intensity, dependency distances), and by the CLI driver's
+// `characterize` mode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hpp"
+#include "workload/dyn_op.hpp"
+
+namespace unsync::workload {
+
+struct StreamStats {
+  std::uint64_t total = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t serializing = 0;
+  std::uint64_t fp_ops = 0;
+  std::uint64_t int_mul_div = 0;
+
+  std::uint64_t taken_branches = 0;
+  std::uint64_t hinted_mispredicts = 0;
+
+  RunningStat dep_distance;      ///< over present register sources
+  RunningStat store_run_length;  ///< consecutive-store burst lengths
+
+  std::uint64_t distinct_lines_touched = 0;  ///< 64 B data lines
+  std::uint64_t distinct_pages_touched = 0;  ///< 4 KiB data pages
+
+  double load_fraction() const { return frac(loads); }
+  double store_fraction() const { return frac(stores); }
+  double branch_fraction() const { return frac(branches); }
+  double serializing_fraction() const { return frac(serializing); }
+  double taken_rate() const {
+    return branches ? static_cast<double>(taken_branches) /
+                          static_cast<double>(branches)
+                    : 0.0;
+  }
+  double hinted_mispredict_rate() const {
+    return branches ? static_cast<double>(hinted_mispredicts) /
+                          static_cast<double>(branches)
+                    : 0.0;
+  }
+
+  /// Formatted multi-line characterisation (benchmark-table style).
+  std::string summary(const std::string& name) const;
+
+ private:
+  double frac(std::uint64_t n) const {
+    return total ? static_cast<double>(n) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// Consumes (a clone-reset copy of) the stream to the end, or `max_ops`.
+StreamStats characterize(InstStream& stream, std::uint64_t max_ops = ~0ull);
+
+}  // namespace unsync::workload

@@ -1,0 +1,76 @@
+#include "cpu/bpred.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace unsync::cpu {
+namespace {
+
+TEST(Gshare, LearnsAlwaysTaken) {
+  GsharePredictor p;
+  for (int i = 0; i < 100; ++i) p.mispredicted(0x1000, true);
+  // After warmup the always-taken branch predicts correctly.
+  int wrong = 0;
+  for (int i = 0; i < 100; ++i) wrong += p.mispredicted(0x1000, true);
+  EXPECT_EQ(wrong, 0);
+}
+
+TEST(Gshare, LearnsAlwaysNotTaken) {
+  GsharePredictor p;
+  for (int i = 0; i < 100; ++i) p.mispredicted(0x2000, false);
+  int wrong = 0;
+  for (int i = 0; i < 100; ++i) wrong += p.mispredicted(0x2000, false);
+  EXPECT_EQ(wrong, 0);
+}
+
+TEST(Gshare, LearnsAlternatingPatternViaHistory) {
+  GsharePredictor p;
+  // T,N,T,N... is perfectly predictable with global history.
+  for (int i = 0; i < 400; ++i) p.mispredicted(0x3000, i % 2 == 0);
+  int wrong = 0;
+  for (int i = 0; i < 200; ++i) wrong += p.mispredicted(0x3000, i % 2 == 0);
+  EXPECT_LT(wrong, 5);
+}
+
+TEST(Gshare, RandomBranchesNearHalfWrong) {
+  GsharePredictor p;
+  Rng rng(1);
+  int wrong = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) wrong += p.mispredicted(0x4000, rng.chance(0.5));
+  EXPECT_NEAR(wrong / static_cast<double>(n), 0.5, 0.05);
+}
+
+TEST(Gshare, StatsAccumulate) {
+  GsharePredictor p;
+  for (int i = 0; i < 10; ++i) p.mispredicted(0x5000, true);
+  EXPECT_EQ(p.lookups(), 10u);
+  EXPECT_LE(p.wrong(), 10u);
+  EXPECT_GE(p.mispredict_rate(), 0.0);
+  EXPECT_LE(p.mispredict_rate(), 1.0);
+}
+
+TEST(Gshare, DistinctPcsTrackedSeparately) {
+  GsharePredictor p(12);
+  for (int i = 0; i < 200; ++i) {
+    p.mispredicted(0x1000, true);
+    p.mispredicted(0x2004, false);
+  }
+  int wrong = 0;
+  for (int i = 0; i < 100; ++i) {
+    wrong += p.mispredicted(0x1000, true);
+    wrong += p.mispredicted(0x2004, false);
+  }
+  EXPECT_LT(wrong, 10);
+}
+
+TEST(Gshare, PredictIsSideEffectFree) {
+  GsharePredictor p;
+  const bool before = p.predict(0x6000);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(p.predict(0x6000), before);
+  EXPECT_EQ(p.lookups(), 0u);
+}
+
+}  // namespace
+}  // namespace unsync::cpu

@@ -1,0 +1,59 @@
+#include "mem/bus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unsync::mem {
+namespace {
+
+TEST(Bus, ImmediateGrantWhenFree) {
+  Bus b;
+  EXPECT_TRUE(b.free_at(0));
+  EXPECT_EQ(b.acquire(10, 4), 10u);
+  EXPECT_EQ(b.next_free(), 14u);
+}
+
+TEST(Bus, SerialisesOverlappingRequests) {
+  Bus b;
+  EXPECT_EQ(b.acquire(0, 4), 0u);
+  EXPECT_EQ(b.acquire(1, 4), 4u);  // queued behind the first
+  EXPECT_EQ(b.acquire(2, 4), 8u);
+  EXPECT_EQ(b.next_free(), 12u);
+}
+
+TEST(Bus, IdleGapNotCharged) {
+  Bus b;
+  b.acquire(0, 4);
+  EXPECT_EQ(b.acquire(100, 4), 100u);  // bus idles between
+  EXPECT_EQ(b.busy_cycles(), 8u);
+}
+
+TEST(Bus, FreeAtBoundaries) {
+  Bus b;
+  b.acquire(0, 4);
+  EXPECT_FALSE(b.free_at(3));
+  EXPECT_TRUE(b.free_at(4));
+}
+
+TEST(Bus, TransactionCounting) {
+  Bus b;
+  for (int i = 0; i < 5; ++i) b.acquire(0, 1);
+  EXPECT_EQ(b.transactions(), 5u);
+}
+
+TEST(Bus, ResetClearsState) {
+  Bus b;
+  b.acquire(0, 100);
+  b.reset();
+  EXPECT_TRUE(b.free_at(0));
+  EXPECT_EQ(b.busy_cycles(), 0u);
+  EXPECT_EQ(b.transactions(), 0u);
+}
+
+TEST(Bus, ZeroHoldIsLegal) {
+  Bus b;
+  EXPECT_EQ(b.acquire(5, 0), 5u);
+  EXPECT_TRUE(b.free_at(5));
+}
+
+}  // namespace
+}  // namespace unsync::mem

@@ -1,0 +1,73 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unsync {
+namespace {
+
+TEST(Config, ParsesKeyValueArgs) {
+  const char* argv[] = {"prog", "fi=30", "latency=40", "bench=galgel"};
+  const Config cfg = Config::from_args(4, argv);
+  EXPECT_EQ(cfg.get_int("fi", 0), 30);
+  EXPECT_EQ(cfg.get_int("latency", 0), 40);
+  EXPECT_EQ(cfg.get_string("bench", ""), "galgel");
+}
+
+TEST(Config, PositionalArgsCollected) {
+  const char* argv[] = {"prog", "run", "x=1", "fast"};
+  std::vector<std::string> pos;
+  const Config cfg = Config::from_args(4, argv, &pos);
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[0], "run");
+  EXPECT_EQ(pos[1], "fast");
+  EXPECT_TRUE(cfg.has("x"));
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  const Config cfg;
+  EXPECT_EQ(cfg.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.get_double("d", 2.5), 2.5);
+  EXPECT_TRUE(cfg.get_bool("b", true));
+  EXPECT_EQ(cfg.get_string("s", "dflt"), "dflt");
+}
+
+TEST(Config, BoolSpellings) {
+  Config cfg;
+  cfg.set("a", "true");
+  cfg.set("b", "0");
+  cfg.set("c", "YES");
+  cfg.set("d", "off");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+}
+
+TEST(Config, BadIntThrows) {
+  Config cfg;
+  cfg.set("n", "abc");
+  EXPECT_THROW(cfg.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Config, BadBoolThrows) {
+  Config cfg;
+  cfg.set("b", "maybe");
+  EXPECT_THROW(cfg.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Config, SetOverwrites) {
+  Config cfg;
+  cfg.set("k", "1");
+  cfg.set("k", "2");
+  EXPECT_EQ(cfg.get_int("k", 0), 2);
+  EXPECT_EQ(cfg.keys().size(), 1u);
+}
+
+TEST(Config, DoubleParsing) {
+  Config cfg;
+  cfg.set("ser", "2.89e-17");
+  EXPECT_DOUBLE_EQ(cfg.get_double("ser", 0.0), 2.89e-17);
+}
+
+}  // namespace
+}  // namespace unsync

@@ -1,0 +1,144 @@
+// Functional-unit and structural-resource contention tests for the core
+// timing model: the mechanisms Figure 5's ROB-pressure argument rests on.
+#include <gtest/gtest.h>
+
+#include "cpu/ooo_core.hpp"
+#include "workload/trace.hpp"
+
+namespace unsync::cpu {
+namespace {
+
+using workload::DynOp;
+using workload::TraceStream;
+
+DynOp op_of(SeqNum seq, isa::InstClass cls) {
+  DynOp op;
+  op.seq = seq;
+  op.cls = cls;
+  op.pc = 0x1000;
+  op.writes_reg = cls != isa::InstClass::kStore &&
+                  cls != isa::InstClass::kBranch &&
+                  cls != isa::InstClass::kSerializing;
+  if (cls == isa::InstClass::kLoad || cls == isa::InstClass::kStore) {
+    op.mem_addr = 0x100000 + (seq % 64) * 8;
+  }
+  return op;
+}
+
+struct Rig {
+  explicit Rig(std::vector<DynOp> ops, CoreConfig cfg = no_frontend())
+      : memory(mem::MemConfig{}, 1),
+        core(0, cfg, &memory, std::make_unique<TraceStream>(std::move(ops))) {
+  }
+  static CoreConfig no_frontend() {
+    CoreConfig cfg;
+    cfg.model_frontend = false;
+    return cfg;
+  }
+  Cycle run() {
+    Cycle now = 0;
+    while (!core.done() && now < 1000000) core.tick(now), ++now;
+    return now;
+  }
+  mem::MemoryHierarchy memory;
+  OooCore core;
+};
+
+std::vector<DynOp> homogeneous(isa::InstClass cls, SeqNum n) {
+  std::vector<DynOp> ops;
+  for (SeqNum i = 0; i < n; ++i) ops.push_back(op_of(i, cls));
+  return ops;
+}
+
+TEST(FuContention, SingleUnpipelinedDividerSerialises) {
+  // 200 independent divides on 1 unpipelined 20-cycle divider: >= 20
+  // cycles apiece.
+  Rig rig(homogeneous(isa::InstClass::kIntDiv, 200));
+  const Cycle cycles = rig.run();
+  EXPECT_GE(cycles, 200u * 20u);
+}
+
+TEST(FuContention, PipelinedMultiplierSustainsOnePerCycle) {
+  // 400 independent multiplies on 1 pipelined (latency 4) multiplier:
+  // ~1/cycle steady state, far better than the divider.
+  Rig rig(homogeneous(isa::InstClass::kIntMul, 400));
+  const Cycle cycles = rig.run();
+  EXPECT_LT(cycles, 600u);
+  EXPECT_GT(cycles, 400u - 10);
+}
+
+TEST(FuContention, AluPoolAllowsFourPerCycle) {
+  Rig rig(homogeneous(isa::InstClass::kIntAlu, 4000));
+  const Cycle cycles = rig.run();
+  EXPECT_LT(cycles, 4000 / 4 + 100);
+}
+
+TEST(FuContention, MemPortCountGatesLoadThroughput) {
+  // Independent loads to one (eventually hot) line: after the cold fill,
+  // throughput is ports/cycle — so halving the ports costs ~n/2 cycles.
+  auto make = [] {
+    std::vector<DynOp> ops;
+    for (SeqNum i = 0; i < 1000; ++i) {
+      DynOp op = op_of(i, isa::InstClass::kLoad);
+      op.mem_addr = 0x100000;  // one line
+      ops.push_back(op);
+    }
+    return ops;
+  };
+  CoreConfig one_port = Rig::no_frontend();
+  one_port.mem_port.count = 1;
+  Rig two(make());
+  Rig one(make(), one_port);
+  const Cycle t2 = two.run();
+  const Cycle t1 = one.run();
+  EXPECT_GE(t2, 500u);          // can never beat 2 loads/cycle
+  EXPECT_GT(t1, t2 + 300);      // one port costs ~n/2 extra cycles
+}
+
+TEST(FuContention, FpDividerIsTheSlowestPath) {
+  Rig fp_div(homogeneous(isa::InstClass::kFpDiv, 100));
+  Rig fp_mul(homogeneous(isa::InstClass::kFpMul, 100));
+  EXPECT_GT(fp_div.run(), fp_mul.run() * 3);
+}
+
+TEST(StructuralLimits, FetchQueueBoundsFrontEnd) {
+  CoreConfig tiny = Rig::no_frontend();
+  tiny.fetch_queue_entries = 2;
+  Rig small(homogeneous(isa::InstClass::kIntAlu, 2000), tiny);
+  Rig big(homogeneous(isa::InstClass::kIntAlu, 2000));
+  EXPECT_GT(small.run(), big.run());
+}
+
+TEST(StructuralLimits, ExtraLoadLatencyCharged) {
+  // The lockstep checker knob: +10 cycles per load on a serial chain of
+  // dependent loads is directly visible.
+  auto chain = [] {
+    std::vector<DynOp> ops;
+    for (SeqNum i = 0; i < 300; ++i) {
+      DynOp op = op_of(i, isa::InstClass::kLoad);
+      op.mem_addr = 0x100000;
+      if (i > 0) op.src[0] = i - 1;
+      ops.push_back(op);
+    }
+    return ops;
+  };
+  CoreConfig taxed = Rig::no_frontend();
+  taxed.extra_load_latency = 10;
+  Rig plain(chain());
+  Rig slow(chain(), taxed);
+  const Cycle a = plain.run();
+  const Cycle b = slow.run();
+  EXPECT_GT(b, a + 300 * 9);  // ~10 extra cycles per chained load
+}
+
+TEST(StructuralLimits, SmallStoreQueueThrottlesStoreBursts) {
+  CoreConfig tiny = Rig::no_frontend();
+  tiny.sq_entries = 1;
+  Rig small(homogeneous(isa::InstClass::kStore, 600), tiny);
+  Rig big(homogeneous(isa::InstClass::kStore, 600));
+  EXPECT_GT(small.run(), big.run());
+  EXPECT_GT(small.core.stats().dispatch_stall_lsq, 0u);
+}
+
+}  // namespace
+}  // namespace unsync::cpu

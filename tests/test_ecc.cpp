@@ -1,0 +1,195 @@
+#include "fault/ecc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace unsync::fault {
+namespace {
+
+// ---- Parity -------------------------------------------------------------------
+
+TEST(Parity, KnownValues) {
+  EXPECT_FALSE(parity_bit(0));
+  EXPECT_TRUE(parity_bit(1));
+  EXPECT_FALSE(parity_bit(0b11));
+  EXPECT_TRUE(parity_bit(0b111));
+  EXPECT_FALSE(parity_bit(~std::uint64_t{0}));  // 64 ones: even
+}
+
+TEST(Parity, DetectsEveryOddFlip) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t word = rng.next();
+    const bool p = parity_bit(word);
+    const std::uint64_t flipped = word ^ (std::uint64_t{1} << rng.below(64));
+    EXPECT_FALSE(parity_check(flipped, p));
+  }
+}
+
+TEST(Parity, BlindToEveryDoubleFlip) {
+  // The limitation the paper's future work targets: 1-bit parity cannot see
+  // even-weight errors.
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t word = rng.next();
+    const bool p = parity_bit(word);
+    const auto b1 = rng.below(64);
+    auto b2 = rng.below(64);
+    while (b2 == b1) b2 = rng.below(64);
+    const std::uint64_t flipped =
+        word ^ (std::uint64_t{1} << b1) ^ (std::uint64_t{1} << b2);
+    EXPECT_TRUE(parity_check(flipped, p));
+  }
+}
+
+TEST(Parity, CleanWordPasses) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t word = rng.next();
+    EXPECT_TRUE(parity_check(word, parity_bit(word)));
+  }
+}
+
+// ---- DMR ----------------------------------------------------------------------
+
+TEST(Dmr, DetectsAnyDivergence) {
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t word = rng.next();
+    EXPECT_FALSE(dmr_mismatch(word, word));
+    const std::uint64_t bad = word ^ (std::uint64_t{1} << rng.below(64));
+    EXPECT_TRUE(dmr_mismatch(word, bad));
+  }
+}
+
+// ---- TMR ----------------------------------------------------------------------
+
+TEST(Tmr, CleanVote) {
+  const auto r = tmr_vote(42, 42, 42);
+  EXPECT_EQ(r.voted, 42u);
+  EXPECT_FALSE(r.corrected);
+  EXPECT_FALSE(r.uncorrectable);
+}
+
+TEST(Tmr, OutvotesSingleCorruptCopy) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t word = rng.next();
+    const std::uint64_t bad = word ^ rng.next();  // arbitrarily corrupted
+    for (int which = 0; which < 3; ++which) {
+      const auto r = tmr_vote(which == 0 ? bad : word,
+                              which == 1 ? bad : word,
+                              which == 2 ? bad : word);
+      EXPECT_EQ(r.voted, word);
+      if (bad != word) {
+        EXPECT_TRUE(r.corrected);
+      }
+    }
+  }
+}
+
+TEST(Tmr, FlagsTripleDisagreement) {
+  const auto r = tmr_vote(1, 2, 4);
+  EXPECT_TRUE(r.uncorrectable);
+}
+
+TEST(Tmr, BitwiseMajorityOnDistinctCopies) {
+  // 0b011, 0b101, 0b110 -> every bit has two votes set -> 0b111.
+  const auto r = tmr_vote(0b011, 0b101, 0b110);
+  EXPECT_EQ(r.voted, 0b111u);
+}
+
+// ---- SECDED -------------------------------------------------------------------
+
+TEST(Secded, CleanRoundTrip) {
+  Rng rng(6);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t data = rng.next();
+    const auto dec = secded_decode(secded_encode(data));
+    EXPECT_EQ(dec.status, SecdedStatus::kClean);
+    EXPECT_EQ(dec.data, data);
+  }
+}
+
+TEST(Secded, CleanEdgeWords) {
+  for (const std::uint64_t data :
+       {std::uint64_t{0}, ~std::uint64_t{0}, std::uint64_t{1},
+        std::uint64_t{1} << 63, std::uint64_t{0xAAAA'AAAA'AAAA'AAAA}}) {
+    const auto dec = secded_decode(secded_encode(data));
+    EXPECT_EQ(dec.status, SecdedStatus::kClean);
+    EXPECT_EQ(dec.data, data);
+  }
+}
+
+// Exhaustive single-bit property: every one of the 72 codeword bits, when
+// flipped, is corrected and the data restored.
+class SecdedSingleBit : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SecdedSingleBit, CorrectsEveryPosition) {
+  const unsigned bit = GetParam();
+  Rng rng(100 + bit);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t data = rng.next();
+    const SecdedWord flipped = secded_flip(secded_encode(data), bit);
+    const auto dec = secded_decode(flipped);
+    EXPECT_NE(dec.status, SecdedStatus::kClean);
+    EXPECT_NE(dec.status, SecdedStatus::kDoubleError);
+    EXPECT_EQ(dec.data, data) << "bit " << bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodewordBits, SecdedSingleBit,
+                         ::testing::Range(0u, 72u));
+
+TEST(Secded, DetectsAllDoubleFlipsSampled) {
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t data = rng.next();
+    const unsigned b1 = static_cast<unsigned>(rng.below(72));
+    unsigned b2 = static_cast<unsigned>(rng.below(72));
+    while (b2 == b1) b2 = static_cast<unsigned>(rng.below(72));
+    const SecdedWord w = secded_flip(secded_flip(secded_encode(data), b1), b2);
+    const auto dec = secded_decode(w);
+    EXPECT_EQ(dec.status, SecdedStatus::kDoubleError)
+        << "bits " << b1 << "," << b2;
+  }
+}
+
+TEST(Secded, ExhaustiveDoubleFlipsOnOneWord) {
+  const std::uint64_t data = 0xDEAD'BEEF'CAFE'F00D;
+  const SecdedWord enc = secded_encode(data);
+  for (unsigned b1 = 0; b1 < 72; ++b1) {
+    for (unsigned b2 = b1 + 1; b2 < 72; ++b2) {
+      const auto dec = secded_decode(secded_flip(secded_flip(enc, b1), b2));
+      ASSERT_EQ(dec.status, SecdedStatus::kDoubleError)
+          << "bits " << b1 << "," << b2;
+    }
+  }
+}
+
+TEST(Secded, CheckBitErrorsClassified) {
+  const std::uint64_t data = 0x0123'4567'89AB'CDEF;
+  for (unsigned bit = 64; bit < 72; ++bit) {
+    const auto dec = secded_decode(secded_flip(secded_encode(data), bit));
+    EXPECT_EQ(dec.status, SecdedStatus::kCorrectedCheck) << "bit " << bit;
+    EXPECT_EQ(dec.data, data);
+  }
+}
+
+TEST(Secded, DataBitErrorsClassified) {
+  const std::uint64_t data = 0x0123'4567'89AB'CDEF;
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    const auto dec = secded_decode(secded_flip(secded_encode(data), bit));
+    EXPECT_EQ(dec.status, SecdedStatus::kCorrectedData) << "bit " << bit;
+    EXPECT_EQ(dec.data, data);
+  }
+}
+
+TEST(Secded, CheckBitsDifferAcrossData) {
+  // The code must actually depend on the data (not a constant).
+  EXPECT_NE(secded_encode(0x1).check, secded_encode(0x2).check);
+}
+
+}  // namespace
+}  // namespace unsync::fault

@@ -1,0 +1,139 @@
+#include "core/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "workload/profile.hpp"
+#include "workload/synthetic.hpp"
+
+namespace unsync::core {
+namespace {
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+  Crc16 crc;
+  for (char c : std::string("123456789")) {
+    crc.add_byte(static_cast<std::uint8_t>(c));
+  }
+  EXPECT_EQ(crc.value(), 0x29B1);
+}
+
+TEST(Crc16, ResetRestoresInit) {
+  Crc16 crc;
+  crc.add_byte(0xAB);
+  crc.reset();
+  EXPECT_EQ(crc.value(), 0xFFFF);
+}
+
+TEST(Crc16, WordOrderMatters) {
+  Crc16 a, b;
+  a.add_word(1);
+  a.add_word(2);
+  b.add_word(2);
+  b.add_word(1);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Fingerprint, IdenticalStreamsMatch) {
+  using workload::SyntheticStream;
+  SyntheticStream s1(workload::profile("gzip"), 5, 500);
+  auto s2 = s1.clone();
+  std::vector<workload::DynOp> a, b;
+  workload::DynOp op;
+  while (s1.next(&op)) a.push_back(op);
+  while (s2->next(&op)) b.push_back(op);
+  EXPECT_EQ(fingerprint_of(a.data(), a.size()),
+            fingerprint_of(b.data(), b.size()));
+}
+
+TEST(Fingerprint, SingleBitDivergenceDetected) {
+  using workload::SyntheticStream;
+  SyntheticStream s(workload::profile("gzip"), 6, 100);
+  std::vector<workload::DynOp> a;
+  workload::DynOp op;
+  while (s.next(&op)) a.push_back(op);
+  auto b = a;
+  b[50].pc ^= 1;  // a corrupted PC on one core
+  EXPECT_NE(fingerprint_of(a.data(), a.size()),
+            fingerprint_of(b.data(), b.size()));
+}
+
+TEST(Fingerprint, AddressCorruptionDetected) {
+  workload::DynOp op;
+  op.seq = 1;
+  op.pc = 0x1000;
+  op.cls = isa::InstClass::kStore;
+  op.mem_addr = 0x4000;
+  workload::DynOp bad = op;
+  bad.mem_addr = 0x4008;
+  EXPECT_NE(fingerprint_of(&op, 1), fingerprint_of(&bad, 1));
+}
+
+TEST(Fingerprint, AliasingIsRare) {
+  // Random single-word perturbations should alias at ~2^-16; with 2000
+  // trials, expect at most a couple of collisions.
+  Rng rng(7);
+  workload::DynOp base;
+  base.seq = 9;
+  base.pc = 0x1000;
+  int collisions = 0;
+  const auto ref = fingerprint_of(&base, 1);
+  for (int i = 0; i < 2000; ++i) {
+    workload::DynOp mut = base;
+    mut.pc ^= rng.next() | 1;  // ensure at least one bit differs
+    collisions += fingerprint_of(&mut, 1) == ref;
+  }
+  EXPECT_LE(collisions, 3);
+}
+
+TEST(Fingerprint, EmptySequence) {
+  EXPECT_EQ(fingerprint_of(nullptr, 0), 0xFFFF);
+}
+
+
+TEST(ParallelCrc16, MatchesSerialOnKnownVector) {
+  // "123456789" = halfwords 0x3132 0x3334 0x3536 0x3738 + trailing byte.
+  ParallelCrc16 par;
+  par.add_halfword(0x3132);
+  par.add_halfword(0x3334);
+  par.add_halfword(0x3536);
+  par.add_halfword(0x3738);
+  // Odd trailing byte '9': fold via the serial reference to finish.
+  Crc16 ref;
+  for (char c : std::string("123456789")) {
+    ref.add_byte(static_cast<std::uint8_t>(c));
+  }
+  // The parallel value after 8 bytes must equal the serial value after the
+  // same 8 bytes.
+  Crc16 ref8;
+  for (char c : std::string("12345678")) {
+    ref8.add_byte(static_cast<std::uint8_t>(c));
+  }
+  EXPECT_EQ(par.value(), ref8.value());
+  EXPECT_EQ(ref.value(), 0x29B1);
+}
+
+TEST(ParallelCrc16, WordEquivalenceWithSerial) {
+  Rng rng(42);
+  for (int trial = 0; trial < 500; ++trial) {
+    Crc16 serial;
+    ParallelCrc16 parallel;
+    const int words = 1 + static_cast<int>(rng.below(8));
+    for (int w = 0; w < words; ++w) {
+      const std::uint64_t v = rng.next();
+      serial.add_word(v);
+      parallel.add_word(v);
+    }
+    ASSERT_EQ(parallel.value(), serial.value()) << "trial " << trial;
+  }
+}
+
+TEST(ParallelCrc16, ResetRestoresInit) {
+  ParallelCrc16 p;
+  p.add_halfword(0xBEEF);
+  p.reset();
+  EXPECT_EQ(p.value(), 0xFFFF);
+}
+
+}  // namespace
+}  // namespace unsync::core

@@ -1,0 +1,374 @@
+#include "isa/functional_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+
+namespace unsync::isa {
+namespace {
+
+Program asm_of(const std::string& src) { return Assembler::assemble(src); }
+
+TEST(SparseMemory, ZeroInitialised) {
+  SparseMemory m;
+  EXPECT_EQ(m.read8(0x1234), 0);
+  EXPECT_EQ(m.read64(0xdeadbeef), 0u);
+  EXPECT_EQ(m.pages_touched(), 0u);
+}
+
+TEST(SparseMemory, ByteRoundTrip) {
+  SparseMemory m;
+  m.write8(10, 0xab);
+  EXPECT_EQ(m.read8(10), 0xab);
+  EXPECT_EQ(m.read8(11), 0);
+}
+
+TEST(SparseMemory, Word64RoundTripLittleEndian) {
+  SparseMemory m;
+  m.write64(0x100, 0x1122334455667788ull);
+  EXPECT_EQ(m.read64(0x100), 0x1122334455667788ull);
+  EXPECT_EQ(m.read8(0x100), 0x88);  // little endian low byte first
+  EXPECT_EQ(m.read8(0x107), 0x11);
+}
+
+TEST(SparseMemory, UnalignedAccess) {
+  SparseMemory m;
+  m.write64(0xfff, 0xcafebabe12345678ull);  // straddles a page boundary
+  EXPECT_EQ(m.read64(0xfff), 0xcafebabe12345678ull);
+}
+
+TEST(SparseMemory, EqualityIgnoresUntouchedZeroPages) {
+  SparseMemory a, b;
+  a.write8(5, 0);  // touches a page with a zero write
+  EXPECT_TRUE(a == b);
+  a.write8(5, 1);
+  EXPECT_FALSE(a == b);
+  b.write8(5, 1);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(SparseMemory, DeepCopy) {
+  SparseMemory a;
+  a.write64(0x40, 77);
+  SparseMemory b = a;
+  b.write64(0x40, 88);
+  EXPECT_EQ(a.read64(0x40), 77u);
+  EXPECT_EQ(b.read64(0x40), 88u);
+}
+
+TEST(FunctionalSim, ArithmeticBasics) {
+  FunctionalSim sim(asm_of(R"(
+    addi r1, r0, 5
+    addi r2, r0, 7
+    add  r3, r1, r2
+    sub  r4, r1, r2
+    mul  r5, r1, r2
+    halt
+  )"));
+  sim.run(100);
+  EXPECT_TRUE(sim.halted());
+  EXPECT_EQ(sim.state().regs[3], 12u);
+  EXPECT_EQ(static_cast<std::int64_t>(sim.state().regs[4]), -2);
+  EXPECT_EQ(sim.state().regs[5], 35u);
+}
+
+TEST(FunctionalSim, R0AlwaysZero) {
+  FunctionalSim sim(asm_of("addi r0, r0, 99\nadd r1, r0, r0\nhalt"));
+  sim.run(10);
+  EXPECT_EQ(sim.state().regs[0], 0u);
+  EXPECT_EQ(sim.state().regs[1], 0u);
+}
+
+TEST(FunctionalSim, DivisionSemantics) {
+  FunctionalSim sim(asm_of(R"(
+    addi r1, r0, -20
+    addi r2, r0, 6
+    div  r3, r1, r2
+    rem  r4, r1, r2
+    div  r5, r1, r0
+    halt
+  )"));
+  sim.run(100);
+  EXPECT_EQ(static_cast<std::int64_t>(sim.state().regs[3]), -3);
+  EXPECT_EQ(static_cast<std::int64_t>(sim.state().regs[4]), -2);
+  EXPECT_EQ(sim.state().regs[5], ~std::uint64_t{0});  // div-by-zero
+}
+
+TEST(FunctionalSim, ShiftOps) {
+  FunctionalSim sim(asm_of(R"(
+    addi r1, r0, -8
+    slli r2, r1, 2
+    srli r3, r1, 60
+    addi r4, r0, 4
+    sra  r5, r1, r4
+    halt
+  )"));
+  sim.run(100);
+  EXPECT_EQ(static_cast<std::int64_t>(sim.state().regs[2]), -32);
+  EXPECT_EQ(sim.state().regs[3], 15u);  // logical shift of 0xFFF8...
+  EXPECT_EQ(static_cast<std::int64_t>(sim.state().regs[5]), -1);
+}
+
+TEST(FunctionalSim, LoadStoreRoundTrip) {
+  FunctionalSim sim(asm_of(R"(
+    la   r1, 0x200000
+    addi r2, r0, 1234
+    st   r2, 8(r1)
+    ld   r3, 8(r1)
+    sb   r2, 100(r1)
+    lb   r4, 100(r1)
+    halt
+  )"));
+  sim.run(100);
+  EXPECT_EQ(sim.state().regs[3], 1234u);
+  EXPECT_EQ(sim.state().regs[4], 1234u & 0xff);
+}
+
+TEST(FunctionalSim, DataImageLoadedAndAddressable) {
+  FunctionalSim sim(asm_of(R"(
+  vals:
+    .word 11, 22
+    la r1, vals
+    ld r2, 0(r1)
+    ld r3, 8(r1)
+    halt
+  )"));
+  sim.run(100);
+  EXPECT_EQ(sim.state().regs[2], 11u);
+  EXPECT_EQ(sim.state().regs[3], 22u);
+}
+
+TEST(FunctionalSim, LoopSumsFirstTenIntegers) {
+  FunctionalSim sim(asm_of(R"(
+    addi r1, r0, 10     # i = 10
+    addi r2, r0, 0      # sum = 0
+  loop:
+    add  r2, r2, r1
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+  )"));
+  sim.run(1000);
+  EXPECT_TRUE(sim.halted());
+  EXPECT_EQ(sim.state().regs[2], 55u);
+}
+
+TEST(FunctionalSim, BranchComparisons) {
+  FunctionalSim sim(asm_of(R"(
+    addi r1, r0, -1
+    addi r2, r0, 1
+    blt  r1, r2, a
+    addi r10, r0, 99   # must be skipped
+  a:
+    bge  r2, r1, b
+    addi r11, r0, 99   # must be skipped
+  b:
+    beq  r1, r1, c
+    addi r12, r0, 99   # must be skipped
+  c:
+    halt
+  )"));
+  sim.run(100);
+  EXPECT_EQ(sim.state().regs[10], 0u);
+  EXPECT_EQ(sim.state().regs[11], 0u);
+  EXPECT_EQ(sim.state().regs[12], 0u);
+}
+
+TEST(FunctionalSim, JalAndJalrCallReturn) {
+  FunctionalSim sim(asm_of(R"(
+    jal  r31, func
+    addi r2, r0, 1     # executed after return
+    halt
+  func:
+    addi r1, r0, 42
+    jalr r30, r31      # return
+  )"));
+  sim.run(100);
+  EXPECT_TRUE(sim.halted());
+  EXPECT_EQ(sim.state().regs[1], 42u);
+  EXPECT_EQ(sim.state().regs[2], 1u);
+}
+
+TEST(FunctionalSim, FloatingPoint) {
+  FunctionalSim sim(asm_of(R"(
+    addi r1, r0, 3
+    addi r2, r0, 4
+    fmovi f1, r1
+    fmovi f2, r2
+    fmul f3, f1, f2       # 12.0
+    fadd f4, f3, f1       # 15.0
+    fdiv f5, f4, f1       # 5.0
+    fcmplt r3, f1, f2     # 3 < 4 -> 1
+    fcmplt r4, f2, f1     # -> 0
+    halt
+  )"));
+  sim.run(100);
+  EXPECT_EQ(std::bit_cast<double>(sim.state().fregs[3]), 12.0);
+  EXPECT_EQ(std::bit_cast<double>(sim.state().fregs[4]), 15.0);
+  EXPECT_EQ(std::bit_cast<double>(sim.state().fregs[5]), 5.0);
+  EXPECT_EQ(sim.state().regs[3], 1u);
+  EXPECT_EQ(sim.state().regs[4], 0u);
+}
+
+TEST(FunctionalSim, FpLoadStore) {
+  FunctionalSim sim(asm_of(R"(
+    addi r1, r0, 9
+    fmovi f1, r1
+    la   r2, 0x300000
+    fst  f1, 0(r2)
+    fld  f2, 0(r2)
+    fcmplt r3, f2, f1   # equal -> 0
+    fcmplt r4, f1, f2   # equal -> 0
+    halt
+  )"));
+  sim.run(100);
+  EXPECT_EQ(sim.state().fregs[2], sim.state().fregs[1]);
+  EXPECT_EQ(sim.state().regs[3], 0u);
+}
+
+TEST(FunctionalSim, SyscallOutputChannel) {
+  FunctionalSim sim(asm_of(R"(
+    addi r1, r0, 1      # service: emit
+    addi r2, r0, 111
+    syscall
+    addi r2, r0, 222
+    syscall
+    halt
+  )"));
+  sim.run(100);
+  ASSERT_EQ(sim.output().size(), 2u);
+  EXPECT_EQ(sim.output()[0], 111u);
+  EXPECT_EQ(sim.output()[1], 222u);
+}
+
+TEST(FunctionalSim, UnknownSyscallIsNoop) {
+  FunctionalSim sim(asm_of(R"(
+    addi r1, r0, 77
+    syscall
+    halt
+  )"));
+  sim.run(100);
+  EXPECT_TRUE(sim.halted());
+  EXPECT_TRUE(sim.output().empty());
+}
+
+TEST(FunctionalSim, MembarHasNoArchEffect) {
+  FunctionalSim sim(asm_of("addi r1, r0, 1\nmembar\naddi r2, r0, 2\nhalt"));
+  sim.run(100);
+  EXPECT_EQ(sim.state().regs[1], 1u);
+  EXPECT_EQ(sim.state().regs[2], 2u);
+}
+
+TEST(FunctionalSim, StepAfterHaltIsIdempotent) {
+  FunctionalSim sim(asm_of("halt"));
+  sim.run(10);
+  const auto before = sim.state();
+  const auto r = sim.step();
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(sim.state(), before);
+  EXPECT_EQ(sim.retired(), 0u);
+}
+
+TEST(FunctionalSim, RetiredCountsExcludeHalt) {
+  FunctionalSim sim(asm_of("addi r1, r0, 1\naddi r2, r0, 2\nhalt"));
+  sim.run(100);
+  EXPECT_EQ(sim.retired(), 2u);
+}
+
+TEST(FunctionalSim, RunStopsAtMaxSteps) {
+  FunctionalSim sim(asm_of(R"(
+  spin:
+    beq r0, r0, spin
+    halt
+  )"));
+  const auto n = sim.run(500);
+  EXPECT_EQ(n, 500u);
+  EXPECT_FALSE(sim.halted());
+}
+
+TEST(FunctionalSim, PcOutsideImageFailsSafe) {
+  FunctionalSim sim(asm_of("halt"));
+  sim.mutable_state().pc = 0xdead0000;
+  const auto r = sim.step();
+  EXPECT_EQ(r.inst.op, Opcode::kHalt);
+  EXPECT_TRUE(sim.halted());
+}
+
+TEST(FunctionalSim, StepResultReportsBranchOutcome) {
+  FunctionalSim sim(asm_of(R"(
+    addi r1, r0, 1
+    bne  r1, r0, target
+    halt
+  target:
+    halt
+  )"));
+  sim.step();
+  const auto r = sim.step();
+  EXPECT_TRUE(r.taken);
+  EXPECT_EQ(r.next_pc, r.pc + 8);
+}
+
+TEST(FunctionalSim, StepResultReportsEffectiveAddress) {
+  FunctionalSim sim(asm_of(R"(
+    la r1, 0x200000
+    st r0, 24(r1)
+    halt
+  )"));
+  sim.step();
+  sim.step();
+  const auto r = sim.step();
+  EXPECT_EQ(r.mem_addr, 0x200000u + 24);
+}
+
+// A 16-element bubble sort, checked against the expected sorted output via
+// the syscall channel — end-to-end golden-model validation.
+TEST(FunctionalSim, BubbleSortProgram) {
+  FunctionalSim sim(asm_of(R"(
+  arr:
+    .word 9, 3, 7, 1, 8, 2, 6, 5, 0, 4, 15, 11, 13, 10, 14, 12
+    addi r10, r0, 16        # n
+  outer:
+    addi r11, r0, 0         # i = 0
+    addi r12, r0, 0         # swapped = 0
+  inner:
+    addi r13, r10, -1
+    bge  r11, r13, done_in  # i >= n-1
+    la   r1, arr
+    slli r2, r11, 3
+    add  r1, r1, r2
+    ld   r3, 0(r1)
+    ld   r4, 8(r1)
+    bge  r4, r3, noswap
+    st   r4, 0(r1)
+    st   r3, 8(r1)
+    addi r12, r0, 1
+  noswap:
+    addi r11, r11, 1
+    beq  r0, r0, inner
+  done_in:
+    bne  r12, r0, outer
+    # emit sorted array
+    addi r11, r0, 0
+    addi r1, r0, 1          # syscall service: emit
+  emit:
+    bge  r11, r10, end
+    la   r2, arr
+    slli r3, r11, 3
+    add  r2, r2, r3
+    ld   r2, 0(r2)
+    syscall
+    addi r11, r11, 1
+    beq  r0, r0, emit
+  end:
+    halt
+  )"));
+  sim.run(100000);
+  ASSERT_TRUE(sim.halted());
+  ASSERT_EQ(sim.output().size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(sim.output()[i], i) << "position " << i;
+  }
+}
+
+}  // namespace
+}  // namespace unsync::isa

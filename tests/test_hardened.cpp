@@ -1,0 +1,172 @@
+// Tests for the §VIII future-work extensions: the hardened protection plan
+// (TMR pipeline / SECDED register file / multi-bit cache protection), its
+// hardware pricing, and multi-bit fault injection.
+#include <gtest/gtest.h>
+
+#include "fault/injector.hpp"
+#include "fault/protection.hpp"
+#include "hwmodel/core_model.hpp"
+#include "isa/assembler.hpp"
+
+namespace unsync {
+namespace {
+
+using namespace unsync::fault;
+
+isa::Program workload_program() {
+  return isa::Assembler::assemble(R"(
+  buf:
+    .space 512
+    addi r10, r0, 40
+    addi r2, r0, 1
+    la   r20, buf
+  loop:
+    add  r2, r2, r10
+    mul  r3, r2, r2
+    st   r3, 0(r20)
+    ld   r4, 0(r20)
+    xor  r2, r2, r4
+    addi r20, r20, 8
+    addi r10, r10, -1
+    bne  r10, r0, loop
+    addi r1, r0, 1
+    syscall
+    halt
+  )");
+}
+
+TEST(HardenedPlan, MechanismsUpgraded) {
+  const auto plan = unsync_hardened_plan();
+  EXPECT_EQ(plan.of(Structure::kProgramCounter), Mechanism::kTmr);
+  EXPECT_EQ(plan.of(Structure::kPipelineRegisters), Mechanism::kTmr);
+  EXPECT_EQ(plan.of(Structure::kRegisterFile), Mechanism::kSecded);
+  EXPECT_EQ(plan.of(Structure::kL1Data), Mechanism::kSecded);
+  // Untouched structures keep their base-plan parity.
+  EXPECT_EQ(plan.of(Structure::kReorderBuffer), Mechanism::kParity1);
+}
+
+TEST(HardenedPlan, FullRoecRetained) {
+  EXPECT_DOUBLE_EQ(unsync_hardened_plan().roec(), 1.0);
+}
+
+TEST(MultiBitCoverage, ParityBlindToDoubleFlips) {
+  const auto base = unsync_plan();
+  EXPECT_DOUBLE_EQ(base.detection_coverage(Structure::kL1Data, 1), 1.0);
+  EXPECT_DOUBLE_EQ(base.detection_coverage(Structure::kL1Data, 2), 0.0);
+  EXPECT_DOUBLE_EQ(base.detection_coverage(Structure::kL1Data, 3), 1.0);
+}
+
+TEST(MultiBitCoverage, SecdedSeesDoubleFlips) {
+  const auto hard = unsync_hardened_plan();
+  EXPECT_DOUBLE_EQ(hard.detection_coverage(Structure::kL1Data, 2), 1.0);
+  EXPECT_DOUBLE_EQ(hard.detection_coverage(Structure::kRegisterFile, 2), 1.0);
+}
+
+TEST(MultiBitCoverage, CorrectionSemantics) {
+  const auto hard = unsync_hardened_plan();
+  EXPECT_TRUE(hard.corrects_in_place(Structure::kRegisterFile, 1));   // SECDED
+  EXPECT_FALSE(hard.corrects_in_place(Structure::kRegisterFile, 2));  // detect only
+  EXPECT_TRUE(hard.corrects_in_place(Structure::kProgramCounter, 1)); // TMR
+  EXPECT_TRUE(hard.corrects_in_place(Structure::kProgramCounter, 2));
+  const auto base = unsync_plan();
+  EXPECT_FALSE(base.corrects_in_place(Structure::kRegisterFile, 1));  // parity
+  EXPECT_FALSE(base.corrects_in_place(Structure::kProgramCounter, 1));  // DMR
+}
+
+TEST(MultiBitInjection, DoubleFlipsDefeatBaseUnsyncCache) {
+  // This is the motivation for §VIII: double-bit upsets slip past 1-bit
+  // parity and become silent corruption even under the base UnSync plan.
+  InjectionConfig cfg;
+  cfg.trials = 300;
+  cfg.seed = 5;
+  cfg.flips_per_fault = 2;
+  cfg.sites = {FaultSite::kMemoryData};
+  const auto base = run_campaign(workload_program(), unsync_plan(), cfg);
+  EXPECT_GT(base.sdc, 0u);
+  EXPECT_EQ(base.recovered, 0u);  // parity never even fires
+}
+
+TEST(MultiBitInjection, HardenedPlanDetectsDoubleFlips) {
+  InjectionConfig cfg;
+  cfg.trials = 300;
+  cfg.seed = 5;
+  cfg.flips_per_fault = 2;
+  cfg.sites = {FaultSite::kMemoryData};
+  const auto hard =
+      run_campaign(workload_program(), unsync_hardened_plan(), cfg);
+  EXPECT_EQ(hard.sdc, 0u);
+  EXPECT_GT(hard.recovered, 0u);  // SECDED detects; clean L2 copy restores
+  EXPECT_EQ(hard.recovery_failures, 0u);
+}
+
+TEST(MultiBitInjection, SingleFlipsCorrectedInPlaceUnderHardenedPlan) {
+  InjectionConfig cfg;
+  cfg.trials = 200;
+  cfg.seed = 9;
+  cfg.flips_per_fault = 1;
+  cfg.sites = {FaultSite::kRegisterFile, FaultSite::kProgramCounter};
+  const auto hard =
+      run_campaign(workload_program(), unsync_hardened_plan(), cfg);
+  EXPECT_EQ(hard.corrected_in_place, 200u);  // SECDED RF + TMR PC fix all
+  EXPECT_EQ(hard.sdc, 0u);
+  EXPECT_EQ(hard.recovery_failures, 0u);
+}
+
+TEST(MultiBitInjection, TmrSurvivesDoubleFlipsInPc) {
+  InjectionConfig cfg;
+  cfg.trials = 150;
+  cfg.seed = 13;
+  cfg.flips_per_fault = 2;
+  cfg.sites = {FaultSite::kProgramCounter};
+  const auto hard =
+      run_campaign(workload_program(), unsync_hardened_plan(), cfg);
+  EXPECT_EQ(hard.corrected_in_place, 150u);
+  EXPECT_EQ(hard.recovery_failures, 0u);
+}
+
+// ---- Hardware pricing ----------------------------------------------------------
+
+TEST(HardenedHw, CostsMoreThanBaseUnsync) {
+  const auto base = hwmodel::unsync_core(10);
+  const auto hard = hwmodel::unsync_hardened_core(10);
+  EXPECT_GT(hard.core_area_um2, base.core_area_um2);
+  EXPECT_GT(hard.core_power_w, base.core_power_w);
+  EXPECT_GT(hard.l1_area_um2, base.l1_area_um2);  // SECDED L1
+}
+
+TEST(HardenedHw, AreaStillBelowReunionPowerIsNot) {
+  // The hardened variant still undercuts Reunion's CHECK-stage *area*, but
+  // TMR switching makes it the most power-hungry option — the §VIII
+  // trade-off the design_explorer example visualises.
+  const auto hard = hwmodel::unsync_hardened_core(10);
+  const auto reunion = hwmodel::reunion_core(10);
+  EXPECT_LT(hard.total_area_um2(), reunion.total_area_um2());
+  EXPECT_GT(hard.total_power_w(), reunion.total_power_w() * 0.9);
+}
+
+TEST(HardenedHw, PlanPricingMatchesDirectComposition) {
+  // core_for_plan() with the standard plan must equal unsync_core().
+  const auto via_plan = hwmodel::core_for_plan(
+      unsync_plan(), hwmodel::CacheProtection::kParityPerLine, 10);
+  const auto direct = hwmodel::unsync_core(10);
+  EXPECT_NEAR(via_plan.core_area_um2, direct.core_area_um2, 1.0);
+  EXPECT_NEAR(via_plan.l1_area_um2, direct.l1_area_um2, 1.0);
+  EXPECT_NEAR(via_plan.core_power_w, direct.core_power_w, 1e-6);
+}
+
+TEST(HardenedHw, TmrCostsMoreThanDmr) {
+  const auto dmr = hwmodel::dmr_detection();
+  const auto tmr = hwmodel::tmr_detection();
+  EXPECT_NEAR(tmr.area_um2, dmr.area_um2 * 2.2, 1e-6);
+  EXPECT_NEAR(tmr.power_w, dmr.power_w * 2.2, 1e-9);
+}
+
+TEST(HardenedHw, SecdedStructureScalesWithBits) {
+  const auto small = hwmodel::secded_structure(1024);
+  const auto big = hwmodel::secded_structure(8192);
+  EXPECT_LT(small.area_um2, big.area_um2);
+  EXPECT_LT(small.power_w, big.power_w);
+}
+
+}  // namespace
+}  // namespace unsync

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "hwmodel/cache_model.hpp"
+#include "hwmodel/cell_library.hpp"
+#include "hwmodel/components.hpp"
+#include "hwmodel/core_model.hpp"
+#include "hwmodel/die_projection.hpp"
+#include "hwmodel/energy.hpp"
+
+namespace unsync::hwmodel {
+namespace {
+
+// ---- Table II: per-core hardware overheads ---------------------------------
+
+TEST(Table2, BaselineMipsAnchors) {
+  const CoreHw m = mips_baseline();
+  EXPECT_NEAR(m.core_area_um2, 98558.0, 1.0);
+  EXPECT_NEAR(m.l1_area_um2, 193400.0, 50.0);
+  EXPECT_NEAR(m.total_area_um2(), 291958.0, 50.0);
+  EXPECT_NEAR(m.core_power_w, 1.153, 1e-6);
+  EXPECT_NEAR(m.l1_power_w, 0.03835, 1e-4);
+  EXPECT_NEAR(m.total_power_w(), 1.19, 0.01);
+}
+
+TEST(Table2, ReunionAreaOverheads) {
+  const CoreHw r = reunion_core(10);
+  EXPECT_NEAR(r.core_area_um2, 144005.0, 150.0);
+  EXPECT_NEAR(r.l1_area_um2, 208600.0, 100.0);
+  EXPECT_NEAR(r.total_area_um2(), 352605.0, 250.0);
+  EXPECT_NEAR(r.area_overhead_vs(mips_baseline()), 0.2077, 0.002);
+}
+
+TEST(Table2, ReunionPowerOverheads) {
+  const CoreHw r = reunion_core(10);
+  EXPECT_NEAR(r.core_power_w, 2.038, 0.005);
+  EXPECT_NEAR(r.l1_power_w, 0.04215, 2e-4);
+  EXPECT_NEAR(r.total_power_w(), 2.08, 0.01);
+  EXPECT_NEAR(r.power_overhead_vs(mips_baseline()), 0.7479, 0.01);
+}
+
+TEST(Table2, UnsyncAreaOverheads) {
+  const CoreHw u = unsync_core(10);
+  EXPECT_NEAR(u.core_area_um2, 115945.0, 100.0);
+  EXPECT_NEAR(u.l1_area_um2, 193900.0, 50.0);
+  EXPECT_NEAR(u.cb_area_um2, 3870.0, 1.0);
+  EXPECT_NEAR(u.total_area_um2(), 313715.0, 200.0);
+  EXPECT_NEAR(u.area_overhead_vs(mips_baseline()), 0.0745, 0.001);
+}
+
+TEST(Table2, UnsyncPowerOverheads) {
+  const CoreHw u = unsync_core(10);
+  EXPECT_NEAR(u.core_power_w, 1.635, 0.005);
+  EXPECT_NEAR(u.l1_power_w, 0.03845, 1e-4);
+  EXPECT_NEAR(u.cb_power_w, 0.00077258, 1e-7);
+  EXPECT_NEAR(u.total_power_w(), 1.67, 0.01);
+  EXPECT_NEAR(u.power_overhead_vs(mips_baseline()), 0.4034, 0.005);
+}
+
+TEST(Table2, HeadlineClaims) {
+  // "13.32% reduced area and 34.5% less power compared to Reunion."
+  const CoreHw r = reunion_core(10);
+  const CoreHw u = unsync_core(10);
+  EXPECT_NEAR(1.0 - u.total_area_um2() / r.total_area_um2(), 0.1103, 0.002);
+  // The paper's 13.32% figure is the overhead-percentage difference
+  // (20.77% - 7.45%):
+  const CoreHw base = mips_baseline();
+  EXPECT_NEAR(r.area_overhead_vs(base) - u.area_overhead_vs(base), 0.1332,
+              0.002);
+  // 34.5% power: overhead-percentage difference 74.79% - 40.34%.
+  EXPECT_NEAR(r.power_overhead_vs(base) - u.power_overhead_vs(base), 0.345,
+              0.01);
+}
+
+// ---- §IV component analysis --------------------------------------------------
+
+TEST(Components, CsbEntriesMatchPaper) {
+  EXPECT_EQ(csb_entries_for_fi(10), 17);  // "a total of 17 buffer entries"
+  EXPECT_EQ(csb_bits_for_fi(10), 1122u);  // "17 x 66 = 1122 bits"
+}
+
+TEST(Components, CsbAreaAtFi50MatchesPaper) {
+  // "for a FI of 50, the CSB alone occupies 39125 um^2" -> 91% of the
+  // 42818 um^2 MIPS core-sans-cache.
+  const BlockHw csb = check_stage_buffer(50);
+  EXPECT_NEAR(csb.area_um2, 39125.0, 150.0);
+  EXPECT_NEAR(csb.area_um2 / kPaperMipsCellAreaNoCache, 0.91, 0.01);
+}
+
+TEST(Components, CsbCellLargerThanRfCell) {
+  // 10.40 vs 7.80 um^2: the CSB bit cell is 1.33x an RF cell, and the
+  // 17x66-bit CSB is ~1.46x a 32x32 register file.
+  EXPECT_NEAR(kPaperCsbCellArea / kPaperRfCellArea, 1.333, 0.01);
+  const double csb_area = check_stage_buffer(10).area_um2;
+  EXPECT_NEAR(csb_area / register_file_area_32x32(), 1.46, 0.01);
+}
+
+TEST(Components, FingerprintGeneratorGateBudget) {
+  const BlockHw fp = fingerprint_generator();
+  EXPECT_NEAR(fp.area_um2, 238 * kGateArea, 1.0);
+}
+
+TEST(Components, CheckStageGrowsWithFi) {
+  const double a10 = check_stage(10).area_um2;
+  const double a30 = check_stage(30).area_um2;
+  const double a50 = check_stage(50).area_um2;
+  EXPECT_LT(a10, a30);
+  EXPECT_LT(a30, a50);
+}
+
+TEST(Components, CheckStagePowerDominatedByBufferAndDatapath) {
+  const BlockHw check = check_stage(10);
+  const BlockHw crc = fingerprint_generator();
+  EXPECT_GT(check.power_w - crc.power_w, crc.power_w);
+}
+
+TEST(Components, UnsyncDetectionSplitsDmrAndParity) {
+  const BlockHw total = unsync_detection();
+  const BlockHw dmr = dmr_detection();
+  const BlockHw parity = parity_detection();
+  EXPECT_NEAR(total.area_um2, dmr.area_um2 + parity.area_um2, 1e-9);
+  // DMR (every-cycle elements) dominates; parity is the cheap part.
+  EXPECT_GT(dmr.area_um2, parity.area_um2);
+  EXPECT_GT(dmr.power_w, parity.power_w);
+}
+
+TEST(Components, CommunicationBufferScalesLinearly) {
+  EXPECT_NEAR(communication_buffer(20).area_um2,
+              2 * communication_buffer(10).area_um2, 1e-9);
+}
+
+TEST(Components, EihIsTiny) {
+  const BlockHw eih = error_interrupt_handler();
+  EXPECT_LT(eih.area_um2, 1000.0);
+  EXPECT_LT(eih.power_w, 1e-3);
+}
+
+// ---- Cache model --------------------------------------------------------------
+
+TEST(CacheModel, ParityCheckBitsPerLine) {
+  EXPECT_EQ(protection_check_bits(CacheGeometry{},
+                                  CacheProtection::kParityPerLine),
+            512u);  // one per 64 B line of a 32 KiB cache
+}
+
+TEST(CacheModel, SecdedCheckBits) {
+  EXPECT_EQ(protection_check_bits(CacheGeometry{}, CacheProtection::kSecded),
+            32768u);  // 8 per 64 data bits
+}
+
+TEST(CacheModel, ProtectionOrdering) {
+  const auto none = cache_hw(CacheGeometry{}, CacheProtection::kNone);
+  const auto parity =
+      cache_hw(CacheGeometry{}, CacheProtection::kParityPerLine);
+  const auto secded = cache_hw(CacheGeometry{}, CacheProtection::kSecded);
+  EXPECT_LT(none.area_um2, parity.area_um2);
+  EXPECT_LT(parity.area_um2, secded.area_um2);
+  EXPECT_LT(none.power_w, parity.power_w);
+  EXPECT_LT(parity.power_w, secded.power_w);
+}
+
+TEST(CacheModel, ParityOverheadIsNegligible) {
+  const auto none = cache_hw(CacheGeometry{}, CacheProtection::kNone);
+  const auto parity =
+      cache_hw(CacheGeometry{}, CacheProtection::kParityPerLine);
+  EXPECT_LT(parity.area_um2 / none.area_um2 - 1.0, 0.01);  // < 1% (§III-B.1)
+}
+
+TEST(CacheModel, SecdedOverheadNearPaper) {
+  const auto none = cache_hw(CacheGeometry{}, CacheProtection::kNone);
+  const auto secded = cache_hw(CacheGeometry{}, CacheProtection::kSecded);
+  EXPECT_NEAR(secded.area_um2 / none.area_um2 - 1.0, 0.0786, 0.005);
+  EXPECT_NEAR(secded.power_w / none.power_w - 1.0, 0.099, 0.01);
+}
+
+TEST(CacheModel, AreaGrowsWithSize) {
+  CacheGeometry small{.size_bytes = 16 * 1024};
+  CacheGeometry big{.size_bytes = 64 * 1024};
+  EXPECT_LT(cache_hw(small, CacheProtection::kNone).area_um2,
+            cache_hw(big, CacheProtection::kNone).area_um2);
+}
+
+// ---- Table III: die-size projections ----------------------------------------
+
+TEST(Table3, ChipsCatalogue) {
+  const auto& chips = table3_chips();
+  ASSERT_EQ(chips.size(), 3u);
+  EXPECT_EQ(chips[0].cores, 80);
+  EXPECT_EQ(chips[1].cores, 64);
+  EXPECT_EQ(chips[2].cores, 128);
+}
+
+TEST(Table3, PolarisProjection) {
+  const auto rows = project_table3();
+  const auto& polaris = rows[0];
+  EXPECT_NEAR(polaris.reunion_die_mm2, 316.54, 0.5);
+  EXPECT_NEAR(polaris.unsync_die_mm2, 289.9, 0.5);
+  EXPECT_NEAR(polaris.difference_mm2, 26.64, 0.5);
+}
+
+TEST(Table3, TileraProjection) {
+  const auto rows = project_table3();
+  EXPECT_NEAR(rows[1].reunion_die_mm2, 377.85, 0.6);
+  EXPECT_NEAR(rows[1].unsync_die_mm2, 347.16, 0.6);
+  EXPECT_NEAR(rows[1].difference_mm2, 30.69, 0.5);
+}
+
+TEST(Table3, GeForceProjection) {
+  const auto rows = project_table3();
+  EXPECT_NEAR(rows[2].reunion_die_mm2, 549.76, 1.0);
+  EXPECT_NEAR(rows[2].unsync_die_mm2, 498.61, 1.0);
+  EXPECT_NEAR(rows[2].difference_mm2, 51.15, 0.8);
+}
+
+TEST(Table3, DifferenceGrowsWithCoreCount) {
+  // Paper observation 1: more cores -> the UnSync advantage grows
+  // super-linearly in absolute die area.
+  const auto rows = project_table3();
+  EXPECT_GT(rows[2].difference_mm2, rows[0].difference_mm2 * 1.8);
+}
+
+TEST(Table3, ProjectionIsLinearInCao) {
+  const ManyCoreChip chip{"X", 65, 100, 2.0, 300.0};
+  const auto p = project(chip, 0.20, 0.10);
+  EXPECT_NEAR(p.reunion_die_mm2, 300.0 + 200.0 * 0.20, 1e-9);
+  EXPECT_NEAR(p.unsync_die_mm2, 300.0 + 200.0 * 0.10, 1e-9);
+  EXPECT_NEAR(p.difference_mm2, 20.0, 1e-9);
+}
+
+
+// ---- Energy metrics -----------------------------------------------------------
+
+TEST(Energy, DimensionsAndScaling) {
+  const auto hw = unsync_core(10);
+  const auto e = energy_for_run(hw, 2, 300'000'000, 100'000'000, 300e6);
+  EXPECT_NEAR(e.runtime_s, 1.0, 1e-12);  // 300M cycles at 300MHz
+  EXPECT_NEAR(e.energy_j, 2 * hw.total_power_w(), 1e-9);
+  EXPECT_NEAR(e.edp, e.energy_j * e.runtime_s, 1e-12);
+  // Twice the cycles -> twice the energy, 4x the EDP.
+  const auto e2 = energy_for_run(hw, 2, 600'000'000, 100'000'000, 300e6);
+  EXPECT_NEAR(e2.energy_j, 2 * e.energy_j, 1e-9);
+  EXPECT_NEAR(e2.edp, 4 * e.edp, 1e-9);
+}
+
+TEST(Energy, PerInstructionMetric) {
+  const auto hw = mips_baseline();
+  const auto e = energy_for_run(hw, 1, 3'000'000, 1'000'000, 300e6);
+  // 10ms at ~1.19W = ~11.9mJ over 1M insts = ~11.9 nJ/inst.
+  EXPECT_NEAR(e.energy_per_inst_nj, hw.total_power_w() * 0.01 * 1e9 / 1e6,
+              0.01);
+}
+
+TEST(Energy, ZeroInstructionsSafe) {
+  const auto e = energy_for_run(mips_baseline(), 1, 1000, 0);
+  EXPECT_DOUBLE_EQ(e.energy_per_inst_nj, 0.0);
+}
+
+}  // namespace
+}  // namespace unsync::hwmodel

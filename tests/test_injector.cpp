@@ -1,0 +1,152 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+
+namespace unsync::fault {
+namespace {
+
+// A program with enough register, fp and memory activity to give every
+// fault site a target, and an architecturally visible result (output).
+isa::Program workload_program() {
+  return isa::Assembler::assemble(R"(
+  buf:
+    .space 256
+    addi r10, r0, 30        # iterations
+    addi r2, r0, 1
+    la   r20, buf
+  loop:
+    add  r2, r2, r10        # running value
+    mul  r3, r2, r2
+    st   r3, 0(r20)
+    ld   r4, 0(r20)
+    fmovi f1, r4
+    fadd f2, f2, f1
+    fst  f2, 8(r20)
+    addi r20, r20, 8
+    addi r10, r10, -1
+    bne  r10, r0, loop
+    addi r1, r0, 1          # emit result
+    syscall
+    halt
+  )");
+}
+
+TEST(Injector, GoldenRunHasNoSdcWithoutFaults) {
+  InjectionConfig cfg;
+  cfg.trials = 0;
+  const auto result = run_campaign(workload_program(), unsync_plan(), cfg);
+  EXPECT_EQ(result.total(), 0u);
+}
+
+TEST(Injector, UnsyncPlanAlwaysRecoversOrMasks) {
+  InjectionConfig cfg;
+  cfg.trials = 150;
+  cfg.seed = 7;
+  const auto result = run_campaign(workload_program(), unsync_plan(), cfg);
+  EXPECT_EQ(result.total(), 150u);
+  // Full coverage + write-through: no silent corruption, nothing
+  // unrecoverable, and every attempted recovery restored golden state.
+  EXPECT_EQ(result.sdc, 0u);
+  EXPECT_EQ(result.unrecoverable, 0u);
+  EXPECT_EQ(result.recovery_failures, 0u);
+  EXPECT_GT(result.recovered, 0u);
+}
+
+TEST(Injector, BaselinePlanProducesSdc) {
+  InjectionConfig cfg;
+  cfg.trials = 200;
+  cfg.seed = 11;
+  const auto result = run_campaign(workload_program(), baseline_plan(), cfg);
+  // Nothing is detected, so outcomes are only masked or SDC — and with
+  // register-file strikes on live values, SDC must appear.
+  EXPECT_EQ(result.recovered, 0u);
+  EXPECT_EQ(result.unrecoverable, 0u);
+  EXPECT_GT(result.sdc, 0u);
+  EXPECT_GT(result.masked, 0u);
+}
+
+TEST(Injector, WritebackDirtyLinesAreUnrecoverable) {
+  // The Figure-2 argument: same plan, same faults, but a write-back L1
+  // turns detected memory-data faults into unrecoverable ones.
+  InjectionConfig cfg;
+  cfg.trials = 300;
+  cfg.seed = 13;
+  cfg.sites = {FaultSite::kMemoryData};
+  cfg.l1_write_through = false;
+  const auto wb = run_campaign(workload_program(), unsync_plan(), cfg);
+  EXPECT_GT(wb.unrecoverable, 0u);
+  EXPECT_EQ(wb.recovered, 0u);
+
+  cfg.l1_write_through = true;
+  const auto wt = run_campaign(workload_program(), unsync_plan(), cfg);
+  EXPECT_EQ(wt.unrecoverable, 0u);
+  EXPECT_GT(wt.recovered, 0u);
+  EXPECT_EQ(wt.recovery_failures, 0u);
+}
+
+TEST(Injector, ReunionPlanMissesArchStateFaults) {
+  // Register-file strikes are outside Reunion's ROEC: they are never
+  // detected, so some become silent corruption.
+  InjectionConfig cfg;
+  cfg.trials = 200;
+  cfg.seed = 17;
+  cfg.sites = {FaultSite::kRegisterFile};
+  const auto reunion = run_campaign(workload_program(), reunion_plan(), cfg);
+  EXPECT_EQ(reunion.recovered, 0u);
+  EXPECT_GT(reunion.sdc, 0u);
+
+  const auto unsync = run_campaign(workload_program(), unsync_plan(), cfg);
+  EXPECT_EQ(unsync.sdc, 0u);
+}
+
+TEST(Injector, PcFaultsCaughtByDmr) {
+  InjectionConfig cfg;
+  cfg.trials = 100;
+  cfg.seed = 19;
+  cfg.sites = {FaultSite::kProgramCounter};
+  const auto result = run_campaign(workload_program(), unsync_plan(), cfg);
+  EXPECT_EQ(result.sdc, 0u);
+  EXPECT_EQ(result.recovery_failures, 0u);
+  EXPECT_EQ(result.recovered, 100u);  // DMR coverage is 1.0
+}
+
+TEST(Injector, TrialRecordsComplete) {
+  InjectionConfig cfg;
+  cfg.trials = 50;
+  cfg.seed = 23;
+  const auto result = run_campaign(workload_program(), unsync_plan(), cfg);
+  EXPECT_EQ(result.trials.size(), 50u);
+  for (const auto& t : result.trials) {
+    EXPECT_LT(t.injected_at, 1000u);  // within the (short) golden run
+  }
+}
+
+TEST(Injector, DeterministicForSameSeed) {
+  InjectionConfig cfg;
+  cfg.trials = 60;
+  cfg.seed = 29;
+  const auto a = run_campaign(workload_program(), unsync_plan(), cfg);
+  const auto b = run_campaign(workload_program(), unsync_plan(), cfg);
+  EXPECT_EQ(a.masked, b.masked);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.sdc, b.sdc);
+}
+
+TEST(Injector, SdcRateHelper) {
+  CampaignResult r;
+  r.masked = 3;
+  r.sdc = 1;
+  EXPECT_DOUBLE_EQ(r.sdc_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(CampaignResult{}.sdc_rate(), 0.0);
+}
+
+TEST(Injector, OutcomeNames) {
+  EXPECT_STREQ(name_of(Outcome::kMasked), "masked");
+  EXPECT_STREQ(name_of(Outcome::kSilentCorruption), "silent_corruption");
+  EXPECT_STREQ(name_of(FaultSite::kMemoryData), "memory_data");
+}
+
+}  // namespace
+}  // namespace unsync::fault

@@ -1,0 +1,129 @@
+#include "isa/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unsync::isa {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundTripRType) {
+  Inst in{.op = Opcode::kAdd, .rd = 3, .rs1 = 7, .rs2 = 31, .imm = 0};
+  EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(Isa, EncodeDecodeRoundTripIType) {
+  for (std::int32_t imm : {0, 1, -1, 100, -100, kImm14Max, kImm14Min}) {
+    Inst in{.op = Opcode::kAddi, .rd = 1, .rs1 = 2, .rs2 = 0, .imm = imm};
+    EXPECT_EQ(decode(encode(in)), in) << "imm=" << imm;
+  }
+}
+
+TEST(Isa, EncodeDecodeRoundTripBType) {
+  Inst in{.op = Opcode::kBne, .rd = 0, .rs1 = 4, .rs2 = 5, .imm = -12};
+  EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(Isa, EncodeDecodeRoundTripJType) {
+  for (std::int32_t imm : {0, 1000, -1000, kImm19Max, kImm19Min}) {
+    Inst in{.op = Opcode::kJal, .rd = 31, .rs1 = 0, .rs2 = 0, .imm = imm};
+    EXPECT_EQ(decode(encode(in)), in) << "imm=" << imm;
+  }
+}
+
+// Property sweep: every opcode round-trips through encode/decode with its
+// format-relevant fields preserved.
+class OpcodeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpcodeRoundTrip, PreservesFields) {
+  const auto op = static_cast<Opcode>(GetParam());
+  Inst in{.op = op, .rd = 5, .rs1 = 9, .rs2 = 13, .imm = 33};
+  // Fields not carried by the format are zeroed on decode; normalise the
+  // input the same way encode does.
+  const Inst out = decode(encode(in));
+  EXPECT_EQ(out.op, op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundTrip,
+    ::testing::Range(0, static_cast<int>(Opcode::kCount)));
+
+TEST(Isa, ImmediateOutOfRangeThrows) {
+  Inst in{.op = Opcode::kAddi, .rd = 1, .rs1 = 2, .rs2 = 0,
+          .imm = kImm14Max + 1};
+  EXPECT_THROW(encode(in), std::out_of_range);
+  in.imm = kImm14Min - 1;
+  EXPECT_THROW(encode(in), std::out_of_range);
+}
+
+TEST(Isa, UnknownOpcodeDecodesAsHalt) {
+  const Inst inst = decode(0xFFu << 24);
+  EXPECT_EQ(inst.op, Opcode::kHalt);
+}
+
+TEST(Isa, ClassOfCoversAllGroups) {
+  EXPECT_EQ(class_of(Opcode::kAdd), InstClass::kIntAlu);
+  EXPECT_EQ(class_of(Opcode::kMul), InstClass::kIntMul);
+  EXPECT_EQ(class_of(Opcode::kDiv), InstClass::kIntDiv);
+  EXPECT_EQ(class_of(Opcode::kFadd), InstClass::kFpAlu);
+  EXPECT_EQ(class_of(Opcode::kFmul), InstClass::kFpMul);
+  EXPECT_EQ(class_of(Opcode::kFdiv), InstClass::kFpDiv);
+  EXPECT_EQ(class_of(Opcode::kLd), InstClass::kLoad);
+  EXPECT_EQ(class_of(Opcode::kSt), InstClass::kStore);
+  EXPECT_EQ(class_of(Opcode::kBeq), InstClass::kBranch);
+  EXPECT_EQ(class_of(Opcode::kSyscall), InstClass::kSerializing);
+  EXPECT_EQ(class_of(Opcode::kMembar), InstClass::kSerializing);
+  EXPECT_EQ(class_of(Opcode::kHalt), InstClass::kHalt);
+}
+
+TEST(Isa, OpcodeFromNameRoundTrip) {
+  for (int i = 0; i < static_cast<int>(Opcode::kCount); ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto back = opcode_from_name(name_of(op));
+    ASSERT_TRUE(back.has_value()) << name_of(op);
+    EXPECT_EQ(*back, op);
+  }
+}
+
+TEST(Isa, OpcodeFromNameUnknown) {
+  EXPECT_FALSE(opcode_from_name("bogus").has_value());
+  EXPECT_FALSE(opcode_from_name("ADD").has_value());  // case sensitive
+}
+
+TEST(Isa, WritesRegClassification) {
+  EXPECT_TRUE(Inst{.op = Opcode::kAdd}.writes_reg());
+  EXPECT_TRUE(Inst{.op = Opcode::kLd}.writes_reg());
+  EXPECT_TRUE(Inst{.op = Opcode::kJal}.writes_reg());
+  EXPECT_TRUE(Inst{.op = Opcode::kJalr}.writes_reg());
+  EXPECT_TRUE(Inst{.op = Opcode::kFcmplt}.writes_reg());
+  EXPECT_FALSE(Inst{.op = Opcode::kSt}.writes_reg());
+  EXPECT_FALSE(Inst{.op = Opcode::kBeq}.writes_reg());
+  EXPECT_FALSE(Inst{.op = Opcode::kSyscall}.writes_reg());
+  EXPECT_FALSE(Inst{.op = Opcode::kHalt}.writes_reg());
+}
+
+TEST(Isa, NumSrcsClassification) {
+  EXPECT_EQ(Inst{.op = Opcode::kAdd}.num_srcs(), 2);
+  EXPECT_EQ(Inst{.op = Opcode::kAddi}.num_srcs(), 1);
+  EXPECT_EQ(Inst{.op = Opcode::kLd}.num_srcs(), 1);
+  EXPECT_EQ(Inst{.op = Opcode::kSt}.num_srcs(), 2);  // base + data
+  EXPECT_EQ(Inst{.op = Opcode::kBeq}.num_srcs(), 2);
+  EXPECT_EQ(Inst{.op = Opcode::kJal}.num_srcs(), 0);
+  EXPECT_EQ(Inst{.op = Opcode::kSyscall}.num_srcs(), 0);
+}
+
+TEST(Isa, ToStringContainsMnemonicAndOperands) {
+  const Inst add{.op = Opcode::kAdd, .rd = 1, .rs1 = 2, .rs2 = 3};
+  EXPECT_EQ(add.to_string(), "add r1, r2, r3");
+  const Inst ld{.op = Opcode::kLd, .rd = 4, .rs1 = 5, .rs2 = 0, .imm = 16};
+  EXPECT_EQ(ld.to_string(), "ld r4, 16(r5)");
+  const Inst halt{.op = Opcode::kHalt};
+  EXPECT_EQ(halt.to_string(), "halt");
+}
+
+TEST(Isa, SerializingPredicate) {
+  EXPECT_TRUE(Inst{.op = Opcode::kSyscall}.is_serializing());
+  EXPECT_TRUE(Inst{.op = Opcode::kMembar}.is_serializing());
+  EXPECT_FALSE(Inst{.op = Opcode::kAdd}.is_serializing());
+}
+
+}  // namespace
+}  // namespace unsync::isa

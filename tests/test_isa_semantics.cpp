@@ -1,0 +1,147 @@
+// Edge-case semantics of the functional model: shift amounts, signed
+// division corner cases, page-straddling accesses, and golden-model
+// determinism — the properties fault injection's undo/redo logic leans on.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/functional_sim.hpp"
+
+namespace unsync::isa {
+namespace {
+
+FunctionalSim run(const std::string& src, std::uint64_t steps = 10000) {
+  FunctionalSim sim(Assembler::assemble(src));
+  sim.run(steps);
+  return sim;
+}
+
+TEST(IsaSemantics, ShiftAmountsMaskTo6Bits) {
+  auto sim = run(R"(
+    li  r1, 1
+    li  r2, 64        # masked to 0
+    sll r3, r1, r2    # 1 << 0 = 1
+    li  r2, 65        # masked to 1
+    sll r4, r1, r2    # 1 << 1 = 2
+    halt
+  )");
+  EXPECT_EQ(sim.state().regs[3], 1u);
+  EXPECT_EQ(sim.state().regs[4], 2u);
+}
+
+TEST(IsaSemantics, SignedDivisionTruncatesTowardZero) {
+  auto sim = run(R"(
+    li  r1, -7
+    li  r2, 2
+    div r3, r1, r2    # -3 (toward zero)
+    rem r4, r1, r2    # -1
+    li  r1, 7
+    li  r2, -2
+    div r5, r1, r2    # -3
+    rem r6, r1, r2    # 1
+    halt
+  )");
+  EXPECT_EQ(static_cast<std::int64_t>(sim.state().regs[3]), -3);
+  EXPECT_EQ(static_cast<std::int64_t>(sim.state().regs[4]), -1);
+  EXPECT_EQ(static_cast<std::int64_t>(sim.state().regs[5]), -3);
+  EXPECT_EQ(static_cast<std::int64_t>(sim.state().regs[6]), 1);
+}
+
+TEST(IsaSemantics, LuiOriComposeFullConstants) {
+  auto sim = run(R"(
+    la r1, 0x3FFC123   # near the top of la's 27-bit reach
+    halt
+  )");
+  EXPECT_EQ(sim.state().regs[1], 0x3FFC123u);
+}
+
+TEST(IsaSemantics, PageStraddlingWordAccess) {
+  // A store/load pair crossing the 4 KiB sparse-page boundary.
+  auto sim = run(R"(
+    la  r1, 0x200FFC    # 4 bytes below a page edge
+    la  r2, 0x123456
+    st  r2, 0(r1)
+    ld  r3, 0(r1)
+    halt
+  )");
+  EXPECT_EQ(sim.state().regs[3], 0x123456u);
+}
+
+TEST(IsaSemantics, ByteOpsOnlyTouchOneByte) {
+  auto sim = run(R"(
+    la  r1, 0x200000
+    la  r2, 0x1FFF      # 14-bit value: 0x1FFF
+    st  r2, 0(r1)
+    li  r3, 0xAB
+    sb  r3, 0(r1)       # clobber only the low byte
+    ld  r4, 0(r1)
+    lb  r5, 1(r1)
+    halt
+  )");
+  EXPECT_EQ(sim.state().regs[4], 0x1FABu);
+  EXPECT_EQ(sim.state().regs[5], 0x1Fu);
+}
+
+TEST(IsaSemantics, FcmpltOnEqualValuesIsFalse) {
+  auto sim = run(R"(
+    li    r1, 5
+    fmovi f1, r1
+    fmovi f2, r1
+    fcmplt r3, f1, f2
+    halt
+  )");
+  EXPECT_EQ(sim.state().regs[3], 0u);
+}
+
+TEST(IsaSemantics, NegativeIntToFpConversion) {
+  auto sim = run(R"(
+    li    r1, -3
+    fmovi f1, r1
+    li    r2, 0
+    fmovi f2, r2
+    fcmplt r3, f1, f2   # -3.0 < 0.0 -> 1
+    halt
+  )");
+  EXPECT_EQ(sim.state().regs[3], 1u);
+}
+
+TEST(IsaSemantics, DeterministicReplayFromScratch) {
+  // The injector's recovery model re-runs from instruction 0 and expects
+  // bit-identical state at any cut point.
+  const char* src = R"(
+    li  r10, 500
+    li  r4, 1
+  loop:
+    mul r4, r4, r10
+    xor r4, r4, r10
+    addi r10, r10, -1
+    bne r10, r0, loop
+    halt
+  )";
+  FunctionalSim a(Assembler::assemble(src));
+  FunctionalSim b(Assembler::assemble(src));
+  a.run(700);
+  b.run(700);
+  EXPECT_EQ(a.state(), b.state());
+  EXPECT_TRUE(a.memory() == b.memory());
+}
+
+TEST(IsaSemantics, JalrRoundTripThroughFunctionTable) {
+  auto sim = run(R"(
+    la   r20, 0x200000
+    # callee is the 10th instruction slot: 0x1000 + 9*4 (each la is 2)
+    la   r21, 0x1024
+    st   r21, 0(r20)
+    ld   r22, 0(r20)
+    jalr r31, r22       # indirect call
+    li   r5, 99         # executed after return
+    halt
+  callee:
+    li   r4, 7
+    jalr r0, r31        # return
+  )");
+  EXPECT_EQ(sim.state().regs[4], 7u);
+  EXPECT_EQ(sim.state().regs[5], 99u);
+}
+
+}  // namespace
+}  // namespace unsync::isa

@@ -1,0 +1,171 @@
+// End-to-end validation of the URISC kernel library: every kernel's output
+// on the golden-model functional simulator must equal its C++ reference,
+// and every kernel's recorded trace must run to completion on all three
+// timing systems with consistent instruction counts.
+#include "workload/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/reunion_system.hpp"
+#include "core/unsync_system.hpp"
+#include "isa/functional_sim.hpp"
+#include "workload/trace.hpp"
+
+namespace unsync::workload {
+namespace {
+
+constexpr std::uint64_t kMaxSteps = 3'000'000;
+
+void expect_golden(const Kernel& k) {
+  isa::FunctionalSim sim(assemble(k));
+  sim.run(kMaxSteps);
+  ASSERT_TRUE(sim.halted()) << k.name << " did not halt";
+  EXPECT_EQ(sim.output(), k.expected) << k.name;
+}
+
+TEST(Kernels, VectorSum) {
+  expect_golden(make_vector_sum(1));
+  expect_golden(make_vector_sum(10));
+  expect_golden(make_vector_sum(100));
+}
+
+TEST(Kernels, Fibonacci) {
+  expect_golden(make_fibonacci(1));
+  expect_golden(make_fibonacci(10));
+  expect_golden(make_fibonacci(90));
+}
+
+TEST(Kernels, FibonacciKnownValue) {
+  const Kernel k = make_fibonacci(10);
+  EXPECT_EQ(k.expected[0], 55u);
+}
+
+TEST(Kernels, BubbleSort) {
+  expect_golden(make_bubble_sort(2, 1));
+  expect_golden(make_bubble_sort(16, 2));
+  expect_golden(make_bubble_sort(64, 3));
+}
+
+TEST(Kernels, BubbleSortOutputIsSorted) {
+  const Kernel k = make_bubble_sort(32, 9);
+  EXPECT_TRUE(std::is_sorted(k.expected.begin(), k.expected.end()));
+}
+
+TEST(Kernels, Matmul) {
+  expect_golden(make_matmul(2));
+  expect_golden(make_matmul(4));
+  expect_golden(make_matmul(8));
+}
+
+TEST(Kernels, Checksum) {
+  expect_golden(make_checksum(8, 1));
+  expect_golden(make_checksum(256, 2));
+  expect_golden(make_checksum(1024, 3));
+}
+
+TEST(Kernels, ChecksumSensitiveToSeed) {
+  EXPECT_NE(make_checksum(64, 1).expected[0],
+            make_checksum(64, 2).expected[0]);
+}
+
+TEST(Kernels, Stencil) {
+  expect_golden(make_stencil(8, 1));
+  expect_golden(make_stencil(32, 3));
+  expect_golden(make_stencil(64, 8));
+}
+
+TEST(Kernels, Sieve) {
+  expect_golden(make_sieve(10));
+  expect_golden(make_sieve(100));
+  expect_golden(make_sieve(1000));
+}
+
+TEST(Kernels, SieveKnownCounts) {
+  EXPECT_EQ(make_sieve(10).expected[0], 4u);    // 2 3 5 7
+  EXPECT_EQ(make_sieve(100).expected[0], 25u);
+  EXPECT_EQ(make_sieve(1000).expected[0], 168u);
+}
+
+TEST(Kernels, Dijkstra) {
+  expect_golden(make_dijkstra(2));
+  expect_golden(make_dijkstra(8));
+  expect_golden(make_dijkstra(24));
+}
+
+TEST(Kernels, DijkstraDistanceIsReachable) {
+  // Fully connected graph with weights in [1,19]: the distance to any node
+  // is at most one direct edge.
+  const Kernel k = make_dijkstra(16);
+  EXPECT_GE(k.expected[0], 1u);
+  EXPECT_LE(k.expected[0], 19u);
+}
+
+TEST(Kernels, MembarPing) {
+  expect_golden(make_membar_ping(1));
+  expect_golden(make_membar_ping(64));
+  expect_golden(make_membar_ping(500));
+}
+
+TEST(Kernels, StandardSuiteAllGolden) {
+  for (const auto& k : standard_kernel_suite()) {
+    expect_golden(k);
+  }
+}
+
+// Property sweep: every kernel of the standard suite replays through every
+// timing system, committing exactly the recorded instruction count.
+class KernelOnSystems : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelOnSystems, TraceCompletesEverywhere) {
+  const auto suite = standard_kernel_suite();
+  const Kernel& k = suite.at(static_cast<std::size_t>(GetParam()));
+  TraceStream trace(record_trace(assemble(k), kMaxSteps));
+  ASSERT_GT(trace.length(), 0u) << k.name;
+
+  core::SystemConfig cfg;
+  cfg.num_threads = 1;
+
+  core::BaselineSystem base(cfg, trace);
+  EXPECT_EQ(base.run().core_stats[0].committed, trace.length()) << k.name;
+
+  core::UnSyncParams up;
+  up.cb_entries = 128;
+  core::UnSyncSystem us(cfg, up, trace);
+  const auto ru = us.run();
+  EXPECT_EQ(ru.core_stats[0].committed, trace.length()) << k.name;
+  EXPECT_EQ(ru.core_stats[1].committed, trace.length()) << k.name;
+
+  core::ReunionSystem re(cfg, core::ReunionParams{}, trace);
+  const auto rr = re.run();
+  EXPECT_EQ(rr.core_stats[0].committed, trace.length()) << k.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(StandardSuite, KernelOnSystems,
+                         ::testing::Range(0, 9));
+
+TEST(Kernels, MembarKernelStressesSerialization) {
+  // The membar kernel must cost Reunion disproportionally: every barrier is
+  // a cross-core fingerprint synchronisation.
+  const Kernel k = make_membar_ping(400);
+  TraceStream trace(record_trace(assemble(k), kMaxSteps));
+  core::SystemConfig cfg;
+  cfg.num_threads = 1;
+
+  core::BaselineSystem base(cfg, trace);
+  const double b = base.run().thread_ipc();
+  core::ReunionSystem re(cfg, core::ReunionParams{}, trace);
+  const auto rr = re.run();
+  const double r = rr.thread_ipc();
+  EXPECT_GT(rr.fingerprint_syncs, 390u);
+  EXPECT_LT(r, b * 0.8);  // > 20% overhead on a barrier-bound loop
+
+  core::UnSyncParams up;
+  up.cb_entries = 128;
+  core::UnSyncSystem us(cfg, up, trace);
+  const double u = us.run().thread_ipc();
+  EXPECT_GT(u, r);  // UnSync does not synchronise on barriers
+}
+
+}  // namespace
+}  // namespace unsync::workload

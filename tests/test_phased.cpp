@@ -1,0 +1,114 @@
+#include "workload/phased.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/unsync_system.hpp"
+#include "workload/stream_stats.hpp"
+
+namespace unsync::workload {
+namespace {
+
+std::vector<BenchmarkProfile> two_phases() {
+  return {profile("susan"), profile("mcf")};  // store-heavy vs miss-heavy
+}
+
+TEST(PhasedStream, YieldsExactLengthWithDenseSeqs) {
+  PhasedStream s(two_phases(), 1, 500, 4000);
+  DynOp op;
+  for (SeqNum i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(s.next(&op));
+    EXPECT_EQ(op.seq, i);
+    for (const SeqNum src : op.src) {
+      if (src != kNoSeq) {
+        EXPECT_LT(src, op.seq);
+      }
+    }
+  }
+  EXPECT_FALSE(s.next(&op));
+}
+
+TEST(PhasedStream, PhaseIndexCycles) {
+  PhasedStream s(two_phases(), 2, 100, 1000);
+  DynOp op;
+  EXPECT_EQ(s.current_phase(), 0u);
+  for (int i = 0; i < 100; ++i) s.next(&op);
+  EXPECT_EQ(s.current_phase(), 1u);
+  for (int i = 0; i < 100; ++i) s.next(&op);
+  EXPECT_EQ(s.current_phase(), 0u);
+}
+
+TEST(PhasedStream, CloneAndResetDeterministic) {
+  PhasedStream s(two_phases(), 3, 250, 3000);
+  auto c = s.clone();
+  DynOp a, b;
+  while (s.next(&a)) {
+    ASSERT_TRUE(c->next(&b));
+    EXPECT_EQ(a.seq, b.seq);
+    EXPECT_EQ(a.cls, b.cls);
+    EXPECT_EQ(a.mem_addr, b.mem_addr);
+    EXPECT_EQ(a.src[0], b.src[0]);
+  }
+  s.reset();
+  ASSERT_TRUE(s.next(&a));
+  EXPECT_EQ(a.seq, 0u);
+}
+
+TEST(PhasedStream, BlendsTheMixes) {
+  // Over many phase laps, the store fraction lands between the two
+  // profiles' fractions (susan 19%, mcf 7%) near their average.
+  PhasedStream s(two_phases(), 4, 500, 60000);
+  const auto stats = characterize(s);
+  EXPECT_GT(stats.store_fraction(), 0.09);
+  EXPECT_LT(stats.store_fraction(), 0.17);
+}
+
+TEST(PhasedStream, RunsOnTimingSystems) {
+  PhasedStream s(two_phases(), 5, 1000, 12000);
+  core::SystemConfig cfg;
+  cfg.num_threads = 1;
+  core::BaselineSystem base(cfg, s);
+  EXPECT_EQ(base.run().core_stats[0].committed, 12000u);
+  core::UnSyncParams p;
+  p.cb_entries = 128;
+  core::UnSyncSystem us(cfg, p, s);
+  const auto r = us.run();
+  EXPECT_EQ(r.core_stats[0].committed, 12000u);
+  EXPECT_EQ(r.core_stats[1].committed, 12000u);
+}
+
+TEST(PhasedStream, PhasesVisibleInIntervalSampling) {
+  // Alternating a fast phase (gzip-like) with a DRAM-bound one (mcf) must
+  // produce visibly different interval commit rates.
+  std::vector<BenchmarkProfile> phases = {profile("gzip"), profile("mcf")};
+  PhasedStream s(phases, 6, 4000, 32000);
+  core::SystemConfig cfg;
+  cfg.num_threads = 1;
+  cfg.core.sample_interval = 2000;
+  core::BaselineSystem base(cfg, s);
+  const auto r = base.run();
+  const auto& samples = r.core_stats[0].interval_committed;
+  ASSERT_GT(samples.size(), 6u);
+  std::uint64_t min_d = ~0ull, max_d = 0;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const auto d = samples[i] - samples[i - 1];
+    min_d = std::min(min_d, d);
+    max_d = std::max(max_d, d);
+  }
+  EXPECT_GT(max_d, min_d * 2);
+}
+
+TEST(PhasedStream, SinglePhaseDegeneratesToSynthetic) {
+  std::vector<BenchmarkProfile> one = {profile("gzip")};
+  PhasedStream phased(one, 7, 100, 2000);
+  SyntheticStream plain(profile("gzip"), 7, 2000);
+  DynOp a, b;
+  while (phased.next(&a)) {
+    ASSERT_TRUE(plain.next(&b));
+    EXPECT_EQ(a.cls, b.cls);
+    EXPECT_EQ(a.mem_addr, b.mem_addr);
+  }
+}
+
+}  // namespace
+}  // namespace unsync::workload

@@ -1,0 +1,92 @@
+#include "fault/protection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unsync::fault {
+namespace {
+
+TEST(Inventory, CoversAllStructures) {
+  const auto& inv = structure_inventory();
+  EXPECT_EQ(inv.size(), static_cast<std::size_t>(Structure::kCount));
+  for (const auto& s : inv) EXPECT_GT(s.bits, 0u);
+}
+
+TEST(Inventory, ResidencyRule) {
+  // PC and pipeline registers are the every-cycle elements (§III-B.1).
+  for (const auto& s : structure_inventory()) {
+    const bool every_cycle = s.id == Structure::kProgramCounter ||
+                             s.id == Structure::kPipelineRegisters;
+    EXPECT_EQ(s.residency == Residency::kEveryCycle, every_cycle)
+        << name_of(s.id);
+  }
+}
+
+TEST(Plans, UnsyncMechanismChoice) {
+  const auto plan = unsync_plan();
+  EXPECT_EQ(plan.of(Structure::kProgramCounter), Mechanism::kDmr);
+  EXPECT_EQ(plan.of(Structure::kPipelineRegisters), Mechanism::kDmr);
+  EXPECT_EQ(plan.of(Structure::kRegisterFile), Mechanism::kParity1);
+  EXPECT_EQ(plan.of(Structure::kLoadStoreQueue), Mechanism::kParity1);
+  EXPECT_EQ(plan.of(Structure::kTlb), Mechanism::kParity1);
+  EXPECT_EQ(plan.of(Structure::kL1Data), Mechanism::kParity1);
+}
+
+TEST(Plans, UnsyncFullCoverage) {
+  const auto plan = unsync_plan();
+  EXPECT_DOUBLE_EQ(plan.roec(), 1.0);
+  EXPECT_EQ(plan.covered_bits(), plan.total_bits());
+}
+
+TEST(Plans, ReunionLeavesArchStateUncovered) {
+  const auto plan = reunion_plan();
+  EXPECT_EQ(plan.of(Structure::kRegisterFile), Mechanism::kNone);
+  EXPECT_EQ(plan.of(Structure::kTlb), Mechanism::kNone);
+  EXPECT_EQ(plan.of(Structure::kL1Data), Mechanism::kSecded);
+}
+
+TEST(Plans, UnsyncRoecExceedsReunion) {
+  // §VI-D: UnSync has the larger region of error coverage.
+  EXPECT_GT(unsync_plan().roec(), reunion_plan().roec());
+}
+
+TEST(Plans, BaselineHasNoCoverage) {
+  const auto plan = baseline_plan();
+  EXPECT_DOUBLE_EQ(plan.roec(), 0.0);
+  EXPECT_EQ(plan.covered_bits(), 0u);
+}
+
+TEST(Plans, DetectionCoverageValues) {
+  const auto plan = unsync_plan();
+  EXPECT_DOUBLE_EQ(plan.detection_coverage(Structure::kRegisterFile), 1.0);
+  const auto r = reunion_plan();
+  // Fingerprint coverage includes the CRC-16 aliasing escape.
+  EXPECT_NEAR(r.detection_coverage(Structure::kPipelineRegisters),
+              1.0 - 1.0 / 65536.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.detection_coverage(Structure::kRegisterFile), 0.0);
+}
+
+TEST(Plans, NamesArePresent) {
+  EXPECT_EQ(unsync_plan().name, "unsync");
+  EXPECT_EQ(reunion_plan().name, "reunion");
+  EXPECT_EQ(baseline_plan().name, "baseline");
+}
+
+TEST(Plans, NameOfHelpers) {
+  EXPECT_STREQ(name_of(Structure::kL1Data), "l1_data");
+  EXPECT_STREQ(name_of(Mechanism::kParity1), "parity-1");
+  EXPECT_STREQ(name_of(Mechanism::kSecded), "SECDED");
+  EXPECT_STREQ(name_of(Mechanism::kFingerprint), "fingerprint");
+}
+
+TEST(Plans, L1DominatesBitBudget) {
+  // Sanity: the L1 is by far the biggest sequential structure, which is why
+  // including it in the ROEC (UnSync) matters so much.
+  std::uint64_t l1 = 0, rest = 0;
+  for (const auto& s : structure_inventory()) {
+    (s.id == Structure::kL1Data ? l1 : rest) += s.bits;
+  }
+  EXPECT_GT(l1, rest);
+}
+
+}  // namespace
+}  // namespace unsync::fault

@@ -1,0 +1,106 @@
+#include "fault/ser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace unsync::fault {
+namespace {
+
+TEST(Ser, AnchorsReproduced) {
+  EXPECT_NEAR(fit_for_node(180), 1000.0, 1.0);
+  EXPECT_NEAR(fit_for_node(130), 100000.0, 100.0);
+}
+
+TEST(Ser, ExponentialGrowthBetweenAnchors) {
+  // Halfway (155 nm) should be the geometric mean of the anchors.
+  EXPECT_NEAR(fit_for_node(155), 10000.0, 50.0);
+}
+
+TEST(Ser, ExtrapolatesTo90nm) {
+  // Two more 50/40nm steps of growth: strictly above the 130 nm rate.
+  EXPECT_GT(fit_for_node(90), fit_for_node(130));
+}
+
+TEST(Ser, SaturatesBeyond65nm) {
+  EXPECT_DOUBLE_EQ(fit_for_node(45), fit_for_node(65));
+  EXPECT_DOUBLE_EQ(fit_for_node(22), fit_for_node(65));
+}
+
+TEST(Ser, FitConversionDimensions) {
+  // 3600e9 FIT = 1 failure per second; at 1 Hz that is 1 per cycle.
+  EXPECT_NEAR(fit_to_per_cycle(3600e9, 1.0), 1.0, 1e-9);
+  // At 2 GHz each cycle is 2e9x shorter.
+  EXPECT_NEAR(fit_to_per_cycle(3600e9, 2e9), 0.5e-9, 1e-15);
+}
+
+TEST(Ser, PerInstScalesWithIpc) {
+  const double per_cycle = fit_to_per_cycle(1e6, 2e9);
+  EXPECT_NEAR(fit_to_per_inst(1e6, 2e9, 2.0), per_cycle / 2.0, 1e-30);
+  EXPECT_NEAR(fit_to_per_inst(1e6, 2e9, 0.5), per_cycle * 2.0, 1e-30);
+}
+
+TEST(Ser, PaperConstantsPresent) {
+  EXPECT_DOUBLE_EQ(kPaperSerPerInst90nm, 2.89e-17);
+  EXPECT_DOUBLE_EQ(kPaperBreakEvenSer, 1.29e-3);
+}
+
+TEST(Ser, NoArrivalsAtZeroRate) {
+  Rng rng(1);
+  EXPECT_TRUE(sample_error_arrivals(0.0, 1000000, rng).empty());
+}
+
+TEST(Ser, NoArrivalsInEmptyRun) {
+  Rng rng(1);
+  EXPECT_TRUE(sample_error_arrivals(0.5, 0, rng).empty());
+}
+
+TEST(Ser, ArrivalCountMatchesExpectation) {
+  Rng rng(2);
+  const double rate = 1e-3;
+  const std::uint64_t n = 1000000;
+  const auto arrivals = sample_error_arrivals(rate, n, rng);
+  EXPECT_NEAR(static_cast<double>(arrivals.size()),
+              expected_errors(rate, n),
+              5 * std::sqrt(expected_errors(rate, n)));
+}
+
+TEST(Ser, ArrivalsAreOrderedAndInRange) {
+  Rng rng(3);
+  const auto arrivals = sample_error_arrivals(1e-2, 100000, rng);
+  ASSERT_FALSE(arrivals.empty());
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_LE(arrivals[i - 1], arrivals[i]);
+  }
+  EXPECT_LT(arrivals.back(), 100000u);
+}
+
+TEST(Ser, TinyRateUsuallyNoArrivals) {
+  Rng rng(4);
+  // Paper's operating point: 2.89e-17/inst over 1e6 insts -> ~0 errors.
+  const auto arrivals =
+      sample_error_arrivals(kPaperSerPerInst90nm, 1000000, rng);
+  EXPECT_TRUE(arrivals.empty());
+}
+
+class SerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SerSweep, ArrivalProcessStatisticallySound) {
+  Rng rng(99);
+  const double rate = GetParam();
+  const std::uint64_t n = 200000;
+  double total = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    total += static_cast<double>(sample_error_arrivals(rate, n, rng).size());
+  }
+  const double mean = total / 20.0;
+  const double expect = expected_errors(rate, n);
+  EXPECT_NEAR(mean, expect, std::max(1.0, 4 * std::sqrt(expect / 20)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SerSweep,
+                         ::testing::Values(1e-2, 1e-3, 1e-4, 1e-5));
+
+}  // namespace
+}  // namespace unsync::fault

@@ -1,0 +1,80 @@
+#include "workload/stream_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/kernels.hpp"
+#include "workload/profile.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace.hpp"
+
+namespace unsync::workload {
+namespace {
+
+TEST(StreamStats, MatchesSyntheticProfile) {
+  const auto& prof = profile("bzip2");
+  SyntheticStream s(prof, 31, 100000);
+  const StreamStats stats = characterize(s);
+  EXPECT_EQ(stats.total, 100000u);
+  EXPECT_NEAR(stats.load_fraction(), prof.mix.load, 0.01);
+  EXPECT_NEAR(stats.store_fraction(), prof.mix.store, 0.01);
+  EXPECT_NEAR(stats.branch_fraction(), prof.mix.branch, 0.01);
+  EXPECT_NEAR(stats.serializing_fraction(), prof.mix.serializing, 0.003);
+  EXPECT_NEAR(stats.hinted_mispredict_rate(), prof.branch_mispredict_rate,
+              0.015);
+  EXPECT_NEAR(stats.dep_distance.mean(), prof.mean_dep_distance,
+              prof.mean_dep_distance * 0.12);
+}
+
+TEST(StreamStats, BurstLengthReflectsBurstiness) {
+  // susan (q = 0.8) must show much longer store runs than mcf (default 0.4).
+  SyntheticStream bursty(profile("susan"), 32, 100000);
+  SyntheticStream smooth(profile("mcf"), 32, 100000);
+  const auto b = characterize(bursty);
+  const auto m = characterize(smooth);
+  EXPECT_GT(b.store_run_length.mean(), m.store_run_length.mean() * 1.5);
+  // Mean run length of a Markov chain = 1/(1-q): susan ~5, mcf ~1.7.
+  EXPECT_NEAR(b.store_run_length.mean(), 5.0, 1.0);
+}
+
+TEST(StreamStats, MaxOpsBoundsConsumption) {
+  SyntheticStream s(profile("gzip"), 33, 100000);
+  const auto stats = characterize(s, 500);
+  EXPECT_EQ(stats.total, 500u);
+}
+
+TEST(StreamStats, FootprintCounters) {
+  SyntheticStream s(profile("gzip"), 34, 50000);
+  const auto stats = characterize(s);
+  EXPECT_GT(stats.distinct_lines_touched, 100u);
+  EXPECT_GE(stats.distinct_lines_touched, stats.distinct_pages_touched);
+}
+
+TEST(StreamStats, CharacterizesRecordedKernel) {
+  const auto k = make_membar_ping(100);
+  TraceStream t(record_trace(assemble(k), 100000));
+  const auto stats = characterize(t);
+  EXPECT_EQ(stats.total, t.length());
+  // Loop body: st + membar + ld + 3 alu + branch per iteration.
+  EXPECT_NEAR(stats.serializing_fraction(), 1.0 / 7.0, 0.03);
+  EXPECT_GT(stats.store_fraction(), 0.1);
+}
+
+TEST(StreamStats, SummaryRendersAllMetrics) {
+  SyntheticStream s(profile("ammp"), 35, 5000);
+  const auto stats = characterize(s);
+  const std::string text = stats.summary("ammp");
+  EXPECT_NE(text.find("ammp"), std::string::npos);
+  EXPECT_NE(text.find("mean dep distance"), std::string::npos);
+  EXPECT_NE(text.find("serializing"), std::string::npos);
+}
+
+TEST(StreamStats, EmptyStreamSafe) {
+  TraceStream empty{std::vector<DynOp>{}};
+  const auto stats = characterize(empty);
+  EXPECT_EQ(stats.total, 0u);
+  EXPECT_DOUBLE_EQ(stats.load_fraction(), 0.0);
+  EXPECT_NO_THROW(stats.summary("empty"));
+}
+
+}  // namespace
+}  // namespace unsync::workload

@@ -1,0 +1,64 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unsync {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer_name", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("longer_name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(-1.005, 1), "-1.0");
+}
+
+TEST(TextTable, PctFormatsFraction) {
+  EXPECT_EQ(TextTable::pct(0.2077), "20.77%");
+  EXPECT_EQ(TextTable::pct(0.0745), "7.45%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(TextTable, CsvEscapesSeparators) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"x,y", "plain"});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+}
+
+TEST(TextTable, CsvHeaderFirst) {
+  TextTable t;
+  t.set_header({"h1", "h2"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.csv().substr(0, 5), "h1,h2");
+}
+
+TEST(TextTable, RowsCount) {
+  TextTable t;
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"a"});
+  t.add_row({"b"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RaggedRowsTolerated) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NE(t.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unsync

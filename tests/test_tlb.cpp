@@ -1,0 +1,89 @@
+#include "mem/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unsync::mem {
+namespace {
+
+TEST(Tlb, ColdMissThenHit) {
+  Tlb tlb({.entries = 8, .assoc = 2, .page_bits = 12});
+  EXPECT_FALSE(tlb.access(0x1000));
+  EXPECT_TRUE(tlb.access(0x1000));
+  EXPECT_TRUE(tlb.access(0x1FFF));   // same page
+  EXPECT_FALSE(tlb.access(0x2000));  // next page
+}
+
+TEST(Tlb, NonPowerOfTwoSetCount) {
+  // Table I's I-TLB: 48 entries, 2-way -> 24 sets.
+  Tlb tlb({.entries = 48, .assoc = 2, .page_bits = 12});
+  for (Addr p = 0; p < 48; ++p) tlb.access(p << 12);
+  // All 48 pages map across 24 sets at 2 ways: all retained.
+  for (Addr p = 0; p < 48; ++p) {
+    EXPECT_TRUE(tlb.contains(p << 12)) << p;
+  }
+}
+
+TEST(Tlb, LruEvictionWithinSet) {
+  Tlb tlb({.entries = 4, .assoc = 2, .page_bits = 12});  // 2 sets
+  // Pages 0, 2, 4 all map to set 0.
+  tlb.access(Addr{0} << 12);
+  tlb.access(Addr{2} << 12);
+  tlb.access(Addr{0} << 12);  // touch: page 2 is LRU
+  tlb.access(Addr{4} << 12);  // evicts page 2
+  EXPECT_TRUE(tlb.contains(Addr{0} << 12));
+  EXPECT_FALSE(tlb.contains(Addr{2} << 12));
+  EXPECT_TRUE(tlb.contains(Addr{4} << 12));
+}
+
+TEST(Tlb, ContainsIsSideEffectFree) {
+  Tlb tlb({.entries = 8, .assoc = 2, .page_bits = 12});
+  EXPECT_FALSE(tlb.contains(0x5000));
+  EXPECT_EQ(tlb.hits() + tlb.misses(), 0u);
+}
+
+TEST(Tlb, MissRateAccounting) {
+  Tlb tlb({.entries = 8, .assoc = 2, .page_bits = 12});
+  tlb.access(0x1000);  // miss
+  tlb.access(0x1000);  // hit
+  tlb.access(0x1008);  // hit (same page)
+  tlb.access(0x9000);  // miss
+  EXPECT_DOUBLE_EQ(tlb.miss_rate(), 0.5);
+}
+
+TEST(Tlb, FlushInvalidatesEverything) {
+  Tlb tlb({.entries = 8, .assoc = 2, .page_bits = 12});
+  tlb.access(0x1000);
+  tlb.access(0x2000);
+  tlb.flush();
+  EXPECT_FALSE(tlb.contains(0x1000));
+  EXPECT_FALSE(tlb.contains(0x2000));
+}
+
+// Property: a working set of exactly `entries` pages with uniform access
+// never misses after the cold pass when pages spread evenly over sets.
+class TlbWorkingSet : public ::testing::TestWithParam<int> {};
+
+TEST_P(TlbWorkingSet, SequentialPagesFullyRetained) {
+  const int entries = GetParam();
+  Tlb tlb({.entries = static_cast<std::uint32_t>(entries), .assoc = 2,
+           .page_bits = 12});
+  for (int p = 0; p < entries; ++p) tlb.access(static_cast<Addr>(p) << 12);
+  const auto misses = tlb.misses();
+  for (int round = 0; round < 3; ++round) {
+    for (int p = 0; p < entries; ++p) tlb.access(static_cast<Addr>(p) << 12);
+  }
+  EXPECT_EQ(tlb.misses(), misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TlbWorkingSet,
+                         ::testing::Values(4, 16, 48, 64));
+
+TEST(Tlb, PageBitsRespected) {
+  Tlb big_pages({.entries = 4, .assoc = 2, .page_bits = 16});  // 64 KiB pages
+  big_pages.access(0x0000);
+  EXPECT_TRUE(big_pages.contains(0xFFFF));   // same 64 KiB page
+  EXPECT_FALSE(big_pages.contains(0x10000));
+}
+
+}  // namespace
+}  // namespace unsync::mem

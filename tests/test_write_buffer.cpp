@@ -1,0 +1,77 @@
+#include "mem/write_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unsync::mem {
+namespace {
+
+TEST(WriteBuffer, FifoOrder) {
+  WriteBuffer wb(4);
+  EXPECT_TRUE(wb.push(0x10, 1, 100));
+  EXPECT_TRUE(wb.push(0x20, 2, 101));
+  EXPECT_EQ(wb.front().addr, 0x10u);
+  wb.pop();
+  EXPECT_EQ(wb.front().addr, 0x20u);
+  EXPECT_EQ(wb.front().seq, 2u);
+}
+
+TEST(WriteBuffer, RejectsWhenFull) {
+  WriteBuffer wb(2);
+  EXPECT_TRUE(wb.push(1, 1, 0));
+  EXPECT_TRUE(wb.push(2, 2, 0));
+  EXPECT_TRUE(wb.full());
+  EXPECT_FALSE(wb.push(3, 3, 0));
+  EXPECT_EQ(wb.size(), 2u);
+  wb.pop();
+  EXPECT_TRUE(wb.push(3, 3, 0));
+}
+
+TEST(WriteBuffer, NonCoalescing) {
+  WriteBuffer wb(4);
+  // Same address twice -> two entries (the CB must keep store identity).
+  wb.push(0x40, 1, 0);
+  wb.push(0x40, 2, 0);
+  EXPECT_EQ(wb.size(), 2u);
+}
+
+TEST(WriteBuffer, PeakOccupancyTracked) {
+  WriteBuffer wb(8);
+  wb.push(1, 1, 0);
+  wb.push(2, 2, 0);
+  wb.push(3, 3, 0);
+  wb.pop();
+  wb.pop();
+  EXPECT_EQ(wb.peak_occupancy(), 3u);
+  EXPECT_EQ(wb.total_pushed(), 3u);
+}
+
+TEST(WriteBuffer, CopyFromOverwrites) {
+  WriteBuffer a(4), b(4);
+  a.push(1, 1, 0);
+  b.push(9, 9, 0);
+  b.push(8, 8, 0);
+  a.copy_from(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.front().addr, 9u);
+  EXPECT_EQ(a.at(1).addr, 8u);
+}
+
+TEST(WriteBuffer, ClearEmpties) {
+  WriteBuffer wb(4);
+  wb.push(1, 1, 0);
+  wb.clear();
+  EXPECT_TRUE(wb.empty());
+  EXPECT_EQ(wb.size(), 0u);
+}
+
+TEST(WriteBuffer, IndexedAccess) {
+  WriteBuffer wb(4);
+  wb.push(10, 100, 5);
+  wb.push(20, 200, 6);
+  EXPECT_EQ(wb.at(0).seq, 100u);
+  EXPECT_EQ(wb.at(1).ready, 6u);
+  EXPECT_THROW(wb.at(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace unsync::mem

@@ -1,0 +1,337 @@
+// unsync_sim — the command-line front end of the simulator.
+//
+// Subcommands:
+//   run          simulate a workload on a chosen architecture
+//   characterize print a stream characterisation (benchmark-table style)
+//   asm          assemble + functionally execute a URISC source file
+//   record       record a URISC program into a binary UTRC trace file
+//   hw           print the hardware model summary for each architecture
+//   list         list built-in benchmark profiles and kernels
+//
+// Workload selection (for run / characterize / record):
+//   bench=<name>      one of the built-in statistical profiles
+//   kernel=<name>     one of the built-in URISC kernels (e.g. matmul_8)
+//   program=<file.s>  assemble and trace a URISC source file
+//   trace=<file.utrc> replay a previously recorded binary trace
+//
+// Examples:
+//   unsync_sim run system=unsync bench=bzip2 insts=100000 ser=1e-9 report=1
+//   unsync_sim run system=reunion kernel=matmul_8 fi=30 latency=40
+//   unsync_sim characterize bench=susan insts=50000
+//   unsync_sim asm program=examples/my_kernel.s
+//   unsync_sim hw
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/baseline.hpp"
+#include "core/related_work.hpp"
+#include "core/report.hpp"
+#include "core/reunion_system.hpp"
+#include "core/unsync_system.hpp"
+#include "hwmodel/core_model.hpp"
+#include "isa/assembler.hpp"
+#include "isa/functional_sim.hpp"
+#include "workload/kernels.hpp"
+#include "workload/profile.hpp"
+#include "workload/stream_stats.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace unsync;
+
+int usage() {
+  std::cout <<
+      "usage: unsync_sim <run|sweep|characterize|asm|record|hw|list> "
+      "[key=value...]\n"
+      "  run: system=unsync|reunion|baseline|lockstep|checkpoint\n"
+      "       bench=|kernel=|program=|trace=   [insts= seed= threads= ser=]\n"
+      "       unsync: cb=<entries> group=<N>   reunion: fi= latency=\n"
+      "       checkpoint: interval= capture=   output: report=1 csv=1\n"
+      "  sweep: param=<cb|fi|latency|group|ser> values=v1,v2,... + run args\n"
+      "  characterize: bench=|kernel=|program=|trace=  [insts= seed=]\n"
+      "  asm: program=<file.s> [max_steps=]\n"
+      "  record: bench=|kernel=|program=  out=<file.utrc> [insts= seed=]\n"
+      "  hw: [fi= cb=]\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Builds the workload stream selected by bench=/kernel=/program=/trace=.
+std::unique_ptr<workload::InstStream> make_stream(const Config& cfg,
+                                                  std::string* label) {
+  const auto insts =
+      static_cast<std::uint64_t>(cfg.get_int("insts", 50000));
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  if (cfg.has("bench")) {
+    const std::string name = cfg.get_string("bench", "");
+    *label = name;
+    return std::make_unique<workload::SyntheticStream>(
+        workload::profile(name), seed, insts);
+  }
+  if (cfg.has("kernel")) {
+    const std::string name = cfg.get_string("kernel", "");
+    *label = name;
+    for (const auto& k : workload::standard_kernel_suite()) {
+      if (k.name == name) {
+        return std::make_unique<workload::TraceStream>(
+            workload::record_trace(workload::assemble(k), 3'000'000));
+      }
+    }
+    throw std::runtime_error("unknown kernel: " + name +
+                             " (see `unsync_sim list`)");
+  }
+  if (cfg.has("program")) {
+    const std::string path = cfg.get_string("program", "");
+    *label = path;
+    const auto prog = isa::Assembler::assemble(read_file(path));
+    return std::make_unique<workload::TraceStream>(
+        workload::record_trace(prog, insts));
+  }
+  if (cfg.has("trace")) {
+    const std::string path = cfg.get_string("trace", "");
+    *label = path;
+    return std::make_unique<workload::TraceStream>(
+        workload::load_trace(path));
+  }
+  throw std::runtime_error(
+      "select a workload with bench=, kernel=, program= or trace=");
+}
+
+int cmd_run(const Config& cfg) {
+  std::string label;
+  const auto stream = make_stream(cfg, &label);
+
+  core::SystemConfig sys_cfg;
+  sys_cfg.num_threads = static_cast<unsigned>(cfg.get_int("threads", 1));
+  sys_cfg.ser_per_inst = cfg.get_double("ser", 0.0);
+  sys_cfg.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+  const std::string system = cfg.get_string("system", "unsync");
+  std::unique_ptr<core::System> sys;
+  mem::MemoryHierarchy* memory = nullptr;
+  if (system == "baseline") {
+    auto s = std::make_unique<core::BaselineSystem>(sys_cfg, *stream);
+    memory = &s->memory();
+    sys = std::move(s);
+  } else if (system == "unsync") {
+    core::UnSyncParams p;
+    p.cb_entries = static_cast<std::size_t>(cfg.get_int("cb", 128));
+    p.group_size = static_cast<unsigned>(cfg.get_int("group", 2));
+    auto s = std::make_unique<core::UnSyncSystem>(sys_cfg, p, *stream);
+    memory = &s->memory();
+    sys = std::move(s);
+  } else if (system == "reunion") {
+    core::ReunionParams p;
+    p.fingerprint_interval = static_cast<unsigned>(cfg.get_int("fi", 10));
+    p.compare_latency = static_cast<Cycle>(cfg.get_int("latency", 10));
+    auto s = std::make_unique<core::ReunionSystem>(sys_cfg, p, *stream);
+    memory = &s->memory();
+    sys = std::move(s);
+  } else if (system == "lockstep") {
+    auto s = std::make_unique<core::LockstepSystem>(
+        sys_cfg, core::LockstepParams{}, *stream);
+    memory = &s->memory();
+    sys = std::move(s);
+  } else if (system == "checkpoint") {
+    core::CheckpointParams p;
+    p.checkpoint_interval =
+        static_cast<std::uint64_t>(cfg.get_int("interval", 1000));
+    p.checkpoint_cost = static_cast<Cycle>(cfg.get_int("capture", 120));
+    auto s = std::make_unique<core::DmrCheckpointSystem>(sys_cfg, p, *stream);
+    memory = &s->memory();
+    sys = std::move(s);
+  } else {
+    std::cerr << "unknown system: " << system << "\n";
+    return usage();
+  }
+
+  const core::RunResult result = sys->run();
+  if (cfg.get_bool("csv", false)) {
+    std::cout << core::RunReport::csv_header()
+              << core::RunReport(result).csv_rows();
+  } else if (cfg.get_bool("report", false)) {
+    core::RunReport(result, memory).print(std::cout);
+  } else {
+    std::cout << system << " on " << label << ": " << result.cycles
+              << " cycles, IPC " << TextTable::num(result.thread_ipc(), 4);
+    if (result.errors_injected) {
+      std::cout << ", errors " << result.errors_injected << ", recoveries "
+                << result.recoveries << ", rollbacks " << result.rollbacks;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+/// sweep param=<cb|fi|latency|group|ser> values=v1,v2,... plus the usual
+/// run selectors — emits one CSV row per value.
+int cmd_sweep(Config cfg) {
+  const std::string param = cfg.get_string("param", "");
+  const std::string values = cfg.get_string("values", "");
+  if (param.empty() || values.empty()) {
+    std::cerr << "sweep needs param= and values=v1,v2,...\n";
+    return usage();
+  }
+  std::vector<std::string> points;
+  std::string cur;
+  for (const char c : values) {
+    if (c == ',') {
+      points.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) points.push_back(cur);
+
+  std::cout << param << ",system,cycles,ipc,errors,recoveries,rollbacks\n";
+  for (const auto& point : points) {
+    cfg.set(param, point);
+    std::string label;
+    const auto stream = make_stream(cfg, &label);
+    core::SystemConfig sys_cfg;
+    sys_cfg.num_threads = static_cast<unsigned>(cfg.get_int("threads", 1));
+    sys_cfg.ser_per_inst = cfg.get_double("ser", 0.0);
+    sys_cfg.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+    const std::string system = cfg.get_string("system", "unsync");
+    std::unique_ptr<core::System> sys;
+    if (system == "unsync") {
+      core::UnSyncParams p;
+      p.cb_entries = static_cast<std::size_t>(cfg.get_int("cb", 128));
+      p.group_size = static_cast<unsigned>(cfg.get_int("group", 2));
+      sys = std::make_unique<core::UnSyncSystem>(sys_cfg, p, *stream);
+    } else if (system == "reunion") {
+      core::ReunionParams p;
+      p.fingerprint_interval = static_cast<unsigned>(cfg.get_int("fi", 10));
+      p.compare_latency = static_cast<Cycle>(cfg.get_int("latency", 10));
+      sys = std::make_unique<core::ReunionSystem>(sys_cfg, p, *stream);
+    } else if (system == "baseline") {
+      sys = std::make_unique<core::BaselineSystem>(sys_cfg, *stream);
+    } else {
+      std::cerr << "sweep supports system=unsync|reunion|baseline\n";
+      return 2;
+    }
+    const core::RunResult r = sys->run();
+    std::cout << point << ',' << system << ',' << r.cycles << ','
+              << TextTable::num(r.thread_ipc(), 4) << ','
+              << r.errors_injected << ',' << r.recoveries << ','
+              << r.rollbacks << '\n';
+  }
+  return 0;
+}
+
+int cmd_characterize(const Config& cfg) {
+  std::string label;
+  const auto stream = make_stream(cfg, &label);
+  const auto stats = workload::characterize(*stream);
+  std::cout << stats.summary(label);
+  return 0;
+}
+
+int cmd_asm(const Config& cfg) {
+  const std::string path = cfg.get_string("program", "");
+  if (path.empty()) return usage();
+  const auto prog = isa::Assembler::assemble(read_file(path));
+  std::cout << "assembled " << prog.code.size() << " instructions, "
+            << prog.data.size() << " data bytes\n";
+  isa::FunctionalSim sim(prog);
+  sim.run(static_cast<std::uint64_t>(cfg.get_int("max_steps", 10'000'000)));
+  std::cout << "retired " << sim.retired() << " instructions; "
+            << (sim.halted() ? "halted" : "STEP LIMIT REACHED") << "\n";
+  for (std::size_t i = 0; i < sim.output().size(); ++i) {
+    std::cout << "output[" << i << "] = " << sim.output()[i] << "\n";
+  }
+  return 0;
+}
+
+int cmd_record(const Config& cfg) {
+  const std::string out = cfg.get_string("out", "");
+  if (out.empty()) {
+    std::cerr << "record needs out=<file.utrc>\n";
+    return usage();
+  }
+  std::string label;
+  const auto stream = make_stream(cfg, &label);
+  std::vector<workload::DynOp> ops;
+  workload::DynOp op;
+  while (stream->next(&op)) ops.push_back(op);
+  workload::save_trace(out, ops);
+  std::cout << "wrote " << ops.size() << " ops (" << label << ") to " << out
+            << "\n";
+  return 0;
+}
+
+int cmd_hw(const Config& cfg) {
+  const int fi = static_cast<int>(cfg.get_int("fi", 10));
+  const int cb = static_cast<int>(cfg.get_int("cb", 10));
+  const auto mips = hwmodel::mips_baseline();
+  TextTable t("Per-core hardware (65nm, 300MHz)");
+  t.set_header({"config", "core um^2", "L1 um^2", "total um^2", "power W",
+                "area ovh", "power ovh"});
+  for (const auto& hw :
+       {mips, hwmodel::reunion_core(fi), hwmodel::unsync_core(cb),
+        hwmodel::unsync_hardened_core(cb)}) {
+    t.add_row({hw.name, TextTable::num(hw.core_area_um2, 0),
+               TextTable::num(hw.l1_area_um2, 0),
+               TextTable::num(hw.total_area_um2(), 0),
+               TextTable::num(hw.total_power_w(), 3),
+               TextTable::pct(hw.area_overhead_vs(mips)),
+               TextTable::pct(hw.power_overhead_vs(mips))});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_list() {
+  std::cout << "benchmark profiles:\n";
+  for (const auto& p : workload::all_profiles()) {
+    std::cout << "  " << p.name << " (" << p.suite << ", serializing "
+              << TextTable::pct(p.mix.serializing, 1) << ", stores "
+              << TextTable::pct(p.mix.store, 0) << ")\n";
+  }
+  std::cout << "kernels:\n";
+  for (const auto& k : workload::standard_kernel_suite()) {
+    std::cout << "  " << k.name << "\n";
+  }
+  std::cout << "systems: baseline unsync reunion lockstep checkpoint\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> positional;
+  const Config cfg = Config::from_args(argc - 1, argv + 1, &positional);
+  try {
+    if (command == "run") return cmd_run(cfg);
+    if (command == "sweep") return cmd_sweep(cfg);
+    if (command == "characterize") return cmd_characterize(cfg);
+    if (command == "asm") return cmd_asm(cfg);
+    if (command == "record") return cmd_record(cfg);
+    if (command == "hw") return cmd_hw(cfg);
+    if (command == "list") return cmd_list();
+  } catch (const isa::AsmError& e) {
+    std::cerr << "assembly error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
