@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_redundancy"
+  "../bench/bench_ablation_redundancy.pdb"
+  "CMakeFiles/bench_ablation_redundancy.dir/bench_ablation_redundancy.cpp.o"
+  "CMakeFiles/bench_ablation_redundancy.dir/bench_ablation_redundancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_writepolicy"
+  "../bench/bench_ablation_writepolicy.pdb"
+  "CMakeFiles/bench_ablation_writepolicy.dir/bench_ablation_writepolicy.cpp.o"
+  "CMakeFiles/bench_ablation_writepolicy.dir/bench_ablation_writepolicy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_writepolicy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

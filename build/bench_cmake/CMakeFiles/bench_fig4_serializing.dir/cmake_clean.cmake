@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_serializing"
+  "../bench/bench_fig4_serializing.pdb"
+  "CMakeFiles/bench_fig4_serializing.dir/bench_fig4_serializing.cpp.o"
+  "CMakeFiles/bench_fig4_serializing.dir/bench_fig4_serializing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_serializing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_rob_occupancy"
+  "../bench/bench_fig5_rob_occupancy.pdb"
+  "CMakeFiles/bench_fig5_rob_occupancy.dir/bench_fig5_rob_occupancy.cpp.o"
+  "CMakeFiles/bench_fig5_rob_occupancy.dir/bench_fig5_rob_occupancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_rob_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multiprogram"
+  "../bench/bench_multiprogram.pdb"
+  "CMakeFiles/bench_multiprogram.dir/bench_multiprogram.cpp.o"
+  "CMakeFiles/bench_multiprogram.dir/bench_multiprogram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiprogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_die_projection"
+  "../bench/bench_table3_die_projection.pdb"
+  "CMakeFiles/bench_table3_die_projection.dir/bench_table3_die_projection.cpp.o"
+  "CMakeFiles/bench_table3_die_projection.dir/bench_table3_die_projection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_die_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/design_explorer"
+  "../examples/design_explorer.pdb"
+  "CMakeFiles/design_explorer.dir/design_explorer.cpp.o"
+  "CMakeFiles/design_explorer.dir/design_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/kernel_campaign"
+  "../examples/kernel_campaign.pdb"
+  "CMakeFiles/kernel_campaign.dir/kernel_campaign.cpp.o"
+  "CMakeFiles/kernel_campaign.dir/kernel_campaign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

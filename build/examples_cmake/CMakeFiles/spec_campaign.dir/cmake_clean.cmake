@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/spec_campaign"
+  "../examples/spec_campaign.pdb"
+  "CMakeFiles/spec_campaign.dir/spec_campaign.cpp.o"
+  "CMakeFiles/spec_campaign.dir/spec_campaign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsync_common.dir/config.cpp.o"
+  "CMakeFiles/unsync_common.dir/config.cpp.o.d"
+  "CMakeFiles/unsync_common.dir/log.cpp.o"
+  "CMakeFiles/unsync_common.dir/log.cpp.o.d"
+  "CMakeFiles/unsync_common.dir/rng.cpp.o"
+  "CMakeFiles/unsync_common.dir/rng.cpp.o.d"
+  "CMakeFiles/unsync_common.dir/stats.cpp.o"
+  "CMakeFiles/unsync_common.dir/stats.cpp.o.d"
+  "CMakeFiles/unsync_common.dir/table.cpp.o"
+  "CMakeFiles/unsync_common.dir/table.cpp.o.d"
+  "libunsync_common.a"
+  "libunsync_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsync_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

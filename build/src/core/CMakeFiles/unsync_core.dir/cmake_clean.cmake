@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsync_core.dir/baseline.cpp.o"
+  "CMakeFiles/unsync_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/unsync_core.dir/fingerprint.cpp.o"
+  "CMakeFiles/unsync_core.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/unsync_core.dir/related_work.cpp.o"
+  "CMakeFiles/unsync_core.dir/related_work.cpp.o.d"
+  "CMakeFiles/unsync_core.dir/report.cpp.o"
+  "CMakeFiles/unsync_core.dir/report.cpp.o.d"
+  "CMakeFiles/unsync_core.dir/reunion_system.cpp.o"
+  "CMakeFiles/unsync_core.dir/reunion_system.cpp.o.d"
+  "CMakeFiles/unsync_core.dir/unsync_system.cpp.o"
+  "CMakeFiles/unsync_core.dir/unsync_system.cpp.o.d"
+  "libunsync_core.a"
+  "libunsync_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsync_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/bpred.cpp" "src/cpu/CMakeFiles/unsync_cpu.dir/bpred.cpp.o" "gcc" "src/cpu/CMakeFiles/unsync_cpu.dir/bpred.cpp.o.d"
+  "/root/repo/src/cpu/ooo_core.cpp" "src/cpu/CMakeFiles/unsync_cpu.dir/ooo_core.cpp.o" "gcc" "src/cpu/CMakeFiles/unsync_cpu.dir/ooo_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unsync_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/unsync_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/unsync_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/unsync_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

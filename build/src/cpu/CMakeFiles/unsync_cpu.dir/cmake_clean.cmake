@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsync_cpu.dir/bpred.cpp.o"
+  "CMakeFiles/unsync_cpu.dir/bpred.cpp.o.d"
+  "CMakeFiles/unsync_cpu.dir/ooo_core.cpp.o"
+  "CMakeFiles/unsync_cpu.dir/ooo_core.cpp.o.d"
+  "libunsync_cpu.a"
+  "libunsync_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsync_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/ecc.cpp" "src/fault/CMakeFiles/unsync_fault.dir/ecc.cpp.o" "gcc" "src/fault/CMakeFiles/unsync_fault.dir/ecc.cpp.o.d"
+  "/root/repo/src/fault/injector.cpp" "src/fault/CMakeFiles/unsync_fault.dir/injector.cpp.o" "gcc" "src/fault/CMakeFiles/unsync_fault.dir/injector.cpp.o.d"
+  "/root/repo/src/fault/protection.cpp" "src/fault/CMakeFiles/unsync_fault.dir/protection.cpp.o" "gcc" "src/fault/CMakeFiles/unsync_fault.dir/protection.cpp.o.d"
+  "/root/repo/src/fault/ser.cpp" "src/fault/CMakeFiles/unsync_fault.dir/ser.cpp.o" "gcc" "src/fault/CMakeFiles/unsync_fault.dir/ser.cpp.o.d"
+  "/root/repo/src/fault/vulnerability.cpp" "src/fault/CMakeFiles/unsync_fault.dir/vulnerability.cpp.o" "gcc" "src/fault/CMakeFiles/unsync_fault.dir/vulnerability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unsync_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/unsync_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/unsync_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/unsync_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/unsync_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

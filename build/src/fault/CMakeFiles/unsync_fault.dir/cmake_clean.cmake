@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsync_fault.dir/ecc.cpp.o"
+  "CMakeFiles/unsync_fault.dir/ecc.cpp.o.d"
+  "CMakeFiles/unsync_fault.dir/injector.cpp.o"
+  "CMakeFiles/unsync_fault.dir/injector.cpp.o.d"
+  "CMakeFiles/unsync_fault.dir/protection.cpp.o"
+  "CMakeFiles/unsync_fault.dir/protection.cpp.o.d"
+  "CMakeFiles/unsync_fault.dir/ser.cpp.o"
+  "CMakeFiles/unsync_fault.dir/ser.cpp.o.d"
+  "CMakeFiles/unsync_fault.dir/vulnerability.cpp.o"
+  "CMakeFiles/unsync_fault.dir/vulnerability.cpp.o.d"
+  "libunsync_fault.a"
+  "libunsync_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsync_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libunsync_fault.a"
+)

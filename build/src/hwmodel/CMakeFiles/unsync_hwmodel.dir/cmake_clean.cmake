@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsync_hwmodel.dir/cache_model.cpp.o"
+  "CMakeFiles/unsync_hwmodel.dir/cache_model.cpp.o.d"
+  "CMakeFiles/unsync_hwmodel.dir/components.cpp.o"
+  "CMakeFiles/unsync_hwmodel.dir/components.cpp.o.d"
+  "CMakeFiles/unsync_hwmodel.dir/core_model.cpp.o"
+  "CMakeFiles/unsync_hwmodel.dir/core_model.cpp.o.d"
+  "CMakeFiles/unsync_hwmodel.dir/die_projection.cpp.o"
+  "CMakeFiles/unsync_hwmodel.dir/die_projection.cpp.o.d"
+  "CMakeFiles/unsync_hwmodel.dir/energy.cpp.o"
+  "CMakeFiles/unsync_hwmodel.dir/energy.cpp.o.d"
+  "libunsync_hwmodel.a"
+  "libunsync_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsync_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

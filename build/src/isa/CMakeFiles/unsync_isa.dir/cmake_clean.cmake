@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsync_isa.dir/assembler.cpp.o"
+  "CMakeFiles/unsync_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/unsync_isa.dir/functional_sim.cpp.o"
+  "CMakeFiles/unsync_isa.dir/functional_sim.cpp.o.d"
+  "CMakeFiles/unsync_isa.dir/isa.cpp.o"
+  "CMakeFiles/unsync_isa.dir/isa.cpp.o.d"
+  "libunsync_isa.a"
+  "libunsync_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsync_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsync_mem.dir/bus.cpp.o"
+  "CMakeFiles/unsync_mem.dir/bus.cpp.o.d"
+  "CMakeFiles/unsync_mem.dir/cache.cpp.o"
+  "CMakeFiles/unsync_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/unsync_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/unsync_mem.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/unsync_mem.dir/tlb.cpp.o"
+  "CMakeFiles/unsync_mem.dir/tlb.cpp.o.d"
+  "libunsync_mem.a"
+  "libunsync_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsync_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

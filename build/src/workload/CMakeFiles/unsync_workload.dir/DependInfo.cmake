@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/kernels.cpp" "src/workload/CMakeFiles/unsync_workload.dir/kernels.cpp.o" "gcc" "src/workload/CMakeFiles/unsync_workload.dir/kernels.cpp.o.d"
+  "/root/repo/src/workload/phased.cpp" "src/workload/CMakeFiles/unsync_workload.dir/phased.cpp.o" "gcc" "src/workload/CMakeFiles/unsync_workload.dir/phased.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/workload/CMakeFiles/unsync_workload.dir/profile.cpp.o" "gcc" "src/workload/CMakeFiles/unsync_workload.dir/profile.cpp.o.d"
+  "/root/repo/src/workload/stream_stats.cpp" "src/workload/CMakeFiles/unsync_workload.dir/stream_stats.cpp.o" "gcc" "src/workload/CMakeFiles/unsync_workload.dir/stream_stats.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/unsync_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/unsync_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/unsync_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/unsync_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unsync_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/unsync_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

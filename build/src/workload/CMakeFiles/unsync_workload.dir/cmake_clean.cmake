@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsync_workload.dir/kernels.cpp.o"
+  "CMakeFiles/unsync_workload.dir/kernels.cpp.o.d"
+  "CMakeFiles/unsync_workload.dir/phased.cpp.o"
+  "CMakeFiles/unsync_workload.dir/phased.cpp.o.d"
+  "CMakeFiles/unsync_workload.dir/profile.cpp.o"
+  "CMakeFiles/unsync_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/unsync_workload.dir/stream_stats.cpp.o"
+  "CMakeFiles/unsync_workload.dir/stream_stats.cpp.o.d"
+  "CMakeFiles/unsync_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/unsync_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/unsync_workload.dir/trace.cpp.o"
+  "CMakeFiles/unsync_workload.dir/trace.cpp.o.d"
+  "libunsync_workload.a"
+  "libunsync_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsync_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/test_config.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_config.dir/test_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/unsync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/unsync_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/unsync_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/unsync_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/unsync_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/unsync_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/unsync_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unsync_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

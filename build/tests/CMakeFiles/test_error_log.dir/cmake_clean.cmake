@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_log.dir/test_error_log.cpp.o"
+  "CMakeFiles/test_error_log.dir/test_error_log.cpp.o.d"
+  "test_error_log"
+  "test_error_log.pdb"
+  "test_error_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional_sim.dir/test_functional_sim.cpp.o"
+  "CMakeFiles/test_functional_sim.dir/test_functional_sim.cpp.o.d"
+  "test_functional_sim"
+  "test_functional_sim.pdb"
+  "test_functional_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_details.dir/test_mem_details.cpp.o"
+  "CMakeFiles/test_mem_details.dir/test_mem_details.cpp.o.d"
+  "test_mem_details"
+  "test_mem_details.pdb"
+  "test_mem_details[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phased.dir/test_phased.cpp.o"
+  "CMakeFiles/test_phased.dir/test_phased.cpp.o.d"
+  "test_phased"
+  "test_phased.pdb"
+  "test_phased[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phased.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_related_work.dir/test_related_work.cpp.o"
+  "CMakeFiles/test_related_work.dir/test_related_work.cpp.o.d"
+  "test_related_work"
+  "test_related_work.pdb"
+  "test_related_work[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

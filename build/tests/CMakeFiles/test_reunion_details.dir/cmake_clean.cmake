@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reunion_details.dir/test_reunion_details.cpp.o"
+  "CMakeFiles/test_reunion_details.dir/test_reunion_details.cpp.o.d"
+  "test_reunion_details"
+  "test_reunion_details.pdb"
+  "test_reunion_details[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reunion_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reunion_system.dir/test_reunion_system.cpp.o"
+  "CMakeFiles/test_reunion_system.dir/test_reunion_system.cpp.o.d"
+  "test_reunion_system"
+  "test_reunion_system.pdb"
+  "test_reunion_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reunion_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_helpers.dir/test_system_helpers.cpp.o"
+  "CMakeFiles/test_system_helpers.dir/test_system_helpers.cpp.o.d"
+  "test_system_helpers"
+  "test_system_helpers.pdb"
+  "test_system_helpers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unsync_nway.dir/test_unsync_nway.cpp.o"
+  "CMakeFiles/test_unsync_nway.dir/test_unsync_nway.cpp.o.d"
+  "test_unsync_nway"
+  "test_unsync_nway.pdb"
+  "test_unsync_nway[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unsync_nway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/unsync_sim"
+  "../tools/unsync_sim.pdb"
+  "CMakeFiles/unsync_sim.dir/unsync_sim.cpp.o"
+  "CMakeFiles/unsync_sim.dir/unsync_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsync_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

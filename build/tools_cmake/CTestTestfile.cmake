@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools_cmake
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/unsync_sim" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_hw "/root/repo/build/tools/unsync_sim" "hw")
+set_tests_properties(cli_hw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_unsync "/root/repo/build/tools/unsync_sim" "run" "system=unsync" "bench=gzip" "insts=3000")
+set_tests_properties(cli_run_unsync PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_reunion_kernel "/root/repo/build/tools/unsync_sim" "run" "system=reunion" "kernel=matmul_8" "report=1")
+set_tests_properties(cli_run_reunion_kernel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_csv "/root/repo/build/tools/unsync_sim" "run" "system=baseline" "bench=mcf" "insts=2000" "csv=1")
+set_tests_properties(cli_run_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_characterize "/root/repo/build/tools/unsync_sim" "characterize" "bench=susan" "insts=5000")
+set_tests_properties(cli_characterize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep_cb "/root/repo/build/tools/unsync_sim" "sweep" "param=cb" "values=8,64" "system=unsync" "bench=susan" "insts=4000")
+set_tests_properties(cli_sweep_cb PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep_fi "/root/repo/build/tools/unsync_sim" "sweep" "param=fi" "values=1,30" "system=reunion" "bench=galgel" "insts=4000")
+set_tests_properties(cli_sweep_fi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_system "/root/repo/build/tools/unsync_sim" "run" "system=bogus" "bench=gzip")
+set_tests_properties(cli_bad_system PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_workload "/root/repo/build/tools/unsync_sim" "run" "system=unsync")
+set_tests_properties(cli_bad_workload PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_prog_dot_product "/root/repo/build/tools/unsync_sim" "asm" "program=/root/repo/examples/programs/dot_product.s")
+set_tests_properties(cli_prog_dot_product PROPERTIES  PASS_REGULAR_EXPRESSION "output\\[0\\] = 176800" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_prog_string_hash "/root/repo/build/tools/unsync_sim" "asm" "program=/root/repo/examples/programs/string_hash.s")
+set_tests_properties(cli_prog_string_hash PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_prog_collatz "/root/repo/build/tools/unsync_sim" "run" "system=reunion" "program=/root/repo/examples/programs/collatz.s")
+set_tests_properties(cli_prog_collatz PROPERTIES  PASS_REGULAR_EXPRESSION "cycles" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;35;add_test;/root/repo/tools/CMakeLists.txt;0;")
