@@ -23,13 +23,29 @@ int main(int argc, char** argv) {
   t.set_header({"Benchmark", "serializing%", "base IPC", "Reunion IPC",
                 "UnSync IPC", "Reunion ovh%", "UnSync ovh%"});
 
+  // Grid: (benchmark x {baseline, reunion, unsync}) across host workers.
+  const auto& profiles = workload::all_profiles();
+  std::vector<runtime::SimJob> jobs;
+  jobs.reserve(profiles.size() * 3);
+  for (const auto& prof : profiles) {
+    auto b = bench::sim_job(args, prof.name, runtime::SystemKind::kBaseline);
+    auto r = bench::sim_job(args, prof.name, runtime::SystemKind::kReunion);
+    r.reunion = rp;
+    auto u = bench::sim_job(args, prof.name, runtime::SystemKind::kUnSync);
+    u.unsync = up;
+    jobs.push_back(std::move(b));
+    jobs.push_back(std::move(r));
+    jobs.push_back(std::move(u));
+  }
+  const auto grid = bench::run_grid(args, jobs);
+
   double reunion_sum = 0, unsync_sum = 0;
   int n = 0;
-  for (const auto& prof : workload::all_profiles()) {
-    const double base = bench::baseline_ipc(args, prof.name);
-    const double reunion =
-        bench::reunion_run(args, prof.name, rp).thread_ipc();
-    const double unsync = bench::unsync_run(args, prof.name, up).thread_ipc();
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto& prof = profiles[i];
+    const double base = grid.results[i * 3 + 0].thread_ipc();
+    const double reunion = grid.results[i * 3 + 1].thread_ipc();
+    const double unsync = grid.results[i * 3 + 2].thread_ipc();
     const double r_ovh = (base - reunion) / base * 100.0;
     const double u_ovh = (base - unsync) / base * 100.0;
     reunion_sum += r_ovh;

@@ -3,7 +3,9 @@
 // A full CB stalls commit until the partner core catches up and the bus
 // drains an entry, so store-heavy applications suffer with small CBs;
 // 2 KiB / 4 KiB buffers eliminate the bottleneck and match baseline.
+#include <algorithm>
 #include <iostream>
+#include <iterator>
 
 #include "bench_util.hpp"
 
@@ -25,17 +27,31 @@ int main(int argc, char** argv) {
 
   const char* benches[] = {"susan", "gzip", "bzip2", "qsort", "gcc",
                            "equake", "mcf", "galgel"};
+
+  // Grid: (benchmark x (baseline + every CB size)) across host workers.
+  constexpr std::size_t kCells = 1 + std::size(sizes_bytes);
+  std::vector<runtime::SimJob> jobs;
+  jobs.reserve(std::size(benches) * kCells);
   for (const auto* name : benches) {
-    const double base = bench::baseline_ipc(args, name);
-    std::vector<std::string> row = {name, TextTable::num(base, 3)};
-    std::uint64_t small_stalls = 0;
+    jobs.push_back(
+        bench::sim_job(args, name, runtime::SystemKind::kBaseline));
     for (const auto bytes : sizes_bytes) {
-      core::UnSyncParams p;
-      p.cb_entries = std::max<std::size_t>(
+      auto job = bench::sim_job(args, name, runtime::SystemKind::kUnSync);
+      job.unsync.cb_entries = std::max<std::size_t>(
           1, core::UnSyncParams::entries_for_bytes(bytes));
-      const auto r = bench::unsync_run(args, name, p);
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto grid = bench::run_grid(args, jobs);
+
+  for (std::size_t b = 0; b < std::size(benches); ++b) {
+    const double base = grid.results[b * kCells].thread_ipc();
+    std::vector<std::string> row = {benches[b], TextTable::num(base, 3)};
+    std::uint64_t small_stalls = 0;
+    for (std::size_t s = 0; s < std::size(sizes_bytes); ++s) {
+      const auto& r = grid.results[b * kCells + 1 + s];
       row.push_back(TextTable::num(r.thread_ipc() / base, 3));
-      if (bytes == 64) small_stalls = r.cb_full_stalls;
+      if (sizes_bytes[s] == 64) small_stalls = r.cb_full_stalls;
     }
     row.push_back(std::to_string(small_stalls));
     t.add_row(row);

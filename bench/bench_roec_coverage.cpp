@@ -1,9 +1,12 @@
 // §VI-D: region of error coverage (ROEC), plus the write-through ablation
 // of §III-C.1 (Figure 2) verified by fault injection on the golden model.
 #include <iostream>
+#include <iterator>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "fault/injector.hpp"
+#include "runtime/thread_pool.hpp"
 #include "fault/protection.hpp"
 #include "fault/ser.hpp"
 #include "fault/vulnerability.hpp"
@@ -64,14 +67,32 @@ int main(int argc, char** argv) {
             << "\n\n";
 
   // --- Part 2: Monte-Carlo injection campaigns on the golden model. -------
+  // The four campaigns are independent; run them across host workers and
+  // print the tables in declaration order.
   const auto prog = campaign_program();
-  auto campaign = [&](const ProtectionPlan& plan, bool write_through,
-                      const char* label) {
-    InjectionConfig cfg;
-    cfg.trials = 400;
-    cfg.seed = args.seed;
-    cfg.l1_write_through = write_through;
-    const auto r = run_campaign(prog, plan, cfg);
+  struct CampaignSpec {
+    ProtectionPlan plan;
+    bool write_through;
+    const char* label;
+  };
+  const CampaignSpec specs[] = {
+      {unsync_plan(), true, "UnSync plan, write-through L1"},
+      {unsync_plan(), false, "UnSync plan, write-back L1 (Fig. 2 ablation)"},
+      {reunion_plan(), true, "Reunion plan"},
+      {baseline_plan(), true, "unprotected baseline"},
+  };
+  std::vector<CampaignResult> campaign_results(std::size(specs));
+  {
+    runtime::ThreadPool pool(args.workers);
+    pool.parallel_for(std::size(specs), [&](std::size_t i) {
+      InjectionConfig cfg;
+      cfg.trials = 400;
+      cfg.seed = args.seed;
+      cfg.l1_write_through = specs[i].write_through;
+      campaign_results[i] = run_campaign(prog, specs[i].plan, cfg);
+    });
+  }
+  auto print_campaign = [&](const CampaignResult& r, const char* label) {
     TextTable t(std::string("Campaign: ") + label);
     t.set_header({"outcome", "count", "fraction"});
     t.add_row({"masked", std::to_string(r.masked),
@@ -92,11 +113,9 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   };
 
-  campaign(unsync_plan(), true, "UnSync plan, write-through L1");
-  campaign(unsync_plan(), false,
-           "UnSync plan, write-back L1 (Fig. 2 ablation)");
-  campaign(reunion_plan(), true, "Reunion plan");
-  campaign(baseline_plan(), true, "unprotected baseline");
+  for (std::size_t i = 0; i < std::size(specs); ++i) {
+    print_campaign(campaign_results[i], specs[i].label);
+  }
 
   // --- Part 3: AVF-style exposure weighting (a timing-sim run drives the
   // residency model; the paper's [25] argument made quantitative). --------

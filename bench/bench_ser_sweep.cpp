@@ -8,6 +8,7 @@
 // rollback finally beats UnSync's expensive state copy.
 #include <cmath>
 #include <iostream>
+#include <iterator>
 
 #include "bench_util.hpp"
 #include "fault/ser.hpp"
@@ -30,14 +31,31 @@ int main(int argc, char** argv) {
   t.set_header({"SER/inst", "UnSync IPC", "Reunion IPC", "UnSync/Reunion",
                 "recoveries", "rollbacks"});
 
+  // Grid: (rate x benchmark x {unsync, reunion}) across host workers.
+  constexpr std::size_t kNumBenches = std::size(benches);
+  std::vector<runtime::SimJob> jobs;
+  jobs.reserve(std::size(rates) * kNumBenches * 2);
+  for (const double ser : rates) {
+    for (const auto* name : benches) {
+      auto u = bench::sim_job(args, name, runtime::SystemKind::kUnSync, ser);
+      u.unsync = up;
+      auto r = bench::sim_job(args, name, runtime::SystemKind::kReunion, ser);
+      r.reunion = rp;
+      jobs.push_back(std::move(u));
+      jobs.push_back(std::move(r));
+    }
+  }
+  const auto grid = bench::run_grid(args, jobs);
+
   double crossover = -1.0;
   double prev_ratio = 2.0;
+  std::size_t job_i = 0;
   for (const double ser : rates) {
     double u_sum = 0, r_sum = 0;
     std::uint64_t recov = 0, rolls = 0;
-    for (const auto* name : benches) {
-      const auto u = bench::unsync_run(args, name, up, ser);
-      const auto r = bench::reunion_run(args, name, rp, ser);
+    for (std::size_t b = 0; b < kNumBenches; ++b) {
+      const auto& u = grid.results[job_i++];
+      const auto& r = grid.results[job_i++];
       u_sum += u.thread_ipc();
       r_sum += r.thread_ipc();
       recov += u.recoveries;

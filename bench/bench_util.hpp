@@ -7,16 +7,19 @@
 //   insts=<N>    dynamic instructions per benchmark run   (default 30000)
 //   seed=<N>     workload seed                             (default 42)
 //   threads=<N>  application threads (pairs for redundant) (default 1)
+//   workers=<N>  host threads for grid fan-out             (default cores)
 #pragma once
 
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/baseline.hpp"
 #include "core/reunion_system.hpp"
 #include "core/unsync_system.hpp"
+#include "runtime/campaign.hpp"
 #include "workload/profile.hpp"
 #include "workload/synthetic.hpp"
 
@@ -26,6 +29,7 @@ struct BenchArgs {
   std::uint64_t insts = 30000;
   std::uint64_t seed = 42;
   unsigned threads = 1;
+  unsigned workers = 0;  // 0 = hardware concurrency
 
   static BenchArgs parse(int argc, char** argv) {
     const Config cfg = Config::from_args(argc, argv);
@@ -33,6 +37,8 @@ struct BenchArgs {
     a.insts = static_cast<std::uint64_t>(cfg.get_int("insts", 30000));
     a.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
     a.threads = static_cast<unsigned>(cfg.get_int("threads", 1));
+    a.workers = static_cast<unsigned>(cfg.get_int("workers", 0));
+    cfg.report_unused("bench");
     return a;
   }
 
@@ -70,6 +76,32 @@ inline core::RunResult reunion_run(const BenchArgs& a, const std::string& bench,
   workload::SyntheticStream s = a.stream(bench);
   core::ReunionSystem sys(a.system_config(ser), p, s);
   return sys.run();
+}
+
+/// One grid cell with the bench harness's fixed-seed semantics (every cell
+/// runs the identical same-seed workload stream, as the serial helpers
+/// above always did).
+inline runtime::SimJob sim_job(const BenchArgs& a, const std::string& bench,
+                               runtime::SystemKind system, double ser = 0.0) {
+  runtime::SimJob job;
+  job.label = bench;
+  job.profile = bench;
+  job.insts = a.insts;
+  job.seed = a.seed;
+  job.app_threads = a.threads;
+  job.ser_per_inst = ser;
+  job.system = system;
+  return job;
+}
+
+/// Fans a grid out across workers= host threads; results come back in
+/// submission order, so table rows are independent of the worker count.
+inline runtime::CampaignOutput run_grid(const BenchArgs& a,
+                                        const std::vector<runtime::SimJob>& jobs) {
+  runtime::CampaignRunner::Options opts;
+  opts.threads = a.workers;
+  opts.campaign_seed = a.seed;
+  return runtime::CampaignRunner(opts).run(jobs);
 }
 
 inline void print_header(const std::string& what, const BenchArgs& a) {

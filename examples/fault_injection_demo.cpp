@@ -6,6 +6,7 @@
 // paper's Figure-2 write-back hazard.
 //
 //   ./build/examples/fault_injection_demo [trials=300] [seed=1]
+//                                         [threads=<host workers>]
 #include <iostream>
 
 #include "common/config.hpp"
@@ -13,6 +14,7 @@
 #include "fault/injector.hpp"
 #include "isa/assembler.hpp"
 #include "isa/functional_sim.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace {
 
@@ -120,10 +122,33 @@ int main(int argc, char** argv) {
               " trials per row)");
   t.set_header({"plan", "L1 policy", "masked", "corrected", "recovered",
                 "unrecoverable", "SDC"});
-  auto row = [&](const ProtectionPlan& plan, bool wt, const char* policy) {
-    icfg.l1_write_through = wt;
-    const auto r = run_campaign(prog, plan, icfg);
-    t.add_row({plan.name, policy, std::to_string(r.masked),
+
+  // The four campaigns are independent Monte-Carlo runs: execute them
+  // concurrently, then add the rows in declaration order.
+  struct RowSpec {
+    ProtectionPlan plan;
+    bool write_through;
+    const char* policy;
+  };
+  const RowSpec specs[] = {
+      {unsync_plan(), true, "write-through"},
+      {unsync_plan(), false, "write-back (Fig.2)"},
+      {reunion_plan(), true, "write-through"},
+      {baseline_plan(), true, "write-through"},
+  };
+  std::vector<CampaignResult> results(std::size(specs));
+  runtime::ThreadPool pool(
+      static_cast<unsigned>(cfg.get_int("threads", 0)));
+  pool.parallel_for(std::size(specs), [&](std::size_t i) {
+    InjectionConfig row_cfg = icfg;
+    row_cfg.l1_write_through = specs[i].write_through;
+    results[i] = run_campaign(prog, specs[i].plan, row_cfg);
+  });
+  cfg.report_unused("fault_injection_demo");
+
+  for (std::size_t i = 0; i < std::size(specs); ++i) {
+    const auto& r = results[i];
+    t.add_row({specs[i].plan.name, specs[i].policy, std::to_string(r.masked),
                std::to_string(r.corrected_in_place),
                std::to_string(r.recovered), std::to_string(r.unrecoverable),
                std::to_string(r.sdc)});
@@ -131,11 +156,7 @@ int main(int argc, char** argv) {
       std::cerr << "MODEL BUG: " << r.recovery_failures
                 << " recoveries diverged from golden\n";
     }
-  };
-  row(unsync_plan(), true, "write-through");
-  row(unsync_plan(), false, "write-back (Fig.2)");
-  row(reunion_plan(), true, "write-through");
-  row(baseline_plan(), true, "write-through");
+  }
   t.print(std::cout);
 
   std::cout << "\nReading the table:\n"

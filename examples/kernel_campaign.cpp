@@ -3,17 +3,19 @@
 // UTRC format), and replays them through all five architectures — the
 // complete §II landscape on real programs rather than statistical streams.
 //
+// The (kernel x architecture) grid runs across host threads; each kernel's
+// trace is recorded once and shared (immutable) by its five jobs.
+//
 //   ./build/examples/kernel_campaign [save_traces=0] [verbose=0]
+//                                    [threads=<host workers>]
 #include <filesystem>
 #include <iostream>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "core/baseline.hpp"
-#include "core/related_work.hpp"
 #include "core/report.hpp"
-#include "core/reunion_system.hpp"
-#include "core/unsync_system.hpp"
+#include "runtime/campaign.hpp"
+#include "runtime/thread_pool.hpp"
 #include "workload/kernels.hpp"
 #include "workload/trace.hpp"
 
@@ -22,47 +24,69 @@ int main(int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
   const bool save = cfg.get_bool("save_traces", false);
   const bool verbose = cfg.get_bool("verbose", false);
+  const auto threads = static_cast<unsigned>(cfg.get_int("threads", 0));
 
-  core::SystemConfig sys_cfg;
-  sys_cfg.num_threads = 1;
-  core::UnSyncParams up;
-  up.cb_entries = 128;
+  runtime::SimJob base;
+  base.unsync.cb_entries = 128;
+  base.seed = 42;  // traces carry their own determinism; systems see ser=0
+
+  constexpr runtime::SystemKind kSystems[] = {
+      runtime::SystemKind::kBaseline, runtime::SystemKind::kLockstep,
+      runtime::SystemKind::kCheckpoint, runtime::SystemKind::kReunion,
+      runtime::SystemKind::kUnSync};
+  const auto suite = workload::standard_kernel_suite();
+
+  // Record every kernel's trace concurrently (the golden-model runs are
+  // independent), then share each trace across that kernel's five jobs.
+  std::vector<std::shared_ptr<const std::vector<workload::DynOp>>> traces(
+      suite.size());
+  {
+    runtime::ThreadPool pool(threads);
+    pool.parallel_for(suite.size(), [&](std::size_t i) {
+      traces[i] = std::make_shared<const std::vector<workload::DynOp>>(
+          workload::record_trace(workload::assemble(suite[i]), 3'000'000));
+    });
+  }
+  if (save) {
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      const auto path = std::filesystem::temp_directory_path() /
+                        (suite[i].name + ".utrc");
+      workload::save_trace(path.string(), *traces[i]);
+      std::cout << "saved " << path.string() << " (" << traces[i]->size()
+                << " ops)\n";
+    }
+  }
+
+  std::vector<runtime::SimJob> jobs;
+  jobs.reserve(suite.size() * 5);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    for (const auto kind : kSystems) {
+      runtime::SimJob job = base;
+      job.label = suite[i].name;
+      job.trace = traces[i];
+      job.system = kind;
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  runtime::CampaignRunner::Options opts;
+  opts.threads = threads;
+  opts.campaign_seed = 42;
+  const auto out = runtime::CampaignRunner(opts).run(jobs);
+  cfg.report_unused("kernel_campaign");
 
   TextTable t("URISC kernel suite across architectures (per-thread IPC)");
   t.set_header({"kernel", "insts", "baseline", "lockstep", "checkpoint",
                 "reunion", "unsync"});
-
-  for (const auto& kernel : workload::standard_kernel_suite()) {
-    auto ops = workload::record_trace(workload::assemble(kernel), 3'000'000);
-    if (save) {
-      const auto path =
-          std::filesystem::temp_directory_path() / (kernel.name + ".utrc");
-      workload::save_trace(path.string(), ops);
-      std::cout << "saved " << path.string() << " (" << ops.size()
-                << " ops)\n";
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    std::vector<std::string> row = {suite[i].name,
+                                    std::to_string(traces[i]->size())};
+    for (std::size_t s = 0; s < 5; ++s) {
+      row.push_back(TextTable::num(out.results[i * 5 + s].thread_ipc(), 3));
     }
-    workload::TraceStream trace(std::move(ops));
-
-    core::BaselineSystem base(sys_cfg, trace);
-    core::LockstepSystem lock(sys_cfg, core::LockstepParams{}, trace);
-    core::DmrCheckpointSystem check(sys_cfg, core::CheckpointParams{}, trace);
-    core::ReunionSystem reunion(sys_cfg, core::ReunionParams{}, trace);
-    core::UnSyncSystem unsync_sys(sys_cfg, up, trace);
-
-    const auto rb = base.run();
-    const auto rl = lock.run();
-    const auto rc = check.run();
-    const auto rr = reunion.run();
-    const auto ru = unsync_sys.run();
-
-    t.add_row({kernel.name, std::to_string(trace.length()),
-               TextTable::num(rb.thread_ipc(), 3),
-               TextTable::num(rl.thread_ipc(), 3),
-               TextTable::num(rc.thread_ipc(), 3),
-               TextTable::num(rr.thread_ipc(), 3),
-               TextTable::num(ru.thread_ipc(), 3)});
+    t.add_row(row);
     if (verbose) {
-      core::RunReport(ru, &unsync_sys.memory()).print(std::cout);
+      core::RunReport(out.results[i * 5 + 4]).print(std::cout);
       std::cout << "\n";
     }
   }
@@ -71,5 +95,8 @@ int main(int argc, char** argv) {
   std::cout << "\nNote the membar_ping row: a barrier-bound loop is the "
                "worst case for Reunion's\nserializing synchronisation and "
                "leaves UnSync (which never synchronises) untouched.\n";
+  std::cerr << "[campaign] " << jobs.size() << " jobs, "
+            << out.total_instructions() << " simulated instructions in "
+            << TextTable::num(out.wall_seconds, 2) << "s\n";
   return 0;
 }

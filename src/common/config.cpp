@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iostream>
 #include <stdexcept>
 
 namespace unsync {
@@ -13,6 +14,10 @@ Config Config::from_args(int argc, const char* const* argv,
     const std::string arg = argv[i];
     const auto eq = arg.find('=');
     if (eq == std::string::npos || eq == 0) {
+      if (eq == 0) {
+        std::cerr << "warning: malformed argument '" << arg
+                  << "' (empty key before '=')\n";
+      }
       if (positional) positional->push_back(arg);
       continue;
     }
@@ -22,20 +27,23 @@ Config Config::from_args(int argc, const char* const* argv,
 }
 
 void Config::set(const std::string& key, const std::string& value) {
-  for (auto& [k, v] : entries_) {
-    if (k == key) {
-      v = value;
+  for (auto& e : entries_) {
+    if (e.key == key) {
+      e.value = value;
       return;
     }
   }
-  entries_.emplace_back(key, value);
+  entries_.push_back({key, value, false});
 }
 
 bool Config::has(const std::string& key) const { return find(key).has_value(); }
 
 std::optional<std::string> Config::find(const std::string& key) const {
-  for (const auto& [k, v] : entries_) {
-    if (k == key) return v;
+  for (const auto& e : entries_) {
+    if (e.key == key) {
+      e.accessed = true;
+      return e.value;
+    }
   }
   return std::nullopt;
 }
@@ -82,8 +90,26 @@ bool Config::get_bool(const std::string& key, bool fallback) const {
 std::vector<std::string> Config::keys() const {
   std::vector<std::string> out;
   out.reserve(entries_.size());
-  for (const auto& [k, v] : entries_) out.push_back(k);
+  for (const auto& e : entries_) out.push_back(e.key);
   return out;
+}
+
+std::vector<std::string> Config::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& e : entries_) {
+    if (!e.accessed) out.push_back(e.key);
+  }
+  return out;
+}
+
+bool Config::report_unused(const std::string& context) const {
+  const auto unused = unused_keys();
+  if (unused.empty()) return false;
+  std::cerr << context << ": unrecognized option";
+  if (unused.size() > 1) std::cerr << 's';
+  for (const auto& k : unused) std::cerr << " '" << k << "'";
+  std::cerr << " (misspelled key=value? see usage)\n";
+  return true;
 }
 
 }  // namespace unsync

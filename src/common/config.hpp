@@ -3,6 +3,11 @@
 // Used by the examples and benches so that simulator parameters (Table I and
 // the architecture knobs) can be overridden from the command line without a
 // heavyweight flags library:  ./quickstart cb_entries=64 fi=30
+//
+// Misconfiguration safety: from_args reports malformed tokens (e.g. "=8")
+// to stderr, and every getter marks its key as consumed, so a front end can
+// call unused_keys() after dispatch and fail loudly on a typo like
+// `thread=8` instead of silently running with defaults.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +22,8 @@ class Config {
   Config() = default;
 
   /// Parses "key=value" tokens (e.g. argv). Unrecognised tokens without '='
-  /// are returned as positional arguments.
+  /// are returned as positional arguments. Malformed tokens with an empty
+  /// key ("=value") are reported on stderr and treated as positional.
   static Config from_args(int argc, const char* const* argv,
                           std::vector<std::string>* positional = nullptr);
 
@@ -33,9 +39,24 @@ class Config {
   /// All keys in insertion order (for help / echo output).
   std::vector<std::string> keys() const;
 
+  /// Keys that were set but never consulted by any getter (including
+  /// has()), in insertion order — the misspelled-knob detector.
+  std::vector<std::string> unused_keys() const;
+
+  /// If any key went unused, prints one stderr line naming them (prefixed
+  /// with `context`) and returns true. Front ends treat that as an error;
+  /// long-form demos may choose to warn only.
+  bool report_unused(const std::string& context) const;
+
  private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    mutable bool accessed = false;
+  };
+
   std::optional<std::string> find(const std::string& key) const;
-  std::vector<std::pair<std::string, std::string>> entries_;
+  std::vector<Entry> entries_;
 };
 
 }  // namespace unsync

@@ -2,10 +2,19 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace unsync {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Guards the stderr sink so lines from concurrent campaign jobs never
+// interleave mid-line. The level check stays lock-free; only emitting
+// writers serialize.
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* prefix(LogLevel level) {
   switch (level) {
@@ -24,7 +33,13 @@ LogLevel Log::level() { return g_level.load(); }
 
 void Log::write(LogLevel level, const std::string& msg) {
   if (!enabled(level)) return;
-  std::cerr << prefix(level) << msg << "\n";
+  std::string line;
+  line.reserve(msg.size() + 9);
+  line += prefix(level);
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::cerr << line;
 }
 
 }  // namespace unsync

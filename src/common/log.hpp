@@ -9,8 +9,9 @@ namespace unsync {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-global log configuration. Not thread-safe to mutate concurrently
-/// with logging; set once at startup (tests set kOff by default).
+/// Process-global log configuration. The level is an atomic (set once at
+/// startup; tests set kOff by default) and the stderr sink is mutex-guarded,
+/// so concurrent campaign jobs emit line-atomic output.
 class Log {
  public:
   static void set_level(LogLevel level);

@@ -80,6 +80,14 @@ std::uint64_t Rng::geometric(double p) {
                                                std::log1p(-p)));
 }
 
+std::uint64_t derive_seed(std::uint64_t campaign_seed, std::uint64_t index) {
+  // Two SplitMix64 steps over a mix of both inputs: consecutive indices
+  // under the same campaign seed land in well-separated streams.
+  std::uint64_t x = campaign_seed ^ (index * 0xd1342543de82ef95ULL + 1);
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
 std::size_t Rng::pick_cumulative(const double* cumulative, std::size_t n) {
   assert(n > 0);
   const double total = cumulative[n - 1];

@@ -58,4 +58,11 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Derives the RNG seed of campaign job `index` from the campaign master
+/// seed via a SplitMix64-style finalizer over the pair. Every parallel
+/// harness MUST seed jobs through this (never from thread identity or
+/// scheduling order) so a campaign is a pure function of
+/// (campaign_seed, job_index) regardless of worker count.
+std::uint64_t derive_seed(std::uint64_t campaign_seed, std::uint64_t index);
+
 }  // namespace unsync

@@ -36,21 +36,33 @@ std::uint32_t MshrFile::occupancy(Cycle now) const {
   return static_cast<std::uint32_t>(misses_.size());
 }
 
+namespace {
+unsigned log2_exact(std::uint64_t v) {
+  unsigned s = 0;
+  while ((std::uint64_t{1} << s) < v) ++s;
+  return s;
+}
+}  // namespace
+
 Cache::Cache(const CacheConfig& config)
     : config_(config),
       lines_(static_cast<std::size_t>(config.num_sets()) * config.assoc),
       mshrs_(config.mshrs) {
   assert(config.num_sets() > 0 && (config.num_sets() & (config.num_sets() - 1)) == 0 &&
          "set count must be a power of two");
+  assert((config.line_bytes & (config.line_bytes - 1)) == 0 &&
+         "line size must be a power of two");
+  line_shift_ = log2_exact(config.line_bytes);
+  set_shift_ = log2_exact(config.num_sets());
+  set_mask_ = config.num_sets() - 1;
 }
 
 std::size_t Cache::set_index(Addr addr) const {
-  return static_cast<std::size_t>((addr / config_.line_bytes) &
-                                  (config_.num_sets() - 1));
+  return static_cast<std::size_t>((addr >> line_shift_) & set_mask_);
 }
 
 Addr Cache::tag_of(Addr addr) const {
-  return addr / config_.line_bytes / config_.num_sets();
+  return addr >> (line_shift_ + set_shift_);
 }
 
 bool Cache::contains(Addr addr) const {
@@ -73,8 +85,12 @@ bool Cache::line_dirty(Addr addr) const {
 }
 
 LookupResult Cache::lookup(Addr addr, bool is_write) {
-  const auto set = set_index(addr) * config_.assoc;
-  const Addr tag = tag_of(addr);
+  // One shift serves both decompositions (set + tag) on this per-access
+  // hot path; set_index()/tag_of() stay for the cold probe helpers.
+  const Addr line = addr >> line_shift_;
+  const auto set_bits = static_cast<std::size_t>(line & set_mask_);
+  const auto set = set_bits * config_.assoc;
+  const Addr tag = line >> set_shift_;
   ++lru_clock_;
 
   for (std::uint32_t w = 0; w < config_.assoc; ++w) {
@@ -111,8 +127,7 @@ LookupResult Cache::lookup(Addr addr, bool is_write) {
   Line& v = lines_[victim];
   if (v.valid && v.dirty) {
     ++writebacks_;
-    r.dirty_victim = (v.tag * config_.num_sets() + set_index(addr)) *
-                     config_.line_bytes;
+    r.dirty_victim = ((v.tag << set_shift_) | set_bits) << line_shift_;
   }
   v.valid = true;
   v.tag = tag;

@@ -115,6 +115,12 @@ class Cache {
   LookupResult lookup(Addr addr, bool is_write);
 
   CacheConfig config_;
+  // Hot-path shift/mask forms of the power-of-two geometry: lookup() runs
+  // once per simulated memory access, so the divisions in set_index/tag_of
+  // are folded into one shift each.
+  unsigned line_shift_ = 0;  // log2(line_bytes)
+  unsigned set_shift_ = 0;   // log2(num_sets)
+  Addr set_mask_ = 0;        // num_sets - 1
   std::vector<Line> lines_;  // sets * assoc, row-major by set
   std::uint64_t lru_clock_ = 0;
   std::uint64_t hits_ = 0;

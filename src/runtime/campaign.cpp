@@ -1,0 +1,110 @@
+#include "runtime/campaign.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "runtime/thread_pool.hpp"
+#include "workload/profile.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace.hpp"
+
+namespace unsync::runtime {
+
+const char* name_of(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kBaseline: return "baseline";
+    case SystemKind::kUnSync: return "unsync";
+    case SystemKind::kReunion: return "reunion";
+    case SystemKind::kLockstep: return "lockstep";
+    case SystemKind::kCheckpoint: return "checkpoint";
+  }
+  return "?";
+}
+
+std::optional<SystemKind> parse_system(const std::string& name) {
+  if (name == "baseline") return SystemKind::kBaseline;
+  if (name == "unsync") return SystemKind::kUnSync;
+  if (name == "reunion") return SystemKind::kReunion;
+  if (name == "lockstep") return SystemKind::kLockstep;
+  if (name == "checkpoint") return SystemKind::kCheckpoint;
+  return std::nullopt;
+}
+
+std::uint64_t CampaignOutput::total_instructions() const {
+  std::uint64_t total = 0;
+  for (const auto& r : results) {
+    for (const auto n : r.thread_instructions) total += n;
+  }
+  return total;
+}
+
+namespace {
+
+std::unique_ptr<workload::InstStream> make_stream(const SimJob& job,
+                                                  std::uint64_t seed) {
+  if (!job.profile.empty()) {
+    return std::make_unique<workload::SyntheticStream>(
+        workload::profile(job.profile), seed, job.insts);
+  }
+  if (job.trace) return std::make_unique<workload::TraceStream>(job.trace);
+  throw std::invalid_argument("job '" + job.label +
+                              "' selects no workload (profile or trace)");
+}
+
+}  // namespace
+
+core::RunResult CampaignRunner::run_job(const SimJob& job,
+                                        std::uint64_t seed) {
+  const auto stream = make_stream(job, seed);
+
+  core::SystemConfig sys_cfg;
+  sys_cfg.num_threads = job.app_threads;
+  sys_cfg.ser_per_inst = job.ser_per_inst;
+  sys_cfg.seed = seed;
+
+  std::unique_ptr<core::System> sys;
+  switch (job.system) {
+    case SystemKind::kBaseline:
+      sys = std::make_unique<core::BaselineSystem>(sys_cfg, *stream);
+      break;
+    case SystemKind::kUnSync:
+      sys = std::make_unique<core::UnSyncSystem>(sys_cfg, job.unsync, *stream);
+      break;
+    case SystemKind::kReunion:
+      sys = std::make_unique<core::ReunionSystem>(sys_cfg, job.reunion,
+                                                  *stream);
+      break;
+    case SystemKind::kLockstep:
+      sys = std::make_unique<core::LockstepSystem>(sys_cfg, job.lockstep,
+                                                   *stream);
+      break;
+    case SystemKind::kCheckpoint:
+      sys = std::make_unique<core::DmrCheckpointSystem>(sys_cfg,
+                                                        job.checkpoint,
+                                                        *stream);
+      break;
+  }
+  return sys->run();
+}
+
+CampaignOutput CampaignRunner::run(const std::vector<SimJob>& jobs) const {
+  CampaignOutput out;
+  out.results.resize(jobs.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  ThreadPool pool(options_.threads);
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    const std::uint64_t seed =
+        jobs[i].seed ? *jobs[i].seed
+                     : derive_seed(options_.campaign_seed,
+                                   static_cast<std::uint64_t>(i));
+    out.results[i] = run_job(jobs[i], seed);
+  });
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+}  // namespace unsync::runtime

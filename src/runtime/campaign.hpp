@@ -1,0 +1,103 @@
+// Declarative simulation campaigns executed across a ThreadPool.
+//
+// A campaign is a grid of independent simulation jobs — (workload x
+// architecture x config-point x seed) — exactly the shape of every
+// evaluation artifact in this reproduction (Figures 4-6, Tables II/III,
+// spec_campaign, SER sweeps, Monte-Carlo injection). CampaignRunner fans
+// the grid out across workers and hands results back *in submission
+// order*, so tables and CSVs built from a parallel run are byte-identical
+// to the serial run.
+//
+// Determinism: a job with no explicit seed draws derive_seed(campaign_seed,
+// job_index) — a pure function of the grid, independent of worker count,
+// thread identity and claim order. threads=1 runs the same code inline on
+// the caller and reproduces today's serial results exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/baseline.hpp"
+#include "core/related_work.hpp"
+#include "core/reunion_system.hpp"
+#include "core/system.hpp"
+#include "core/unsync_system.hpp"
+#include "workload/dyn_op.hpp"
+
+namespace unsync::runtime {
+
+enum class SystemKind : std::uint8_t {
+  kBaseline,
+  kUnSync,
+  kReunion,
+  kLockstep,
+  kCheckpoint,
+};
+
+const char* name_of(SystemKind kind);
+/// Parses the CLI spelling ("baseline", "unsync", ...); nullopt if unknown.
+std::optional<SystemKind> parse_system(const std::string& name);
+
+/// One cell of the campaign grid. Workload selection: `profile` names a
+/// built-in statistical benchmark (generated per job from the job seed);
+/// otherwise `trace` replays shared immutable recorded ops (kernel /
+/// program / trace-file workloads — the storage is shared across jobs,
+/// never copied).
+struct SimJob {
+  std::string label;    ///< row label, e.g. the benchmark name
+  std::string profile;  ///< synthetic workload when non-empty
+  std::shared_ptr<const std::vector<workload::DynOp>> trace;
+
+  SystemKind system = SystemKind::kUnSync;
+  std::uint64_t insts = 50000;  ///< synthetic stream length
+  double ser_per_inst = 0.0;
+  unsigned app_threads = 1;  ///< simulated application threads
+  /// Fixed workload/system seed; unset = derive_seed(campaign_seed, index).
+  std::optional<std::uint64_t> seed;
+
+  core::UnSyncParams unsync;
+  core::ReunionParams reunion;
+  core::LockstepParams lockstep;
+  core::CheckpointParams checkpoint;
+};
+
+struct CampaignOutput {
+  /// One result per job, in submission order.
+  std::vector<core::RunResult> results;
+  double wall_seconds = 0.0;
+
+  /// Total simulated program instructions across the grid (throughput
+  /// numerator for scaling studies).
+  std::uint64_t total_instructions() const;
+};
+
+class CampaignRunner {
+ public:
+  struct Options {
+    /// Worker threads (including the caller). 0 = hardware concurrency;
+    /// 1 = serial execution on the caller.
+    unsigned threads = 0;
+    std::uint64_t campaign_seed = 42;
+  };
+
+  explicit CampaignRunner(Options options) : options_(options) {}
+
+  /// Runs the whole grid; results come back in submission order. The
+  /// first failing job's exception (by job index) is rethrown after the
+  /// grid finishes.
+  CampaignOutput run(const std::vector<SimJob>& jobs) const;
+
+  /// Builds and runs one job with an already-derived seed (also the
+  /// single-job path unsync_sim's `run` subcommand uses).
+  static core::RunResult run_job(const SimJob& job, std::uint64_t seed);
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace unsync::runtime

@@ -1,0 +1,105 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace unsync::runtime {
+
+unsigned ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = default_threads();
+  if (threads > 1) workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    try {
+      (*batch.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.error_mu);
+      batch.errors.emplace_back(i, std::current_exception());
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      batch = batch_;
+      // Registration happens in the same critical section that reads
+      // batch_: once the submitter observes active_ == 0 with batch_
+      // cleared, no worker can still reach this batch.
+      if (batch) ++active_;
+    }
+    if (!batch) continue;
+    drain(*batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    // Serial fallback: the exact loop a single-threaded harness would run
+    // (exceptions propagate from the first failing index directly).
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  Batch batch;
+  batch.body = &body;
+  batch.n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  drain(batch);  // the submitting thread works too
+
+  // drain() returning here means every index was claimed; registered
+  // workers may still be finishing their last claims. Clearing batch_
+  // first keeps late-waking workers from joining a finished batch.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_ = nullptr;
+    cv_done_.wait(lock, [&] { return active_ == 0; });
+  }
+
+  if (!batch.errors.empty()) {
+    const auto first = std::min_element(
+        batch.errors.begin(), batch.errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(first->second);
+  }
+}
+
+}  // namespace unsync::runtime

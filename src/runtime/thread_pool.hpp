@@ -1,0 +1,80 @@
+// Work-queue thread pool for campaign-level parallelism.
+//
+// The simulator itself is single-threaded by design (a cycle-level model
+// has a serial dependence chain); what *is* embarrassingly parallel is the
+// evaluation layer: (benchmark x architecture x config-point x seed) grids
+// where every job is an independent simulation. This pool runs such grids
+// across std::thread workers.
+//
+// Determinism contract: the pool never influences simulation results. Work
+// is identified by dense indices [0, n); workers claim indices with a
+// single atomic fetch_add (a shared work queue — an idle worker simply
+// claims the next undone index, so load imbalance never leaves a core idle
+// while work remains). Callers must derive any randomness from the job
+// *index*, never from thread identity or claim order. With threads == 1 no
+// worker threads exist at all and the body runs inline on the caller,
+// byte-for-byte reproducing a serial loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace unsync::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller participates in every
+  /// parallel_for, so `threads` is the total concurrency). 0 means
+  /// hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the calling thread).
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs body(i) for every i in [0, n), distributing indices across the
+  /// workers and the calling thread; returns when all n calls finished.
+  /// If any body throws, every remaining index still runs, and afterwards
+  /// the exception of the *lowest* failed index is rethrown — so error
+  /// reporting is independent of scheduling order.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned default_threads();
+
+ private:
+  struct Batch {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mu;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+  };
+
+  void worker_loop();
+  /// Claims and runs indices of `batch` until none remain.
+  static void drain(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Batch* batch_ = nullptr;        // guarded by mu_
+  std::uint64_t generation_ = 0;  // guarded by mu_; bumped per batch
+  unsigned active_ = 0;           // guarded by mu_; workers inside drain()
+  bool stop_ = false;             // guarded by mu_
+};
+
+}  // namespace unsync::runtime

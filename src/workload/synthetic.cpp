@@ -44,6 +44,10 @@ SyntheticStream::SyntheticStream(const BenchmarkProfile& profile,
   q = std::min(q, 0.95);
   p_store_after_store_ = q;
   p_store_after_nonstore_ = p < 1.0 ? p * (1.0 - q) / (1.0 - p) : 1.0;
+
+  dep_p_ = 1.0 / profile_.mean_dep_distance;
+  miss1_load_ = profile_.l1_miss_rate;
+  miss1_store_ = profile_.l1_miss_rate * 0.7;
 }
 
 void SyntheticStream::reset() {
@@ -61,7 +65,7 @@ Addr SyntheticStream::draw_address(bool is_store) {
   // Three-tier locality model tuned so simulated caches see the profile's
   // miss rates. Stores are slightly hotter than loads in real programs
   // (write buffers absorb them), so the store L1-miss probability shrinks.
-  const double miss1 = profile_.l1_miss_rate * (is_store ? 0.7 : 1.0);
+  const double miss1 = is_store ? miss1_store_ : miss1_load_;
   const double u = rng_.uniform();
   if (u >= miss1) {
     // Hot tier: a small set that is L1-resident after warmup.
@@ -103,7 +107,7 @@ bool SyntheticStream::next(DynOp* out) {
   // live register value — immediates, constants and loop-invariant inputs
   // make real instruction streams much sparser than two-live-sources-per-
   // instruction, which is what lets a 4-wide core sustain IPC > 1.
-  const double p = 1.0 / profile_.mean_dep_distance;
+  const double p = dep_p_;
   const int nsrc = op.cls == isa::InstClass::kSerializing ? 0
                    : op.is_load()                         ? 1
                                                           : 2;

@@ -63,6 +63,10 @@ class SyntheticStream final : public InstStream {
   bool last_was_store_ = false;
   double p_store_after_store_ = 0;     // profile burstiness
   double p_store_after_nonstore_ = 0;  // derived for the stationary rate
+  // Hoisted per-op constants (next() is the simulator's hottest producer):
+  double dep_p_ = 0;            // 1 / mean_dep_distance
+  double miss1_load_ = 0;       // L1-miss prob for loads
+  double miss1_store_ = 0;      // L1-miss prob for stores (0.7x, hotter)
 
   // Locality model: region base addresses (8-byte aligned draws inside).
   static constexpr Addr kHotBase = 0x0100'0000;

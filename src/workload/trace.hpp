@@ -34,6 +34,10 @@ class TraceStream final : public InstStream {
  public:
   explicit TraceStream(std::vector<DynOp> ops);
 
+  /// Shares already-recorded immutable storage — the campaign path: one
+  /// recorded kernel trace feeds many concurrent jobs without a copy.
+  explicit TraceStream(std::shared_ptr<const std::vector<DynOp>> shared);
+
   bool next(DynOp* out) override;
   std::unique_ptr<InstStream> clone() const override;
   void reset() override { cursor_ = 0; }
@@ -41,8 +45,6 @@ class TraceStream final : public InstStream {
   std::optional<WarmRegion> code_region() const override;
 
  private:
-  explicit TraceStream(std::shared_ptr<const std::vector<DynOp>> shared);
-
   std::shared_ptr<const std::vector<DynOp>> ops_;
   std::size_t cursor_ = 0;
 };

@@ -2,23 +2,30 @@
 //
 // Subcommands:
 //   run          simulate a workload on a chosen architecture
+//   sweep        one CSV row per value of a swept parameter
+//   campaign     a (benchmark x system) grid across a host thread pool
 //   characterize print a stream characterisation (benchmark-table style)
 //   asm          assemble + functionally execute a URISC source file
 //   record       record a URISC program into a binary UTRC trace file
 //   hw           print the hardware model summary for each architecture
 //   list         list built-in benchmark profiles and kernels
 //
-// Workload selection (for run / characterize / record):
+// Workload selection (for run / sweep / campaign / characterize / record):
 //   bench=<name>      one of the built-in statistical profiles
 //   kernel=<name>     one of the built-in URISC kernels (e.g. matmul_8)
 //   program=<file.s>  assemble and trace a URISC source file
 //   trace=<file.utrc> replay a previously recorded binary trace
 //
+// Parallelism: sweep and campaign fan their independent simulations out
+// across host threads (threads=N, default: hardware concurrency). Results
+// are aggregated in submission order and every job seed derives from
+// (seed, job_index), so output is byte-identical for any thread count.
+//
 // Examples:
 //   unsync_sim run system=unsync bench=bzip2 insts=100000 ser=1e-9 report=1
-//   unsync_sim run system=reunion kernel=matmul_8 fi=30 latency=40
+//   unsync_sim campaign systems=baseline,unsync,reunion insts=50000 csv=1
+//   unsync_sim sweep param=cb values=8,64,256 system=unsync bench=susan
 //   unsync_sim characterize bench=susan insts=50000
-//   unsync_sim asm program=examples/my_kernel.s
 //   unsync_sim hw
 #include <fstream>
 #include <iostream>
@@ -35,6 +42,8 @@
 #include "hwmodel/core_model.hpp"
 #include "isa/assembler.hpp"
 #include "isa/functional_sim.hpp"
+#include "runtime/campaign.hpp"
+#include "runtime/thread_pool.hpp"
 #include "workload/kernels.hpp"
 #include "workload/profile.hpp"
 #include "workload/stream_stats.hpp"
@@ -47,13 +56,16 @@ using namespace unsync;
 
 int usage() {
   std::cout <<
-      "usage: unsync_sim <run|sweep|characterize|asm|record|hw|list> "
-      "[key=value...]\n"
+      "usage: unsync_sim <run|sweep|campaign|characterize|asm|record|hw|list>"
+      " [key=value...]\n"
       "  run: system=unsync|reunion|baseline|lockstep|checkpoint\n"
       "       bench=|kernel=|program=|trace=   [insts= seed= threads= ser=]\n"
       "       unsync: cb=<entries> group=<N>   reunion: fi= latency=\n"
       "       checkpoint: interval= capture=   output: report=1 csv=1\n"
       "  sweep: param=<cb|fi|latency|group|ser> values=v1,v2,... + run args\n"
+      "         [threads=<host workers, default all cores>]\n"
+      "  campaign: [systems=baseline,unsync,reunion] [benches=n1,n2|all]\n"
+      "            [insts= seed= ser= threads=<host workers> csv=1]\n"
       "  characterize: bench=|kernel=|program=|trace=  [insts= seed=]\n"
       "  asm: program=<file.s> [max_steps=]\n"
       "  record: bench=|kernel=|program=  out=<file.utrc> [insts= seed=]\n"
@@ -67,6 +79,21 @@ std::string read_file(const std::string& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+std::vector<std::string> split_csv(const std::string& values) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : values) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
 }
 
 /// Builds the workload stream selected by bench=/kernel=/program=/trace=.
@@ -110,6 +137,43 @@ std::unique_ptr<workload::InstStream> make_stream(const Config& cfg,
       "select a workload with bench=, kernel=, program= or trace=");
 }
 
+/// Architecture parameter block shared by run/sweep/campaign: reads every
+/// per-system knob from the config (harmless for systems not selected).
+void fill_params(const Config& cfg, runtime::SimJob* job) {
+  job->unsync.cb_entries = static_cast<std::size_t>(cfg.get_int("cb", 128));
+  job->unsync.group_size = static_cast<unsigned>(cfg.get_int("group", 2));
+  job->reunion.fingerprint_interval =
+      static_cast<unsigned>(cfg.get_int("fi", 10));
+  job->reunion.compare_latency = static_cast<Cycle>(cfg.get_int("latency", 10));
+  job->checkpoint.checkpoint_interval =
+      static_cast<std::uint64_t>(cfg.get_int("interval", 1000));
+  job->checkpoint.checkpoint_cost =
+      static_cast<Cycle>(cfg.get_int("capture", 120));
+  job->ser_per_inst = cfg.get_double("ser", 0.0);
+}
+
+/// Resolves the sweep/campaign workload into a SimJob template: a profile
+/// name for synthetic benchmarks, or a shared recorded trace otherwise.
+runtime::SimJob job_template(const Config& cfg, std::string* label) {
+  runtime::SimJob job;
+  job.insts = static_cast<std::uint64_t>(cfg.get_int("insts", 50000));
+  fill_params(cfg, &job);
+  if (cfg.has("bench")) {
+    job.profile = cfg.get_string("bench", "");
+    *label = job.profile;
+    (void)workload::profile(job.profile);  // validate the name up front
+    return job;
+  }
+  // Kernel / program / trace workloads: record once, share across jobs.
+  auto stream = make_stream(cfg, label);
+  std::vector<workload::DynOp> ops;
+  workload::DynOp op;
+  while (stream->next(&op)) ops.push_back(op);
+  job.trace =
+      std::make_shared<const std::vector<workload::DynOp>>(std::move(ops));
+  return job;
+}
+
 int cmd_run(const Config& cfg) {
   std::string label;
   const auto stream = make_stream(cfg, &label);
@@ -118,6 +182,9 @@ int cmd_run(const Config& cfg) {
   sys_cfg.num_threads = static_cast<unsigned>(cfg.get_int("threads", 1));
   sys_cfg.ser_per_inst = cfg.get_double("ser", 0.0);
   sys_cfg.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+  const bool want_csv = cfg.get_bool("csv", false);
+  const bool want_report = cfg.get_bool("report", false);
 
   const std::string system = cfg.get_string("system", "unsync");
   std::unique_ptr<core::System> sys;
@@ -159,10 +226,10 @@ int cmd_run(const Config& cfg) {
   }
 
   const core::RunResult result = sys->run();
-  if (cfg.get_bool("csv", false)) {
+  if (want_csv) {
     std::cout << core::RunReport::csv_header()
               << core::RunReport(result).csv_rows();
-  } else if (cfg.get_bool("report", false)) {
+  } else if (want_report) {
     core::RunReport(result, memory).print(std::cout);
   } else {
     std::cout << system << " on " << label << ": " << result.cycles
@@ -177,60 +244,149 @@ int cmd_run(const Config& cfg) {
 }
 
 /// sweep param=<cb|fi|latency|group|ser> values=v1,v2,... plus the usual
-/// run selectors — emits one CSV row per value.
-int cmd_sweep(Config cfg) {
+/// run selectors — emits one CSV row per value. Points run concurrently
+/// across threads= host workers; rows print in sweep order.
+int cmd_sweep(const Config& cfg) {
   const std::string param = cfg.get_string("param", "");
   const std::string values = cfg.get_string("values", "");
   if (param.empty() || values.empty()) {
     std::cerr << "sweep needs param= and values=v1,v2,...\n";
     return usage();
   }
-  std::vector<std::string> points;
-  std::string cur;
-  for (const char c : values) {
-    if (c == ',') {
-      points.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
+  const std::vector<std::string> points = split_csv(values);
+
+  const std::string system = cfg.get_string("system", "unsync");
+  const auto kind = runtime::parse_system(system);
+  if (!kind || (*kind != runtime::SystemKind::kUnSync &&
+                *kind != runtime::SystemKind::kReunion &&
+                *kind != runtime::SystemKind::kBaseline)) {
+    std::cerr << "sweep supports system=unsync|reunion|baseline\n";
+    return 2;
   }
-  if (!cur.empty()) points.push_back(cur);
 
-  std::cout << param << ",system,cycles,ipc,errors,recoveries,rollbacks\n";
+  std::string label;
+  runtime::SimJob base = job_template(cfg, &label);
+  base.system = *kind;
+  base.app_threads = 1;
+  // Sweeps keep the historical fixed-seed semantics: every point runs the
+  // identical workload stream; only the swept parameter varies.
+  base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+  std::vector<runtime::SimJob> jobs;
+  jobs.reserve(points.size());
   for (const auto& point : points) {
-    cfg.set(param, point);
-    std::string label;
-    const auto stream = make_stream(cfg, &label);
-    core::SystemConfig sys_cfg;
-    sys_cfg.num_threads = static_cast<unsigned>(cfg.get_int("threads", 1));
-    sys_cfg.ser_per_inst = cfg.get_double("ser", 0.0);
-    sys_cfg.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
-
-    const std::string system = cfg.get_string("system", "unsync");
-    std::unique_ptr<core::System> sys;
-    if (system == "unsync") {
-      core::UnSyncParams p;
-      p.cb_entries = static_cast<std::size_t>(cfg.get_int("cb", 128));
-      p.group_size = static_cast<unsigned>(cfg.get_int("group", 2));
-      sys = std::make_unique<core::UnSyncSystem>(sys_cfg, p, *stream);
-    } else if (system == "reunion") {
-      core::ReunionParams p;
-      p.fingerprint_interval = static_cast<unsigned>(cfg.get_int("fi", 10));
-      p.compare_latency = static_cast<Cycle>(cfg.get_int("latency", 10));
-      sys = std::make_unique<core::ReunionSystem>(sys_cfg, p, *stream);
-    } else if (system == "baseline") {
-      sys = std::make_unique<core::BaselineSystem>(sys_cfg, *stream);
+    runtime::SimJob job = base;
+    job.label = point;
+    if (param == "cb") {
+      job.unsync.cb_entries = static_cast<std::size_t>(std::stoll(point));
+    } else if (param == "group") {
+      job.unsync.group_size = static_cast<unsigned>(std::stoll(point));
+    } else if (param == "fi") {
+      job.reunion.fingerprint_interval =
+          static_cast<unsigned>(std::stoll(point));
+    } else if (param == "latency") {
+      job.reunion.compare_latency = static_cast<Cycle>(std::stoll(point));
+    } else if (param == "ser") {
+      job.ser_per_inst = std::stod(point);
     } else {
-      std::cerr << "sweep supports system=unsync|reunion|baseline\n";
+      std::cerr << "unknown sweep param: " << param
+                << " (cb|fi|latency|group|ser)\n";
       return 2;
     }
-    const core::RunResult r = sys->run();
-    std::cout << point << ',' << system << ',' << r.cycles << ','
+    jobs.push_back(std::move(job));
+  }
+
+  runtime::CampaignRunner::Options opts;
+  opts.threads = static_cast<unsigned>(cfg.get_int("threads", 0));
+  opts.campaign_seed = *base.seed;
+  const auto out = runtime::CampaignRunner(opts).run(jobs);
+
+  std::cout << param << ",system,cycles,ipc,errors,recoveries,rollbacks\n";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& r = out.results[i];
+    std::cout << jobs[i].label << ',' << system << ',' << r.cycles << ','
               << TextTable::num(r.thread_ipc(), 4) << ','
               << r.errors_injected << ',' << r.recoveries << ','
               << r.rollbacks << '\n';
   }
+  return 0;
+}
+
+/// campaign: a (benchmark x system) grid across the host thread pool.
+/// Job seeds derive from (seed=, job index), so the table/CSV is
+/// byte-identical for threads=1 and threads=N.
+int cmd_campaign(const Config& cfg) {
+  const auto systems_arg =
+      split_csv(cfg.get_string("systems", "baseline,unsync,reunion"));
+  std::vector<runtime::SystemKind> systems;
+  for (const auto& s : systems_arg) {
+    const auto kind = runtime::parse_system(s);
+    if (!kind) {
+      std::cerr << "unknown system: " << s << "\n";
+      return usage();
+    }
+    systems.push_back(*kind);
+  }
+
+  std::vector<std::string> benches;
+  const std::string benches_arg = cfg.get_string("benches", "all");
+  if (benches_arg == "all") {
+    for (const auto& p : workload::all_profiles()) benches.push_back(p.name);
+  } else {
+    benches = split_csv(benches_arg);
+    for (const auto& b : benches) (void)workload::profile(b);  // validate
+  }
+
+  runtime::SimJob base;
+  base.insts = static_cast<std::uint64_t>(cfg.get_int("insts", 50000));
+  base.app_threads = static_cast<unsigned>(cfg.get_int("app_threads", 1));
+  fill_params(cfg, &base);
+
+  std::vector<runtime::SimJob> jobs;
+  jobs.reserve(benches.size() * systems.size());
+  for (const auto& bench : benches) {
+    for (const auto kind : systems) {
+      runtime::SimJob job = base;
+      job.label = bench;
+      job.profile = bench;
+      job.system = kind;
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  runtime::CampaignRunner::Options opts;
+  opts.threads = static_cast<unsigned>(cfg.get_int("threads", 0));
+  opts.campaign_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  const auto out = runtime::CampaignRunner(opts).run(jobs);
+
+  if (cfg.get_bool("csv", false)) {
+    std::cout << "benchmark,system,cycles,ipc,errors,recoveries,rollbacks\n";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto& r = out.results[i];
+      std::cout << jobs[i].label << ',' << name_of(jobs[i].system) << ','
+                << r.cycles << ',' << TextTable::num(r.thread_ipc(), 4)
+                << ',' << r.errors_injected << ',' << r.recoveries << ','
+                << r.rollbacks << '\n';
+    }
+  } else {
+    TextTable t("Campaign: per-benchmark IPC (" + std::to_string(base.insts) +
+                " insts/run)");
+    std::vector<std::string> header = {"benchmark"};
+    for (const auto kind : systems) header.emplace_back(name_of(kind));
+    t.set_header(header);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+      std::vector<std::string> row = {benches[b]};
+      for (std::size_t s = 0; s < systems.size(); ++s) {
+        row.push_back(TextTable::num(
+            out.results[b * systems.size() + s].thread_ipc(), 3));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+  std::cerr << "[campaign] " << jobs.size() << " jobs, "
+            << out.total_instructions() << " simulated instructions in "
+            << TextTable::num(out.wall_seconds, 2) << "s\n";
   return 0;
 }
 
@@ -318,14 +474,21 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   std::vector<std::string> positional;
   const Config cfg = Config::from_args(argc - 1, argv + 1, &positional);
+  if (!positional.empty()) {
+    std::cerr << "error: unexpected argument '" << positional.front()
+              << "' (options are key=value)\n";
+    return usage();
+  }
+  int rc = -1;
   try {
-    if (command == "run") return cmd_run(cfg);
-    if (command == "sweep") return cmd_sweep(cfg);
-    if (command == "characterize") return cmd_characterize(cfg);
-    if (command == "asm") return cmd_asm(cfg);
-    if (command == "record") return cmd_record(cfg);
-    if (command == "hw") return cmd_hw(cfg);
-    if (command == "list") return cmd_list();
+    if (command == "run") rc = cmd_run(cfg);
+    else if (command == "sweep") rc = cmd_sweep(cfg);
+    else if (command == "campaign") rc = cmd_campaign(cfg);
+    else if (command == "characterize") rc = cmd_characterize(cfg);
+    else if (command == "asm") rc = cmd_asm(cfg);
+    else if (command == "record") rc = cmd_record(cfg);
+    else if (command == "hw") rc = cmd_hw(cfg);
+    else if (command == "list") rc = cmd_list();
   } catch (const isa::AsmError& e) {
     std::cerr << "assembly error: " << e.what() << "\n";
     return 1;
@@ -333,5 +496,9 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  return usage();
+  if (rc == -1) return usage();
+  // A key nobody consulted is a misconfiguration (e.g. thread=8 instead of
+  // threads=8): fail loudly rather than silently simulating defaults.
+  if (rc == 0 && cfg.report_unused("unsync_sim")) return 2;
+  return rc;
 }
