@@ -30,14 +30,15 @@ int main(int argc, char** argv) {
   for (const auto& prof : profiles) {
     auto b = bench::sim_job(args, prof.name, runtime::SystemKind::kBaseline);
     auto r = bench::sim_job(args, prof.name, runtime::SystemKind::kReunion);
-    r.reunion = rp;
+    r.params.reunion = rp;
     auto u = bench::sim_job(args, prof.name, runtime::SystemKind::kUnSync);
-    u.unsync = up;
+    u.params.unsync = up;
     jobs.push_back(std::move(b));
     jobs.push_back(std::move(r));
     jobs.push_back(std::move(u));
   }
   const auto grid = bench::run_grid(args, jobs);
+  bench::maybe_dump_json(args, grid);
 
   double reunion_sum = 0, unsync_sum = 0;
   int n = 0;

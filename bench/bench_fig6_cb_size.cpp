@@ -37,12 +37,13 @@ int main(int argc, char** argv) {
         bench::sim_job(args, name, runtime::SystemKind::kBaseline));
     for (const auto bytes : sizes_bytes) {
       auto job = bench::sim_job(args, name, runtime::SystemKind::kUnSync);
-      job.unsync.cb_entries = std::max<std::size_t>(
+      job.params.unsync.cb_entries = std::max<std::size_t>(
           1, core::UnSyncParams::entries_for_bytes(bytes));
       jobs.push_back(std::move(job));
     }
   }
   const auto grid = bench::run_grid(args, jobs);
+  bench::maybe_dump_json(args, grid);
 
   for (std::size_t b = 0; b < std::size(benches); ++b) {
     const double base = grid.results[b * kCells].thread_ipc();

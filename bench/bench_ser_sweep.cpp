@@ -38,14 +38,15 @@ int main(int argc, char** argv) {
   for (const double ser : rates) {
     for (const auto* name : benches) {
       auto u = bench::sim_job(args, name, runtime::SystemKind::kUnSync, ser);
-      u.unsync = up;
+      u.params.unsync = up;
       auto r = bench::sim_job(args, name, runtime::SystemKind::kReunion, ser);
-      r.reunion = rp;
+      r.params.reunion = rp;
       jobs.push_back(std::move(u));
       jobs.push_back(std::move(r));
     }
   }
   const auto grid = bench::run_grid(args, jobs);
+  bench::maybe_dump_json(args, grid);
 
   double crossover = -1.0;
   double prev_ratio = 2.0;

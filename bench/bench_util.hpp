@@ -8,9 +8,12 @@
 //   seed=<N>     workload seed                             (default 42)
 //   threads=<N>  application threads (pairs for redundant) (default 1)
 //   workers=<N>  host threads for grid fan-out             (default cores)
+//   json=<path>  also dump the raw campaign grid as JSON ("-" = stdout)
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -30,6 +33,7 @@ struct BenchArgs {
   std::uint64_t seed = 42;
   unsigned threads = 1;
   unsigned workers = 0;  // 0 = hardware concurrency
+  std::string json;      // empty = no JSON dump; "-" = stdout
 
   static BenchArgs parse(int argc, char** argv) {
     const Config cfg = Config::from_args(argc, argv);
@@ -38,6 +42,7 @@ struct BenchArgs {
     a.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
     a.threads = static_cast<unsigned>(cfg.get_int("threads", 1));
     a.workers = static_cast<unsigned>(cfg.get_int("workers", 0));
+    a.json = cfg.get_string("json", "");
     cfg.report_unused("bench");
     return a;
   }
@@ -102,6 +107,21 @@ inline runtime::CampaignOutput run_grid(const BenchArgs& a,
   opts.threads = a.workers;
   opts.campaign_seed = a.seed;
   return runtime::CampaignRunner(opts).run(jobs);
+}
+
+/// Honors the json= knob: writes the raw campaign grid ("unsync.campaign.v1")
+/// so a plotting script can consume exactly what the table was built from.
+inline void maybe_dump_json(const BenchArgs& a,
+                            const runtime::CampaignOutput& out) {
+  if (a.json.empty()) return;
+  if (a.json == "-") {
+    std::cout << out.to_json(2) << "\n";
+    return;
+  }
+  std::ofstream f(a.json);
+  if (!f) throw std::runtime_error("cannot write json file " + a.json);
+  f << out.to_json(2) << "\n";
+  std::cout << "(raw grid JSON written to " << a.json << ")\n";
 }
 
 inline void print_header(const std::string& what, const BenchArgs& a) {

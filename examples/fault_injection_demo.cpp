@@ -7,6 +7,7 @@
 //
 //   ./build/examples/fault_injection_demo [trials=300] [seed=1]
 //                                         [threads=<host workers>]
+//                                         [metrics=1]  (dump the metric tree)
 #include <iostream>
 
 #include "common/config.hpp"
@@ -14,6 +15,7 @@
 #include "fault/injector.hpp"
 #include "isa/assembler.hpp"
 #include "isa/functional_sim.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace {
@@ -136,13 +138,23 @@ int main(int argc, char** argv) {
       {reunion_plan(), true, "write-through"},
       {baseline_plan(), true, "write-through"},
   };
+  // metrics=1 demonstrates the injector's observability hook: one registry
+  // per campaign (single-owner during the run), snapshots merged after.
+  const bool want_metrics = cfg.get_bool("metrics", false);
   std::vector<CampaignResult> results(std::size(specs));
+  std::vector<obs::MetricsSnapshot> row_metrics(std::size(specs));
   runtime::ThreadPool pool(
       static_cast<unsigned>(cfg.get_int("threads", 0)));
   pool.parallel_for(std::size(specs), [&](std::size_t i) {
     InjectionConfig row_cfg = icfg;
     row_cfg.l1_write_through = specs[i].write_through;
-    results[i] = run_campaign(prog, specs[i].plan, row_cfg);
+    if (want_metrics) {
+      obs::MetricsRegistry reg;
+      results[i] = run_campaign(prog, specs[i].plan, row_cfg, &reg);
+      row_metrics[i] = reg.snapshot();
+    } else {
+      results[i] = run_campaign(prog, specs[i].plan, row_cfg);
+    }
   });
   cfg.report_unused("fault_injection_demo");
 
@@ -158,6 +170,13 @@ int main(int argc, char** argv) {
     }
   }
   t.print(std::cout);
+
+  if (want_metrics) {
+    obs::MetricsSnapshot merged;
+    for (const auto& snap : row_metrics) merged.merge(snap);
+    std::cout << "\nMerged campaign metrics (unsync.metrics.v1):\n"
+              << merged.to_json(2) << "\n";
+  }
 
   std::cout << "\nReading the table:\n"
             << "  * unsync + write-through: every strike is masked or "

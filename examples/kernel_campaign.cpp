@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(cfg.get_int("threads", 0));
 
   runtime::SimJob base;
-  base.unsync.cb_entries = 128;
+  base.params.unsync.cb_entries = 128;
   base.seed = 42;  // traces carry their own determinism; systems see ser=0
 
   constexpr runtime::SystemKind kSystems[] = {

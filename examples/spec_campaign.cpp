@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
   runtime::SimJob base;
   base.insts = insts;
   base.seed = seed;  // every profile/system cell runs the same-seed stream
-  base.unsync.cb_entries = static_cast<std::size_t>(cfg.get_int("cb", 256));
-  base.reunion.fingerprint_interval =
+  base.params.unsync.cb_entries = static_cast<std::size_t>(cfg.get_int("cb", 256));
+  base.params.reunion.fingerprint_interval =
       static_cast<unsigned>(cfg.get_int("fi", 10));
 
   constexpr runtime::SystemKind kSystems[] = {runtime::SystemKind::kBaseline,

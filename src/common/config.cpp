@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <iostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "common/log.hpp"
 
 namespace unsync {
 
@@ -15,8 +17,7 @@ Config Config::from_args(int argc, const char* const* argv,
     const auto eq = arg.find('=');
     if (eq == std::string::npos || eq == 0) {
       if (eq == 0) {
-        std::cerr << "warning: malformed argument '" << arg
-                  << "' (empty key before '=')\n";
+        Log::warn("malformed argument '" + arg + "' (empty key before '=')");
       }
       if (positional) positional->push_back(arg);
       continue;
@@ -105,10 +106,12 @@ std::vector<std::string> Config::unused_keys() const {
 bool Config::report_unused(const std::string& context) const {
   const auto unused = unused_keys();
   if (unused.empty()) return false;
-  std::cerr << context << ": unrecognized option";
-  if (unused.size() > 1) std::cerr << 's';
-  for (const auto& k : unused) std::cerr << " '" << k << "'";
-  std::cerr << " (misspelled key=value? see usage)\n";
+  std::ostringstream msg;
+  msg << context << ": unrecognized option";
+  if (unused.size() > 1) msg << 's';
+  for (const auto& k : unused) msg << " '" << k << "'";
+  msg << " (misspelled key=value? see usage)";
+  Log::error(msg.str());
   return true;
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace unsync {
 
@@ -62,6 +63,15 @@ void Histogram::add(double x, std::uint64_t weight) {
 
 double Histogram::bucket_low(std::size_t i) const {
   return lo_ + bucket_width_ * static_cast<double>(i);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
 }
 
 double Histogram::quantile(double q) const {

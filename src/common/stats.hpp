@@ -44,7 +44,13 @@ class Histogram {
   std::uint64_t total() const { return total_; }
   std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
   std::size_t buckets() const { return counts_.size(); }
+  double low() const { return lo_; }
+  double high() const { return hi_; }
   double bucket_low(std::size_t i) const;
+
+  /// Adds another histogram's counts bucket-by-bucket (parallel reduction).
+  /// Throws std::invalid_argument if the shapes (lo/hi/bucket count) differ.
+  void merge(const Histogram& other);
 
   /// Value below which `q` (in [0,1]) of the mass lies, interpolated
   /// linearly within the containing bucket.

@@ -23,7 +23,8 @@ BaselineSystem::BaselineSystem(const SystemConfig& config,
 BaselineSystem::BaselineSystem(
     const SystemConfig& config,
     const std::vector<const workload::InstStream*>& streams)
-    : config_(config),
+    : System(config.num_threads),
+      config_(config),
       thread_lengths_(detail::lengths_of(streams)),
       memory_(config.mem, config.num_threads),
       env_(&memory_, kStoreBufferEntries) {
@@ -34,6 +35,7 @@ BaselineSystem::BaselineSystem(
   for (unsigned t = 0; t < config.num_threads; ++t) {
     cores_.push_back(std::make_unique<cpu::OooCore>(
         t, config.core, &memory_, streams[t]->clone(), &env_));
+    register_core(*cores_.back());
   }
 }
 
@@ -56,6 +58,7 @@ RunResult BaselineSystem::run(Cycle max_cycles) {
   r.thread_instructions = thread_lengths_;
   r.instructions = detail::max_length(thread_lengths_);
   for (const auto& core : cores_) r.core_stats.push_back(core->stats());
+  publish_metrics(r);
   return r;
 }
 

@@ -28,7 +28,7 @@ class BaselineSystem final : public System {
   RunResult run(Cycle max_cycles = ~Cycle{0}) override;
   const std::string& name() const override { return name_; }
 
-  mem::MemoryHierarchy& memory() { return memory_; }
+  mem::MemoryHierarchy& memory() override { return memory_; }
 
  private:
   /// Commit environment: a small post-commit store buffer in front of the

@@ -56,7 +56,8 @@ LockstepSystem::LockstepSystem(const SystemConfig& config,
 LockstepSystem::LockstepSystem(
     const SystemConfig& config, const LockstepParams& params,
     const std::vector<const workload::InstStream*>& streams)
-    : config_(config),
+    : System(config.num_threads),
+      config_(config),
       params_(params),
       thread_lengths_(detail::lengths_of(streams)),
       memory_(config.mem, config.num_threads * 2),
@@ -75,6 +76,7 @@ LockstepSystem::LockstepSystem(
       pair->core[side] = std::make_unique<cpu::OooCore>(
           t * 2 + side, core_cfg, &memory_, streams[t]->clone(),
           pair->env[side].get());
+      register_core(*pair->core[side]);
     }
     if (config_.ser_per_inst > 0 && thread_lengths_[t] > 0) {
       pair->error_arrivals = fault::sample_error_arrivals(
@@ -98,10 +100,19 @@ void LockstepSystem::maybe_inject_error(Pair& pair, unsigned thread,
   // flush + instruction retry on both cores.
   const Cycle resume_at = now + params_.resync_penalty;
   result->recovery_cycles_total += params_.resync_penalty;
+  const auto struck = static_cast<unsigned>(rng_.below(2));
   result->error_log.push_back(
       {.cycle = now, .position = position, .thread = thread,
-       .struck_core = static_cast<unsigned>(rng_.below(2)),
+       .struck_core = struck,
        .cost = params_.resync_penalty, .rollback = false});
+  if (tracer_.enabled()) {
+    tracer_.emit({.kind = obs::TraceKind::kErrorInjection, .cycle = now,
+                  .thread = thread, .core = struck, .seq = position, .addr = 0,
+                  .value = 0});
+    tracer_.emit({.kind = obs::TraceKind::kRecovery, .cycle = now,
+                  .thread = thread, .core = struck, .seq = position, .addr = 0,
+                  .value = params_.resync_penalty});
+  }
   for (unsigned side = 0; side < 2; ++side) {
     pair.core[side]->stall_until(resume_at);
   }
@@ -140,6 +151,7 @@ RunResult LockstepSystem::run(Cycle max_cycles) {
     }
     r.fingerprint_syncs += pair->lockstep_stalls;  // repurposed: sync stalls
   }
+  publish_metrics(r);
   return r;
 }
 
@@ -164,6 +176,15 @@ bool DmrCheckpointSystem::CheckpointEnv::can_commit(CoreId core,
                         sys_->params_.checkpoint_cost +
                         sys_->params_.compare_latency;
     ++sys_->checkpoints_taken_;
+    if (sys_->tracer_.enabled()) {
+      sys_->tracer_.emit({.kind = obs::TraceKind::kCheckpoint,
+                          .cycle = now,
+                          .thread = static_cast<std::uint32_t>(core / 2),
+                          .core = static_cast<std::uint32_t>(core),
+                          .seq = p.next_boundary,
+                          .addr = 0,
+                          .value = p.checkpoint_done - now});
+    }
   }
   if (now < p.checkpoint_done) return false;
 
@@ -190,7 +211,8 @@ DmrCheckpointSystem::DmrCheckpointSystem(const SystemConfig& config,
 DmrCheckpointSystem::DmrCheckpointSystem(
     const SystemConfig& config, const CheckpointParams& params,
     const std::vector<const workload::InstStream*>& streams)
-    : config_(config),
+    : System(config.num_threads),
+      config_(config),
       params_(params),
       thread_lengths_(detail::lengths_of(streams)),
       memory_(config.mem, config.num_threads * 2),
@@ -211,6 +233,7 @@ DmrCheckpointSystem::DmrCheckpointSystem(
       pair->core[side] = std::make_unique<cpu::OooCore>(
           t * 2 + side, config_.core, &memory_, streams[t]->clone(),
           pair->env[side].get());
+      register_core(*pair->core[side]);
     }
     if (config_.ser_per_inst > 0 && thread_lengths_[t] > 0) {
       pair->error_arrivals = fault::sample_error_arrivals(
@@ -234,10 +257,20 @@ void DmrCheckpointSystem::maybe_inject_error(Pair& pair, unsigned thread,
   // the previous checkpoint (heavyweight) and re-execute the whole epoch.
   const Cycle resume_at = now + params_.restore_cost;
   result->recovery_cycles_total += params_.restore_cost;
+  const auto struck = static_cast<unsigned>(rng_.below(2));
   result->error_log.push_back(
       {.cycle = now, .position = position, .thread = thread,
-       .struck_core = static_cast<unsigned>(rng_.below(2)),
+       .struck_core = struck,
        .cost = params_.restore_cost, .rollback = true});
+  if (tracer_.enabled()) {
+    tracer_.emit({.kind = obs::TraceKind::kErrorInjection, .cycle = now,
+                  .thread = thread, .core = struck, .seq = position, .addr = 0,
+                  .value = 0});
+    tracer_.emit({.kind = obs::TraceKind::kRollback, .cycle = now,
+                  .thread = thread, .core = struck,
+                  .seq = pair.last_committed_boundary, .addr = 0,
+                  .value = params_.restore_cost});
+  }
   for (unsigned side = 0; side < 2; ++side) {
     pair.core[side]->set_position(pair.last_committed_boundary);
     pair.core[side]->stall_until(resume_at);
@@ -279,6 +312,10 @@ RunResult DmrCheckpointSystem::run(Cycle max_cycles) {
     for (unsigned side = 0; side < 2; ++side) {
       r.core_stats.push_back(pair->core[side]->stats());
     }
+  }
+  publish_metrics(r);
+  if (metrics_) {
+    metrics_->set_counter(name_ + ".checkpoints_taken", checkpoints_taken_);
   }
   return r;
 }

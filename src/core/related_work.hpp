@@ -47,7 +47,7 @@ class LockstepSystem final : public System {
 
   RunResult run(Cycle max_cycles = ~Cycle{0}) override;
   const std::string& name() const override { return name_; }
-  mem::MemoryHierarchy& memory() { return memory_; }
+  mem::MemoryHierarchy& memory() override { return memory_; }
 
  private:
   struct Pair;
@@ -111,7 +111,7 @@ class DmrCheckpointSystem final : public System {
 
   RunResult run(Cycle max_cycles = ~Cycle{0}) override;
   const std::string& name() const override { return name_; }
-  mem::MemoryHierarchy& memory() { return memory_; }
+  mem::MemoryHierarchy& memory() override { return memory_; }
 
   std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
 

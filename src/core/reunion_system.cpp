@@ -95,6 +95,15 @@ bool ReunionSystem::ReunionEnv::can_commit(CoreId core,
       }
       sync.ready_at = last + sys_->params_.compare_latency;
       ++pair.serializing_syncs;
+      if (sys_->tracer_.enabled()) {
+        sys_->tracer_.emit({.kind = obs::TraceKind::kFingerprintSync,
+                            .cycle = now,
+                            .thread = static_cast<std::uint32_t>(core / 2),
+                            .core = static_cast<std::uint32_t>(core),
+                            .seq = op.seq,
+                            .addr = 0,
+                            .value = sync.ready_at - now});
+      }
     }
     return now >= sync.ready_at;
   }
@@ -180,7 +189,8 @@ ReunionSystem::ReunionSystem(const SystemConfig& config,
 ReunionSystem::ReunionSystem(
     const SystemConfig& config, const ReunionParams& params,
     const std::vector<const workload::InstStream*>& streams)
-    : config_(config),
+    : System(config.num_threads),
+      config_(config),
       params_(params),
       plan_(fault::reunion_plan()),
       thread_lengths_(detail::lengths_of(streams)),
@@ -202,6 +212,7 @@ ReunionSystem::ReunionSystem(
       pair->core[side] = std::make_unique<cpu::OooCore>(
           core_id, config_.core, &memory_, streams[t]->clone(),
           pair->env[side].get());
+      register_core(*pair->core[side]);
     }
     if (config_.ser_per_inst > 0 && thread_lengths_[t] > 0) {
       pair->error_arrivals = fault::sample_error_arrivals(
@@ -229,10 +240,19 @@ void ReunionSystem::maybe_inject_error(Pair& pair, unsigned thread,
       std::min(pair.verified_watermark[0], pair.verified_watermark[1]);
   const Cycle resume_at = now + params_.rollback_penalty;
   result->recovery_cycles_total += params_.rollback_penalty;
+  const auto struck = static_cast<unsigned>(rng_.below(2));
   result->error_log.push_back(
       {.cycle = now, .position = position, .thread = thread,
-       .struck_core = static_cast<unsigned>(rng_.below(2)),
+       .struck_core = struck,
        .cost = params_.rollback_penalty, .rollback = true});
+  if (tracer_.enabled()) {
+    tracer_.emit({.kind = obs::TraceKind::kErrorInjection, .cycle = now,
+                  .thread = thread, .core = struck, .seq = position, .addr = 0,
+                  .value = 0});
+    tracer_.emit({.kind = obs::TraceKind::kRollback, .cycle = now,
+                  .thread = thread, .core = struck, .seq = target, .addr = 0,
+                  .value = params_.rollback_penalty});
+  }
   for (unsigned side = 0; side < 2; ++side) {
     pair.core[side]->set_position(target);
     pair.core[side]->stall_until(resume_at);
@@ -276,6 +296,7 @@ RunResult ReunionSystem::run(Cycle max_cycles) {
     }
     r.fingerprint_syncs += pair->serializing_syncs;
   }
+  publish_metrics(r);
   return r;
 }
 

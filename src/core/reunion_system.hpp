@@ -69,7 +69,7 @@ class ReunionSystem final : public System {
   RunResult run(Cycle max_cycles = ~Cycle{0}) override;
   const std::string& name() const override { return name_; }
 
-  mem::MemoryHierarchy& memory() { return memory_; }
+  mem::MemoryHierarchy& memory() override { return memory_; }
   const fault::ProtectionPlan& plan() const { return plan_; }
 
  private:

@@ -1,0 +1,57 @@
+#include "core/system.hpp"
+
+namespace unsync::core {
+
+void System::register_core(cpu::OooCore& core) {
+  core.set_tracer(&tracer_);
+  registered_cores_.push_back(&core);
+}
+
+std::string System::core_prefix(std::size_t i) const {
+  const std::size_t per =
+      num_threads_ ? registered_cores_.size() / num_threads_ : 1;
+  if (per <= 1) return name() + ".core" + std::to_string(i);
+  return name() + ".group" + std::to_string(i / per) + ".core" +
+         std::to_string(i % per);
+}
+
+void System::set_observability(obs::MetricsRegistry* metrics,
+                               obs::TraceSink* trace) {
+  metrics_ = metrics;
+  tracer_.set_sink(trace);
+  memory().set_tracer(&tracer_);
+  for (std::size_t i = 0; i < registered_cores_.size(); ++i) {
+    cpu::OooCore& core = *registered_cores_[i];
+    if (metrics_) {
+      // One bucket per integer occupancy in [0, rob_entries].
+      const auto cap = core.config().rob_entries;
+      core.set_rob_histogram(&metrics_->histogram(
+          core_prefix(i) + ".rob.occupancy", 0.0,
+          static_cast<double>(cap + 1), cap + 1));
+    } else {
+      core.set_rob_histogram(nullptr);
+    }
+  }
+}
+
+void System::publish_metrics(const RunResult& r) {
+  if (!metrics_) return;
+  obs::MetricsRegistry& reg = *metrics_;
+  for (std::size_t i = 0;
+       i < registered_cores_.size() && i < r.core_stats.size(); ++i) {
+    cpu::publish_core_stats(reg, core_prefix(i), r.core_stats[i]);
+  }
+  memory().publish_metrics(reg, name() + ".mem");
+  reg.set_counter(name() + ".cycles", r.cycles);
+  reg.set_counter(name() + ".instructions", r.instructions);
+  reg.set_counter(name() + ".errors.injected", r.errors_injected);
+  reg.set_counter(name() + ".errors.recoveries", r.recoveries);
+  reg.set_counter(name() + ".errors.rollbacks", r.rollbacks);
+  reg.set_counter(name() + ".errors.recovery_cycles_total",
+                  r.recovery_cycles_total);
+  reg.set_counter(name() + ".stall.cb_full", r.cb_full_stalls);
+  reg.set_counter(name() + ".fingerprint_syncs", r.fingerprint_syncs);
+  reg.gauge(name() + ".thread_ipc").add(r.thread_ipc());
+}
+
+}  // namespace unsync::core

@@ -12,6 +12,8 @@
 #include "cpu/ooo_core.hpp"
 #include "mem/config.hpp"
 #include "mem/hierarchy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/dyn_op.hpp"
 
 namespace unsync::core {
@@ -66,15 +68,65 @@ struct RunResult {
                         static_cast<double>(cycles)
                   : 0.0;
   }
+
+  /// Serialises the result under the stable "unsync.run_result.v1" schema
+  /// (see docs/OBSERVABILITY.md). `indent` = 0 emits the canonical compact
+  /// form; > 0 pretty-prints. Byte-identical for identical results.
+  std::string to_json(int indent = 0) const;
 };
 
 /// A simulated CMP. run() executes every thread's stream to completion (or
 /// max_cycles) and reports the aggregate result.
+///
+/// Observability contract: every system owns a Tracer (wired into its cores
+/// and memory hierarchy at construction; free while no sink is attached) and
+/// optionally publishes into a MetricsRegistry at the end of run(). Both are
+/// attached post-construction via set_observability().
 class System {
  public:
   virtual ~System() = default;
   virtual RunResult run(Cycle max_cycles = ~Cycle{0}) = 0;
   virtual const std::string& name() const = 0;
+
+  /// The system's memory hierarchy (every concrete system owns exactly one).
+  virtual mem::MemoryHierarchy& memory() = 0;
+
+  /// Attaches (or detaches, with nullptr) a metrics registry and a trace
+  /// sink. With a registry attached, per-cycle ROB-occupancy histograms are
+  /// sampled under "<name>.<core>.rob.occupancy" and the full metric tree is
+  /// published when run() finishes. Call before run().
+  void set_observability(obs::MetricsRegistry* metrics, obs::TraceSink* trace);
+
+  const obs::Tracer& tracer() const { return tracer_; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+ protected:
+  explicit System(unsigned num_threads = 1) : num_threads_(num_threads) {}
+
+  /// Derived constructors register every core in group-major order (group 0
+  /// side 0, group 0 side 1, ..., matching RunResult::core_stats). Wires the
+  /// core to the system tracer and enables uniform metric naming: with one
+  /// core per thread the prefix is "<name>.core<i>", otherwise
+  /// "<name>.group<g>.core<s>".
+  void register_core(cpu::OooCore& core);
+
+  /// Metric path prefix of registered core `i` (see register_core).
+  std::string core_prefix(std::size_t i) const;
+
+  /// Publishes the standard metric tree for a finished run: per-core
+  /// counters/gauges, the memory hierarchy, and the system-level error /
+  /// stall counters. No-op without an attached registry. Derived run()
+  /// implementations call this just before returning (and may add
+  /// system-specific extras afterwards).
+  void publish_metrics(const RunResult& r);
+
+  /// Event-trace gate shared by the system, its cores and its memory.
+  obs::Tracer tracer_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+
+ private:
+  unsigned num_threads_ = 1;
+  std::vector<cpu::OooCore*> registered_cores_;
 };
 
 namespace detail {

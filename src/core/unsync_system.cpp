@@ -32,7 +32,8 @@ UnSyncSystem::UnSyncSystem(const SystemConfig& config,
 UnSyncSystem::UnSyncSystem(
     const SystemConfig& config, const UnSyncParams& params,
     const std::vector<const workload::InstStream*>& streams)
-    : config_(config),
+    : System(config.num_threads),
+      config_(config),
       params_(params),
       plan_(fault::unsync_plan()),
       thread_lengths_(detail::lengths_of(streams)),
@@ -59,6 +60,7 @@ UnSyncSystem::UnSyncSystem(
       group->cores.push_back(std::make_unique<cpu::OooCore>(
           core_id, config_.core, &memory_, streams[t]->clone(),
           group->envs.back().get()));
+      register_core(*group->cores.back());
     }
     if (config_.ser_per_inst > 0 && thread_lengths_[t] > 0) {
       group->error_arrivals = fault::sample_error_arrivals(
@@ -68,7 +70,7 @@ UnSyncSystem::UnSyncSystem(
   }
 }
 
-void UnSyncSystem::drain_cbs(Group& group, Cycle now) {
+void UnSyncSystem::drain_cbs(Group& group, unsigned thread, Cycle now) {
   // The drain frontier is the newest store committed on EVERY core of the
   // group; since all cores commit the identical store sequence, the CBs
   // agree on their common prefix and drain head-to-head, one L2 copy per
@@ -86,7 +88,17 @@ void UnSyncSystem::drain_cbs(Group& group, Cycle now) {
              "redundant CBs must agree on their drain frontier");
     }
 #endif
-    memory_.push_word_to_l2(group.cbs.front()->front().addr, now);
+    const mem::WriteBufferEntry& head = group.cbs.front()->front();
+    if (tracer_.enabled()) {
+      tracer_.emit({.kind = obs::TraceKind::kCbDrain,
+                    .cycle = now,
+                    .thread = thread,
+                    .core = 0,
+                    .seq = head.seq,
+                    .addr = head.addr,
+                    .value = 0});
+    }
+    memory_.push_word_to_l2(head.addr, now);
     for (const auto& cb : group.cbs) cb->pop();
   }
 }
@@ -138,6 +150,14 @@ void UnSyncSystem::maybe_inject_error(Group& group, unsigned thread,
   result->error_log.push_back({.cycle = now, .position = position,
                                .thread = thread, .struck_core = bad,
                                .cost = cost, .rollback = false});
+  if (tracer_.enabled()) {
+    tracer_.emit({.kind = obs::TraceKind::kErrorInjection, .cycle = now,
+                  .thread = thread, .core = bad, .seq = position, .addr = 0,
+                  .value = 0});
+    tracer_.emit({.kind = obs::TraceKind::kRecovery, .cycle = now,
+                  .thread = thread, .core = bad, .seq = position, .addr = 0,
+                  .value = cost});
+  }
 
   // 1-2) Stop every core; flush the erroneous pipeline.
   group.cores[bad]->flush_pipeline();
@@ -174,13 +194,12 @@ RunResult UnSyncSystem::run(Cycle max_cycles) {
   while (!all_done() && now < max_cycles) {
     for (auto& group : groups_) {
       if (group_done(*group)) continue;
+      const auto thread = static_cast<unsigned>(&group - groups_.data());
       for (auto& core : group->cores) {
         if (!core->done()) core->tick(now);
       }
-      drain_cbs(*group, now);
-      maybe_inject_error(*group,
-                         static_cast<unsigned>(&group - groups_.data()), now,
-                         &r);
+      drain_cbs(*group, thread, now);
+      maybe_inject_error(*group, thread, now, &r);
     }
     ++now;
   }
@@ -191,6 +210,18 @@ RunResult UnSyncSystem::run(Cycle max_cycles) {
       r.core_stats.push_back(core->stats());
     }
     r.cb_full_stalls += group->cb_full_stalls;
+  }
+  publish_metrics(r);
+  if (metrics_) {
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      const auto& cbs = groups_[g]->cbs;
+      for (std::size_t s = 0; s < cbs.size(); ++s) {
+        mem::publish_write_buffer(
+            *metrics_,
+            name_ + ".group" + std::to_string(g) + ".cb" + std::to_string(s),
+            *cbs[s]);
+      }
+    }
   }
   return r;
 }

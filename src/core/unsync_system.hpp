@@ -73,7 +73,7 @@ class UnSyncSystem final : public System {
   RunResult run(Cycle max_cycles = ~Cycle{0}) override;
   const std::string& name() const override { return name_; }
 
-  mem::MemoryHierarchy& memory() { return memory_; }
+  mem::MemoryHierarchy& memory() override { return memory_; }
   const fault::ProtectionPlan& plan() const { return plan_; }
   unsigned group_size() const { return params_.group_size; }
 
@@ -105,7 +105,7 @@ class UnSyncSystem final : public System {
     std::uint64_t cb_full_stalls = 0;
   };
 
-  void drain_cbs(Group& group, Cycle now);
+  void drain_cbs(Group& group, unsigned thread, Cycle now);
   void maybe_inject_error(Group& group, unsigned thread, Cycle now,
                           RunResult* result);
   Cycle recovery_cost(const Group& group, unsigned error_free_side) const;

@@ -112,6 +112,7 @@ bool OooCore::src_ready(SeqNum src, Cycle now, Cycle* ready_at) const {
 void OooCore::tick(Cycle now) {
   ++stats_.cycles;
   stats_.rob_occupancy_accum += rob_.size();
+  if (rob_hist_) rob_hist_->add(static_cast<double>(rob_.size()));
 
   if (config_.sample_interval != 0 && now >= next_sample_) {
     stats_.interval_committed.push_back(stats_.committed);
@@ -171,6 +172,11 @@ void OooCore::do_commit(Cycle now) {
     }
 
     env_->on_commit(id_, head.op, now);
+    if (tracer_ && tracer_->enabled()) {
+      tracer_->emit({.kind = obs::TraceKind::kCommit, .cycle = now,
+                     .thread = 0, .core = id_, .seq = head.op.seq,
+                     .addr = head.op.mem_addr, .value = 0});
+    }
     completion_.erase(head.op.seq);
     rob_.pop_front();
     ++stats_.committed;
@@ -389,6 +395,11 @@ void OooCore::do_fetch(Cycle now) {
         op.mispredict_hint = wrong;
       }
       fetch_queue_.push_back(op);
+      if (tracer_ && tracer_->enabled()) {
+        tracer_->emit({.kind = obs::TraceKind::kFetch, .cycle = now,
+                       .thread = 0, .core = id_, .seq = op.seq,
+                       .addr = op.pc, .value = wrong ? 1u : 0u});
+      }
       if (wrong) {
         // The front end chases the wrong path until this branch resolves.
         fetch_blocked_on_ = op.seq;
@@ -397,7 +408,36 @@ void OooCore::do_fetch(Cycle now) {
       continue;
     }
     fetch_queue_.push_back(op);
+    if (tracer_ && tracer_->enabled()) {
+      tracer_->emit({.kind = obs::TraceKind::kFetch, .cycle = now,
+                     .thread = 0, .core = id_, .seq = op.seq, .addr = op.pc,
+                     .value = 0});
+    }
   }
+}
+
+void publish_core_stats(obs::MetricsRegistry& reg, const std::string& prefix,
+                        const CoreStats& s) {
+  reg.set_counter(prefix + ".cycles", s.cycles);
+  reg.set_counter(prefix + ".commit.committed", s.committed);
+  reg.set_counter(prefix + ".commit.loads", s.loads);
+  reg.set_counter(prefix + ".commit.stores", s.stores);
+  reg.set_counter(prefix + ".commit.branches", s.branches);
+  reg.set_counter(prefix + ".commit.mispredicts", s.mispredicts);
+  reg.set_counter(prefix + ".commit.serializing", s.serializing);
+  reg.set_counter(prefix + ".stall.commit_store", s.commit_stall_store);
+  reg.set_counter(prefix + ".stall.commit_gate", s.commit_stall_gate);
+  reg.set_counter(prefix + ".stall.dispatch_rob", s.dispatch_stall_rob);
+  reg.set_counter(prefix + ".stall.dispatch_iq", s.dispatch_stall_iq);
+  reg.set_counter(prefix + ".stall.dispatch_lsq", s.dispatch_stall_lsq);
+  reg.set_counter(prefix + ".stall.fetch_branch", s.fetch_blocked_branch);
+  reg.set_counter(prefix + ".stall.fetch_serialize", s.fetch_blocked_serialize);
+  reg.set_counter(prefix + ".stall.fetch_icache", s.fetch_blocked_icache);
+  reg.set_counter(prefix + ".stall.recovery_cycles", s.recovery_stall_cycles);
+  reg.set_counter(prefix + ".tlb.itlb_misses", s.itlb_misses);
+  reg.set_counter(prefix + ".tlb.dtlb_misses", s.dtlb_misses);
+  reg.observe(prefix + ".ipc", s.ipc());
+  reg.observe(prefix + ".rob.avg_occupancy", s.avg_rob_occupancy());
 }
 
 }  // namespace unsync::cpu

@@ -23,10 +23,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/types.hpp"
 #include "cpu/bpred.hpp"
 #include "cpu/core_config.hpp"
 #include "mem/hierarchy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/dyn_op.hpp"
 
 namespace unsync::cpu {
@@ -141,6 +144,16 @@ class OooCore {
     return static_cast<std::uint32_t>(rob_.size());
   }
 
+  /// Attaches an event-trace gate. The core emits kFetch and kCommit
+  /// records through it; a gate with no sink costs one branch per event
+  /// site, so leaving this attached permanently is free.
+  void set_tracer(const obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attaches a per-cycle ROB-occupancy histogram (the Figure 5 metric).
+  /// Sampling is one Histogram::add per cycle while attached; pass nullptr
+  /// to detach.
+  void set_rob_histogram(Histogram* hist) { rob_hist_ = hist; }
+
   GsharePredictor& predictor() { return bpred_; }
 
  private:
@@ -211,6 +224,15 @@ class OooCore {
   Cycle frozen_until_ = 0;
   Cycle next_sample_ = 0;
   CoreStats stats_;
+
+  // Observability (both optional; null = off, one branch per site).
+  const obs::Tracer* tracer_ = nullptr;
+  Histogram* rob_hist_ = nullptr;
 };
+
+/// Publishes one core's counters and gauges into `reg` under `prefix`
+/// (e.g. "unsync.group0.core1"): the registry-side view of CoreStats.
+void publish_core_stats(obs::MetricsRegistry& reg, const std::string& prefix,
+                        const CoreStats& stats);
 
 }  // namespace unsync::cpu

@@ -67,13 +67,33 @@ bool matches_golden(const isa::FunctionalSim& sim, const GoldenRun& golden) {
 
 CampaignResult run_campaign(const isa::Program& program,
                             const ProtectionPlan& plan,
-                            const InjectionConfig& config) {
+                            const InjectionConfig& config,
+                            obs::MetricsRegistry* metrics,
+                            obs::TraceSink* trace) {
   assert(!config.sites.empty());
   const GoldenRun golden = run_golden(program, config.max_insts);
   assert(golden.retired > 0);
 
   CampaignResult result;
   Rng rng(config.seed);
+
+  const auto record_trial = [&](std::uint64_t trial, FaultSite site,
+                                SeqNum inject_at, Addr addr, Outcome outcome) {
+    result.trials.push_back({site, inject_at, outcome});
+    if (trace) {
+      trace->record({.kind = obs::TraceKind::kErrorInjection,
+                     .cycle = trial,
+                     .thread = 0,
+                     .core = static_cast<std::uint32_t>(site),
+                     .seq = inject_at,
+                     .addr = addr,
+                     .value = static_cast<std::uint64_t>(outcome)});
+    }
+    if (metrics) {
+      metrics->counter(std::string("fault.site.") + name_of(site) +
+                       ".trials").inc();
+    }
+  };
 
   for (std::uint64_t trial = 0; trial < config.trials; ++trial) {
     const FaultSite site =
@@ -144,7 +164,7 @@ CampaignResult run_campaign(const isa::Program& program,
       // Nothing stored yet at this point of the run: the strike hits an
       // invalid line — architecturally masked.
       ++result.masked;
-      result.trials.push_back({site, inject_at, Outcome::kMasked});
+      record_trial(trial, site, inject_at, 0, Outcome::kMasked);
       continue;
     }
 
@@ -213,7 +233,19 @@ CampaignResult run_campaign(const isa::Program& program,
         ++result.sdc;
       }
     }
-    result.trials.push_back({site, inject_at, outcome});
+    record_trial(trial, site, inject_at, mem_addr, outcome);
+  }
+
+  if (metrics) {
+    metrics->set_counter("fault.trials", result.total());
+    metrics->set_counter("fault.outcome.masked", result.masked);
+    metrics->set_counter("fault.outcome.corrected_in_place",
+                         result.corrected_in_place);
+    metrics->set_counter("fault.outcome.recovered", result.recovered);
+    metrics->set_counter("fault.outcome.unrecoverable", result.unrecoverable);
+    metrics->set_counter("fault.outcome.sdc", result.sdc);
+    metrics->set_counter("fault.recovery_failures", result.recovery_failures);
+    metrics->gauge("fault.sdc_rate").add(result.sdc_rate());
   }
   return result;
 }

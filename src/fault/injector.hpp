@@ -18,6 +18,8 @@
 #include "common/rng.hpp"
 #include "fault/protection.hpp"
 #include "isa/assembler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace unsync::fault {
 
@@ -84,8 +86,15 @@ struct CampaignResult {
 };
 
 /// Runs an injection campaign for `program` under `plan`.
+///
+/// When `metrics` is non-null, outcome and per-site trial counters are
+/// published under "fault.*" after the campaign. When `trace` is non-null,
+/// one kErrorInjection record is emitted per trial (cycle = trial index,
+/// core = FaultSite value, seq = injection point, value = Outcome value).
 CampaignResult run_campaign(const isa::Program& program,
                             const ProtectionPlan& plan,
-                            const InjectionConfig& config);
+                            const InjectionConfig& config,
+                            obs::MetricsRegistry* metrics = nullptr,
+                            obs::TraceSink* trace = nullptr);
 
 }  // namespace unsync::fault

@@ -58,7 +58,20 @@ void MemoryHierarchy::l2_write_state(Addr addr, Cycle t) {
   }
 }
 
-MemAccessResult MemoryHierarchy::read_through(Cache& l1,
+void MemoryHierarchy::emit_bus(Cycle grant, std::uint32_t core, Addr addr,
+                               std::uint64_t value) const {
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->emit({.kind = obs::TraceKind::kBusTransaction,
+                   .cycle = grant,
+                   .thread = 0,
+                   .core = core,
+                   .seq = 0,
+                   .addr = addr,
+                   .value = value});
+  }
+}
+
+MemAccessResult MemoryHierarchy::read_through(CoreId core, Cache& l1,
                                               const CacheConfig& cfg,
                                               Addr addr, Cycle now) {
   const Addr line = l1.line_addr(addr);
@@ -74,7 +87,8 @@ MemAccessResult MemoryHierarchy::read_through(Cache& l1,
   }
   if (r.dirty_victim) {
     // Evicted dirty line: write-back transfer to L2 (off critical path).
-    bus_.acquire(now, config_.bus_line_cycles);
+    const Cycle wb = bus_.acquire(now, config_.bus_line_cycles);
+    emit_bus(wb, static_cast<std::uint32_t>(core), *r.dirty_victim, 1);
     l2_write_state(*r.dirty_victim, now);
   }
   if (const auto done = l1.mshrs().in_flight(line, now)) {
@@ -84,25 +98,27 @@ MemAccessResult MemoryHierarchy::read_through(Cache& l1,
   l1.mshrs().add_stall(free - now);
   const Cycle tag_checked = free + cfg.hit_latency;
   const Cycle grant = bus_.acquire(tag_checked, config_.bus_line_cycles);
+  emit_bus(grant, static_cast<std::uint32_t>(core), line, 0);
   const auto [l2_done, l2_hit] = l2_read(addr, grant + config_.bus_line_cycles);
   l1.mshrs().allocate(line, now, l2_done);
   return {.done = l2_done, .l1_hit = false, .l2_hit = l2_hit};
 }
 
 MemAccessResult MemoryHierarchy::load(CoreId core, Addr addr, Cycle now) {
-  return read_through(*l1d_.at(core), config_.l1d, addr, now);
+  return read_through(core, *l1d_.at(core), config_.l1d, addr, now);
 }
 
 MemAccessResult MemoryHierarchy::ifetch(CoreId core, Addr addr, Cycle now) {
   Cache& l1i = *l1i_.at(core);
-  const MemAccessResult demand = read_through(l1i, config_.l1i, addr, now);
+  const MemAccessResult demand =
+      read_through(core, l1i, config_.l1i, addr, now);
   // Next-line prefetch: sequential code is the common case, so the fetch
   // engine streams the following line in the shadow of the demand access.
   const Addr next_line = l1i.line_addr(addr) + config_.l1i.line_bytes;
   if (!l1i.contains(next_line) &&
       !l1i.mshrs().in_flight(next_line, now).has_value() &&
       l1i.mshrs().first_free(now) <= now) {
-    (void)read_through(l1i, config_.l1i, next_line, now);
+    (void)read_through(core, l1i, config_.l1i, next_line, now);
   }
   return demand;
 }
@@ -123,7 +139,8 @@ MemAccessResult MemoryHierarchy::store_writeback(CoreId core, Addr addr,
             .l2_hit = false};
   }
   if (r.dirty_victim) {
-    bus_.acquire(now, config_.bus_line_cycles);
+    const Cycle wb = bus_.acquire(now, config_.bus_line_cycles);
+    emit_bus(wb, static_cast<std::uint32_t>(core), *r.dirty_victim, 1);
     l2_write_state(*r.dirty_victim, now);
   }
   // Write-allocate: the line is fetched like a load miss, but the store
@@ -137,6 +154,7 @@ MemAccessResult MemoryHierarchy::store_writeback(CoreId core, Addr addr,
   l1.mshrs().add_stall(free - now);
   const Cycle tag_checked = free + config_.l1d.hit_latency;
   const Cycle grant = bus_.acquire(tag_checked, config_.bus_line_cycles);
+  emit_bus(grant, static_cast<std::uint32_t>(core), line, 0);
   const auto [l2_done, l2_hit] = l2_read(addr, grant + config_.bus_line_cycles);
   l1.mshrs().allocate(line, now, l2_done);
   return {.done = tag_checked, .l1_hit = false, .l2_hit = l2_hit};
@@ -168,9 +186,29 @@ void MemoryHierarchy::prewarm_icaches(Addr base, std::uint64_t bytes) {
 
 Cycle MemoryHierarchy::push_word_to_l2(Addr addr, Cycle now) {
   const Cycle grant = bus_.acquire(now, config_.bus_word_cycles);
+  emit_bus(grant, kSharedCore, addr, 2);
   const Cycle arrive = grant + config_.bus_word_cycles;
   l2_write_state(addr, arrive);
   return arrive + config_.l2.hit_latency;
+}
+
+void MemoryHierarchy::publish_metrics(obs::MetricsRegistry& reg,
+                                      const std::string& prefix) const {
+  const auto publish_cache = [&reg](const std::string& p, const Cache& c) {
+    reg.set_counter(p + ".hits", c.hits());
+    reg.set_counter(p + ".misses", c.misses());
+    reg.set_counter(p + ".writebacks", c.writebacks());
+    reg.set_counter(p + ".mshr_stall_cycles", c.mshrs().stall_cycles());
+  };
+  for (std::size_t i = 0; i < l1d_.size(); ++i) {
+    publish_cache(prefix + ".l1d" + std::to_string(i), *l1d_[i]);
+    publish_cache(prefix + ".l1i" + std::to_string(i), *l1i_[i]);
+  }
+  publish_cache(prefix + ".l2", l2_);
+  reg.set_counter(prefix + ".bus.busy_cycles", bus_.busy_cycles());
+  reg.set_counter(prefix + ".bus.transactions", bus_.transactions());
+  reg.set_counter(prefix + ".dram.busy_cycles", dram_chan_.busy_cycles());
+  reg.set_counter(prefix + ".dram.transactions", dram_chan_.transactions());
 }
 
 }  // namespace unsync::mem

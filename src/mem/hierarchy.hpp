@@ -12,10 +12,14 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "common/types.hpp"
 #include "mem/bus.hpp"
 #include "mem/cache.hpp"
 #include "mem/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace unsync::mem {
 
@@ -70,14 +74,32 @@ class MemoryHierarchy {
   const Bus& bus() const { return bus_; }
   Bus& dram_channel() { return dram_chan_; }
 
+  /// Core id used in kBusTransaction records for shared traffic with no
+  /// originating core (Communication-Buffer drains).
+  static constexpr std::uint32_t kSharedCore = ~std::uint32_t{0};
+
+  /// Attaches an event-trace gate; the hierarchy emits one
+  /// kBusTransaction record per granted shared-bus transfer. Null sink =
+  /// one branch per transfer.
+  void set_tracer(const obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Publishes cache / bus / DRAM-channel counters into `reg` under
+  /// `prefix` (e.g. "unsync.mem"): per-core L1D/L1I, shared L2, buses.
+  void publish_metrics(obs::MetricsRegistry& reg,
+                       const std::string& prefix) const;
+
  private:
   /// L2 read reached at cycle `t` (after bus transfer); returns fill-ready
   /// cycle and whether it hit.
   std::pair<Cycle, bool> l2_read(Addr addr, Cycle t);
   void l2_write_state(Addr addr, Cycle t);
   /// Shared read path: L1 lookup, MSHR merge, bus transfer, L2 access.
-  MemAccessResult read_through(Cache& l1, const CacheConfig& cfg, Addr addr,
-                               Cycle now);
+  MemAccessResult read_through(CoreId core, Cache& l1, const CacheConfig& cfg,
+                               Addr addr, Cycle now);
+  /// Emits one kBusTransaction record (value: 0 = line fill, 1 = dirty
+  /// victim write-back, 2 = store-word push).
+  void emit_bus(Cycle grant, std::uint32_t core, Addr addr,
+                std::uint64_t value) const;
 
   MemConfig config_;
   std::vector<std::unique_ptr<Cache>> l1d_;
@@ -85,6 +107,7 @@ class MemoryHierarchy {
   Cache l2_;
   Bus bus_;        // shared L1<->L2 interconnect
   Bus dram_chan_;  // memory channel behind the L2
+  const obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace unsync::mem

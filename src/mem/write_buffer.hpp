@@ -10,8 +10,10 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
+#include <string>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace unsync::mem {
 
@@ -72,5 +74,15 @@ class WriteBuffer {
   std::size_t peak_ = 0;
   std::uint64_t total_pushed_ = 0;
 };
+
+/// Publishes a write buffer's occupancy counters into `reg` under `prefix`
+/// (e.g. "unsync.group0.cb0").
+inline void publish_write_buffer(obs::MetricsRegistry& reg,
+                                 const std::string& prefix,
+                                 const WriteBuffer& wb) {
+  reg.set_counter(prefix + ".capacity", wb.capacity());
+  reg.set_counter(prefix + ".peak_occupancy", wb.peak_occupancy());
+  reg.set_counter(prefix + ".total_pushed", wb.total_pushed());
+}
 
 }  // namespace unsync::mem

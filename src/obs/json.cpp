@@ -1,0 +1,146 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace unsync::obs {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  std::string s(buf, res.ptr);
+  // to_chars may emit "1e+20"-style exponents, which is valid JSON, but a
+  // bare integer mantissa ("42") is also fine — keep whatever it produced.
+  return s;
+}
+
+void JsonWriter::comma_and_newline() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_item_.empty() && has_item_.back()) out_ += ',';
+  if (!has_item_.empty()) has_item_.back() = true;
+  if (depth_ > 0) newline_indent();
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(static_cast<std::size_t>(depth_ * indent_), ' ');
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_and_newline();
+  out_ += '{';
+  ++depth_;
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had_items = has_item_.back();
+  has_item_.pop_back();
+  --depth_;
+  if (had_items) newline_indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_and_newline();
+  out_ += '[';
+  ++depth_;
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had_items = has_item_.back();
+  has_item_.pop_back();
+  --depth_;
+  if (had_items) newline_indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma_and_newline();
+  out_ += json_quote(name);
+  out_ += indent_ > 0 ? ": " : ":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma_and_newline();
+  out_ += json_quote(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma_and_newline();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_and_newline();
+  out_ += json_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_and_newline();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_and_newline();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_and_newline();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  comma_and_newline();
+  out_ += json;
+  return *this;
+}
+
+}  // namespace unsync::obs

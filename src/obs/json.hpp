@@ -1,0 +1,71 @@
+// Minimal deterministic JSON writer.
+//
+// The observability layer serialises metrics snapshots, trace records and
+// run results to JSON; every consumer (golden tests, the threads=1 vs
+// threads=N byte-identity gate, downstream analysis scripts) relies on the
+// output being *deterministic*: keys are emitted in caller order (callers
+// iterate sorted containers), and doubles use the shortest round-trip
+// form of std::to_chars, which is a pure function of the value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unsync::obs {
+
+/// Escapes `s` per RFC 8259 and returns it wrapped in double quotes.
+std::string json_quote(std::string_view s);
+
+/// Shortest round-trip decimal form of `v` ("1.5", "0.3333333333333333");
+/// non-finite values serialise as null (JSON has no NaN/Inf).
+std::string json_double(double v);
+
+/// A streaming JSON builder. Structural methods (begin_object/end_object,
+/// begin_array/end_array, key) manage commas; value methods append one
+/// JSON value. The writer does not validate nesting — callers pair their
+/// begins and ends (tests pin the output byte-for-byte anyway).
+class JsonWriter {
+ public:
+  /// `indent` > 0 pretty-prints with that many spaces per level; 0 emits
+  /// the canonical compact single-line form used for byte-identity checks.
+  explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the member key; the next call must append its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& null();
+
+  /// Appends pre-rendered JSON verbatim as one value (composition).
+  JsonWriter& raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma_and_newline();
+  void newline_indent();
+
+  std::string out_;
+  int indent_ = 0;
+  int depth_ = 0;
+  /// Whether the current nesting level already holds a member/element.
+  std::vector<bool> has_item_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace unsync::obs

@@ -1,0 +1,126 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace unsync::obs {
+
+Counter& MetricsRegistry::counter(std::string_view path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(path);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(path), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+RunningStat& MetricsRegistry::gauge(std::string_view path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(path);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(path), std::make_unique<RunningStat>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view path, double lo,
+                                      double hi, std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(path);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(path),
+                      std::make_unique<Histogram>(lo, hi, buckets))
+             .first;
+  }
+  return *it->second;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [path, c] : counters_) snap.counters.emplace(path, c->value());
+  for (const auto& [path, g] : gauges_) snap.gauges.emplace(path, *g);
+  for (const auto& [path, h] : histograms_) snap.histograms.emplace(path, *h);
+  return snap;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [path, v] : other.counters) counters[path] += v;
+  for (const auto& [path, g] : other.gauges) {
+    auto [it, inserted] = gauges.emplace(path, g);
+    if (!inserted) it->second.merge(g);
+  }
+  for (const auto& [path, h] : other.histograms) {
+    auto [it, inserted] = histograms.emplace(path, h);
+    if (!inserted) it->second.merge(h);  // throws on shape mismatch
+  }
+}
+
+std::string MetricsSnapshot::to_json(int indent) const {
+  JsonWriter w(indent);
+  w.begin_object();
+  w.key("schema").value("unsync.metrics.v1");
+  w.key("counters").begin_object();
+  for (const auto& [path, v] : counters) w.key(path).value(v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [path, g] : gauges) {
+    w.key(path).begin_object();
+    w.key("count").value(g.count());
+    w.key("mean").value(g.mean());
+    w.key("min").value(g.min());
+    w.key("max").value(g.max());
+    w.key("stddev").value(g.stddev());
+    w.key("sum").value(g.sum());
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [path, h] : histograms) {
+    w.key(path).begin_object();
+    w.key("lo").value(h.low());
+    w.key("hi").value(h.high());
+    w.key("total").value(h.total());
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < h.buckets(); ++i) w.value(h.bucket(i));
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::ostringstream os;
+  os << "kind,path,value,count,mean,min,max,stddev,sum\n";
+  for (const auto& [path, v] : counters) {
+    os << "counter," << path << ',' << v << ",,,,,,\n";
+  }
+  for (const auto& [path, g] : gauges) {
+    os << "gauge," << path << ",," << g.count() << ','
+       << json_double(g.mean()) << ',' << json_double(g.min()) << ','
+       << json_double(g.max()) << ',' << json_double(g.stddev()) << ','
+       << json_double(g.sum()) << '\n';
+  }
+  for (const auto& [path, h] : histograms) {
+    os << "histogram," << path << ',' << h.total() << ",,,,,,\n";
+    for (std::size_t i = 0; i < h.buckets(); ++i) {
+      os << "histogram_bucket," << path << '[' << json_double(h.bucket_low(i))
+         << "]," << h.bucket(i) << ",,,,,,\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace unsync::obs

@@ -1,0 +1,111 @@
+// Hierarchical metrics registry — the simulator's stats framework.
+//
+// Components register named instruments under dotted paths (the gem5-style
+// convention, e.g. "unsync.group0.core1.rob.occupancy"):
+//
+//   * Counter     — a monotonically growing (or set-once) scalar,
+//   * RunningStat — a mean/min/max/stddev gauge (common/stats.hpp),
+//   * Histogram   — fixed-bucket distribution (common/stats.hpp).
+//
+// Threading model: *registration* (counter()/gauge()/histogram()) is
+// mutex-guarded and safe from concurrent campaign jobs; *updates* through a
+// returned handle are plain non-atomic writes — each simulation is
+// single-threaded and owns its registry (one registry per campaign job),
+// so the hot path is a single add with no synchronisation. snapshot() must
+// not race with updates (take it after run() returns).
+//
+// Parallel reduction: snapshot() freezes a registry into a MetricsSnapshot;
+// snapshots merge associatively (counters add, gauges Welford-merge,
+// histograms add bucketwise), so a campaign reduces per-job snapshots in
+// submission order and the aggregate is independent of the worker count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace unsync::obs {
+
+/// A named scalar counter. Handles returned by MetricsRegistry::counter()
+/// stay valid for the registry's lifetime; inc() is the hot-path operation
+/// (one untracked 64-bit add).
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  void set(std::uint64_t v) { value_ = v; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// An immutable, mergeable view of a registry (or of several, merged).
+/// The maps keep paths sorted, so serialisation order — and therefore the
+/// JSON/CSV bytes — is a pure function of the contents.
+class MetricsSnapshot {
+ public:
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, RunningStat> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Associative element-wise merge: counters add, gauges merge via
+  /// Welford, histograms add per bucket (shapes must match; throws
+  /// std::invalid_argument on a lo/hi/bucket-count mismatch).
+  void merge(const MetricsSnapshot& other);
+
+  /// {"schema":"unsync.metrics.v1","counters":{...},"gauges":{...},
+  ///  "histograms":{...}} — compact when indent == 0.
+  std::string to_json(int indent = 0) const;
+
+  /// One row per instrument: kind,path,value/count,mean,min,max,stddev,sum
+  /// followed by histogram bucket rows (kind=histogram_bucket).
+  std::string to_csv() const;
+};
+
+/// The registry: owns instruments, hands out stable handles.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter at `path`, creating it (zero) on first use.
+  Counter& counter(std::string_view path);
+  /// Returns the gauge at `path`, creating it on first use.
+  RunningStat& gauge(std::string_view path);
+  /// Returns the histogram at `path`; created with [lo, hi) x `buckets` on
+  /// first use (later calls ignore the shape arguments).
+  Histogram& histogram(std::string_view path, double lo, double hi,
+                       std::size_t buckets);
+
+  /// Convenience for publish-at-end-of-run call sites: counter(path).set(v).
+  void set_counter(std::string_view path, std::uint64_t v) {
+    counter(path).set(v);
+  }
+  /// Convenience: records `v` as one gauge observation.
+  void observe(std::string_view path, double v) { gauge(path).add(v); }
+
+  std::size_t size() const;
+
+  /// Deep-copies every instrument's current state. Callers must ensure no
+  /// concurrent updates (take snapshots after the simulation finished).
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<RunningStat>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace unsync::obs

@@ -1,0 +1,56 @@
+#include "obs/trace.hpp"
+
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace unsync::obs {
+
+const char* name_of(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kFetch: return "fetch";
+    case TraceKind::kCommit: return "commit";
+    case TraceKind::kErrorInjection: return "error_injection";
+    case TraceKind::kRecovery: return "recovery";
+    case TraceKind::kRollback: return "rollback";
+    case TraceKind::kBusTransaction: return "bus";
+    case TraceKind::kCbDrain: return "cb_drain";
+    case TraceKind::kFingerprintSync: return "fingerprint_sync";
+    case TraceKind::kCheckpoint: return "checkpoint";
+    case TraceKind::kJobStart: return "job_start";
+    case TraceKind::kJobEnd: return "job_end";
+  }
+  return "?";
+}
+
+std::string to_json(const TraceRecord& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("kind").value(name_of(r.kind));
+  w.key("cycle").value(static_cast<std::uint64_t>(r.cycle));
+  w.key("thread").value(r.thread);
+  w.key("core").value(r.core);
+  w.key("seq").value(r.seq);
+  w.key("addr").value(r.addr);
+  w.key("value").value(r.value);
+  w.end_object();
+  return w.take();
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("cannot open trace file: " + path);
+}
+
+void JsonlTraceSink::record(const TraceRecord& r) {
+  const std::string line = to_json(r);
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+  ++written_;
+}
+
+void JsonlTraceSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.flush();
+}
+
+}  // namespace unsync::obs

@@ -1,0 +1,129 @@
+// Structured event tracing for the simulator.
+//
+// Components emit typed TraceRecords (fetch, commit, error injection,
+// recovery, bus transactions, ...) through a Tracer gate. The gate is the
+// whole cost model: a Tracer with no sink attached reduces emit() to one
+// predictable-not-taken branch, so the disabled path costs nothing
+// measurable in the simulation hot loop (bench_sim_throughput gates this).
+// Defining UNSYNC_TRACE_DISABLED at compile time removes even that branch.
+//
+// Sinks are pluggable: JsonlTraceSink streams one JSON object per line
+// (the trace_out=<path> file format, schema documented in
+// docs/OBSERVABILITY.md), VectorTraceSink buffers records for tests and
+// in-process analysis. Sinks are mutex-guarded, so concurrent campaign
+// jobs may share one sink — records never tear, though cross-job order is
+// scheduling-dependent (each record carries its own cycle/core fields).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace unsync::obs {
+
+enum class TraceKind : std::uint8_t {
+  kFetch,            ///< instruction entered the fetch queue
+  kCommit,           ///< instruction architecturally committed
+  kErrorInjection,   ///< a soft error strike was applied
+  kRecovery,         ///< forward recovery engaged (UnSync / lockstep resync)
+  kRollback,         ///< checkpoint / fingerprint rollback engaged
+  kBusTransaction,   ///< shared-bus transfer (miss fill, writeback, CB drain)
+  kCbDrain,          ///< one Communication-Buffer entry drained to L2
+  kFingerprintSync,  ///< Reunion serializing synchronisation
+  kCheckpoint,       ///< DMR checkpoint captured
+  kJobStart,         ///< campaign job began (core = job index)
+  kJobEnd,           ///< campaign job finished (core = job index)
+};
+
+/// Stable wire name ("commit", "error_injection", ...).
+const char* name_of(TraceKind kind);
+
+/// One fixed-size typed event. Field use by kind is documented in
+/// docs/OBSERVABILITY.md; unused fields stay zero.
+struct TraceRecord {
+  TraceKind kind = TraceKind::kCommit;
+  Cycle cycle = 0;          ///< simulated cycle of the event
+  std::uint32_t thread = 0; ///< application thread / redundancy group
+  std::uint32_t core = 0;   ///< core id (or job index for kJobStart/kJobEnd)
+  std::uint64_t seq = 0;    ///< instruction position, when applicable
+  std::uint64_t addr = 0;   ///< memory address / payload
+  std::uint64_t value = 0;  ///< cost, latency or auxiliary payload
+};
+
+/// Renders one record as a single-line JSON object (no trailing newline).
+std::string to_json(const TraceRecord& r);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceRecord& r) = 0;
+};
+
+/// Appends records to an in-memory vector (tests, in-process analysis).
+class VectorTraceSink final : public TraceSink {
+ public:
+  void record(const TraceRecord& r) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(r);
+  }
+
+  /// Copy-out accessor (the sink may still be written to concurrently).
+  std::vector<TraceRecord> records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceRecord> records_;
+};
+
+/// Streams records to a file as JSON Lines. Throws std::runtime_error if
+/// the file cannot be opened.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(const std::string& path);
+
+  void record(const TraceRecord& r) override;
+  std::uint64_t records_written() const { return written_; }
+  void flush();
+
+ private:
+  std::mutex mu_;
+  std::ofstream out_;
+  std::uint64_t written_ = 0;
+};
+
+/// The gate components hold: emit() is a no-op branch until a sink is
+/// attached. Copyable-by-pointer: systems own one Tracer and hand
+/// `&tracer` to their cores and memory hierarchy.
+class Tracer {
+ public:
+  bool enabled() const {
+#ifdef UNSYNC_TRACE_DISABLED
+    return false;
+#else
+    return sink_ != nullptr;
+#endif
+  }
+
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
+
+  void emit(const TraceRecord& r) const {
+    if (enabled()) sink_->record(r);
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace unsync::obs

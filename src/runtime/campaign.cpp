@@ -1,9 +1,11 @@
 #include "runtime/campaign.hpp"
 
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "obs/json.hpp"
 #include "runtime/thread_pool.hpp"
 #include "workload/profile.hpp"
 #include "workload/synthetic.hpp"
@@ -11,32 +13,42 @@
 
 namespace unsync::runtime {
 
-const char* name_of(SystemKind kind) {
-  switch (kind) {
-    case SystemKind::kBaseline: return "baseline";
-    case SystemKind::kUnSync: return "unsync";
-    case SystemKind::kReunion: return "reunion";
-    case SystemKind::kLockstep: return "lockstep";
-    case SystemKind::kCheckpoint: return "checkpoint";
-  }
-  return "?";
-}
-
-std::optional<SystemKind> parse_system(const std::string& name) {
-  if (name == "baseline") return SystemKind::kBaseline;
-  if (name == "unsync") return SystemKind::kUnSync;
-  if (name == "reunion") return SystemKind::kReunion;
-  if (name == "lockstep") return SystemKind::kLockstep;
-  if (name == "checkpoint") return SystemKind::kCheckpoint;
-  return std::nullopt;
-}
-
 std::uint64_t CampaignOutput::total_instructions() const {
   std::uint64_t total = 0;
   for (const auto& r : results) {
     for (const auto n : r.thread_instructions) total += n;
   }
   return total;
+}
+
+std::string CampaignOutput::to_json(int indent, bool include_timing) const {
+  obs::JsonWriter w(indent);
+  w.begin_object();
+  w.key("schema").value("unsync.campaign.v1");
+  w.key("campaign_seed").value(campaign_seed);
+  w.key("total_instructions").value(total_instructions());
+  w.key("jobs").begin_array();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    w.begin_object();
+    w.key("label").value(i < labels.size() ? labels[i] : std::string());
+    w.key("seed").value(i < seeds.size() ? seeds[i] : std::uint64_t{0});
+    w.key("result").raw(results[i].to_json());
+    if (include_timing && i < job_wall_seconds.size()) {
+      w.key("wall_seconds").value(job_wall_seconds[i]);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  if (metrics.empty()) {
+    w.key("metrics").null();
+  } else {
+    w.key("metrics").raw(metrics.to_json());
+  }
+  if (include_timing) {
+    w.key("wall_seconds").value(wall_seconds);
+  }
+  w.end_object();
+  return w.take();
 }
 
 namespace {
@@ -54,8 +66,9 @@ std::unique_ptr<workload::InstStream> make_stream(const SimJob& job,
 
 }  // namespace
 
-core::RunResult CampaignRunner::run_job(const SimJob& job,
-                                        std::uint64_t seed) {
+core::RunResult CampaignRunner::run_job(const SimJob& job, std::uint64_t seed,
+                                        obs::MetricsRegistry* metrics,
+                                        obs::TraceSink* trace) {
   const auto stream = make_stream(job, seed);
 
   core::SystemConfig sys_cfg;
@@ -63,34 +76,27 @@ core::RunResult CampaignRunner::run_job(const SimJob& job,
   sys_cfg.ser_per_inst = job.ser_per_inst;
   sys_cfg.seed = seed;
 
-  std::unique_ptr<core::System> sys;
-  switch (job.system) {
-    case SystemKind::kBaseline:
-      sys = std::make_unique<core::BaselineSystem>(sys_cfg, *stream);
-      break;
-    case SystemKind::kUnSync:
-      sys = std::make_unique<core::UnSyncSystem>(sys_cfg, job.unsync, *stream);
-      break;
-    case SystemKind::kReunion:
-      sys = std::make_unique<core::ReunionSystem>(sys_cfg, job.reunion,
-                                                  *stream);
-      break;
-    case SystemKind::kLockstep:
-      sys = std::make_unique<core::LockstepSystem>(sys_cfg, job.lockstep,
-                                                   *stream);
-      break;
-    case SystemKind::kCheckpoint:
-      sys = std::make_unique<core::DmrCheckpointSystem>(sys_cfg,
-                                                        job.checkpoint,
-                                                        *stream);
-      break;
-  }
+  const auto sys = core::make_system(job.system, sys_cfg, *stream, job.params);
+  if (metrics || trace) sys->set_observability(metrics, trace);
   return sys->run();
 }
 
 CampaignOutput CampaignRunner::run(const std::vector<SimJob>& jobs) const {
   CampaignOutput out;
   out.results.resize(jobs.size());
+  out.seeds.resize(jobs.size());
+  out.job_wall_seconds.resize(jobs.size(), 0.0);
+  out.campaign_seed = options_.campaign_seed;
+  out.labels.reserve(jobs.size());
+  for (const auto& job : jobs) out.labels.push_back(job.label);
+
+  // Per-job registries; merged in submission order after the grid so the
+  // aggregate is independent of the worker count.
+  std::vector<obs::MetricsSnapshot> job_metrics(
+      options_.collect_metrics ? jobs.size() : 0);
+
+  std::mutex progress_mu;
+  std::size_t completed = 0;
 
   const auto start = std::chrono::steady_clock::now();
   ThreadPool pool(options_.threads);
@@ -99,11 +105,32 @@ CampaignOutput CampaignRunner::run(const std::vector<SimJob>& jobs) const {
         jobs[i].seed ? *jobs[i].seed
                      : derive_seed(options_.campaign_seed,
                                    static_cast<std::uint64_t>(i));
-    out.results[i] = run_job(jobs[i], seed);
+    out.seeds[i] = seed;
+    const auto job_start = std::chrono::steady_clock::now();
+    if (options_.collect_metrics) {
+      obs::MetricsRegistry reg;
+      out.results[i] = run_job(jobs[i], seed, &reg);
+      job_metrics[i] = reg.snapshot();
+    } else {
+      out.results[i] = run_job(jobs[i], seed);
+    }
+    out.job_wall_seconds[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      job_start)
+            .count();
+    if (options_.progress) {
+      const std::lock_guard<std::mutex> lock(progress_mu);
+      options_.progress(++completed, jobs.size());
+    }
   });
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+
+  // Submission-order merge keeps out.metrics a pure function of the grid.
+  // Wall-clock lives only in wall_seconds / job_wall_seconds (and whatever
+  // a caller explicitly derives from them) — never in this snapshot.
+  for (auto& snap : job_metrics) out.metrics.merge(snap);
   return out;
 }
 

@@ -5,41 +5,38 @@
 // evaluation artifact in this reproduction (Figures 4-6, Tables II/III,
 // spec_campaign, SER sweeps, Monte-Carlo injection). CampaignRunner fans
 // the grid out across workers and hands results back *in submission
-// order*, so tables and CSVs built from a parallel run are byte-identical
-// to the serial run.
+// order*, so tables, CSVs and JSON built from a parallel run are
+// byte-identical to the serial run.
 //
 // Determinism: a job with no explicit seed draws derive_seed(campaign_seed,
 // job_index) — a pure function of the grid, independent of worker count,
 // thread identity and claim order. threads=1 runs the same code inline on
-// the caller and reproduces today's serial results exactly.
+// the caller and reproduces today's serial results exactly. Per-job metric
+// registries merge in submission order, so the aggregate snapshot is
+// worker-count independent too; only wall-time observations (excluded from
+// the default to_json()) vary between runs.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "core/baseline.hpp"
-#include "core/related_work.hpp"
-#include "core/reunion_system.hpp"
+#include "core/factory.hpp"
 #include "core/system.hpp"
-#include "core/unsync_system.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/dyn_op.hpp"
 
 namespace unsync::runtime {
 
-enum class SystemKind : std::uint8_t {
-  kBaseline,
-  kUnSync,
-  kReunion,
-  kLockstep,
-  kCheckpoint,
-};
-
-const char* name_of(SystemKind kind);
-/// Parses the CLI spelling ("baseline", "unsync", ...); nullopt if unknown.
-std::optional<SystemKind> parse_system(const std::string& name);
+// The system taxonomy lives in core::factory (the single construction
+// switch); these aliases keep existing runtime:: spellings working.
+using SystemKind = core::SystemKind;
+using core::name_of;
+using core::parse_system;
 
 /// One cell of the campaign grid. Workload selection: `profile` names a
 /// built-in statistical benchmark (generated per job from the job seed);
@@ -58,20 +55,35 @@ struct SimJob {
   /// Fixed workload/system seed; unset = derive_seed(campaign_seed, index).
   std::optional<std::uint64_t> seed;
 
-  core::UnSyncParams unsync;
-  core::ReunionParams reunion;
-  core::LockstepParams lockstep;
-  core::CheckpointParams checkpoint;
+  /// Architecture knobs (only the member matching `system` is read).
+  core::SystemParams params;
 };
 
 struct CampaignOutput {
   /// One result per job, in submission order.
   std::vector<core::RunResult> results;
+  /// Job labels and the seeds actually used, parallel to `results`.
+  std::vector<std::string> labels;
+  std::vector<std::uint64_t> seeds;
+  std::uint64_t campaign_seed = 0;
+
   double wall_seconds = 0.0;
+  /// Per-job wall seconds (measurement only — never part of to_json()'s
+  /// default output, which must be worker-count independent).
+  std::vector<double> job_wall_seconds;
+
+  /// Merged per-job metric snapshots (submission order); empty unless
+  /// Options::collect_metrics was set.
+  obs::MetricsSnapshot metrics;
 
   /// Total simulated program instructions across the grid (throughput
   /// numerator for scaling studies).
   std::uint64_t total_instructions() const;
+
+  /// Stable "unsync.campaign.v1" schema. The default output is a pure
+  /// function of the grid (byte-identical across worker counts);
+  /// `include_timing` adds wall-clock fields for humans and profilers.
+  std::string to_json(int indent = 0, bool include_timing = false) const;
 };
 
 class CampaignRunner {
@@ -81,9 +93,15 @@ class CampaignRunner {
     /// 1 = serial execution on the caller.
     unsigned threads = 0;
     std::uint64_t campaign_seed = 42;
+    /// Collect each job's metrics into CampaignOutput::metrics (one
+    /// registry per job, merged in submission order).
+    bool collect_metrics = false;
+    /// Invoked after each job completes with (jobs done so far, total).
+    /// Called under an internal mutex: thread-safe, but keep it cheap.
+    std::function<void(std::size_t completed, std::size_t total)> progress;
   };
 
-  explicit CampaignRunner(Options options) : options_(options) {}
+  explicit CampaignRunner(Options options) : options_(std::move(options)) {}
 
   /// Runs the whole grid; results come back in submission order. The
   /// first failing job's exception (by job index) is rethrown after the
@@ -91,8 +109,12 @@ class CampaignRunner {
   CampaignOutput run(const std::vector<SimJob>& jobs) const;
 
   /// Builds and runs one job with an already-derived seed (also the
-  /// single-job path unsync_sim's `run` subcommand uses).
-  static core::RunResult run_job(const SimJob& job, std::uint64_t seed);
+  /// single-job path unsync_sim's `run` subcommand uses). Optional
+  /// observability: metrics are published into `metrics`, events into
+  /// `trace`.
+  static core::RunResult run_job(const SimJob& job, std::uint64_t seed,
+                                 obs::MetricsRegistry* metrics = nullptr,
+                                 obs::TraceSink* trace = nullptr);
 
   const Options& options() const { return options_; }
 

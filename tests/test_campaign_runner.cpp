@@ -317,6 +317,86 @@ TEST(CampaignRunner, SharedTraceJobsRunAllSystems) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Observability surface (progress callbacks, metric reduction, JSON)
+// ---------------------------------------------------------------------------
+
+TEST(CampaignRunner, ProgressReportsEveryJobExactlyOnce) {
+  const auto jobs = mixed_grid();
+  for (const unsigned threads : {1u, 4u}) {
+    CampaignRunner::Options opts;
+    opts.threads = threads;
+    std::vector<std::size_t> seen;  // callback is serialised by the runner
+    std::size_t reported_total = 0;
+    opts.progress = [&](std::size_t completed, std::size_t total) {
+      seen.push_back(completed);
+      reported_total = total;
+    };
+    CampaignRunner(opts).run(jobs);
+    ASSERT_EQ(seen.size(), jobs.size()) << "threads=" << threads;
+    EXPECT_EQ(reported_total, jobs.size());
+    // Completion counts are monotone 1..N regardless of finish order.
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i], i + 1) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(CampaignRunner, MergedMetricsAreWorkerCountIndependent) {
+  const auto jobs = mixed_grid();
+  CampaignRunner::Options opts;
+  opts.campaign_seed = 3;
+  opts.collect_metrics = true;
+  opts.threads = 1;
+  const auto serial = CampaignRunner(opts).run(jobs);
+  opts.threads = 4;
+  const auto parallel = CampaignRunner(opts).run(jobs);
+  ASSERT_FALSE(serial.metrics.empty());
+  EXPECT_EQ(serial.metrics.to_json(), parallel.metrics.to_json());
+  EXPECT_EQ(serial.metrics.to_csv(), parallel.metrics.to_csv());
+}
+
+TEST(CampaignRunner, MetricsOffByDefault) {
+  CampaignRunner::Options opts;
+  opts.threads = 1;
+  const auto out = CampaignRunner(opts).run(mixed_grid());
+  EXPECT_TRUE(out.metrics.empty());
+}
+
+TEST(CampaignRunner, JsonIsByteIdenticalAcrossThreadCounts) {
+  // The headline determinism contract of the machine-readable surface:
+  // identical bytes from `campaign ... format=json` however the host
+  // parallelised the grid (wall-clock is excluded by default).
+  const auto jobs = mixed_grid();
+  CampaignRunner::Options opts;
+  opts.campaign_seed = 17;
+  opts.collect_metrics = true;
+  opts.threads = 1;
+  const auto serial = CampaignRunner(opts).run(jobs);
+  opts.threads = 4;
+  const auto parallel = CampaignRunner(opts).run(jobs);
+  EXPECT_EQ(serial.to_json(), parallel.to_json());
+  EXPECT_EQ(serial.to_json(2), parallel.to_json(2));
+  // The timing variant is allowed to differ — but only in wall_seconds.
+  EXPECT_NE(serial.to_json(0, true), serial.to_json(0, false));
+}
+
+TEST(CampaignRunner, OutputRecordsSeedsAndLabels) {
+  const auto jobs = mixed_grid();
+  CampaignRunner::Options opts;
+  opts.threads = 2;
+  opts.campaign_seed = 5;
+  const auto out = CampaignRunner(opts).run(jobs);
+  ASSERT_EQ(out.labels.size(), jobs.size());
+  ASSERT_EQ(out.seeds.size(), jobs.size());
+  ASSERT_EQ(out.job_wall_seconds.size(), jobs.size());
+  EXPECT_EQ(out.campaign_seed, 5u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(out.labels[i], jobs[i].label);
+    EXPECT_EQ(out.seeds[i], derive_seed(5, i));
+  }
+}
+
 TEST(SystemKindNames, RoundTrip) {
   for (const auto s :
        {SystemKind::kBaseline, SystemKind::kUnSync, SystemKind::kReunion,

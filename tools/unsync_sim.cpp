@@ -16,14 +16,24 @@
 //   program=<file.s>  assemble and trace a URISC source file
 //   trace=<file.utrc> replay a previously recorded binary trace
 //
+// Options are key=value; a leading "--" is accepted and stripped
+// (--format=json == format=json; a bare --progress == progress=1).
+//
 // Parallelism: sweep and campaign fan their independent simulations out
 // across host threads (threads=N, default: hardware concurrency). Results
 // are aggregated in submission order and every job seed derives from
-// (seed, job_index), so output is byte-identical for any thread count.
+// (seed, job_index), so output — including format=json — is byte-identical
+// for any thread count.
+//
+// Exit codes: 0 = success; 1 = simulation/runtime error (assembly failure,
+// unreadable trace, model error); 2 = configuration/usage error (unknown
+// subcommand or system, malformed or unrecognized key=value).
 //
 // Examples:
 //   unsync_sim run system=unsync bench=bzip2 insts=100000 ser=1e-9 report=1
+//   unsync_sim run system=unsync bench=susan format=json metrics=m.json
 //   unsync_sim campaign systems=baseline,unsync,reunion insts=50000 csv=1
+//   unsync_sim campaign benches=susan,lame format=json --progress
 //   unsync_sim sweep param=cb values=8,64,256 system=unsync bench=susan
 //   unsync_sim characterize bench=susan insts=50000
 //   unsync_sim hw
@@ -31,17 +41,19 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/config.hpp"
+#include "common/log.hpp"
 #include "common/table.hpp"
-#include "core/baseline.hpp"
-#include "core/related_work.hpp"
+#include "core/factory.hpp"
 #include "core/report.hpp"
-#include "core/reunion_system.hpp"
-#include "core/unsync_system.hpp"
+#include "core/system.hpp"
 #include "hwmodel/core_model.hpp"
 #include "isa/assembler.hpp"
 #include "isa/functional_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/campaign.hpp"
 #include "runtime/thread_pool.hpp"
 #include "workload/kernels.hpp"
@@ -54,23 +66,40 @@ namespace {
 
 using namespace unsync;
 
-int usage() {
-  std::cout <<
+/// A misuse of the command line (unknown subcommand/system/parameter).
+/// Distinguished from simulation errors so scripts can tell "fix the
+/// invocation" (exit 2) from "the run failed" (exit 1).
+struct ConfigError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+constexpr int kExitOk = 0;
+constexpr int kExitSimError = 1;
+constexpr int kExitConfigError = 2;
+
+void print_usage(std::ostream& os) {
+  os <<
       "usage: unsync_sim <run|sweep|campaign|characterize|asm|record|hw|list>"
       " [key=value...]\n"
       "  run: system=unsync|reunion|baseline|lockstep|checkpoint\n"
       "       bench=|kernel=|program=|trace=   [insts= seed= threads= ser=]\n"
       "       unsync: cb=<entries> group=<N>   reunion: fi= latency=\n"
-      "       checkpoint: interval= capture=   output: report=1 csv=1\n"
+      "       checkpoint: interval= capture=\n"
+      "       output: report=1 csv=1 format=json\n"
+      "               metrics=<path>  write the metric tree (.csv or .json)\n"
+      "               trace_out=<path> write a JSONL event trace\n"
       "  sweep: param=<cb|fi|latency|group|ser> values=v1,v2,... + run args\n"
       "         [threads=<host workers, default all cores>]\n"
       "  campaign: [systems=baseline,unsync,reunion] [benches=n1,n2|all]\n"
-      "            [insts= seed= ser= threads=<host workers> csv=1]\n"
+      "            [insts= seed= ser= threads=<host workers>]\n"
+      "            [csv=1 format=json metrics=<path> progress=1]\n"
       "  characterize: bench=|kernel=|program=|trace=  [insts= seed=]\n"
       "  asm: program=<file.s> [max_steps=]\n"
       "  record: bench=|kernel=|program=  out=<file.utrc> [insts= seed=]\n"
-      "  hw: [fi= cb=]\n";
-  return 2;
+      "  hw: [fi= cb=]\n"
+      "  global: log=debug|info|warn|error   (diagnostic verbosity)\n"
+      "          --key=value is accepted for any key; --flag means flag=1\n"
+      "exit codes: 0 success, 1 simulation error, 2 configuration error\n";
 }
 
 std::string read_file(const std::string& path) {
@@ -117,8 +146,7 @@ std::unique_ptr<workload::InstStream> make_stream(const Config& cfg,
             workload::record_trace(workload::assemble(k), 3'000'000));
       }
     }
-    throw std::runtime_error("unknown kernel: " + name +
-                             " (see `unsync_sim list`)");
+    throw ConfigError("unknown kernel: " + name + " (see `unsync_sim list`)");
   }
   if (cfg.has("program")) {
     const std::string path = cfg.get_string("program", "");
@@ -133,22 +161,28 @@ std::unique_ptr<workload::InstStream> make_stream(const Config& cfg,
     return std::make_unique<workload::TraceStream>(
         workload::load_trace(path));
   }
-  throw std::runtime_error(
+  throw ConfigError(
       "select a workload with bench=, kernel=, program= or trace=");
 }
 
 /// Architecture parameter block shared by run/sweep/campaign: reads every
 /// per-system knob from the config (harmless for systems not selected).
-void fill_params(const Config& cfg, runtime::SimJob* job) {
-  job->unsync.cb_entries = static_cast<std::size_t>(cfg.get_int("cb", 128));
-  job->unsync.group_size = static_cast<unsigned>(cfg.get_int("group", 2));
-  job->reunion.fingerprint_interval =
+core::SystemParams params_from(const Config& cfg) {
+  core::SystemParams p;
+  p.unsync.cb_entries = static_cast<std::size_t>(cfg.get_int("cb", 128));
+  p.unsync.group_size = static_cast<unsigned>(cfg.get_int("group", 2));
+  p.reunion.fingerprint_interval =
       static_cast<unsigned>(cfg.get_int("fi", 10));
-  job->reunion.compare_latency = static_cast<Cycle>(cfg.get_int("latency", 10));
-  job->checkpoint.checkpoint_interval =
+  p.reunion.compare_latency = static_cast<Cycle>(cfg.get_int("latency", 10));
+  p.checkpoint.checkpoint_interval =
       static_cast<std::uint64_t>(cfg.get_int("interval", 1000));
-  job->checkpoint.checkpoint_cost =
+  p.checkpoint.checkpoint_cost =
       static_cast<Cycle>(cfg.get_int("capture", 120));
+  return p;
+}
+
+void fill_params(const Config& cfg, runtime::SimJob* job) {
+  job->params = params_from(cfg);
   job->ser_per_inst = cfg.get_double("ser", 0.0);
 }
 
@@ -174,6 +208,20 @@ runtime::SimJob job_template(const Config& cfg, std::string* label) {
   return job;
 }
 
+/// Writes a metrics snapshot to `path` — CSV when the extension is .csv,
+/// pretty JSON otherwise.
+void write_metrics_file(const obs::MetricsSnapshot& snap,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write metrics file " + path);
+  const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  out << (csv ? snap.to_csv() : snap.to_json(2) + "\n");
+  Log::info("wrote metrics (" + std::to_string(snap.counters.size()) +
+            " counters, " + std::to_string(snap.gauges.size()) + " gauges, " +
+            std::to_string(snap.histograms.size()) + " histograms) to " +
+            path);
+}
+
 int cmd_run(const Config& cfg) {
   std::string label;
   const auto stream = make_stream(cfg, &label);
@@ -185,52 +233,46 @@ int cmd_run(const Config& cfg) {
 
   const bool want_csv = cfg.get_bool("csv", false);
   const bool want_report = cfg.get_bool("report", false);
+  const std::string format = cfg.get_string("format", "text");
+  if (format != "text" && format != "json") {
+    throw ConfigError("unknown format: " + format + " (text|json)");
+  }
+  const std::string metrics_path = cfg.get_string("metrics", "");
+  const std::string trace_path = cfg.get_string("trace_out", "");
 
   const std::string system = cfg.get_string("system", "unsync");
-  std::unique_ptr<core::System> sys;
-  mem::MemoryHierarchy* memory = nullptr;
-  if (system == "baseline") {
-    auto s = std::make_unique<core::BaselineSystem>(sys_cfg, *stream);
-    memory = &s->memory();
-    sys = std::move(s);
-  } else if (system == "unsync") {
-    core::UnSyncParams p;
-    p.cb_entries = static_cast<std::size_t>(cfg.get_int("cb", 128));
-    p.group_size = static_cast<unsigned>(cfg.get_int("group", 2));
-    auto s = std::make_unique<core::UnSyncSystem>(sys_cfg, p, *stream);
-    memory = &s->memory();
-    sys = std::move(s);
-  } else if (system == "reunion") {
-    core::ReunionParams p;
-    p.fingerprint_interval = static_cast<unsigned>(cfg.get_int("fi", 10));
-    p.compare_latency = static_cast<Cycle>(cfg.get_int("latency", 10));
-    auto s = std::make_unique<core::ReunionSystem>(sys_cfg, p, *stream);
-    memory = &s->memory();
-    sys = std::move(s);
-  } else if (system == "lockstep") {
-    auto s = std::make_unique<core::LockstepSystem>(
-        sys_cfg, core::LockstepParams{}, *stream);
-    memory = &s->memory();
-    sys = std::move(s);
-  } else if (system == "checkpoint") {
-    core::CheckpointParams p;
-    p.checkpoint_interval =
-        static_cast<std::uint64_t>(cfg.get_int("interval", 1000));
-    p.checkpoint_cost = static_cast<Cycle>(cfg.get_int("capture", 120));
-    auto s = std::make_unique<core::DmrCheckpointSystem>(sys_cfg, p, *stream);
-    memory = &s->memory();
-    sys = std::move(s);
-  } else {
-    std::cerr << "unknown system: " << system << "\n";
-    return usage();
+  const auto kind = runtime::parse_system(system);
+  if (!kind) throw ConfigError("unknown system: " + system);
+  const auto sys = core::make_system(*kind, sys_cfg, *stream, params_from(cfg));
+
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_path);
+  }
+  if (!metrics_path.empty() || trace_sink) {
+    sys->set_observability(metrics_path.empty() ? nullptr : &registry,
+                           trace_sink.get());
   }
 
   const core::RunResult result = sys->run();
-  if (want_csv) {
+
+  if (!metrics_path.empty()) {
+    write_metrics_file(registry.snapshot(), metrics_path);
+  }
+  if (trace_sink) {
+    trace_sink->flush();
+    Log::info("wrote " + std::to_string(trace_sink->records_written()) +
+              " trace records to " + trace_path);
+  }
+
+  if (format == "json") {
+    std::cout << result.to_json() << "\n";
+  } else if (want_csv) {
     std::cout << core::RunReport::csv_header()
               << core::RunReport(result).csv_rows();
   } else if (want_report) {
-    core::RunReport(result, memory).print(std::cout);
+    core::RunReport(result, &sys->memory()).print(std::cout);
   } else {
     std::cout << system << " on " << label << ": " << result.cycles
               << " cycles, IPC " << TextTable::num(result.thread_ipc(), 4);
@@ -240,7 +282,7 @@ int cmd_run(const Config& cfg) {
     }
     std::cout << "\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 /// sweep param=<cb|fi|latency|group|ser> values=v1,v2,... plus the usual
@@ -250,8 +292,7 @@ int cmd_sweep(const Config& cfg) {
   const std::string param = cfg.get_string("param", "");
   const std::string values = cfg.get_string("values", "");
   if (param.empty() || values.empty()) {
-    std::cerr << "sweep needs param= and values=v1,v2,...\n";
-    return usage();
+    throw ConfigError("sweep needs param= and values=v1,v2,...");
   }
   const std::vector<std::string> points = split_csv(values);
 
@@ -260,8 +301,7 @@ int cmd_sweep(const Config& cfg) {
   if (!kind || (*kind != runtime::SystemKind::kUnSync &&
                 *kind != runtime::SystemKind::kReunion &&
                 *kind != runtime::SystemKind::kBaseline)) {
-    std::cerr << "sweep supports system=unsync|reunion|baseline\n";
-    return 2;
+    throw ConfigError("sweep supports system=unsync|reunion|baseline");
   }
 
   std::string label;
@@ -278,20 +318,21 @@ int cmd_sweep(const Config& cfg) {
     runtime::SimJob job = base;
     job.label = point;
     if (param == "cb") {
-      job.unsync.cb_entries = static_cast<std::size_t>(std::stoll(point));
+      job.params.unsync.cb_entries =
+          static_cast<std::size_t>(std::stoll(point));
     } else if (param == "group") {
-      job.unsync.group_size = static_cast<unsigned>(std::stoll(point));
+      job.params.unsync.group_size = static_cast<unsigned>(std::stoll(point));
     } else if (param == "fi") {
-      job.reunion.fingerprint_interval =
+      job.params.reunion.fingerprint_interval =
           static_cast<unsigned>(std::stoll(point));
     } else if (param == "latency") {
-      job.reunion.compare_latency = static_cast<Cycle>(std::stoll(point));
+      job.params.reunion.compare_latency =
+          static_cast<Cycle>(std::stoll(point));
     } else if (param == "ser") {
       job.ser_per_inst = std::stod(point);
     } else {
-      std::cerr << "unknown sweep param: " << param
-                << " (cb|fi|latency|group|ser)\n";
-      return 2;
+      throw ConfigError("unknown sweep param: " + param +
+                        " (cb|fi|latency|group|ser)");
     }
     jobs.push_back(std::move(job));
   }
@@ -309,11 +350,11 @@ int cmd_sweep(const Config& cfg) {
               << r.errors_injected << ',' << r.recoveries << ','
               << r.rollbacks << '\n';
   }
-  return 0;
+  return kExitOk;
 }
 
 /// campaign: a (benchmark x system) grid across the host thread pool.
-/// Job seeds derive from (seed=, job index), so the table/CSV is
+/// Job seeds derive from (seed=, job index), so the table/CSV/JSON is
 /// byte-identical for threads=1 and threads=N.
 int cmd_campaign(const Config& cfg) {
   const auto systems_arg =
@@ -321,11 +362,19 @@ int cmd_campaign(const Config& cfg) {
   std::vector<runtime::SystemKind> systems;
   for (const auto& s : systems_arg) {
     const auto kind = runtime::parse_system(s);
-    if (!kind) {
-      std::cerr << "unknown system: " << s << "\n";
-      return usage();
-    }
+    if (!kind) throw ConfigError("unknown system: " + s);
     systems.push_back(*kind);
+  }
+
+  const std::string format = cfg.get_string("format", "text");
+  if (format != "text" && format != "json") {
+    throw ConfigError("unknown format: " + format + " (text|json)");
+  }
+  const std::string metrics_path = cfg.get_string("metrics", "");
+  if (cfg.has("trace_out")) {
+    throw ConfigError(
+        "trace_out= is only supported by `run` (a multi-job event trace "
+        "would interleave nondeterministically)");
   }
 
   std::vector<std::string> benches;
@@ -357,9 +406,28 @@ int cmd_campaign(const Config& cfg) {
   runtime::CampaignRunner::Options opts;
   opts.threads = static_cast<unsigned>(cfg.get_int("threads", 0));
   opts.campaign_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  opts.collect_metrics = !metrics_path.empty() || format == "json";
+  if (cfg.get_bool("progress", false)) {
+    opts.progress = [](std::size_t completed, std::size_t total) {
+      Log::info("campaign progress " + std::to_string(completed) + "/" +
+                std::to_string(total));
+    };
+  }
   const auto out = runtime::CampaignRunner(opts).run(jobs);
 
-  if (cfg.get_bool("csv", false)) {
+  if (!metrics_path.empty()) {
+    // The file variant may carry wall-time (it is a measurement artifact,
+    // not part of the deterministic result surface).
+    obs::MetricsSnapshot snap = out.metrics;
+    for (const auto s : out.job_wall_seconds) {
+      snap.gauges["campaign.job_wall_seconds"].add(s);
+    }
+    write_metrics_file(snap, metrics_path);
+  }
+
+  if (format == "json") {
+    std::cout << out.to_json() << "\n";
+  } else if (cfg.get_bool("csv", false)) {
     std::cout << "benchmark,system,cycles,ipc,errors,recoveries,rollbacks\n";
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const auto& r = out.results[i];
@@ -384,10 +452,11 @@ int cmd_campaign(const Config& cfg) {
     }
     t.print(std::cout);
   }
-  std::cerr << "[campaign] " << jobs.size() << " jobs, "
-            << out.total_instructions() << " simulated instructions in "
-            << TextTable::num(out.wall_seconds, 2) << "s\n";
-  return 0;
+  Log::info("[campaign] " + std::to_string(jobs.size()) + " jobs, " +
+            std::to_string(out.total_instructions()) +
+            " simulated instructions in " +
+            TextTable::num(out.wall_seconds, 2) + "s");
+  return kExitOk;
 }
 
 int cmd_characterize(const Config& cfg) {
@@ -395,12 +464,12 @@ int cmd_characterize(const Config& cfg) {
   const auto stream = make_stream(cfg, &label);
   const auto stats = workload::characterize(*stream);
   std::cout << stats.summary(label);
-  return 0;
+  return kExitOk;
 }
 
 int cmd_asm(const Config& cfg) {
   const std::string path = cfg.get_string("program", "");
-  if (path.empty()) return usage();
+  if (path.empty()) throw ConfigError("asm needs program=<file.s>");
   const auto prog = isa::Assembler::assemble(read_file(path));
   std::cout << "assembled " << prog.code.size() << " instructions, "
             << prog.data.size() << " data bytes\n";
@@ -411,15 +480,12 @@ int cmd_asm(const Config& cfg) {
   for (std::size_t i = 0; i < sim.output().size(); ++i) {
     std::cout << "output[" << i << "] = " << sim.output()[i] << "\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_record(const Config& cfg) {
   const std::string out = cfg.get_string("out", "");
-  if (out.empty()) {
-    std::cerr << "record needs out=<file.utrc>\n";
-    return usage();
-  }
+  if (out.empty()) throw ConfigError("record needs out=<file.utrc>");
   std::string label;
   const auto stream = make_stream(cfg, &label);
   std::vector<workload::DynOp> ops;
@@ -428,7 +494,7 @@ int cmd_record(const Config& cfg) {
   workload::save_trace(out, ops);
   std::cout << "wrote " << ops.size() << " ops (" << label << ") to " << out
             << "\n";
-  return 0;
+  return kExitOk;
 }
 
 int cmd_hw(const Config& cfg) {
@@ -449,7 +515,7 @@ int cmd_hw(const Config& cfg) {
                TextTable::pct(hw.power_overhead_vs(mips))});
   }
   t.print(std::cout);
-  return 0;
+  return kExitOk;
 }
 
 int cmd_list() {
@@ -464,23 +530,73 @@ int cmd_list() {
     std::cout << "  " << k.name << "\n";
   }
   std::cout << "systems: baseline unsync reunion lockstep checkpoint\n";
-  return 0;
+  return kExitOk;
+}
+
+/// Accepts GNU-style spellings: "--key=value" -> "key=value", a bare
+/// "--flag" -> "flag=1". Returns the normalized argument strings.
+std::vector<std::string> normalize_args(int argc, char** argv) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && arg.size() > 2) {
+      arg = arg.substr(2);
+      if (arg.find('=') == std::string::npos) arg += "=1";
+    }
+    out.push_back(std::move(arg));
+  }
+  return out;
+}
+
+bool is_help(const std::string& arg) {
+  return arg == "help" || arg == "-h" || arg == "--help" || arg == "help=1";
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw ConfigError("unknown log level: " + name +
+                    " (debug|info|warn|error|off)");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  std::vector<std::string> positional;
-  const Config cfg = Config::from_args(argc - 1, argv + 1, &positional);
-  if (!positional.empty()) {
-    std::cerr << "error: unexpected argument '" << positional.front()
-              << "' (options are key=value)\n";
-    return usage();
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return kExitConfigError;
   }
+  const std::vector<std::string> args = normalize_args(argc - 1, argv + 1);
+  if (is_help(args.front())) {
+    print_usage(std::cout);
+    return kExitOk;
+  }
+  const std::string command = args.front();
+
+  std::vector<const char*> arg_ptrs;  // Config::from_args skips argv[0]
+  arg_ptrs.push_back("unsync_sim");
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (is_help(args[i])) {
+      print_usage(std::cout);
+      return kExitOk;
+    }
+    arg_ptrs.push_back(args[i].c_str());
+  }
+
   int rc = -1;
   try {
+    std::vector<std::string> positional;
+    const Config cfg = Config::from_args(static_cast<int>(arg_ptrs.size()),
+                                         arg_ptrs.data(), &positional);
+    Log::set_level(parse_log_level(cfg.get_string("log", "warn")));
+    if (!positional.empty()) {
+      throw ConfigError("unexpected argument '" + positional.front() +
+                        "' (options are key=value)");
+    }
     if (command == "run") rc = cmd_run(cfg);
     else if (command == "sweep") rc = cmd_sweep(cfg);
     else if (command == "campaign") rc = cmd_campaign(cfg);
@@ -489,16 +605,24 @@ int main(int argc, char** argv) {
     else if (command == "record") rc = cmd_record(cfg);
     else if (command == "hw") rc = cmd_hw(cfg);
     else if (command == "list") rc = cmd_list();
+    if (rc == -1) {
+      throw ConfigError("unknown subcommand '" + command + "'");
+    }
+    // A key nobody consulted is a misconfiguration (e.g. thread=8 instead
+    // of threads=8): fail loudly rather than silently simulating defaults.
+    if (rc == kExitOk && cfg.report_unused("unsync_sim")) {
+      return kExitConfigError;
+    }
+    return rc;
+  } catch (const ConfigError& e) {
+    Log::error(e.what());
+    print_usage(std::cerr);
+    return kExitConfigError;
   } catch (const isa::AsmError& e) {
-    std::cerr << "assembly error: " << e.what() << "\n";
-    return 1;
+    Log::error(std::string("assembly error: ") + e.what());
+    return kExitSimError;
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    Log::error(e.what());
+    return kExitSimError;
   }
-  if (rc == -1) return usage();
-  // A key nobody consulted is a misconfiguration (e.g. thread=8 instead of
-  // threads=8): fail loudly rather than silently simulating defaults.
-  if (rc == 0 && cfg.report_unused("unsync_sim")) return 2;
-  return rc;
 }
