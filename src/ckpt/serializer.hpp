@@ -1,0 +1,175 @@
+// Versioned, checksummed binary serialization for simulator checkpoints.
+//
+// The wire format is a tagged-chunk container ("unsync.ckpt.v1"): every
+// component writes its state inside a 4-byte-tagged, length-prefixed chunk,
+// so a reader can verify it is consuming exactly the section it expects and
+// a format mismatch fails loudly instead of silently misaligning the byte
+// stream. Files carry a magic, the schema string, a payload length and a
+// CRC-32 of the payload; write_file() goes through write-to-temp + atomic
+// rename so a crash mid-save never leaves a torn checkpoint behind.
+//
+// Scalars are little-endian fixed-width; doubles are bit-cast to u64, which
+// is what makes save -> load -> save byte-identical (the bit-exactness the
+// resumable-run contract in docs/CHECKPOINTS.md is built on).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unsync::ckpt {
+
+/// Schema identifier embedded in every checkpoint file header.
+inline constexpr std::string_view kSchema = "unsync.ckpt.v1";
+
+/// A malformed, truncated or corrupted checkpoint (bad magic/schema, CRC
+/// mismatch, chunk-tag mismatch, or reading past the end). The CLI maps
+/// this to exit code 2 — "fix the input", not "the simulation failed".
+struct CkptError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`,
+/// seedable for incremental computation.
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed = 0);
+inline std::uint32_t crc32(std::string_view s, std::uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+class Serializer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+  void bytes(const void* data, std::size_t len) {
+    buf_.append(static_cast<const char*>(data), len);
+  }
+
+  /// Opens a tagged chunk (`tag` must be exactly 4 characters). The length
+  /// is back-patched by end_chunk(); chunks nest.
+  void begin_chunk(std::string_view tag);
+  void end_chunk();
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  std::string buf_;
+  std::vector<std::size_t> chunk_stack_;  // offsets of pending length fields
+};
+
+class Deserializer {
+ public:
+  explicit Deserializer(std::string payload) : buf_(std::move(payload)) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take_byte()); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool b() { return u8() != 0; }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str();
+
+  /// Consumes the header of a chunk and verifies its tag; end_chunk()
+  /// verifies the advertised length was consumed exactly.
+  void begin_chunk(std::string_view tag);
+  void end_chunk();
+
+  bool at_end() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  char take_byte();
+  void need(std::size_t n) const;
+
+  template <typename T>
+  T get_le() {
+    need(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<unsigned char>(buf_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::vector<std::pair<std::string, std::size_t>> chunk_stack_;  // tag, end
+};
+
+// ---- Container I/O ----------------------------------------------------------
+
+/// Wraps `payload` in the "unsync.ckpt.v1" container (magic, schema,
+/// length, CRC-32) and returns the file bytes.
+std::string wrap_container(std::string_view payload);
+
+/// Verifies magic / schema / length / CRC and returns the payload.
+/// Throws CkptError on any mismatch.
+std::string unwrap_container(std::string_view file_bytes);
+
+/// wrap_container + write-to-temp + atomic rename. Throws std::runtime_error
+/// on I/O failure.
+void write_file(const std::string& path, std::string_view payload);
+
+/// Reads and unwraps a checkpoint file. Throws CkptError on corruption,
+/// std::runtime_error if the file cannot be read.
+std::string read_file(const std::string& path);
+
+/// Writes `content` (arbitrary text, e.g. a JSONL journal) to `path`
+/// crash-safely: write to `<path>.tmp`, flush, then atomically rename.
+void atomic_write_text(const std::string& path, std::string_view content);
+
+// ---- Container helpers ------------------------------------------------------
+
+template <typename T, typename Fn>
+void save_vec(Serializer& s, const std::vector<T>& v, Fn&& each) {
+  s.u64(v.size());
+  for (const auto& e : v) each(s, e);
+}
+
+template <typename T, typename Fn>
+void load_vec(Deserializer& d, std::vector<T>& v, Fn&& each) {
+  v.clear();
+  v.resize(d.u64());
+  for (auto& e : v) each(d, e);
+}
+
+inline void save_u64_vec(Serializer& s, const std::vector<std::uint64_t>& v) {
+  save_vec(s, v, [](Serializer& ser, std::uint64_t x) { ser.u64(x); });
+}
+
+inline void load_u64_vec(Deserializer& d, std::vector<std::uint64_t>& v) {
+  load_vec(d, v, [](Deserializer& de, std::uint64_t& x) { x = de.u64(); });
+}
+
+}  // namespace unsync::ckpt

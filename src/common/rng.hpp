@@ -6,6 +6,7 @@
 // simulator whose results must be reproducible bit-for-bit across platforms.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -53,6 +54,15 @@ class Rng {
   /// Draws an index from a discrete distribution given cumulative weights
   /// (cumulative[i] = sum of weights[0..i], last element = total weight).
   std::size_t pick_cumulative(const double* cumulative, std::size_t n);
+
+  /// Raw generator state, for checkpoint/restore: set_state(state()) on a
+  /// second instance makes it produce the identical draw sequence.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   std::uint64_t s_[4];

@@ -65,6 +65,15 @@ double Histogram::bucket_low(std::size_t i) const {
   return lo_ + bucket_width_ * static_cast<double>(i);
 }
 
+void Histogram::restore_counts(const std::vector<std::uint64_t>& counts) {
+  if (counts.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::restore_counts: shape mismatch");
+  }
+  counts_ = counts;
+  total_ = 0;
+  for (const std::uint64_t c : counts_) total_ += c;
+}
+
 void Histogram::merge(const Histogram& other) {
   if (lo_ != other.lo_ || hi_ != other.hi_ ||
       counts_.size() != other.counts_.size()) {

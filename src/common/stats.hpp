@@ -24,6 +24,21 @@ class RunningStat {
   /// Merges another accumulator into this one (parallel reduction).
   void merge(const RunningStat& other);
 
+  /// Raw Welford m2 term — exposed (with restore()) so checkpoint/restore
+  /// reproduces the accumulator bit-exactly; derived stats would not.
+  double m2() const { return m2_; }
+
+  /// Restores the exact internal state captured by the accessors above.
+  void restore(std::uint64_t n, double mean, double m2, double min,
+               double max, double sum) {
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+    min_ = min;
+    max_ = max;
+    sum_ = sum;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -55,6 +70,10 @@ class Histogram {
   /// Value below which `q` (in [0,1]) of the mass lies, interpolated
   /// linearly within the containing bucket.
   double quantile(double q) const;
+
+  /// Replaces the bucket counts wholesale (checkpoint/restore; `counts`
+  /// must match buckets()). total() becomes the sum of the counts.
+  void restore_counts(const std::vector<std::uint64_t>& counts);
 
   std::string ascii(std::size_t width = 40) const;
 

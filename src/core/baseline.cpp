@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ckpt/serializer.hpp"
+
 namespace unsync::core {
 
 bool BaselineSystem::StoreBufferEnv::on_store_commit(CoreId core,
@@ -37,29 +39,66 @@ BaselineSystem::BaselineSystem(
         t, config.core, &memory_, streams[t]->clone(), &env_));
     register_core(*cores_.back());
   }
+  acc_.system = name_;
+  acc_.thread_instructions = thread_lengths_;
+  acc_.instructions = detail::max_length(thread_lengths_);
 }
 
 RunResult BaselineSystem::run(Cycle max_cycles) {
-  Cycle now = 0;
   auto all_done = [&] {
     return std::all_of(cores_.begin(), cores_.end(),
                        [](const auto& c) { return c->done(); });
   };
-  while (!all_done() && now < max_cycles) {
+  while (!all_done() && now_ < max_cycles) {
     for (auto& core : cores_) {
-      if (!core->done()) core->tick(now);
+      if (!core->done()) core->tick(now_);
     }
-    ++now;
+    ++now_;
   }
 
-  RunResult r;
-  r.system = name_;
-  r.cycles = now;
-  r.thread_instructions = thread_lengths_;
-  r.instructions = detail::max_length(thread_lengths_);
+  RunResult r = acc_;
+  r.cycles = now_;
   for (const auto& core : cores_) r.core_stats.push_back(core->stats());
   publish_metrics(r);
   return r;
+}
+
+void BaselineSystem::StoreBufferEnv::save_state(ckpt::Serializer& s) const {
+  s.begin_chunk("SBUF");
+  s.u64(in_flight_.size());
+  for (const auto& buf : in_flight_) ckpt::save_u64_vec(s, buf);
+  s.end_chunk();
+}
+
+void BaselineSystem::StoreBufferEnv::load_state(ckpt::Deserializer& d) {
+  d.begin_chunk("SBUF");
+  in_flight_.resize(d.u64());
+  for (auto& buf : in_flight_) ckpt::load_u64_vec(d, buf);
+  d.end_chunk();
+}
+
+void BaselineSystem::save_state(ckpt::Serializer& s) const {
+  s.begin_chunk("BASE");
+  s.u64(now_);
+  save_result(s, acc_);
+  memory_.save_state(s);
+  env_.save_state(s);
+  s.u64(cores_.size());
+  for (const auto& core : cores_) core->save_state(s);
+  s.end_chunk();
+}
+
+void BaselineSystem::load_state(ckpt::Deserializer& d) {
+  d.begin_chunk("BASE");
+  now_ = d.u64();
+  load_result(d, acc_);
+  memory_.load_state(d);
+  env_.load_state(d);
+  if (d.u64() != cores_.size()) {
+    throw ckpt::CkptError("baseline core-count mismatch");
+  }
+  for (const auto& core : cores_) core->load_state(d);
+  d.end_chunk();
 }
 
 }  // namespace unsync::core

@@ -30,6 +30,9 @@ class BaselineSystem final : public System {
 
   mem::MemoryHierarchy& memory() override { return memory_; }
 
+  void save_state(ckpt::Serializer& s) const override;
+  void load_state(ckpt::Deserializer& d) override;
+
  private:
   /// Commit environment: a small post-commit store buffer in front of the
   /// write-back L1; commit stalls when it fills.
@@ -40,6 +43,9 @@ class BaselineSystem final : public System {
 
     bool on_store_commit(CoreId core, const workload::DynOp& op,
                          Cycle now) override;
+
+    void save_state(ckpt::Serializer& s) const;
+    void load_state(ckpt::Deserializer& d);
 
    private:
     mem::MemoryHierarchy* memory_;
@@ -53,6 +59,8 @@ class BaselineSystem final : public System {
   mem::MemoryHierarchy memory_;
   StoreBufferEnv env_;
   std::vector<std::unique_ptr<cpu::OooCore>> cores_;
+  Cycle now_ = 0;     ///< resumable run cursor (see System::run contract)
+  RunResult acc_;     ///< result fields accumulated across run() segments
 };
 
 /// Size of the post-commit store buffer used by write-back configurations.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "ckpt/serializer.hpp"
 #include "core/baseline.hpp"
 #include "fault/ser.hpp"
 
@@ -84,6 +85,9 @@ LockstepSystem::LockstepSystem(
     }
     pairs_.push_back(std::move(pair));
   }
+  acc_.system = name_;
+  acc_.thread_instructions = thread_lengths_;
+  acc_.instructions = detail::max_length(thread_lengths_);
 }
 
 void LockstepSystem::maybe_inject_error(Pair& pair, unsigned thread,
@@ -119,12 +123,6 @@ void LockstepSystem::maybe_inject_error(Pair& pair, unsigned thread,
 }
 
 RunResult LockstepSystem::run(Cycle max_cycles) {
-  RunResult r;
-  r.system = name_;
-  r.thread_instructions = thread_lengths_;
-  r.instructions = detail::max_length(thread_lengths_);
-
-  Cycle now = 0;
   auto pair_done = [](const Pair& p) {
     return p.core[0]->done() && p.core[1]->done();
   };
@@ -132,19 +130,20 @@ RunResult LockstepSystem::run(Cycle max_cycles) {
     return std::all_of(pairs_.begin(), pairs_.end(),
                        [&](const auto& p) { return pair_done(*p); });
   };
-  while (!all_done() && now < max_cycles) {
+  while (!all_done() && now_ < max_cycles) {
     for (auto& pair : pairs_) {
       if (pair_done(*pair)) continue;
       for (unsigned side = 0; side < 2; ++side) {
-        if (!pair->core[side]->done()) pair->core[side]->tick(now);
+        if (!pair->core[side]->done()) pair->core[side]->tick(now_);
       }
       maybe_inject_error(*pair,
-                         static_cast<unsigned>(&pair - pairs_.data()), now,
-                         &r);
+                         static_cast<unsigned>(&pair - pairs_.data()), now_,
+                         &acc_);
     }
-    ++now;
+    ++now_;
   }
-  r.cycles = now;
+  RunResult r = acc_;
+  r.cycles = now_;
   for (auto& pair : pairs_) {
     for (unsigned side = 0; side < 2; ++side) {
       r.core_stats.push_back(pair->core[side]->stats());
@@ -153,6 +152,50 @@ RunResult LockstepSystem::run(Cycle max_cycles) {
   }
   publish_metrics(r);
   return r;
+}
+
+void LockstepSystem::save_state(ckpt::Serializer& s) const {
+  s.begin_chunk("LOCK");
+  s.u64(now_);
+  save_result(s, acc_);
+  for (const std::uint64_t word : rng_.state()) s.u64(word);
+  memory_.save_state(s);
+  s.u64(pairs_.size());
+  for (const auto& pair : pairs_) {
+    for (unsigned side = 0; side < 2; ++side) {
+      pair->core[side]->save_state(s);
+      ckpt::save_u64_vec(s, pair->store_buffer[side]);
+    }
+    s.u64(pair->error_arrivals.size());
+    s.u64(pair->next_error);
+    s.u64(pair->lockstep_stalls);
+  }
+  s.end_chunk();
+}
+
+void LockstepSystem::load_state(ckpt::Deserializer& d) {
+  d.begin_chunk("LOCK");
+  now_ = d.u64();
+  load_result(d, acc_);
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = d.u64();
+  rng_.set_state(rng_state);
+  memory_.load_state(d);
+  if (d.u64() != pairs_.size()) {
+    throw ckpt::CkptError("lockstep pair-count mismatch");
+  }
+  for (const auto& pair : pairs_) {
+    for (unsigned side = 0; side < 2; ++side) {
+      pair->core[side]->load_state(d);
+      ckpt::load_u64_vec(d, pair->store_buffer[side]);
+    }
+    if (d.u64() != pair->error_arrivals.size()) {
+      throw ckpt::CkptError("lockstep error-arrival schedule mismatch");
+    }
+    pair->next_error = d.u64();
+    pair->lockstep_stalls = d.u64();
+  }
+  d.end_chunk();
 }
 
 // ---- DmrCheckpointSystem --------------------------------------------------------
@@ -241,6 +284,9 @@ DmrCheckpointSystem::DmrCheckpointSystem(
     }
     pairs_.push_back(std::move(pair));
   }
+  acc_.system = name_;
+  acc_.thread_instructions = thread_lengths_;
+  acc_.instructions = detail::max_length(thread_lengths_);
 }
 
 void DmrCheckpointSystem::maybe_inject_error(Pair& pair, unsigned thread,
@@ -282,12 +328,6 @@ void DmrCheckpointSystem::maybe_inject_error(Pair& pair, unsigned thread,
 }
 
 RunResult DmrCheckpointSystem::run(Cycle max_cycles) {
-  RunResult r;
-  r.system = name_;
-  r.thread_instructions = thread_lengths_;
-  r.instructions = detail::max_length(thread_lengths_);
-
-  Cycle now = 0;
   auto pair_done = [](const Pair& p) {
     return p.core[0]->done() && p.core[1]->done();
   };
@@ -295,19 +335,20 @@ RunResult DmrCheckpointSystem::run(Cycle max_cycles) {
     return std::all_of(pairs_.begin(), pairs_.end(),
                        [&](const auto& p) { return pair_done(*p); });
   };
-  while (!all_done() && now < max_cycles) {
+  while (!all_done() && now_ < max_cycles) {
     for (auto& pair : pairs_) {
       if (pair_done(*pair)) continue;
       for (unsigned side = 0; side < 2; ++side) {
-        if (!pair->core[side]->done()) pair->core[side]->tick(now);
+        if (!pair->core[side]->done()) pair->core[side]->tick(now_);
       }
       maybe_inject_error(*pair,
-                         static_cast<unsigned>(&pair - pairs_.data()), now,
-                         &r);
+                         static_cast<unsigned>(&pair - pairs_.data()), now_,
+                         &acc_);
     }
-    ++now;
+    ++now_;
   }
-  r.cycles = now;
+  RunResult r = acc_;
+  r.cycles = now_;
   for (auto& pair : pairs_) {
     for (unsigned side = 0; side < 2; ++side) {
       r.core_stats.push_back(pair->core[side]->stats());
@@ -318,6 +359,65 @@ RunResult DmrCheckpointSystem::run(Cycle max_cycles) {
     metrics_->set_counter(name_ + ".checkpoints_taken", checkpoints_taken_);
   }
   return r;
+}
+
+void DmrCheckpointSystem::save_state(ckpt::Serializer& s) const {
+  s.begin_chunk("DMRC");
+  s.u64(now_);
+  save_result(s, acc_);
+  for (const std::uint64_t word : rng_.state()) s.u64(word);
+  memory_.save_state(s);
+  s.u64(checkpoints_taken_);
+  s.u64(pairs_.size());
+  for (const auto& pair : pairs_) {
+    for (unsigned side = 0; side < 2; ++side) {
+      pair->core[side]->save_state(s);
+      ckpt::save_u64_vec(s, pair->store_buffer[side]);
+    }
+    s.u64(pair->next_boundary);
+    s.b(pair->reached[0]);
+    s.b(pair->reached[1]);
+    s.u64(pair->reached_at[0]);
+    s.u64(pair->reached_at[1]);
+    s.u64(pair->checkpoint_done);
+    s.u64(pair->last_committed_boundary);
+    s.u64(pair->error_arrivals.size());
+    s.u64(pair->next_error);
+  }
+  s.end_chunk();
+}
+
+void DmrCheckpointSystem::load_state(ckpt::Deserializer& d) {
+  d.begin_chunk("DMRC");
+  now_ = d.u64();
+  load_result(d, acc_);
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = d.u64();
+  rng_.set_state(rng_state);
+  memory_.load_state(d);
+  checkpoints_taken_ = d.u64();
+  if (d.u64() != pairs_.size()) {
+    throw ckpt::CkptError("dmr-checkpoint pair-count mismatch");
+  }
+  for (const auto& pair : pairs_) {
+    for (unsigned side = 0; side < 2; ++side) {
+      pair->core[side]->load_state(d);
+      ckpt::load_u64_vec(d, pair->store_buffer[side]);
+    }
+    pair->next_boundary = d.u64();
+    pair->reached[0] = d.b();
+    pair->reached[1] = d.b();
+    pair->reached_at[0] = d.u64();
+    pair->reached_at[1] = d.u64();
+    pair->checkpoint_done = d.u64();
+    pair->last_committed_boundary = d.u64();
+    if (d.u64() != pair->error_arrivals.size()) {
+      throw ckpt::CkptError(
+          "dmr-checkpoint error-arrival schedule mismatch");
+    }
+    pair->next_error = d.u64();
+  }
+  d.end_chunk();
 }
 
 }  // namespace unsync::core

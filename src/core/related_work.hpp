@@ -49,6 +49,9 @@ class LockstepSystem final : public System {
   const std::string& name() const override { return name_; }
   mem::MemoryHierarchy& memory() override { return memory_; }
 
+  void save_state(ckpt::Serializer& s) const override;
+  void load_state(ckpt::Deserializer& d) override;
+
  private:
   struct Pair;
 
@@ -86,6 +89,8 @@ class LockstepSystem final : public System {
   mem::MemoryHierarchy memory_;
   Rng rng_;
   std::vector<std::unique_ptr<Pair>> pairs_;
+  Cycle now_ = 0;     ///< resumable run cursor (see System::run contract)
+  RunResult acc_;     ///< result fields accumulated across run() segments
 };
 
 struct CheckpointParams {
@@ -114,6 +119,9 @@ class DmrCheckpointSystem final : public System {
   mem::MemoryHierarchy& memory() override { return memory_; }
 
   std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+
+  void save_state(ckpt::Serializer& s) const override;
+  void load_state(ckpt::Deserializer& d) override;
 
  private:
   struct Pair;
@@ -158,6 +166,8 @@ class DmrCheckpointSystem final : public System {
   Rng rng_;
   std::vector<std::unique_ptr<Pair>> pairs_;
   std::uint64_t checkpoints_taken_ = 0;
+  Cycle now_ = 0;     ///< resumable run cursor (see System::run contract)
+  RunResult acc_;     ///< result fields accumulated across run() segments
 };
 
 }  // namespace unsync::core

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "ckpt/serializer.hpp"
 #include "core/baseline.hpp"
 #include "fault/ser.hpp"
 
@@ -220,6 +221,9 @@ ReunionSystem::ReunionSystem(
     }
     pairs_.push_back(std::move(pair));
   }
+  acc_.system = name_;
+  acc_.thread_instructions = thread_lengths_;
+  acc_.instructions = detail::max_length(thread_lengths_);
 }
 
 void ReunionSystem::maybe_inject_error(Pair& pair, unsigned thread,
@@ -262,12 +266,6 @@ void ReunionSystem::maybe_inject_error(Pair& pair, unsigned thread,
 }
 
 RunResult ReunionSystem::run(Cycle max_cycles) {
-  RunResult r;
-  r.system = name_;
-  r.thread_instructions = thread_lengths_;
-  r.instructions = detail::max_length(thread_lengths_);
-
-  Cycle now = 0;
   auto pair_done = [](const Pair& p) {
     return p.core[0]->done() && p.core[1]->done();
   };
@@ -276,20 +274,21 @@ RunResult ReunionSystem::run(Cycle max_cycles) {
                        [&](const auto& p) { return pair_done(*p); });
   };
 
-  while (!all_done() && now < max_cycles) {
+  while (!all_done() && now_ < max_cycles) {
     for (auto& pair : pairs_) {
       if (pair_done(*pair)) continue;
       for (unsigned side = 0; side < 2; ++side) {
-        if (!pair->core[side]->done()) pair->core[side]->tick(now);
+        if (!pair->core[side]->done()) pair->core[side]->tick(now_);
       }
       maybe_inject_error(*pair,
-                         static_cast<unsigned>(&pair - pairs_.data()), now,
-                         &r);
+                         static_cast<unsigned>(&pair - pairs_.data()), now_,
+                         &acc_);
     }
-    ++now;
+    ++now_;
   }
 
-  r.cycles = now;
+  RunResult r = acc_;
+  r.cycles = now_;
   for (auto& pair : pairs_) {
     for (unsigned side = 0; side < 2; ++side) {
       r.core_stats.push_back(pair->core[side]->stats());
@@ -298,6 +297,92 @@ RunResult ReunionSystem::run(Cycle max_cycles) {
   }
   publish_metrics(r);
   return r;
+}
+
+void ReunionSystem::save_state(ckpt::Serializer& s) const {
+  s.begin_chunk("REUN");
+  s.u64(now_);
+  save_result(s, acc_);
+  for (const std::uint64_t word : rng_.state()) s.u64(word);
+  memory_.save_state(s);
+  s.u64(pairs_.size());
+  for (const auto& pair : pairs_) {
+    for (unsigned side = 0; side < 2; ++side) {
+      pair->core[side]->save_state(s);
+    }
+    s.u64(pair->fingerprints.size());
+    for (const Fingerprint& fp : pair->fingerprints) {
+      for (unsigned side = 0; side < 2; ++side) {
+        s.u64(fp.count[side]);
+        s.b(fp.closed[side]);
+        s.u64(fp.closed_at[side]);
+      }
+      s.u64(fp.verify_done);
+    }
+    s.u64(pair->serialize_queue.size());
+    for (const SerializeSync& sync : pair->serialize_queue) {
+      s.u64(sync.seq);
+      for (unsigned side = 0; side < 2; ++side) {
+        s.b(sync.requested[side]);
+        s.b(sync.committed[side]);
+        s.u64(sync.request_at[side]);
+      }
+      s.u64(sync.ready_at);
+    }
+    for (const auto& buf : pair->store_buffer) ckpt::save_u64_vec(s, buf);
+    s.u64(pair->error_arrivals.size());
+    s.u64(pair->next_error);
+    s.u64(pair->serializing_syncs);
+    s.u64(pair->verified_watermark[0]);
+    s.u64(pair->verified_watermark[1]);
+  }
+  s.end_chunk();
+}
+
+void ReunionSystem::load_state(ckpt::Deserializer& d) {
+  d.begin_chunk("REUN");
+  now_ = d.u64();
+  load_result(d, acc_);
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = d.u64();
+  rng_.set_state(rng_state);
+  memory_.load_state(d);
+  if (d.u64() != pairs_.size()) {
+    throw ckpt::CkptError("reunion pair-count mismatch");
+  }
+  for (const auto& pair : pairs_) {
+    for (unsigned side = 0; side < 2; ++side) {
+      pair->core[side]->load_state(d);
+    }
+    pair->fingerprints.resize(d.u64());
+    for (Fingerprint& fp : pair->fingerprints) {
+      for (unsigned side = 0; side < 2; ++side) {
+        fp.count[side] = d.u64();
+        fp.closed[side] = d.b();
+        fp.closed_at[side] = d.u64();
+      }
+      fp.verify_done = d.u64();
+    }
+    pair->serialize_queue.resize(d.u64());
+    for (SerializeSync& sync : pair->serialize_queue) {
+      sync.seq = d.u64();
+      for (unsigned side = 0; side < 2; ++side) {
+        sync.requested[side] = d.b();
+        sync.committed[side] = d.b();
+        sync.request_at[side] = d.u64();
+      }
+      sync.ready_at = d.u64();
+    }
+    for (auto& buf : pair->store_buffer) ckpt::load_u64_vec(d, buf);
+    if (d.u64() != pair->error_arrivals.size()) {
+      throw ckpt::CkptError("reunion error-arrival schedule mismatch");
+    }
+    pair->next_error = d.u64();
+    pair->serializing_syncs = d.u64();
+    pair->verified_watermark[0] = d.u64();
+    pair->verified_watermark[1] = d.u64();
+  }
+  d.end_chunk();
 }
 
 }  // namespace unsync::core

@@ -72,6 +72,9 @@ class ReunionSystem final : public System {
   mem::MemoryHierarchy& memory() override { return memory_; }
   const fault::ProtectionPlan& plan() const { return plan_; }
 
+  void save_state(ckpt::Serializer& s) const override;
+  void load_state(ckpt::Deserializer& d) override;
+
  private:
   struct Pair;
 
@@ -150,6 +153,8 @@ class ReunionSystem final : public System {
   Rng rng_;
   std::vector<std::unique_ptr<Pair>> pairs_;
   unsigned effective_fi_ = 10;
+  Cycle now_ = 0;     ///< resumable run cursor (see System::run contract)
+  RunResult acc_;     ///< result fields accumulated across run() segments
 };
 
 }  // namespace unsync::core

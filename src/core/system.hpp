@@ -16,6 +16,11 @@
 #include "obs/trace.hpp"
 #include "workload/dyn_op.hpp"
 
+namespace unsync::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace unsync::ckpt
+
 namespace unsync::core {
 
 /// Shared configuration (Table I defaults).
@@ -75,18 +80,52 @@ struct RunResult {
   std::string to_json(int indent = 0) const;
 };
 
+/// Checkpoint helpers: serialise / restore an ErrorEvent and a full
+/// RunResult (used by system checkpoints and the campaign journal).
+void save_error_event(ckpt::Serializer& s, const ErrorEvent& e);
+void load_error_event(ckpt::Deserializer& d, ErrorEvent& e);
+void save_result(ckpt::Serializer& s, const RunResult& r);
+void load_result(ckpt::Deserializer& d, RunResult& r);
+
 /// A simulated CMP. run() executes every thread's stream to completion (or
 /// max_cycles) and reports the aggregate result.
+///
+/// Resumable-run contract: `max_cycles` is an ABSOLUTE simulated-cycle
+/// bound, and run() is continuable — run(N) followed by run() yields the
+/// same final result, bit for bit, as a single run(). That, combined with
+/// save_checkpoint()/load_checkpoint(), is what lets a mid-run snapshot be
+/// restored into a freshly-constructed identical system and resumed to a
+/// byte-identical RunResult (see docs/CHECKPOINTS.md).
 ///
 /// Observability contract: every system owns a Tracer (wired into its cores
 /// and memory hierarchy at construction; free while no sink is attached) and
 /// optionally publishes into a MetricsRegistry at the end of run(). Both are
-/// attached post-construction via set_observability().
+/// attached post-construction via set_observability(). Observability
+/// attachments are NOT part of checkpoint state.
 class System {
  public:
   virtual ~System() = default;
   virtual RunResult run(Cycle max_cycles = ~Cycle{0}) = 0;
   virtual const std::string& name() const = 0;
+
+  /// Serialises / restores the complete mutable simulation state (cycle
+  /// cursor, accumulated result, RNG, memory hierarchy, every core).
+  /// load_state() must be called on a system constructed with the identical
+  /// configuration, streams and parameters as the saved one; mismatches
+  /// throw ckpt::CkptError.
+  virtual void save_state(ckpt::Serializer& s) const = 0;
+  virtual void load_state(ckpt::Deserializer& d) = 0;
+
+  /// Name-tagged checkpoint envelope around save_state()/load_state();
+  /// load_checkpoint() rejects a checkpoint taken from a different system
+  /// kind (ckpt::CkptError).
+  void save_checkpoint(ckpt::Serializer& s) const;
+  void load_checkpoint(ckpt::Deserializer& d);
+
+  /// Whole-file convenience: the "unsync.ckpt.v1" container (magic, schema,
+  /// CRC-32) written via write-to-temp + atomic rename.
+  void save_checkpoint_file(const std::string& path) const;
+  void load_checkpoint_file(const std::string& path);
 
   /// The system's memory hierarchy (every concrete system owns exactly one).
   virtual mem::MemoryHierarchy& memory() = 0;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "ckpt/serializer.hpp"
 #include "fault/ser.hpp"
 
 namespace unsync::core {
@@ -68,6 +69,9 @@ UnSyncSystem::UnSyncSystem(
     }
     groups_.push_back(std::move(group));
   }
+  acc_.system = name_;
+  acc_.thread_instructions = thread_lengths_;
+  acc_.instructions = detail::max_length(thread_lengths_);
 }
 
 void UnSyncSystem::drain_cbs(Group& group, unsigned thread, Cycle now) {
@@ -171,12 +175,6 @@ void UnSyncSystem::maybe_inject_error(Group& group, unsigned thread,
 }
 
 RunResult UnSyncSystem::run(Cycle max_cycles) {
-  RunResult r;
-  r.system = name_;
-  r.thread_instructions = thread_lengths_;
-  r.instructions = detail::max_length(thread_lengths_);
-
-  Cycle now = 0;
   auto group_done = [](const Group& g) {
     for (const auto& core : g.cores) {
       if (!core->done()) return false;
@@ -191,20 +189,21 @@ RunResult UnSyncSystem::run(Cycle max_cycles) {
                        [&](const auto& g) { return group_done(*g); });
   };
 
-  while (!all_done() && now < max_cycles) {
+  while (!all_done() && now_ < max_cycles) {
     for (auto& group : groups_) {
       if (group_done(*group)) continue;
       const auto thread = static_cast<unsigned>(&group - groups_.data());
       for (auto& core : group->cores) {
-        if (!core->done()) core->tick(now);
+        if (!core->done()) core->tick(now_);
       }
-      drain_cbs(*group, thread, now);
-      maybe_inject_error(*group, thread, now, &r);
+      drain_cbs(*group, thread, now_);
+      maybe_inject_error(*group, thread, now_, &acc_);
     }
-    ++now;
+    ++now_;
   }
 
-  r.cycles = now;
+  RunResult r = acc_;
+  r.cycles = now_;
   for (auto& group : groups_) {
     for (const auto& core : group->cores) {
       r.core_stats.push_back(core->stats());
@@ -224,6 +223,52 @@ RunResult UnSyncSystem::run(Cycle max_cycles) {
     }
   }
   return r;
+}
+
+void UnSyncSystem::save_state(ckpt::Serializer& s) const {
+  s.begin_chunk("UNSY");
+  s.u64(now_);
+  save_result(s, acc_);
+  for (const std::uint64_t word : rng_.state()) s.u64(word);
+  memory_.save_state(s);
+  s.u64(groups_.size());
+  for (const auto& group : groups_) {
+    s.u64(group->cores.size());
+    for (const auto& core : group->cores) core->save_state(s);
+    for (const auto& cb : group->cbs) cb->save_state(s);
+    // Arrivals are re-derived deterministically at construction from
+    // (seed, ser_per_inst, lengths); only the consumption cursor is state.
+    s.u64(group->error_arrivals.size());
+    s.u64(group->next_error);
+    s.u64(group->cb_full_stalls);
+  }
+  s.end_chunk();
+}
+
+void UnSyncSystem::load_state(ckpt::Deserializer& d) {
+  d.begin_chunk("UNSY");
+  now_ = d.u64();
+  load_result(d, acc_);
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = d.u64();
+  rng_.set_state(rng_state);
+  memory_.load_state(d);
+  if (d.u64() != groups_.size()) {
+    throw ckpt::CkptError("unsync group-count mismatch");
+  }
+  for (const auto& group : groups_) {
+    if (d.u64() != group->cores.size()) {
+      throw ckpt::CkptError("unsync group-size mismatch");
+    }
+    for (const auto& core : group->cores) core->load_state(d);
+    for (const auto& cb : group->cbs) cb->load_state(d);
+    if (d.u64() != group->error_arrivals.size()) {
+      throw ckpt::CkptError("unsync error-arrival schedule mismatch");
+    }
+    group->next_error = d.u64();
+    group->cb_full_stalls = d.u64();
+  }
+  d.end_chunk();
 }
 
 }  // namespace unsync::core

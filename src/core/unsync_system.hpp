@@ -77,6 +77,9 @@ class UnSyncSystem final : public System {
   const fault::ProtectionPlan& plan() const { return plan_; }
   unsigned group_size() const { return params_.group_size; }
 
+  void save_state(ckpt::Serializer& s) const override;
+  void load_state(ckpt::Deserializer& d) override;
+
  private:
   struct Group;
 
@@ -118,6 +121,8 @@ class UnSyncSystem final : public System {
   mem::MemoryHierarchy memory_;
   Rng rng_;
   std::vector<std::unique_ptr<Group>> groups_;
+  Cycle now_ = 0;     ///< resumable run cursor (see System::run contract)
+  RunResult acc_;     ///< result fields accumulated across run() segments
 };
 
 }  // namespace unsync::core

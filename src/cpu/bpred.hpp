@@ -10,6 +10,11 @@
 
 #include "common/types.hpp"
 
+namespace unsync::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace unsync::ckpt
+
 namespace unsync::cpu {
 
 class GsharePredictor {
@@ -31,6 +36,11 @@ class GsharePredictor {
     return lookups_ ? static_cast<double>(wrong_) / static_cast<double>(lookups_)
                     : 0.0;
   }
+
+  /// Checkpoint hooks: counter table, global history, and statistics.
+  /// Table size must match the saved instance.
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
  private:
   std::size_t index(Addr pc) const;

@@ -107,6 +107,12 @@ struct CoreStats {
   }
 };
 
+/// Checkpoint helpers: serialise / restore a CoreStats block (all fields,
+/// including the interval-IPC samples). Also used by the system layer to
+/// persist RunResult::core_stats.
+void save_stats(ckpt::Serializer& s, const CoreStats& stats);
+void load_stats(ckpt::Deserializer& d, CoreStats& stats);
+
 class OooCore {
  public:
   OooCore(CoreId id, const CoreConfig& config, mem::MemoryHierarchy* memory,
@@ -155,6 +161,15 @@ class OooCore {
   void set_rob_histogram(Histogram* hist) { rob_hist_ = hist; }
 
   GsharePredictor& predictor() { return bpred_; }
+
+  /// Checkpoint hooks: the complete per-core mutable state — fetch queue,
+  /// ROB, in-flight producer completions, predictor, TLBs, FU reservations,
+  /// front-end cursor (including the stream's own state), LSQ occupancy,
+  /// the committed-store forwarding window, and statistics. load_state()
+  /// requires a core constructed with the same id, config and stream
+  /// identity. Observability attachments are not part of the state.
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
  private:
   static constexpr Cycle kNever = ~Cycle{0};

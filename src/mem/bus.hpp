@@ -11,6 +11,11 @@
 
 #include "common/types.hpp"
 
+namespace unsync::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace unsync::ckpt
+
 namespace unsync::mem {
 
 class Bus {
@@ -28,6 +33,10 @@ class Bus {
   std::uint64_t transactions() const { return transactions_; }
 
   void reset();
+
+  /// Checkpoint hooks: reservation horizon and utilisation counters.
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
  private:
   Cycle next_free_ = 0;

@@ -15,6 +15,11 @@
 #include "common/types.hpp"
 #include "mem/config.hpp"
 
+namespace unsync::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace unsync::ckpt
+
 namespace unsync::mem {
 
 /// Outstanding-miss registers. Bounds miss-level parallelism and merges
@@ -42,6 +47,11 @@ class MshrFile {
   void add_stall(Cycle c) { stall_cycles_ += c; }
 
   void reset() { misses_.clear(); stall_cycles_ = 0; }
+
+  /// Checkpoint hooks (in-flight misses including lazily-expired entries,
+  /// stall counter). Capacity must match the saved instance.
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
  private:
   struct Entry {
@@ -101,6 +111,11 @@ class Cache {
 
   MshrFile& mshrs() { return mshrs_; }
   const MshrFile& mshrs() const { return mshrs_; }
+
+  /// Checkpoint hooks: tag array, LRU clock, statistics and the MSHR file.
+  /// Geometry (sets/assoc/line size) must match the saved instance.
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
  private:
   struct Line {

@@ -12,6 +12,11 @@
 
 #include "common/types.hpp"
 
+namespace unsync::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace unsync::ckpt
+
 namespace unsync::mem {
 
 struct TlbConfig {
@@ -42,6 +47,11 @@ class Tlb {
     return total ? static_cast<double>(misses_) / static_cast<double>(total)
                  : 0.0;
   }
+
+  /// Checkpoint hooks: serialise / restore all mutable state (entries, LRU
+  /// clock, hit/miss counters). Geometry must match the saved instance.
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
  private:
   struct Entry {

@@ -15,6 +15,11 @@
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
 
+namespace unsync::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace unsync::ckpt
+
 namespace unsync::mem {
 
 struct WriteBufferEntry {
@@ -67,6 +72,11 @@ class WriteBuffer {
 
   std::size_t peak_occupancy() const { return peak_; }
   std::uint64_t total_pushed() const { return total_pushed_; }
+
+  /// Checkpoint hooks: entries plus occupancy counters. Capacity must match
+  /// the saved instance. Defined in hierarchy.cpp with the other mem hooks.
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
  private:
   std::size_t capacity_;

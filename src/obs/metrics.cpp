@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ckpt/serializer.hpp"
 #include "obs/json.hpp"
 
 namespace unsync::obs {
@@ -121,6 +122,70 @@ std::string MetricsSnapshot::to_csv() const {
     }
   }
   return os.str();
+}
+
+void MetricsSnapshot::save(ckpt::Serializer& s) const {
+  s.begin_chunk("METR");
+  s.u64(counters.size());
+  for (const auto& [path, value] : counters) {
+    s.str(path);
+    s.u64(value);
+  }
+  s.u64(gauges.size());
+  for (const auto& [path, g] : gauges) {
+    s.str(path);
+    s.u64(g.count());
+    s.f64(g.mean());
+    s.f64(g.m2());
+    s.f64(g.min());
+    s.f64(g.max());
+    s.f64(g.sum());
+  }
+  s.u64(histograms.size());
+  for (const auto& [path, h] : histograms) {
+    s.str(path);
+    s.f64(h.low());
+    s.f64(h.high());
+    s.u64(h.buckets());
+    for (std::size_t i = 0; i < h.buckets(); ++i) s.u64(h.bucket(i));
+  }
+  s.end_chunk();
+}
+
+void MetricsSnapshot::load(ckpt::Deserializer& d) {
+  counters.clear();
+  gauges.clear();
+  histograms.clear();
+  d.begin_chunk("METR");
+  const std::uint64_t n_counters = d.u64();
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    std::string path = d.str();
+    counters[std::move(path)] = d.u64();
+  }
+  const std::uint64_t n_gauges = d.u64();
+  for (std::uint64_t i = 0; i < n_gauges; ++i) {
+    std::string path = d.str();
+    const std::uint64_t n = d.u64();
+    const double mean = d.f64();
+    const double m2 = d.f64();
+    const double min = d.f64();
+    const double max = d.f64();
+    const double sum = d.f64();
+    gauges[std::move(path)].restore(n, mean, m2, min, max, sum);
+  }
+  const std::uint64_t n_hists = d.u64();
+  for (std::uint64_t i = 0; i < n_hists; ++i) {
+    std::string path = d.str();
+    const double lo = d.f64();
+    const double hi = d.f64();
+    const std::uint64_t buckets = d.u64();
+    Histogram h(lo, hi, buckets);
+    std::vector<std::uint64_t> counts(buckets);
+    for (std::uint64_t& c : counts) c = d.u64();
+    h.restore_counts(counts);
+    histograms.emplace(std::move(path), std::move(h));
+  }
+  d.end_chunk();
 }
 
 }  // namespace unsync::obs

@@ -30,6 +30,11 @@
 
 #include "common/stats.hpp"
 
+namespace unsync::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace unsync::ckpt
+
 namespace unsync::obs {
 
 /// A named scalar counter. Handles returned by MetricsRegistry::counter()
@@ -70,6 +75,12 @@ class MetricsSnapshot {
   /// One row per instrument: kind,path,value/count,mean,min,max,stddev,sum
   /// followed by histogram bucket rows (kind=histogram_bucket).
   std::string to_csv() const;
+
+  /// Checkpoint hooks (campaign journal persistence): every instrument with
+  /// its exact accumulator state, so a snapshot restored from a journal
+  /// merges identically to the freshly-computed one.
+  void save(ckpt::Serializer& s) const;
+  void load(ckpt::Deserializer& d);
 };
 
 /// The registry: owns instruments, hands out stable handles.

@@ -37,15 +37,19 @@ std::string to_json(const TraceRecord& r) {
   return w.take();
 }
 
-JsonlTraceSink::JsonlTraceSink(const std::string& path) : out_(path) {
+JsonlTraceSink::JsonlTraceSink(const std::string& path,
+                               std::uint64_t flush_every)
+    : out_(path), flush_every_(flush_every == 0 ? 1 : flush_every) {
   if (!out_) throw std::runtime_error("cannot open trace file: " + path);
 }
+
+JsonlTraceSink::~JsonlTraceSink() { flush(); }
 
 void JsonlTraceSink::record(const TraceRecord& r) {
   const std::string line = to_json(r);
   std::lock_guard<std::mutex> lock(mu_);
   out_ << line << '\n';
-  ++written_;
+  if (++written_ % flush_every_ == 0) out_.flush();
 }
 
 void JsonlTraceSink::flush() {

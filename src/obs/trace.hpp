@@ -87,10 +87,15 @@ class VectorTraceSink final : public TraceSink {
 };
 
 /// Streams records to a file as JSON Lines. Throws std::runtime_error if
-/// the file cannot be opened.
+/// the file cannot be opened. The stream is flushed every `flush_every`
+/// records and from the destructor, so a crashed or interrupted process
+/// leaves at most the last partial batch unwritten — trace files stay
+/// usable for post-mortem analysis without callers remembering to flush.
 class JsonlTraceSink final : public TraceSink {
  public:
-  explicit JsonlTraceSink(const std::string& path);
+  explicit JsonlTraceSink(const std::string& path,
+                          std::uint64_t flush_every = 256);
+  ~JsonlTraceSink() override;
 
   void record(const TraceRecord& r) override;
   std::uint64_t records_written() const { return written_; }
@@ -100,6 +105,7 @@ class JsonlTraceSink final : public TraceSink {
   std::mutex mu_;
   std::ofstream out_;
   std::uint64_t written_ = 0;
+  std::uint64_t flush_every_;
 };
 
 /// The gate components hold: emit() is a no-op branch until a sink is

@@ -15,6 +15,11 @@
 // registries merge in submission order, so the aggregate snapshot is
 // worker-count independent too; only wall-time observations (excluded from
 // the default to_json()) vary between runs.
+//
+// Crash safety: with Options::journal set, every completed job is appended
+// to a JSONL journal (CRC-checked binary blobs, atomic rewrite on resume);
+// Options::resume restores journaled jobs and re-runs only the rest, with
+// byte-identical CampaignOutput. See docs/CHECKPOINTS.md.
 #pragma once
 
 #include <cstdint>
@@ -96,6 +101,25 @@ class CampaignRunner {
     /// Collect each job's metrics into CampaignOutput::metrics (one
     /// registry per job, merged in submission order).
     bool collect_metrics = false;
+    /// Crash-safe job journal ("unsync.campaign_journal.v1"): a JSONL file
+    /// whose header pins the campaign identity (seed, job count, a CRC-32
+    /// fingerprint of the whole grid, collect_metrics) and to which every
+    /// completed job is appended as one line carrying a CRC-checked binary
+    /// blob of its RunResult (plus its metric snapshot when
+    /// collect_metrics is on). A killed campaign loses at most the jobs
+    /// that were in flight. Empty = no journal.
+    std::string journal;
+    /// Flush the journal stream every N completed jobs (1 = every job;
+    /// larger values trade crash-window for fewer flushes).
+    std::size_t checkpoint_every = 1;
+    /// Resume from `journal`: journaled jobs are restored instead of
+    /// re-run, and CampaignOutput (including to_json()) is byte-identical
+    /// to an uninterrupted campaign regardless of kill point or worker
+    /// count. The journal header must match this campaign or
+    /// ckpt::CkptError is thrown; corrupt or torn entry lines are dropped
+    /// (those jobs simply re-run). A missing or empty journal file starts
+    /// a fresh campaign.
+    bool resume = false;
     /// Invoked after each job completes with (jobs done so far, total).
     /// Called under an internal mutex: thread-safe, but keep it cheap.
     std::function<void(std::size_t completed, std::size_t total)> progress;

@@ -14,6 +14,11 @@
 #include "common/types.hpp"
 #include "isa/isa.hpp"
 
+namespace unsync::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace unsync::ckpt
+
 namespace unsync::workload {
 
 struct DynOp {
@@ -41,6 +46,10 @@ struct DynOp {
   bool is_store() const { return cls == isa::InstClass::kStore; }
   bool is_serializing() const { return cls == isa::InstClass::kSerializing; }
 };
+
+/// Checkpoint helpers: serialise / restore one DynOp (all fields).
+void save_op(ckpt::Serializer& s, const DynOp& op);
+void load_op(ckpt::Deserializer& d, DynOp& op);
 
 /// A forward iterator over a dynamic instruction stream.
 ///
@@ -79,6 +88,13 @@ class InstStream {
   virtual std::optional<WarmRegion> code_region() const {
     return std::nullopt;
   }
+
+  /// Checkpoint hooks: serialise / restore the cursor state so a restored
+  /// stream yields the identical remaining sequence. The base implementations
+  /// throw ckpt::CkptError — every stream type fed to a system that is
+  /// checkpointed mid-run must override both.
+  virtual void save_state(ckpt::Serializer& s) const;
+  virtual void load_state(ckpt::Deserializer& d);
 };
 
 }  // namespace unsync::workload

@@ -1,0 +1,462 @@
+// Checkpoint/restore subsystem tests (src/ckpt + the save_state/load_state
+// hooks): wire-format primitives, the "unsync.ckpt.v1" container (golden-
+// pinned bytes), corruption rejection, component round-trips, and the
+// headline guarantee — a system snapshotted mid-run and restored into a
+// fresh process-equivalent instance finishes with a bit-identical RunResult
+// for every architecture.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "ckpt/serializer.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/factory.hpp"
+#include "core/system.hpp"
+#include "mem/write_buffer.hpp"
+#include "obs/metrics.hpp"
+#include "workload/profile.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace unsync;
+
+std::string hex(std::string_view bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (const unsigned char c : bytes) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xF]);
+  }
+  return out;
+}
+
+// ---- CRC and scalar wire format ---------------------------------------------
+
+TEST(Crc32, MatchesTheStandardCheckValue) {
+  // The universal CRC-32 check vector: crc32("123456789") = 0xCBF43926.
+  EXPECT_EQ(ckpt::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(ckpt::crc32(""), 0u);
+  EXPECT_NE(ckpt::crc32("123456789"), ckpt::crc32("123456788"));
+}
+
+TEST(Crc32, SeedChainsIncrementally) {
+  // Note the explicit string_views: with a raw char* the seed would bind to
+  // the (const void*, len) overload's length parameter.
+  const std::uint32_t whole = ckpt::crc32(std::string_view("123456789"));
+  const std::uint32_t part = ckpt::crc32(
+      std::string_view("6789"), ckpt::crc32(std::string_view("12345")));
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Serializer, ScalarsRoundTrip) {
+  ckpt::Serializer s;
+  s.u8(0xAB);
+  s.u32(0xDEADBEEF);
+  s.u64(~std::uint64_t{0});
+  s.i64(-123456789);
+  s.b(true);
+  s.b(false);
+  s.f64(0.1);
+  s.f64(-0.0);
+  s.str("hello\0world");  // embedded NUL truncated by string_view ctor rules
+  s.str("");
+
+  ckpt::Deserializer d(s.take());
+  EXPECT_EQ(d.u8(), 0xAB);
+  EXPECT_EQ(d.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.u64(), ~std::uint64_t{0});
+  EXPECT_EQ(d.i64(), -123456789);
+  EXPECT_TRUE(d.b());
+  EXPECT_FALSE(d.b());
+  EXPECT_EQ(d.f64(), 0.1);
+  const double neg_zero = d.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // f64 is bit-exact, not value-equal
+  EXPECT_EQ(d.str(), "hello");
+  EXPECT_EQ(d.str(), "");
+  EXPECT_TRUE(d.at_end());
+}
+
+TEST(Serializer, ScalarsAreLittleEndian) {
+  ckpt::Serializer s;
+  s.u32(0x01020304);
+  EXPECT_EQ(hex(s.data()), "04030201");
+}
+
+TEST(Deserializer, ReadingPastTheEndThrows) {
+  ckpt::Deserializer d(std::string("\x01", 1));
+  EXPECT_EQ(d.u8(), 1);
+  EXPECT_THROW(d.u8(), ckpt::CkptError);
+  ckpt::Deserializer d2(std::string("abc"));
+  EXPECT_THROW(d2.u64(), ckpt::CkptError);
+}
+
+// ---- Tagged chunks ----------------------------------------------------------
+
+TEST(Chunks, NestAndVerifyExactConsumption) {
+  ckpt::Serializer s;
+  s.begin_chunk("OUTR");
+  s.u64(7);
+  s.begin_chunk("INNR");
+  s.str("payload");
+  s.end_chunk();
+  s.u32(9);
+  s.end_chunk();
+
+  ckpt::Deserializer d(s.take());
+  d.begin_chunk("OUTR");
+  EXPECT_EQ(d.u64(), 7u);
+  d.begin_chunk("INNR");
+  EXPECT_EQ(d.str(), "payload");
+  d.end_chunk();
+  EXPECT_EQ(d.u32(), 9u);
+  d.end_chunk();
+  EXPECT_TRUE(d.at_end());
+}
+
+TEST(Chunks, TagMismatchThrows) {
+  ckpt::Serializer s;
+  s.begin_chunk("AAAA");
+  s.u64(1);
+  s.end_chunk();
+  ckpt::Deserializer d(s.take());
+  EXPECT_THROW(d.begin_chunk("BBBB"), ckpt::CkptError);
+}
+
+TEST(Chunks, UnderConsumptionThrows) {
+  ckpt::Serializer s;
+  s.begin_chunk("DATA");
+  s.u64(1);
+  s.u64(2);
+  s.end_chunk();
+  ckpt::Deserializer d(s.take());
+  d.begin_chunk("DATA");
+  (void)d.u64();  // reader that forgets the second field must fail loudly
+  EXPECT_THROW(d.end_chunk(), ckpt::CkptError);
+}
+
+TEST(Chunks, OverConsumptionThrows) {
+  ckpt::Serializer s;
+  s.begin_chunk("DATA");
+  s.u32(1);
+  s.end_chunk();
+  s.u64(42);  // the next section, not part of the chunk
+  ckpt::Deserializer d(s.take());
+  d.begin_chunk("DATA");
+  (void)d.u32();
+  EXPECT_THROW(d.u32(), ckpt::CkptError);  // would cross the chunk boundary
+}
+
+// ---- Container format (golden-pinned) ---------------------------------------
+
+TEST(Container, GoldenBytes) {
+  // Pins the "unsync.ckpt.v1" file layout byte-for-byte: magic, schema
+  // string, payload length, CRC-32, payload. Any change to this golden is a
+  // schema break and needs a version bump, not a golden update.
+  EXPECT_EQ(hex(ckpt::wrap_container("ab")),
+            "554e5359434b50540e00000000000000"  // "UNSYCKPT", len("unsync...")
+            "756e73796e632e636b70742e7631"      // "unsync.ckpt.v1"
+            "0200000000000000"                  // payload length = 2
+            "6d48839e"                          // crc32("ab")
+            "6162");                            // payload "ab"
+}
+
+TEST(Container, RoundTrips) {
+  const std::string payload = "arbitrary \x00 binary \xff bytes";
+  EXPECT_EQ(ckpt::unwrap_container(ckpt::wrap_container(payload)), payload);
+}
+
+TEST(Container, RejectsCorruption) {
+  std::string file = ckpt::wrap_container("some checkpoint payload");
+  // Flip one payload bit -> CRC mismatch.
+  std::string corrupt = file;
+  corrupt.back() = static_cast<char>(corrupt.back() ^ 0x01);
+  EXPECT_THROW(ckpt::unwrap_container(corrupt), ckpt::CkptError);
+  // Truncate -> advertised length vs. bytes-present mismatch.
+  EXPECT_THROW(ckpt::unwrap_container(
+                   std::string_view(file).substr(0, file.size() - 3)),
+               ckpt::CkptError);
+  // Bad magic.
+  std::string bad_magic = file;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(ckpt::unwrap_container(bad_magic), ckpt::CkptError);
+  // Unknown schema string.
+  std::string bad_schema = file;
+  bad_schema[16] = 'X';  // first byte of "unsync.ckpt.v1"
+  EXPECT_THROW(ckpt::unwrap_container(bad_schema), ckpt::CkptError);
+}
+
+TEST(Container, FileRoundTripAndCorruptFileRejection) {
+  const std::string path = ::testing::TempDir() + "ckpt_file_test.ckpt";
+  ckpt::write_file(path, "file payload");
+  EXPECT_EQ(ckpt::read_file(path), "file payload");
+
+  // Corrupt the file on disk; read_file must throw CkptError.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() - 2] = static_cast<char>(bytes[bytes.size() - 2] ^ 0x10);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(ckpt::read_file(path), ckpt::CkptError);
+  std::remove(path.c_str());
+}
+
+// ---- Component round-trips --------------------------------------------------
+
+TEST(ComponentCkpt, RngStateRoundTrips) {
+  Rng a(12345);
+  for (int i = 0; i < 100; ++i) (void)a.next();
+  Rng b(999);  // different seed, then overwritten
+  b.set_state(a.state());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(ComponentCkpt, WriteBufferRoundTrips) {
+  mem::WriteBuffer wb(8);
+  wb.push(0x1000, 1, 10);
+  wb.push(0x2000, 2, 11);
+  wb.push(0x3000, 3, 12);
+  wb.pop();
+
+  ckpt::Serializer s;
+  wb.save_state(s);
+  const std::string bytes = s.take();
+
+  mem::WriteBuffer restored(8);
+  ckpt::Deserializer d(bytes);
+  restored.load_state(d);
+  EXPECT_EQ(restored.size(), wb.size());
+  EXPECT_EQ(restored.front().addr, wb.front().addr);
+  EXPECT_EQ(restored.front().seq, wb.front().seq);
+  EXPECT_EQ(restored.peak_occupancy(), wb.peak_occupancy());
+  EXPECT_EQ(restored.total_pushed(), wb.total_pushed());
+
+  // save -> load -> save is byte-identical.
+  ckpt::Serializer s2;
+  restored.save_state(s2);
+  EXPECT_EQ(s2.data(), bytes);
+
+  // Capacity is configuration, not state: restoring into a differently
+  // sized buffer is rejected.
+  mem::WriteBuffer wrong(16);
+  ckpt::Deserializer d2(bytes);
+  EXPECT_THROW(wrong.load_state(d2), ckpt::CkptError);
+}
+
+TEST(ComponentCkpt, SyntheticStreamRoundTrips) {
+  workload::SyntheticStream a(workload::profile("gzip"), 7, 10000);
+  workload::DynOp op;
+  for (int i = 0; i < 1234; ++i) ASSERT_TRUE(a.next(&op));
+
+  ckpt::Serializer s;
+  a.save_state(s);
+  workload::SyntheticStream b(workload::profile("gzip"), 7, 10000);
+  ckpt::Deserializer d(s.take());
+  b.load_state(d);
+
+  workload::DynOp oa, ob;
+  while (true) {
+    const bool ha = a.next(&oa), hb = b.next(&ob);
+    ASSERT_EQ(ha, hb);
+    if (!ha) break;
+    ASSERT_EQ(oa.seq, ob.seq);
+    ASSERT_EQ(oa.pc, ob.pc);
+    ASSERT_EQ(oa.mem_addr, ob.mem_addr);
+    ASSERT_EQ(oa.taken, ob.taken);
+  }
+}
+
+TEST(ComponentCkpt, SyntheticStreamRejectsIdentityMismatch) {
+  workload::SyntheticStream a(workload::profile("gzip"), 7, 10000);
+  ckpt::Serializer s;
+  a.save_state(s);
+  const std::string bytes = s.take();
+
+  workload::SyntheticStream wrong_seed(workload::profile("gzip"), 8, 10000);
+  ckpt::Deserializer d1(bytes);
+  EXPECT_THROW(wrong_seed.load_state(d1), ckpt::CkptError);
+
+  workload::SyntheticStream wrong_prof(workload::profile("mcf"), 7, 10000);
+  ckpt::Deserializer d2(bytes);
+  EXPECT_THROW(wrong_prof.load_state(d2), ckpt::CkptError);
+}
+
+TEST(ComponentCkpt, RunningStatRestoreIsExact) {
+  RunningStat a;
+  for (const double v : {1.5, -2.25, 7.75, 0.125, 3.5}) a.add(v);
+  RunningStat b;
+  b.restore(a.count(), a.mean(), a.m2(), a.min(), a.max(), a.sum());
+  // Bit-equality, not tolerance: restore() reinstates the raw accumulators.
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.stddev(), b.stddev());
+  EXPECT_EQ(a.sum(), b.sum());
+  a.add(42.0);
+  b.add(42.0);
+  EXPECT_EQ(a.stddev(), b.stddev());  // and further accumulation agrees
+}
+
+TEST(ComponentCkpt, MetricsSnapshotRoundTripsByteIdentically) {
+  obs::MetricsRegistry reg;
+  reg.counter("sys.core0.commits").inc(123);
+  reg.gauge("sys.ipc").add(0.75);
+  reg.gauge("sys.ipc").add(1.25);
+  reg.histogram("sys.rob", 0, 128, 8).add(17);
+  obs::MetricsSnapshot snap = reg.snapshot();
+
+  ckpt::Serializer s;
+  snap.save(s);
+  const std::string bytes = s.take();
+
+  obs::MetricsSnapshot restored;
+  ckpt::Deserializer d(bytes);
+  restored.load(d);
+  EXPECT_EQ(restored.to_json(), snap.to_json());
+
+  ckpt::Serializer s2;
+  restored.save(s2);
+  EXPECT_EQ(s2.data(), bytes);
+}
+
+// ---- Whole-system snapshot / resume -----------------------------------------
+
+class SystemCkpt : public ::testing::TestWithParam<core::SystemKind> {
+ protected:
+  std::unique_ptr<core::System> make() const {
+    core::SystemConfig cfg;
+    cfg.num_threads = 2;
+    cfg.ser_per_inst = 2e-5;  // exercise error injection + recovery state
+    cfg.seed = 1234;
+    workload::SyntheticStream stream(workload::profile("gzip"), cfg.seed,
+                                     6000);
+    return core::make_system(GetParam(), cfg, stream);
+  }
+};
+
+TEST_P(SystemCkpt, MidRunSnapshotResumesBitExactly) {
+  // Ground truth: one uninterrupted run.
+  const core::RunResult full = make()->run();
+  ASSERT_GT(full.cycles, 100u);
+
+  // Interrupted twin: run to ~40%, snapshot, discard the instance.
+  const Cycle cut = full.cycles * 2 / 5;
+  std::string snapshot;
+  {
+    auto sys = make();
+    sys->run(cut);
+    ckpt::Serializer s;
+    sys->save_checkpoint(s);
+    snapshot = s.take();
+  }
+
+  // Fresh instance (a new process in miniature): restore, then finish.
+  auto resumed = make();
+  {
+    ckpt::Deserializer d(snapshot);
+    resumed->load_checkpoint(d);
+    EXPECT_TRUE(d.at_end());
+  }
+  // save -> load -> save byte-identity before resuming.
+  {
+    ckpt::Serializer s;
+    resumed->save_checkpoint(s);
+    EXPECT_EQ(s.data(), snapshot);
+  }
+  const core::RunResult after = resumed->run();
+  EXPECT_EQ(after.to_json(), full.to_json());
+}
+
+TEST_P(SystemCkpt, SegmentedRunMatchesUninterrupted) {
+  // The resumable-run contract alone (no serialization): run(N) then run()
+  // is the same as one run().
+  const core::RunResult full = make()->run();
+  auto sys = make();
+  sys->run(full.cycles / 3);
+  sys->run(full.cycles * 2 / 3);
+  EXPECT_EQ(sys->run().to_json(), full.to_json());
+}
+
+TEST_P(SystemCkpt, FileRoundTripResumesBitExactly) {
+  const core::RunResult full = make()->run();
+  const std::string path = ::testing::TempDir() + "sys_" +
+                           std::string(core::name_of(GetParam())) + ".ckpt";
+  {
+    auto sys = make();
+    sys->run(full.cycles / 2);
+    sys->save_checkpoint_file(path);
+  }
+  auto resumed = make();
+  resumed->load_checkpoint_file(path);
+  EXPECT_EQ(resumed->run().to_json(), full.to_json());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, SystemCkpt,
+    ::testing::Values(core::SystemKind::kBaseline, core::SystemKind::kUnSync,
+                      core::SystemKind::kReunion, core::SystemKind::kLockstep,
+                      core::SystemKind::kCheckpoint),
+    [](const auto& info) { return std::string(core::name_of(info.param)); });
+
+TEST(SystemCkptMismatch, RejectsCheckpointFromAnotherSystemKind) {
+  core::SystemConfig cfg;
+  cfg.num_threads = 1;
+  workload::SyntheticStream stream(workload::profile("gzip"), 42, 2000);
+
+  auto baseline = core::make_system(core::SystemKind::kBaseline, cfg, stream);
+  baseline->run(500);
+  ckpt::Serializer s;
+  baseline->save_checkpoint(s);
+
+  auto unsync_sys = core::make_system(core::SystemKind::kUnSync, cfg, stream);
+  ckpt::Deserializer d(s.take());
+  EXPECT_THROW(unsync_sys->load_checkpoint(d), ckpt::CkptError);
+}
+
+TEST(SystemCkptMismatch, RejectsConfigurationMismatch) {
+  workload::SyntheticStream stream(workload::profile("gzip"), 42, 2000);
+  core::SystemConfig two;
+  two.num_threads = 2;
+  auto sys2 = core::make_system(core::SystemKind::kUnSync, two, stream);
+  sys2->run(400);
+  ckpt::Serializer s;
+  sys2->save_checkpoint(s);
+
+  core::SystemConfig one;
+  one.num_threads = 1;
+  auto sys1 = core::make_system(core::SystemKind::kUnSync, one, stream);
+  ckpt::Deserializer d(s.take());
+  EXPECT_THROW(sys1->load_checkpoint(d), ckpt::CkptError);
+}
+
+TEST(SystemCkptMismatch, RejectsTrailingGarbageInFile) {
+  core::SystemConfig cfg;
+  cfg.num_threads = 1;
+  workload::SyntheticStream stream(workload::profile("gzip"), 42, 2000);
+  auto sys = core::make_system(core::SystemKind::kBaseline, cfg, stream);
+  sys->run(300);
+
+  ckpt::Serializer s;
+  sys->save_checkpoint(s);
+  std::string payload = s.take();
+  payload += "trailing";
+  const std::string path = ::testing::TempDir() + "trailing.ckpt";
+  ckpt::write_file(path, payload);
+
+  auto fresh = core::make_system(core::SystemKind::kBaseline, cfg, stream);
+  EXPECT_THROW(fresh->load_checkpoint_file(path), ckpt::CkptError);
+  std::remove(path.c_str());
+}
+
+}  // namespace

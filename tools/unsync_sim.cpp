@@ -9,6 +9,13 @@
 //   record       record a URISC program into a binary UTRC trace file
 //   hw           print the hardware model summary for each architecture
 //   list         list built-in benchmark profiles and kernels
+//   version      print schema versions and build configuration
+//
+// Checkpoint / restore (docs/CHECKPOINTS.md):
+//   run checkpoint=<f> checkpoint_at=<cycle>  snapshot mid-run and exit
+//   run resume=<f>                            continue a snapshot to the end
+//   campaign checkpoint=<f> [checkpoint_every=N] [resume=1]
+//                                             crash-safe resumable campaigns
 //
 // Workload selection (for run / sweep / campaign / characterize / record):
 //   bench=<name>      one of the built-in statistical profiles
@@ -43,6 +50,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ckpt/serializer.hpp"
 #include "common/config.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
@@ -79,7 +87,8 @@ constexpr int kExitConfigError = 2;
 
 void print_usage(std::ostream& os) {
   os <<
-      "usage: unsync_sim <run|sweep|campaign|characterize|asm|record|hw|list>"
+      "usage: unsync_sim "
+      "<run|sweep|campaign|characterize|asm|record|hw|list|version>"
       " [key=value...]\n"
       "  run: system=unsync|reunion|baseline|lockstep|checkpoint\n"
       "       bench=|kernel=|program=|trace=   [insts= seed= threads= ser=]\n"
@@ -88,15 +97,19 @@ void print_usage(std::ostream& os) {
       "       output: report=1 csv=1 format=json\n"
       "               metrics=<path>  write the metric tree (.csv or .json)\n"
       "               trace_out=<path> write a JSONL event trace\n"
+      "       checkpoint: checkpoint=<file> checkpoint_at=<cycle>  save+exit\n"
+      "                   resume=<file>  continue a saved snapshot\n"
       "  sweep: param=<cb|fi|latency|group|ser> values=v1,v2,... + run args\n"
       "         [threads=<host workers, default all cores>]\n"
       "  campaign: [systems=baseline,unsync,reunion] [benches=n1,n2|all]\n"
       "            [insts= seed= ser= threads=<host workers>]\n"
       "            [csv=1 format=json metrics=<path> progress=1]\n"
+      "            [checkpoint=<journal> checkpoint_every=N resume=1]\n"
       "  characterize: bench=|kernel=|program=|trace=  [insts= seed=]\n"
       "  asm: program=<file.s> [max_steps=]\n"
       "  record: bench=|kernel=|program=  out=<file.utrc> [insts= seed=]\n"
       "  hw: [fi= cb=]\n"
+      "  version: print schema versions and build configuration\n"
       "  global: log=debug|info|warn|error   (diagnostic verbosity)\n"
       "          --key=value is accepted for any key; --flag means flag=1\n"
       "exit codes: 0 success, 1 simulation error, 2 configuration error\n";
@@ -255,7 +268,27 @@ int cmd_run(const Config& cfg) {
                            trace_sink.get());
   }
 
+  // Checkpoint/restore (docs/CHECKPOINTS.md). resume= restores a snapshot
+  // into the identically-configured system built above; checkpoint_at= runs
+  // to that absolute cycle, saves, and exits — resuming the file later
+  // yields the bit-exact result of the uninterrupted run.
+  const std::string resume_path = cfg.get_string("resume", "");
+  const std::string ckpt_path = cfg.get_string("checkpoint", "");
+  const auto ckpt_at = static_cast<Cycle>(cfg.get_int("checkpoint_at", 0));
+  if (!resume_path.empty()) sys->load_checkpoint_file(resume_path);
+  if (ckpt_at > 0) {
+    if (ckpt_path.empty()) {
+      throw ConfigError("checkpoint_at= needs checkpoint=<file>");
+    }
+    sys->run(ckpt_at);
+    sys->save_checkpoint_file(ckpt_path);
+    std::cout << "checkpoint: " << system << " on " << label << " at cycle "
+              << ckpt_at << " -> " << ckpt_path << "\n";
+    return kExitOk;
+  }
+
   const core::RunResult result = sys->run();
+  if (!ckpt_path.empty()) sys->save_checkpoint_file(ckpt_path);
 
   if (!metrics_path.empty()) {
     write_metrics_file(registry.snapshot(), metrics_path);
@@ -407,6 +440,13 @@ int cmd_campaign(const Config& cfg) {
   opts.threads = static_cast<unsigned>(cfg.get_int("threads", 0));
   opts.campaign_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
   opts.collect_metrics = !metrics_path.empty() || format == "json";
+  opts.journal = cfg.get_string("checkpoint", "");
+  opts.checkpoint_every =
+      static_cast<std::size_t>(cfg.get_int("checkpoint_every", 1));
+  opts.resume = cfg.get_bool("resume", false);
+  if (opts.resume && opts.journal.empty()) {
+    throw ConfigError("resume=1 needs checkpoint=<journal file>");
+  }
   if (cfg.get_bool("progress", false)) {
     opts.progress = [](std::size_t completed, std::size_t total) {
       Log::info("campaign progress " + std::to_string(completed) + "/" +
@@ -518,6 +558,43 @@ int cmd_hw(const Config& cfg) {
   return kExitOk;
 }
 
+/// Prints every stable serialization schema this binary reads or writes,
+/// plus the build configuration — the first thing to capture in a bug
+/// report, and what scripts check before trusting archived artifacts.
+int cmd_version() {
+  std::cout << "unsync_sim — UnSync soft-error resilience simulator\n"
+            << "schemas:\n"
+            << "  run result        unsync.run_result.v1\n"
+            << "  campaign          unsync.campaign.v1\n"
+            << "  metrics           unsync.metrics.v1\n"
+            << "  checkpoint        " << ckpt::kSchema << "\n"
+            << "  campaign journal  unsync.campaign_journal.v1\n"
+            << "build:\n"
+            << "  compiler          " <<
+#if defined(__clang__)
+      "clang " << __clang_major__ << "." << __clang_minor__
+#elif defined(__GNUC__)
+      "gcc " << __GNUC__ << "." << __GNUC_MINOR__
+#else
+      "unknown"
+#endif
+            << "\n  c++ standard      " << __cplusplus
+            << "\n  assertions        " <<
+#ifdef NDEBUG
+      "off (NDEBUG)"
+#else
+      "on"
+#endif
+            << "\n  trace gate        " <<
+#ifdef UNSYNC_TRACE_DISABLED
+      "compiled out (UNSYNC_TRACE_DISABLED)"
+#else
+      "runtime (enabled when a sink is attached)"
+#endif
+            << "\n";
+  return kExitOk;
+}
+
 int cmd_list() {
   std::cout << "benchmark profiles:\n";
   for (const auto& p : workload::all_profiles()) {
@@ -605,6 +682,10 @@ int main(int argc, char** argv) {
     else if (command == "record") rc = cmd_record(cfg);
     else if (command == "hw") rc = cmd_hw(cfg);
     else if (command == "list") rc = cmd_list();
+    // normalize_args rewrites a bare --version to "version=1".
+    else if (command == "version" || command == "version=1") {
+      rc = cmd_version();
+    }
     if (rc == -1) {
       throw ConfigError("unknown subcommand '" + command + "'");
     }
@@ -617,6 +698,11 @@ int main(int argc, char** argv) {
   } catch (const ConfigError& e) {
     Log::error(e.what());
     print_usage(std::cerr);
+    return kExitConfigError;
+  } catch (const ckpt::CkptError& e) {
+    // A malformed / corrupt / mismatched checkpoint or journal is an input
+    // problem ("fix the file you pointed me at"), not a simulation failure.
+    Log::error(std::string("checkpoint error: ") + e.what());
     return kExitConfigError;
   } catch (const isa::AsmError& e) {
     Log::error(std::string("assembly error: ") + e.what());
