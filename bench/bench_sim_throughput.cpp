@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/baseline.hpp"
+#include "core/factory.hpp"
 #include "core/reunion_system.hpp"
 #include "core/unsync_system.hpp"
 #include "cpu/bpred.hpp"
@@ -78,6 +79,40 @@ void BM_UnSyncSystem(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * insts);
 }
 BENCHMARK(BM_UnSyncSystem)->Arg(5000)->Arg(20000);
+
+// Shared cycle-engine throughput (simulated cycles per wall-clock second),
+// naive loop vs quiescence fast-forwarding, on the stall-heavy galgel
+// profile — long ROB-full and fence windows are exactly what fast-forwarding
+// elides, so this pair is the regression gate for both the kernel hot path
+// and the ff speedup (tools/check_bench_regression.py; docs/ENGINE.md).
+// Items processed = simulated cycles, so items_per_second is cycles/sec.
+void BM_CycleEngine(benchmark::State& state, core::SystemKind kind,
+                    bool fast_forward) {
+  std::uint64_t simulated_cycles = 0;
+  for (auto _ : state) {
+    workload::SyntheticStream s(workload::profile("galgel"), 7, 30000);
+    core::SystemConfig cfg;
+    cfg.num_threads = 2;
+    cfg.ser_per_inst = 5e-4;
+    cfg.seed = 7;
+    cfg.fast_forward = fast_forward;
+    const auto sys = core::make_system(kind, cfg, s);
+    simulated_cycles += sys->run().cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(simulated_cycles));
+}
+BENCHMARK_CAPTURE(BM_CycleEngine, baseline_naive,
+                  core::SystemKind::kBaseline, false);
+BENCHMARK_CAPTURE(BM_CycleEngine, baseline_ff,
+                  core::SystemKind::kBaseline, true);
+BENCHMARK_CAPTURE(BM_CycleEngine, unsync_naive,
+                  core::SystemKind::kUnSync, false);
+BENCHMARK_CAPTURE(BM_CycleEngine, unsync_ff,
+                  core::SystemKind::kUnSync, true);
+BENCHMARK_CAPTURE(BM_CycleEngine, reunion_naive,
+                  core::SystemKind::kReunion, false);
+BENCHMARK_CAPTURE(BM_CycleEngine, reunion_ff,
+                  core::SystemKind::kReunion, true);
 
 void BM_ReunionSystem(benchmark::State& state) {
   const auto insts = static_cast<std::uint64_t>(state.range(0));

@@ -1,6 +1,5 @@
 #include "core/baseline.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 #include "ckpt/serializer.hpp"
@@ -25,7 +24,7 @@ BaselineSystem::BaselineSystem(const SystemConfig& config,
 BaselineSystem::BaselineSystem(
     const SystemConfig& config,
     const std::vector<const workload::InstStream*>& streams)
-    : System(config.num_threads),
+    : System(config.num_threads, config.fast_forward),
       config_(config),
       thread_lengths_(detail::lengths_of(streams)),
       memory_(config.mem, config.num_threads),
@@ -39,28 +38,14 @@ BaselineSystem::BaselineSystem(
         t, config.core, &memory_, streams[t]->clone(), &env_));
     register_core(*cores_.back());
   }
-  acc_.system = name_;
-  acc_.thread_instructions = thread_lengths_;
-  acc_.instructions = detail::max_length(thread_lengths_);
+  RunResult& acc = kernel_.result();
+  acc.system = name_;
+  acc.thread_instructions = thread_lengths_;
+  acc.instructions = detail::max_length(thread_lengths_);
 }
 
-RunResult BaselineSystem::run(Cycle max_cycles) {
-  auto all_done = [&] {
-    return std::all_of(cores_.begin(), cores_.end(),
-                       [](const auto& c) { return c->done(); });
-  };
-  while (!all_done() && now_ < max_cycles) {
-    for (auto& core : cores_) {
-      if (!core->done()) core->tick(now_);
-    }
-    ++now_;
-  }
-
-  RunResult r = acc_;
-  r.cycles = now_;
+void BaselineSystem::finish(RunResult& r) const {
   for (const auto& core : cores_) r.core_stats.push_back(core->stats());
-  publish_metrics(r);
-  return r;
 }
 
 void BaselineSystem::StoreBufferEnv::save_state(ckpt::Serializer& s) const {
@@ -77,28 +62,20 @@ void BaselineSystem::StoreBufferEnv::load_state(ckpt::Deserializer& d) {
   d.end_chunk();
 }
 
-void BaselineSystem::save_state(ckpt::Serializer& s) const {
-  s.begin_chunk("BASE");
-  s.u64(now_);
-  save_result(s, acc_);
+void BaselineSystem::save_policy_state(ckpt::Serializer& s) const {
   memory_.save_state(s);
   env_.save_state(s);
   s.u64(cores_.size());
   for (const auto& core : cores_) core->save_state(s);
-  s.end_chunk();
 }
 
-void BaselineSystem::load_state(ckpt::Deserializer& d) {
-  d.begin_chunk("BASE");
-  now_ = d.u64();
-  load_result(d, acc_);
+void BaselineSystem::load_policy_state(ckpt::Deserializer& d) {
   memory_.load_state(d);
   env_.load_state(d);
   if (d.u64() != cores_.size()) {
     throw ckpt::CkptError("baseline core-count mismatch");
   }
   for (const auto& core : cores_) core->load_state(d);
-  d.end_chunk();
 }
 
 }  // namespace unsync::core

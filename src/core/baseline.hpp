@@ -25,13 +25,24 @@ class BaselineSystem final : public System {
   BaselineSystem(const SystemConfig& config,
                  const std::vector<const workload::InstStream*>& streams);
 
-  RunResult run(Cycle max_cycles = ~Cycle{0}) override;
   const std::string& name() const override { return name_; }
-
   mem::MemoryHierarchy& memory() override { return memory_; }
 
-  void save_state(ckpt::Serializer& s) const override;
-  void load_state(ckpt::Deserializer& d) override;
+  // SystemPolicy phases: one group per thread, one core per group.
+  std::size_t group_count() const override { return cores_.size(); }
+  bool finished(std::size_t g) const override { return cores_[g]->done(); }
+  void pre_cycle(std::size_t g, Cycle now) override { cores_[g]->tick(now); }
+  Cycle next_event(std::size_t g, Cycle now) const override {
+    return cores_[g]->next_event(now);
+  }
+  void skip_cycles(std::size_t g, Cycle from, Cycle to) override {
+    cores_[g]->skip_cycles(from, to);
+  }
+  void finish(RunResult& r) const override;
+
+  const char* ckpt_tag() const override { return "BASE"; }
+  void save_policy_state(ckpt::Serializer& s) const override;
+  void load_policy_state(ckpt::Deserializer& d) override;
 
  private:
   /// Commit environment: a small post-commit store buffer in front of the
@@ -59,8 +70,6 @@ class BaselineSystem final : public System {
   mem::MemoryHierarchy memory_;
   StoreBufferEnv env_;
   std::vector<std::unique_ptr<cpu::OooCore>> cores_;
-  Cycle now_ = 0;     ///< resumable run cursor (see System::run contract)
-  RunResult acc_;     ///< result fields accumulated across run() segments
 };
 
 /// Size of the post-commit store buffer used by write-back configurations.

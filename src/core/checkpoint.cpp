@@ -1,67 +1,11 @@
-// Checkpoint plumbing shared by every system: the RunResult / ErrorEvent
-// wire layout and the System-level checkpoint envelope (name validation,
-// container file I/O). Per-system save_state/load_state live next to the
-// system they serialise.
+// The System-level checkpoint envelope: name validation and container file
+// I/O around the kernel-level chunk (SimKernel::save_state). The RunResult /
+// ErrorEvent wire layout lives in engine/result_ckpt.cpp; per-system
+// payloads live next to the system they serialise (save_policy_state).
 #include "ckpt/serializer.hpp"
 #include "core/system.hpp"
 
 namespace unsync::core {
-
-void save_error_event(ckpt::Serializer& s, const ErrorEvent& e) {
-  s.u64(e.cycle);
-  s.u64(e.position);
-  s.u32(e.thread);
-  s.u32(e.struck_core);
-  s.u64(e.cost);
-  s.b(e.rollback);
-}
-
-void load_error_event(ckpt::Deserializer& d, ErrorEvent& e) {
-  e.cycle = d.u64();
-  e.position = d.u64();
-  e.thread = d.u32();
-  e.struck_core = d.u32();
-  e.cost = d.u64();
-  e.rollback = d.b();
-}
-
-void save_result(ckpt::Serializer& s, const RunResult& r) {
-  s.begin_chunk("RRES");
-  s.str(r.system);
-  s.u64(r.cycles);
-  s.u64(r.instructions);
-  ckpt::save_u64_vec(s, r.thread_instructions);
-  s.u64(r.core_stats.size());
-  for (const cpu::CoreStats& cs : r.core_stats) cpu::save_stats(s, cs);
-  s.u64(r.errors_injected);
-  s.u64(r.recoveries);
-  s.u64(r.rollbacks);
-  s.u64(r.recovery_cycles_total);
-  s.u64(r.cb_full_stalls);
-  s.u64(r.fingerprint_syncs);
-  s.u64(r.error_log.size());
-  for (const ErrorEvent& e : r.error_log) save_error_event(s, e);
-  s.end_chunk();
-}
-
-void load_result(ckpt::Deserializer& d, RunResult& r) {
-  d.begin_chunk("RRES");
-  r.system = d.str();
-  r.cycles = d.u64();
-  r.instructions = d.u64();
-  ckpt::load_u64_vec(d, r.thread_instructions);
-  r.core_stats.resize(d.u64());
-  for (cpu::CoreStats& cs : r.core_stats) cpu::load_stats(d, cs);
-  r.errors_injected = d.u64();
-  r.recoveries = d.u64();
-  r.rollbacks = d.u64();
-  r.recovery_cycles_total = d.u64();
-  r.cb_full_stalls = d.u64();
-  r.fingerprint_syncs = d.u64();
-  r.error_log.resize(d.u64());
-  for (ErrorEvent& e : r.error_log) load_error_event(d, e);
-  d.end_chunk();
-}
 
 void System::save_checkpoint(ckpt::Serializer& s) const {
   s.begin_chunk("SYS0");

@@ -1,6 +1,7 @@
 #include "core/related_work.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <stdexcept>
 
@@ -11,6 +12,8 @@
 namespace unsync::core {
 
 namespace {
+
+constexpr Cycle kNever = ~Cycle{0};
 
 /// Shared write-back store-buffer behaviour (same as the baseline CMP).
 bool store_buffer_commit(mem::MemoryHierarchy& memory,
@@ -57,7 +60,7 @@ LockstepSystem::LockstepSystem(const SystemConfig& config,
 LockstepSystem::LockstepSystem(
     const SystemConfig& config, const LockstepParams& params,
     const std::vector<const workload::InstStream*>& streams)
-    : System(config.num_threads),
+    : System(config.num_threads, config.fast_forward),
       config_(config),
       params_(params),
       thread_lengths_(detail::lengths_of(streams)),
@@ -79,85 +82,75 @@ LockstepSystem::LockstepSystem(
           pair->env[side].get());
       register_core(*pair->core[side]);
     }
-    if (config_.ser_per_inst > 0 && thread_lengths_[t] > 0) {
-      pair->error_arrivals = fault::sample_error_arrivals(
-          config_.ser_per_inst, thread_lengths_[t], rng_);
-    }
+    pair->arrivals.positions = fault::schedule_arrivals(
+        config_.ser_per_inst, thread_lengths_[t], rng_);
     pairs_.push_back(std::move(pair));
   }
-  acc_.system = name_;
-  acc_.thread_instructions = thread_lengths_;
-  acc_.instructions = detail::max_length(thread_lengths_);
+  RunResult& acc = kernel_.result();
+  acc.system = name_;
+  acc.thread_instructions = thread_lengths_;
+  acc.instructions = detail::max_length(thread_lengths_);
 }
 
-void LockstepSystem::maybe_inject_error(Pair& pair, unsigned thread,
-                                        Cycle now, RunResult* result) {
-  if (pair.next_error >= pair.error_arrivals.size()) return;
+void LockstepSystem::pre_cycle(std::size_t g, Cycle now) {
+  Pair& pair = *pairs_[g];
+  for (unsigned side = 0; side < 2; ++side) {
+    if (!pair.core[side]->done()) pair.core[side]->tick(now);
+  }
+}
+
+void LockstepSystem::on_error(std::size_t g, Cycle now, RunResult& acc) {
+  Pair& pair = *pairs_[g];
   const SeqNum progress =
       std::max(pair.core[0]->retired(), pair.core[1]->retired());
-  if (progress < pair.error_arrivals[pair.next_error]) return;
-  const SeqNum position = pair.error_arrivals[pair.next_error];
-  ++pair.next_error;
-  ++result->errors_injected;
-  ++result->recoveries;
+  if (!pair.arrivals.pending(progress)) return;
+  const SeqNum position = pair.arrivals.take();
   // Lock-step sees the divergence the cycle it occurs; recovery is a
   // flush + instruction retry on both cores.
   const Cycle resume_at = now + params_.resync_penalty;
-  result->recovery_cycles_total += params_.resync_penalty;
   const auto struck = static_cast<unsigned>(rng_.below(2));
-  result->error_log.push_back(
-      {.cycle = now, .position = position, .thread = thread,
-       .struck_core = struck,
-       .cost = params_.resync_penalty, .rollback = false});
-  if (tracer_.enabled()) {
-    tracer_.emit({.kind = obs::TraceKind::kErrorInjection, .cycle = now,
-                  .thread = thread, .core = struck, .seq = position, .addr = 0,
-                  .value = 0});
-    tracer_.emit({.kind = obs::TraceKind::kRecovery, .cycle = now,
-                  .thread = thread, .core = struck, .seq = position, .addr = 0,
-                  .value = params_.resync_penalty});
-  }
+  engine::record_error(acc, tracer_,
+                       {.cycle = now, .position = position,
+                        .thread = static_cast<unsigned>(g),
+                        .struck_core = struck, .cost = params_.resync_penalty,
+                        .rollback = false},
+                       position);
   for (unsigned side = 0; side < 2; ++side) {
     pair.core[side]->stall_until(resume_at);
   }
 }
 
-RunResult LockstepSystem::run(Cycle max_cycles) {
-  auto pair_done = [](const Pair& p) {
-    return p.core[0]->done() && p.core[1]->done();
-  };
-  auto all_done = [&] {
-    return std::all_of(pairs_.begin(), pairs_.end(),
-                       [&](const auto& p) { return pair_done(*p); });
-  };
-  while (!all_done() && now_ < max_cycles) {
-    for (auto& pair : pairs_) {
-      if (pair_done(*pair)) continue;
-      for (unsigned side = 0; side < 2; ++side) {
-        if (!pair->core[side]->done()) pair->core[side]->tick(now_);
-      }
-      maybe_inject_error(*pair,
-                         static_cast<unsigned>(&pair - pairs_.data()), now_,
-                         &acc_);
-    }
-    ++now_;
+Cycle LockstepSystem::next_event(std::size_t g, Cycle now) const {
+  const Pair& pair = *pairs_[g];
+  Cycle cand = kNever;
+  for (unsigned side = 0; side < 2; ++side) {
+    const Cycle t = pair.core[side]->next_event(now);
+    if (t <= now) return now;
+    cand = std::min(cand, t);
   }
-  RunResult r = acc_;
-  r.cycles = now_;
-  for (auto& pair : pairs_) {
+  const SeqNum progress =
+      std::max(pair.core[0]->retired(), pair.core[1]->retired());
+  if (pair.arrivals.pending(progress)) return now;
+  return cand;
+}
+
+void LockstepSystem::skip_cycles(std::size_t g, Cycle from, Cycle to) {
+  Pair& pair = *pairs_[g];
+  for (unsigned side = 0; side < 2; ++side) {
+    if (!pair.core[side]->done()) pair.core[side]->skip_cycles(from, to);
+  }
+}
+
+void LockstepSystem::finish(RunResult& r) const {
+  for (const auto& pair : pairs_) {
     for (unsigned side = 0; side < 2; ++side) {
       r.core_stats.push_back(pair->core[side]->stats());
     }
     r.fingerprint_syncs += pair->lockstep_stalls;  // repurposed: sync stalls
   }
-  publish_metrics(r);
-  return r;
 }
 
-void LockstepSystem::save_state(ckpt::Serializer& s) const {
-  s.begin_chunk("LOCK");
-  s.u64(now_);
-  save_result(s, acc_);
+void LockstepSystem::save_policy_state(ckpt::Serializer& s) const {
   for (const std::uint64_t word : rng_.state()) s.u64(word);
   memory_.save_state(s);
   s.u64(pairs_.size());
@@ -166,17 +159,12 @@ void LockstepSystem::save_state(ckpt::Serializer& s) const {
       pair->core[side]->save_state(s);
       ckpt::save_u64_vec(s, pair->store_buffer[side]);
     }
-    s.u64(pair->error_arrivals.size());
-    s.u64(pair->next_error);
+    pair->arrivals.save_state(s);
     s.u64(pair->lockstep_stalls);
   }
-  s.end_chunk();
 }
 
-void LockstepSystem::load_state(ckpt::Deserializer& d) {
-  d.begin_chunk("LOCK");
-  now_ = d.u64();
-  load_result(d, acc_);
+void LockstepSystem::load_policy_state(ckpt::Deserializer& d) {
   std::array<std::uint64_t, 4> rng_state;
   for (std::uint64_t& word : rng_state) word = d.u64();
   rng_.set_state(rng_state);
@@ -189,13 +177,9 @@ void LockstepSystem::load_state(ckpt::Deserializer& d) {
       pair->core[side]->load_state(d);
       ckpt::load_u64_vec(d, pair->store_buffer[side]);
     }
-    if (d.u64() != pair->error_arrivals.size()) {
-      throw ckpt::CkptError("lockstep error-arrival schedule mismatch");
-    }
-    pair->next_error = d.u64();
+    pair->arrivals.load_state(d, "lockstep");
     pair->lockstep_stalls = d.u64();
   }
-  d.end_chunk();
 }
 
 // ---- DmrCheckpointSystem --------------------------------------------------------
@@ -254,7 +238,7 @@ DmrCheckpointSystem::DmrCheckpointSystem(const SystemConfig& config,
 DmrCheckpointSystem::DmrCheckpointSystem(
     const SystemConfig& config, const CheckpointParams& params,
     const std::vector<const workload::InstStream*>& streams)
-    : System(config.num_threads),
+    : System(config.num_threads, config.fast_forward),
       config_(config),
       params_(params),
       thread_lengths_(detail::lengths_of(streams)),
@@ -278,45 +262,39 @@ DmrCheckpointSystem::DmrCheckpointSystem(
           pair->env[side].get());
       register_core(*pair->core[side]);
     }
-    if (config_.ser_per_inst > 0 && thread_lengths_[t] > 0) {
-      pair->error_arrivals = fault::sample_error_arrivals(
-          config_.ser_per_inst, thread_lengths_[t], rng_);
-    }
+    pair->arrivals.positions = fault::schedule_arrivals(
+        config_.ser_per_inst, thread_lengths_[t], rng_);
     pairs_.push_back(std::move(pair));
   }
-  acc_.system = name_;
-  acc_.thread_instructions = thread_lengths_;
-  acc_.instructions = detail::max_length(thread_lengths_);
+  RunResult& acc = kernel_.result();
+  acc.system = name_;
+  acc.thread_instructions = thread_lengths_;
+  acc.instructions = detail::max_length(thread_lengths_);
 }
 
-void DmrCheckpointSystem::maybe_inject_error(Pair& pair, unsigned thread,
-                                             Cycle now, RunResult* result) {
-  if (pair.next_error >= pair.error_arrivals.size()) return;
+void DmrCheckpointSystem::pre_cycle(std::size_t g, Cycle now) {
+  Pair& pair = *pairs_[g];
+  for (unsigned side = 0; side < 2; ++side) {
+    if (!pair.core[side]->done()) pair.core[side]->tick(now);
+  }
+}
+
+void DmrCheckpointSystem::on_error(std::size_t g, Cycle now, RunResult& acc) {
+  Pair& pair = *pairs_[g];
   const SeqNum progress =
       std::max(pair.core[0]->retired(), pair.core[1]->retired());
-  if (progress < pair.error_arrivals[pair.next_error]) return;
-  const SeqNum position = pair.error_arrivals[pair.next_error];
-  ++pair.next_error;
-  ++result->errors_injected;
-  ++result->rollbacks;
+  if (!pair.arrivals.pending(progress)) return;
+  const SeqNum position = pair.arrivals.take();
   // The mismatch surfaces at the next checkpoint hash; both cores restore
   // the previous checkpoint (heavyweight) and re-execute the whole epoch.
   const Cycle resume_at = now + params_.restore_cost;
-  result->recovery_cycles_total += params_.restore_cost;
   const auto struck = static_cast<unsigned>(rng_.below(2));
-  result->error_log.push_back(
-      {.cycle = now, .position = position, .thread = thread,
-       .struck_core = struck,
-       .cost = params_.restore_cost, .rollback = true});
-  if (tracer_.enabled()) {
-    tracer_.emit({.kind = obs::TraceKind::kErrorInjection, .cycle = now,
-                  .thread = thread, .core = struck, .seq = position, .addr = 0,
-                  .value = 0});
-    tracer_.emit({.kind = obs::TraceKind::kRollback, .cycle = now,
-                  .thread = thread, .core = struck,
-                  .seq = pair.last_committed_boundary, .addr = 0,
-                  .value = params_.restore_cost});
-  }
+  engine::record_error(acc, tracer_,
+                       {.cycle = now, .position = position,
+                        .thread = static_cast<unsigned>(g),
+                        .struck_core = struck, .cost = params_.restore_cost,
+                        .rollback = true},
+                       pair.last_committed_boundary);
   for (unsigned side = 0; side < 2; ++side) {
     pair.core[side]->set_position(pair.last_committed_boundary);
     pair.core[side]->stall_until(resume_at);
@@ -327,44 +305,41 @@ void DmrCheckpointSystem::maybe_inject_error(Pair& pair, unsigned thread,
   pair.checkpoint_done = 0;
 }
 
-RunResult DmrCheckpointSystem::run(Cycle max_cycles) {
-  auto pair_done = [](const Pair& p) {
-    return p.core[0]->done() && p.core[1]->done();
-  };
-  auto all_done = [&] {
-    return std::all_of(pairs_.begin(), pairs_.end(),
-                       [&](const auto& p) { return pair_done(*p); });
-  };
-  while (!all_done() && now_ < max_cycles) {
-    for (auto& pair : pairs_) {
-      if (pair_done(*pair)) continue;
-      for (unsigned side = 0; side < 2; ++side) {
-        if (!pair->core[side]->done()) pair->core[side]->tick(now_);
-      }
-      maybe_inject_error(*pair,
-                         static_cast<unsigned>(&pair - pairs_.data()), now_,
-                         &acc_);
-    }
-    ++now_;
+Cycle DmrCheckpointSystem::next_event(std::size_t g, Cycle now) const {
+  const Pair& pair = *pairs_[g];
+  Cycle cand = kNever;
+  for (unsigned side = 0; side < 2; ++side) {
+    const Cycle t = pair.core[side]->next_event(now);
+    if (t <= now) return now;
+    cand = std::min(cand, t);
   }
-  RunResult r = acc_;
-  r.cycles = now_;
-  for (auto& pair : pairs_) {
+  const SeqNum progress =
+      std::max(pair.core[0]->retired(), pair.core[1]->retired());
+  if (pair.arrivals.pending(progress)) return now;
+  return cand;
+}
+
+void DmrCheckpointSystem::skip_cycles(std::size_t g, Cycle from, Cycle to) {
+  Pair& pair = *pairs_[g];
+  for (unsigned side = 0; side < 2; ++side) {
+    if (!pair.core[side]->done()) pair.core[side]->skip_cycles(from, to);
+  }
+}
+
+void DmrCheckpointSystem::finish(RunResult& r) const {
+  for (const auto& pair : pairs_) {
     for (unsigned side = 0; side < 2; ++side) {
       r.core_stats.push_back(pair->core[side]->stats());
     }
   }
-  publish_metrics(r);
-  if (metrics_) {
-    metrics_->set_counter(name_ + ".checkpoints_taken", checkpoints_taken_);
-  }
-  return r;
 }
 
-void DmrCheckpointSystem::save_state(ckpt::Serializer& s) const {
-  s.begin_chunk("DMRC");
-  s.u64(now_);
-  save_result(s, acc_);
+void DmrCheckpointSystem::publish_extra_metrics() {
+  if (!metrics_) return;
+  metrics_->set_counter(name_ + ".checkpoints_taken", checkpoints_taken_);
+}
+
+void DmrCheckpointSystem::save_policy_state(ckpt::Serializer& s) const {
   for (const std::uint64_t word : rng_.state()) s.u64(word);
   memory_.save_state(s);
   s.u64(checkpoints_taken_);
@@ -381,16 +356,11 @@ void DmrCheckpointSystem::save_state(ckpt::Serializer& s) const {
     s.u64(pair->reached_at[1]);
     s.u64(pair->checkpoint_done);
     s.u64(pair->last_committed_boundary);
-    s.u64(pair->error_arrivals.size());
-    s.u64(pair->next_error);
+    pair->arrivals.save_state(s);
   }
-  s.end_chunk();
 }
 
-void DmrCheckpointSystem::load_state(ckpt::Deserializer& d) {
-  d.begin_chunk("DMRC");
-  now_ = d.u64();
-  load_result(d, acc_);
+void DmrCheckpointSystem::load_policy_state(ckpt::Deserializer& d) {
   std::array<std::uint64_t, 4> rng_state;
   for (std::uint64_t& word : rng_state) word = d.u64();
   rng_.set_state(rng_state);
@@ -411,13 +381,8 @@ void DmrCheckpointSystem::load_state(ckpt::Deserializer& d) {
     pair->reached_at[1] = d.u64();
     pair->checkpoint_done = d.u64();
     pair->last_committed_boundary = d.u64();
-    if (d.u64() != pair->error_arrivals.size()) {
-      throw ckpt::CkptError(
-          "dmr-checkpoint error-arrival schedule mismatch");
-    }
-    pair->next_error = d.u64();
+    pair->arrivals.load_state(d, "dmr-checkpoint");
   }
-  d.end_chunk();
 }
 
 }  // namespace unsync::core

@@ -23,6 +23,7 @@
 
 #include "common/rng.hpp"
 #include "core/system.hpp"
+#include "engine/error_injection.hpp"
 #include "mem/hierarchy.hpp"
 #include "workload/dyn_op.hpp"
 
@@ -45,12 +46,23 @@ class LockstepSystem final : public System {
   LockstepSystem(const SystemConfig& config, const LockstepParams& params,
                  const std::vector<const workload::InstStream*>& streams);
 
-  RunResult run(Cycle max_cycles = ~Cycle{0}) override;
   const std::string& name() const override { return name_; }
   mem::MemoryHierarchy& memory() override { return memory_; }
 
-  void save_state(ckpt::Serializer& s) const override;
-  void load_state(ckpt::Deserializer& d) override;
+  // SystemPolicy phases: one coupled pair per thread.
+  std::size_t group_count() const override { return pairs_.size(); }
+  bool finished(std::size_t g) const override {
+    return pairs_[g]->core[0]->done() && pairs_[g]->core[1]->done();
+  }
+  void pre_cycle(std::size_t g, Cycle now) override;
+  void on_error(std::size_t g, Cycle now, RunResult& acc) override;
+  Cycle next_event(std::size_t g, Cycle now) const override;
+  void skip_cycles(std::size_t g, Cycle from, Cycle to) override;
+  void finish(RunResult& r) const override;
+
+  const char* ckpt_tag() const override { return "LOCK"; }
+  void save_policy_state(ckpt::Serializer& s) const override;
+  void load_policy_state(ckpt::Deserializer& d) override;
 
  private:
   struct Pair;
@@ -74,13 +86,9 @@ class LockstepSystem final : public System {
     std::unique_ptr<cpu::OooCore> core[2];
     std::unique_ptr<LockstepEnv> env[2];
     std::vector<std::vector<Cycle>> store_buffer;
-    std::vector<SeqNum> error_arrivals;
-    std::size_t next_error = 0;
+    engine::ArrivalCursor arrivals;
     std::uint64_t lockstep_stalls = 0;
   };
-
-  void maybe_inject_error(Pair& pair, unsigned thread, Cycle now,
-                          RunResult* result);
 
   std::string name_ = "lockstep";
   SystemConfig config_;
@@ -89,8 +97,6 @@ class LockstepSystem final : public System {
   mem::MemoryHierarchy memory_;
   Rng rng_;
   std::vector<std::unique_ptr<Pair>> pairs_;
-  Cycle now_ = 0;     ///< resumable run cursor (see System::run contract)
-  RunResult acc_;     ///< result fields accumulated across run() segments
 };
 
 struct CheckpointParams {
@@ -114,14 +120,28 @@ class DmrCheckpointSystem final : public System {
                       const CheckpointParams& params,
                       const std::vector<const workload::InstStream*>& streams);
 
-  RunResult run(Cycle max_cycles = ~Cycle{0}) override;
   const std::string& name() const override { return name_; }
   mem::MemoryHierarchy& memory() override { return memory_; }
 
   std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
 
-  void save_state(ckpt::Serializer& s) const override;
-  void load_state(ckpt::Deserializer& d) override;
+  // SystemPolicy phases: one decoupled pair per thread.
+  std::size_t group_count() const override { return pairs_.size(); }
+  bool finished(std::size_t g) const override {
+    return pairs_[g]->core[0]->done() && pairs_[g]->core[1]->done();
+  }
+  void pre_cycle(std::size_t g, Cycle now) override;
+  void on_error(std::size_t g, Cycle now, RunResult& acc) override;
+  Cycle next_event(std::size_t g, Cycle now) const override;
+  void skip_cycles(std::size_t g, Cycle from, Cycle to) override;
+  void finish(RunResult& r) const override;
+
+  const char* ckpt_tag() const override { return "DMRC"; }
+  void save_policy_state(ckpt::Serializer& s) const override;
+  void load_policy_state(ckpt::Deserializer& d) override;
+
+ protected:
+  void publish_extra_metrics() override;
 
  private:
   struct Pair;
@@ -151,12 +171,8 @@ class DmrCheckpointSystem final : public System {
     Cycle reached_at[2] = {0, 0};
     Cycle checkpoint_done = 0;  ///< when the in-progress capture finishes
     SeqNum last_committed_boundary = 0;  ///< rollback target
-    std::vector<SeqNum> error_arrivals;
-    std::size_t next_error = 0;
+    engine::ArrivalCursor arrivals;
   };
-
-  void maybe_inject_error(Pair& pair, unsigned thread, Cycle now,
-                          RunResult* result);
 
   std::string name_ = "dmr-checkpoint";
   SystemConfig config_;
@@ -166,8 +182,6 @@ class DmrCheckpointSystem final : public System {
   Rng rng_;
   std::vector<std::unique_ptr<Pair>> pairs_;
   std::uint64_t checkpoints_taken_ = 0;
-  Cycle now_ = 0;     ///< resumable run cursor (see System::run contract)
-  RunResult acc_;     ///< result fields accumulated across run() segments
 };
 
 }  // namespace unsync::core

@@ -1,6 +1,7 @@
 #include "core/reunion_system.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <stdexcept>
 
@@ -179,6 +180,40 @@ std::uint32_t ReunionSystem::ReunionEnv::reserved_rob_slots(CoreId core,
       std::min<std::uint64_t>(held, sys_->config_.core.rob_entries));
 }
 
+std::uint32_t ReunionSystem::ReunionEnv::reserved_rob_slots_at(
+    CoreId core, Cycle now) const {
+  (void)core;
+  // What reserved_rob_slots(now) would return: skip the front prefix
+  // prune_verified would pop (both-closed, verified by now), count the rest.
+  std::uint64_t held = 0;
+  bool pruning = true;
+  for (const auto& fp : pair_->fingerprints) {
+    if (pruning && fp.closed[0] && fp.closed[1] && fp.verify_done <= now) {
+      continue;
+    }
+    pruning = false;
+    held += fp.count[side_];
+  }
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(held, sys_->config_.core.rob_entries));
+}
+
+Cycle ReunionSystem::ReunionEnv::next_state_change(CoreId core,
+                                                   Cycle now) const {
+  (void)core;
+  // Reserved slots shrink (without any core acting) exactly when a pending
+  // verification completes. Both-closed fingerprints form a front prefix
+  // with nondecreasing verify_done, so the earliest future change is the
+  // first one still pending. A not-yet-closed front fingerprint can only
+  // close through a partner-core commit — a core event the kernel already
+  // bounds the window by.
+  for (const auto& fp : pair_->fingerprints) {
+    if (!(fp.closed[0] && fp.closed[1])) break;
+    if (fp.verify_done > now) return fp.verify_done;
+  }
+  return kNever;
+}
+
 // ---- System -----------------------------------------------------------------
 
 ReunionSystem::ReunionSystem(const SystemConfig& config,
@@ -190,7 +225,7 @@ ReunionSystem::ReunionSystem(const SystemConfig& config,
 ReunionSystem::ReunionSystem(
     const SystemConfig& config, const ReunionParams& params,
     const std::vector<const workload::InstStream*>& streams)
-    : System(config.num_threads),
+    : System(config.num_threads, config.fast_forward),
       config_(config),
       params_(params),
       plan_(fault::reunion_plan()),
@@ -215,27 +250,30 @@ ReunionSystem::ReunionSystem(
           pair->env[side].get());
       register_core(*pair->core[side]);
     }
-    if (config_.ser_per_inst > 0 && thread_lengths_[t] > 0) {
-      pair->error_arrivals = fault::sample_error_arrivals(
-          config_.ser_per_inst, thread_lengths_[t], rng_);
-    }
+    pair->arrivals.positions = fault::schedule_arrivals(
+        config_.ser_per_inst, thread_lengths_[t], rng_);
     pairs_.push_back(std::move(pair));
   }
-  acc_.system = name_;
-  acc_.thread_instructions = thread_lengths_;
-  acc_.instructions = detail::max_length(thread_lengths_);
+  RunResult& acc = kernel_.result();
+  acc.system = name_;
+  acc.thread_instructions = thread_lengths_;
+  acc.instructions = detail::max_length(thread_lengths_);
 }
 
-void ReunionSystem::maybe_inject_error(Pair& pair, unsigned thread,
-                                       Cycle now, RunResult* result) {
-  if (pair.next_error >= pair.error_arrivals.size()) return;
+void ReunionSystem::pre_cycle(std::size_t g, Cycle now) {
+  Pair& pair = *pairs_[g];
+  for (unsigned side = 0; side < 2; ++side) {
+    if (!pair.core[side]->done()) pair.core[side]->tick(now);
+  }
+}
+
+void ReunionSystem::on_error(std::size_t g, Cycle now, RunResult& acc) {
+  Pair& pair = *pairs_[g];
   const SeqNum progress =
       std::max(pair.core[0]->retired(), pair.core[1]->retired());
-  if (progress < pair.error_arrivals[pair.next_error]) return;
-  const SeqNum position = pair.error_arrivals[pair.next_error];
-  ++pair.next_error;
-  ++result->errors_injected;
-  ++result->rollbacks;
+  if (!pair.arrivals.pending(progress)) return;
+  const SeqNum position = pair.arrivals.take();
+  const auto thread = static_cast<unsigned>(g);
 
   // The corrupted fingerprint mismatches at the next comparison; both cores
   // squash and resume from the last verified fingerprint boundary,
@@ -243,20 +281,12 @@ void ReunionSystem::maybe_inject_error(Pair& pair, unsigned thread,
   const SeqNum target =
       std::min(pair.verified_watermark[0], pair.verified_watermark[1]);
   const Cycle resume_at = now + params_.rollback_penalty;
-  result->recovery_cycles_total += params_.rollback_penalty;
   const auto struck = static_cast<unsigned>(rng_.below(2));
-  result->error_log.push_back(
-      {.cycle = now, .position = position, .thread = thread,
-       .struck_core = struck,
-       .cost = params_.rollback_penalty, .rollback = true});
-  if (tracer_.enabled()) {
-    tracer_.emit({.kind = obs::TraceKind::kErrorInjection, .cycle = now,
-                  .thread = thread, .core = struck, .seq = position, .addr = 0,
-                  .value = 0});
-    tracer_.emit({.kind = obs::TraceKind::kRollback, .cycle = now,
-                  .thread = thread, .core = struck, .seq = target, .addr = 0,
-                  .value = params_.rollback_penalty});
-  }
+  engine::record_error(acc, tracer_,
+                       {.cycle = now, .position = position, .thread = thread,
+                        .struck_core = struck, .cost = params_.rollback_penalty,
+                        .rollback = true},
+                       target);
   for (unsigned side = 0; side < 2; ++side) {
     pair.core[side]->set_position(target);
     pair.core[side]->stall_until(resume_at);
@@ -265,44 +295,39 @@ void ReunionSystem::maybe_inject_error(Pair& pair, unsigned thread,
   pair.serialize_queue.clear();
 }
 
-RunResult ReunionSystem::run(Cycle max_cycles) {
-  auto pair_done = [](const Pair& p) {
-    return p.core[0]->done() && p.core[1]->done();
-  };
-  auto all_done = [&] {
-    return std::all_of(pairs_.begin(), pairs_.end(),
-                       [&](const auto& p) { return pair_done(*p); });
-  };
-
-  while (!all_done() && now_ < max_cycles) {
-    for (auto& pair : pairs_) {
-      if (pair_done(*pair)) continue;
-      for (unsigned side = 0; side < 2; ++side) {
-        if (!pair->core[side]->done()) pair->core[side]->tick(now_);
-      }
-      maybe_inject_error(*pair,
-                         static_cast<unsigned>(&pair - pairs_.data()), now_,
-                         &acc_);
-    }
-    ++now_;
+Cycle ReunionSystem::next_event(std::size_t g, Cycle now) const {
+  const Pair& pair = *pairs_[g];
+  Cycle cand = kNever;
+  for (unsigned side = 0; side < 2; ++side) {
+    const Cycle t = pair.core[side]->next_event(now);
+    if (t <= now) return now;
+    cand = std::min(cand, t);
   }
+  // Error injection fires when progress has crossed the next arrival;
+  // progress only advances through (vetoed) commits.
+  const SeqNum progress =
+      std::max(pair.core[0]->retired(), pair.core[1]->retired());
+  if (pair.arrivals.pending(progress)) return now;
+  return cand;
+}
 
-  RunResult r = acc_;
-  r.cycles = now_;
-  for (auto& pair : pairs_) {
+void ReunionSystem::skip_cycles(std::size_t g, Cycle from, Cycle to) {
+  Pair& pair = *pairs_[g];
+  for (unsigned side = 0; side < 2; ++side) {
+    if (!pair.core[side]->done()) pair.core[side]->skip_cycles(from, to);
+  }
+}
+
+void ReunionSystem::finish(RunResult& r) const {
+  for (const auto& pair : pairs_) {
     for (unsigned side = 0; side < 2; ++side) {
       r.core_stats.push_back(pair->core[side]->stats());
     }
     r.fingerprint_syncs += pair->serializing_syncs;
   }
-  publish_metrics(r);
-  return r;
 }
 
-void ReunionSystem::save_state(ckpt::Serializer& s) const {
-  s.begin_chunk("REUN");
-  s.u64(now_);
-  save_result(s, acc_);
+void ReunionSystem::save_policy_state(ckpt::Serializer& s) const {
   for (const std::uint64_t word : rng_.state()) s.u64(word);
   memory_.save_state(s);
   s.u64(pairs_.size());
@@ -330,19 +355,14 @@ void ReunionSystem::save_state(ckpt::Serializer& s) const {
       s.u64(sync.ready_at);
     }
     for (const auto& buf : pair->store_buffer) ckpt::save_u64_vec(s, buf);
-    s.u64(pair->error_arrivals.size());
-    s.u64(pair->next_error);
+    pair->arrivals.save_state(s);
     s.u64(pair->serializing_syncs);
     s.u64(pair->verified_watermark[0]);
     s.u64(pair->verified_watermark[1]);
   }
-  s.end_chunk();
 }
 
-void ReunionSystem::load_state(ckpt::Deserializer& d) {
-  d.begin_chunk("REUN");
-  now_ = d.u64();
-  load_result(d, acc_);
+void ReunionSystem::load_policy_state(ckpt::Deserializer& d) {
   std::array<std::uint64_t, 4> rng_state;
   for (std::uint64_t& word : rng_state) word = d.u64();
   rng_.set_state(rng_state);
@@ -374,15 +394,11 @@ void ReunionSystem::load_state(ckpt::Deserializer& d) {
       sync.ready_at = d.u64();
     }
     for (auto& buf : pair->store_buffer) ckpt::load_u64_vec(d, buf);
-    if (d.u64() != pair->error_arrivals.size()) {
-      throw ckpt::CkptError("reunion error-arrival schedule mismatch");
-    }
-    pair->next_error = d.u64();
+    pair->arrivals.load_state(d, "reunion");
     pair->serializing_syncs = d.u64();
     pair->verified_watermark[0] = d.u64();
     pair->verified_watermark[1] = d.u64();
   }
-  d.end_chunk();
 }
 
 }  // namespace unsync::core

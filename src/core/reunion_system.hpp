@@ -25,6 +25,7 @@
 
 #include "common/rng.hpp"
 #include "core/system.hpp"
+#include "engine/error_injection.hpp"
 #include "fault/protection.hpp"
 #include "mem/hierarchy.hpp"
 #include "workload/dyn_op.hpp"
@@ -66,14 +67,25 @@ class ReunionSystem final : public System {
   ReunionSystem(const SystemConfig& config, const ReunionParams& params,
                 const std::vector<const workload::InstStream*>& streams);
 
-  RunResult run(Cycle max_cycles = ~Cycle{0}) override;
   const std::string& name() const override { return name_; }
 
   mem::MemoryHierarchy& memory() override { return memory_; }
   const fault::ProtectionPlan& plan() const { return plan_; }
 
-  void save_state(ckpt::Serializer& s) const override;
-  void load_state(ckpt::Deserializer& d) override;
+  // SystemPolicy phases: one vocal/mute pair per thread.
+  std::size_t group_count() const override { return pairs_.size(); }
+  bool finished(std::size_t g) const override {
+    return pairs_[g]->core[0]->done() && pairs_[g]->core[1]->done();
+  }
+  void pre_cycle(std::size_t g, Cycle now) override;
+  void on_error(std::size_t g, Cycle now, RunResult& acc) override;
+  Cycle next_event(std::size_t g, Cycle now) const override;
+  void skip_cycles(std::size_t g, Cycle from, Cycle to) override;
+  void finish(RunResult& r) const override;
+
+  const char* ckpt_tag() const override { return "REUN"; }
+  void save_policy_state(ckpt::Serializer& s) const override;
+  void load_policy_state(ckpt::Deserializer& d) override;
 
  private:
   struct Pair;
@@ -110,6 +122,11 @@ class ReunionSystem final : public System {
     void on_commit(CoreId core, const workload::DynOp& op, Cycle now) override;
     std::uint32_t reserved_rob_slots(CoreId core, Cycle now) override;
 
+    // Fast-forward planning views (const): emulate the front-gated
+    // prune_verified catch-up without mutating it.
+    std::uint32_t reserved_rob_slots_at(CoreId core, Cycle now) const override;
+    Cycle next_state_change(CoreId core, Cycle now) const override;
+
    private:
     ReunionSystem* sys_;
     Pair* pair_;
@@ -122,8 +139,7 @@ class ReunionSystem final : public System {
     std::deque<Fingerprint> fingerprints;  // oldest first; back may be open
     std::deque<SerializeSync> serialize_queue;
     std::vector<std::vector<Cycle>> store_buffer;  // per side
-    std::vector<SeqNum> error_arrivals;
-    std::size_t next_error = 0;
+    engine::ArrivalCursor arrivals;
     std::uint64_t serializing_syncs = 0;
     /// Commit watermark of the last fully verified fingerprint, per side
     /// (rollback target).
@@ -141,8 +157,6 @@ class ReunionSystem final : public System {
   unsigned effective_fi() const { return effective_fi_; }
   std::uint64_t unverified_insts(const Pair& pair, unsigned side,
                                  Cycle now) const;
-  void maybe_inject_error(Pair& pair, unsigned thread, Cycle now,
-                          RunResult* result);
 
   std::string name_ = "reunion";
   SystemConfig config_;
@@ -153,8 +167,6 @@ class ReunionSystem final : public System {
   Rng rng_;
   std::vector<std::unique_ptr<Pair>> pairs_;
   unsigned effective_fi_ = 10;
-  Cycle now_ = 0;     ///< resumable run cursor (see System::run contract)
-  RunResult acc_;     ///< result fields accumulated across run() segments
 };
 
 }  // namespace unsync::core

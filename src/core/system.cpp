@@ -2,6 +2,12 @@
 
 namespace unsync::core {
 
+void System::save_state(ckpt::Serializer& s) const {
+  kernel_.save_state(*this, s);
+}
+
+void System::load_state(ckpt::Deserializer& d) { kernel_.load_state(*this, d); }
+
 void System::register_core(cpu::OooCore& core) {
   core.set_tracer(&tracer_);
   registered_cores_.push_back(&core);

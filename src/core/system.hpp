@@ -1,6 +1,12 @@
 // Common interface of the simulated CMP systems (baseline / UnSync /
-// Reunion): configuration, the run loop contract, and the result record
-// every bench consumes.
+// Reunion): configuration, the run contract, and the result record every
+// bench consumes.
+//
+// Since the engine refactor (docs/ENGINE.md) the cycle loop itself lives in
+// engine::SimKernel; a System is an engine::SystemPolicy plus the shared
+// core/observability/checkpoint plumbing. The result and helper spellings
+// core::RunResult, core::ErrorEvent, core::save_result, core::detail::*
+// remain valid aliases of their engine:: homes.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +16,10 @@
 #include "common/types.hpp"
 #include "cpu/core_config.hpp"
 #include "cpu/ooo_core.hpp"
+#include "engine/policy.hpp"
+#include "engine/run_result.hpp"
+#include "engine/sim_kernel.hpp"
+#include "engine/stream_utils.hpp"
 #include "mem/config.hpp"
 #include "mem/hierarchy.hpp"
 #include "obs/metrics.hpp"
@@ -33,88 +43,55 @@ struct SystemConfig {
   /// Per-instruction soft-error probability (0 = error-free run).
   double ser_per_inst = 0.0;
   std::uint64_t seed = 42;
+  /// Quiescence fast-forwarding (CLI: engine.fast_forward=1): the kernel
+  /// jumps over provably-static stall windows. Results are bit-identical
+  /// to the naive loop; only wall-clock time changes. See docs/ENGINE.md.
+  bool fast_forward = false;
 };
 
-/// One injected soft-error event as the timing system handled it.
-struct ErrorEvent {
-  Cycle cycle = 0;          ///< when the strike was handled
-  SeqNum position = 0;      ///< commit position it was attached to
-  unsigned thread = 0;      ///< which thread / redundancy group
-  unsigned struck_core = 0; ///< side within the group (bad core)
-  Cycle cost = 0;           ///< stall / penalty cycles charged
-  bool rollback = false;    ///< true = re-execution; false = forward recovery
-};
-
-struct RunResult {
-  std::string system;
-  Cycle cycles = 0;                 ///< cycles until every thread finished
-  /// Program instructions of the longest thread (for homogeneous runs this
-  /// is simply "the" program length).
-  std::uint64_t instructions = 0;
-  /// Per-thread program lengths (heterogeneous multiprogramming).
-  std::vector<std::uint64_t> thread_instructions;
-  std::vector<cpu::CoreStats> core_stats;
-
-  std::uint64_t errors_injected = 0;
-  std::uint64_t recoveries = 0;       ///< UnSync forward recoveries
-  std::uint64_t rollbacks = 0;        ///< Reunion checkpoint rollbacks
-  Cycle recovery_cycles_total = 0;
-
-  std::uint64_t cb_full_stalls = 0;   ///< UnSync commit stalls on full CB
-  std::uint64_t fingerprint_syncs = 0;///< Reunion serializing synchronisations
-
-  /// Chronological log of every injected error (all systems fill this).
-  std::vector<ErrorEvent> error_log;
-
-  /// Per-thread IPC: program instructions over total cycles (a redundant
-  /// pair retires the program once even though two cores execute it).
-  double thread_ipc() const {
-    return cycles ? static_cast<double>(instructions) /
-                        static_cast<double>(cycles)
-                  : 0.0;
-  }
-
-  /// Serialises the result under the stable "unsync.run_result.v1" schema
-  /// (see docs/OBSERVABILITY.md). `indent` = 0 emits the canonical compact
-  /// form; > 0 pretty-prints. Byte-identical for identical results.
-  std::string to_json(int indent = 0) const;
-};
-
-/// Checkpoint helpers: serialise / restore an ErrorEvent and a full
-/// RunResult (used by system checkpoints and the campaign journal).
-void save_error_event(ckpt::Serializer& s, const ErrorEvent& e);
-void load_error_event(ckpt::Deserializer& d, ErrorEvent& e);
-void save_result(ckpt::Serializer& s, const RunResult& r);
-void load_result(ckpt::Deserializer& d, RunResult& r);
+// The result record and its serialisations live in the engine layer (the
+// kernel accumulates them across run() segments); these aliases keep every
+// existing core:: spelling valid.
+using engine::ErrorEvent;
+using engine::RunResult;
+using engine::load_error_event;
+using engine::load_result;
+using engine::save_error_event;
+using engine::save_result;
 
 /// A simulated CMP. run() executes every thread's stream to completion (or
 /// max_cycles) and reports the aggregate result.
 ///
-/// Resumable-run contract: `max_cycles` is an ABSOLUTE simulated-cycle
-/// bound, and run() is continuable — run(N) followed by run() yields the
-/// same final result, bit for bit, as a single run(). That, combined with
-/// save_checkpoint()/load_checkpoint(), is what lets a mid-run snapshot be
-/// restored into a freshly-constructed identical system and resumed to a
-/// byte-identical RunResult (see docs/CHECKPOINTS.md).
+/// Resumable-run contract (enforced by the kernel): `max_cycles` is an
+/// ABSOLUTE simulated-cycle bound, and run() is continuable — run(N)
+/// followed by run() yields the same final result, bit for bit, as a single
+/// run(). That, combined with save_checkpoint()/load_checkpoint(), is what
+/// lets a mid-run snapshot be restored into a freshly-constructed identical
+/// system and resumed to a byte-identical RunResult (docs/CHECKPOINTS.md).
 ///
 /// Observability contract: every system owns a Tracer (wired into its cores
 /// and memory hierarchy at construction; free while no sink is attached) and
 /// optionally publishes into a MetricsRegistry at the end of run(). Both are
 /// attached post-construction via set_observability(). Observability
 /// attachments are NOT part of checkpoint state.
-class System {
+class System : public engine::SystemPolicy {
  public:
-  virtual ~System() = default;
-  virtual RunResult run(Cycle max_cycles = ~Cycle{0}) = 0;
+  ~System() override = default;
+
+  /// Drives this system's policy phases through the shared kernel.
+  RunResult run(Cycle max_cycles = ~Cycle{0}) {
+    return kernel_.run(*this, max_cycles, fast_forward_);
+  }
+
   virtual const std::string& name() const = 0;
 
   /// Serialises / restores the complete mutable simulation state (cycle
-  /// cursor, accumulated result, RNG, memory hierarchy, every core).
-  /// load_state() must be called on a system constructed with the identical
-  /// configuration, streams and parameters as the saved one; mismatches
-  /// throw ckpt::CkptError.
-  virtual void save_state(ckpt::Serializer& s) const = 0;
-  virtual void load_state(ckpt::Deserializer& d) = 0;
+  /// cursor, accumulated result, RNG, memory hierarchy, every core) as one
+  /// kernel-level chunk tagged ckpt_tag(). load_state() must be called on a
+  /// system constructed with the identical configuration, streams and
+  /// parameters as the saved one; mismatches throw ckpt::CkptError.
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
   /// Name-tagged checkpoint envelope around save_state()/load_state();
   /// load_checkpoint() rejects a checkpoint taken from a different system
@@ -130,6 +107,10 @@ class System {
   /// The system's memory hierarchy (every concrete system owns exactly one).
   virtual mem::MemoryHierarchy& memory() = 0;
 
+  /// Toggles quiescence fast-forwarding for subsequent run() calls.
+  void set_fast_forward(bool on) { fast_forward_ = on; }
+  bool fast_forward() const { return fast_forward_; }
+
   /// Attaches (or detaches, with nullptr) a metrics registry and a trace
   /// sink. With a registry attached, per-cycle ROB-occupancy histograms are
   /// sampled under "<name>.<core>.rob.occupancy" and the full metric tree is
@@ -139,8 +120,16 @@ class System {
   const obs::Tracer& tracer() const { return tracer_; }
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Kernel hook: publishes the standard metric tree plus the system's
+  /// extras once the run loop exits.
+  void on_run_complete(const RunResult& r) override {
+    publish_metrics(r);
+    publish_extra_metrics();
+  }
+
  protected:
-  explicit System(unsigned num_threads = 1) : num_threads_(num_threads) {}
+  explicit System(unsigned num_threads = 1, bool fast_forward = false)
+      : fast_forward_(fast_forward), num_threads_(num_threads) {}
 
   /// Derived constructors register every core in group-major order (group 0
   /// side 0, group 0 side 1, ..., matching RunResult::core_stats). Wires the
@@ -154,59 +143,37 @@ class System {
 
   /// Publishes the standard metric tree for a finished run: per-core
   /// counters/gauges, the memory hierarchy, and the system-level error /
-  /// stall counters. No-op without an attached registry. Derived run()
-  /// implementations call this just before returning (and may add
-  /// system-specific extras afterwards).
+  /// stall counters. No-op without an attached registry.
   void publish_metrics(const RunResult& r);
+
+  /// System-specific metrics published after the standard tree (UnSync CB
+  /// occupancy, DMR-checkpoint counts, ...). No-op by default; only called
+  /// with a registry attached is NOT guaranteed — implementations must
+  /// check metrics() themselves.
+  virtual void publish_extra_metrics() {}
+
+  /// The shared cycle engine: owns the cycle cursor and the accumulated
+  /// result. Derived constructors seed kernel_.result() with the identity
+  /// fields (system name, instruction counts).
+  engine::SimKernel kernel_;
 
   /// Event-trace gate shared by the system, its cores and its memory.
   obs::Tracer tracer_;
   obs::MetricsRegistry* metrics_ = nullptr;
 
  private:
+  bool fast_forward_ = false;
   unsigned num_threads_ = 1;
   std::vector<cpu::OooCore*> registered_cores_;
 };
 
 namespace detail {
 
-/// Homogeneous convenience: the same stream for every thread (the paper's
-/// setup — every core pair runs the benchmark under test).
-inline std::vector<const workload::InstStream*> replicate(
-    const workload::InstStream& stream, unsigned threads) {
-  return std::vector<const workload::InstStream*>(threads, &stream);
-}
-
-/// Pre-warms the L2 / I-caches from every distinct stream's advertised
-/// regions (standard warm-up methodology; see docs/SIMULATOR.md).
-inline void prewarm_from(mem::MemoryHierarchy& memory,
-                         const std::vector<const workload::InstStream*>& v) {
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    bool seen = false;
-    for (std::size_t j = 0; j < i; ++j) seen |= v[j] == v[i];
-    if (seen) continue;
-    if (const auto warm = v[i]->warm_region()) {
-      memory.prewarm_l2(warm->base, warm->bytes);
-    }
-    if (const auto code = v[i]->code_region()) {
-      memory.prewarm_icaches(code->base, code->bytes);
-    }
-  }
-}
-
-inline std::vector<std::uint64_t> lengths_of(
-    const std::vector<const workload::InstStream*>& v) {
-  std::vector<std::uint64_t> out;
-  out.reserve(v.size());
-  for (const auto* s : v) out.push_back(s->length());
-  return out;
-}
-
-inline std::uint64_t max_length(const std::vector<std::uint64_t>& lengths) {
-  std::uint64_t m = 0;
-  for (const auto l : lengths) m = l > m ? l : m;
-  return m;
-}
+// Hoisted into engine/stream_utils.hpp; the core::detail:: spellings stay.
+using engine::lengths_of;
+using engine::max_length;
+using engine::prewarm_from;
+using engine::replicate;
 
 }  // namespace detail
 

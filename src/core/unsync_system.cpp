@@ -1,6 +1,7 @@
 #include "core/unsync_system.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <stdexcept>
 
@@ -8,6 +9,19 @@
 #include "fault/ser.hpp"
 
 namespace unsync::core {
+
+namespace {
+constexpr Cycle kNever = ~Cycle{0};
+
+/// Program progress of a redundancy group: the leading core's watermark.
+SeqNum progress_of(const std::vector<std::unique_ptr<cpu::OooCore>>& cores) {
+  SeqNum progress = 0;
+  for (const auto& core : cores) {
+    progress = std::max(progress, core->retired());
+  }
+  return progress;
+}
+}  // namespace
 
 bool UnSyncSystem::CbEnv::on_store_commit(CoreId core,
                                           const workload::DynOp& op,
@@ -33,7 +47,7 @@ UnSyncSystem::UnSyncSystem(const SystemConfig& config,
 UnSyncSystem::UnSyncSystem(
     const SystemConfig& config, const UnSyncParams& params,
     const std::vector<const workload::InstStream*>& streams)
-    : System(config.num_threads),
+    : System(config.num_threads, config.fast_forward),
       config_(config),
       params_(params),
       plan_(fault::unsync_plan()),
@@ -63,18 +77,36 @@ UnSyncSystem::UnSyncSystem(
           group->envs.back().get()));
       register_core(*group->cores.back());
     }
-    if (config_.ser_per_inst > 0 && thread_lengths_[t] > 0) {
-      group->error_arrivals = fault::sample_error_arrivals(
-          config_.ser_per_inst, thread_lengths_[t], rng_);
-    }
+    group->arrivals.positions = fault::schedule_arrivals(
+        config_.ser_per_inst, thread_lengths_[t], rng_);
     groups_.push_back(std::move(group));
   }
-  acc_.system = name_;
-  acc_.thread_instructions = thread_lengths_;
-  acc_.instructions = detail::max_length(thread_lengths_);
+  RunResult& acc = kernel_.result();
+  acc.system = name_;
+  acc.thread_instructions = thread_lengths_;
+  acc.instructions = detail::max_length(thread_lengths_);
 }
 
-void UnSyncSystem::drain_cbs(Group& group, unsigned thread, Cycle now) {
+bool UnSyncSystem::finished(std::size_t g) const {
+  const Group& group = *groups_[g];
+  for (const auto& core : group.cores) {
+    if (!core->done()) return false;
+  }
+  for (const auto& cb : group.cbs) {
+    if (!cb->empty()) return false;
+  }
+  return true;
+}
+
+void UnSyncSystem::pre_cycle(std::size_t g, Cycle now) {
+  for (auto& core : groups_[g]->cores) {
+    if (!core->done()) core->tick(now);
+  }
+}
+
+void UnSyncSystem::sync_phase(std::size_t g, Cycle now) {
+  Group& group = *groups_[g];
+  const auto thread = static_cast<unsigned>(g);
   // The drain frontier is the newest store committed on EVERY core of the
   // group; since all cores commit the identical store sequence, the CBs
   // agree on their common prefix and drain head-to-head, one L2 copy per
@@ -118,19 +150,13 @@ Cycle UnSyncSystem::recovery_cost(const Group& group,
          l1_lines * params_.l1_copy_line_cycles;
 }
 
-void UnSyncSystem::maybe_inject_error(Group& group, unsigned thread,
-                                      Cycle now, RunResult* result) {
-  if (group.next_error >= group.error_arrivals.size()) return;
+void UnSyncSystem::on_error(std::size_t g, Cycle now, RunResult& acc) {
+  Group& group = *groups_[g];
   // An error strikes when program progress (the leading core's commit
   // watermark) crosses the arrival position.
-  SeqNum progress = 0;
-  for (const auto& core : group.cores) {
-    progress = std::max(progress, core->retired());
-  }
-  if (progress < group.error_arrivals[group.next_error]) return;
-  const SeqNum position = group.error_arrivals[group.next_error];
-  ++group.next_error;
-  ++result->errors_injected;
+  if (!group.arrivals.pending(progress_of(group.cores))) return;
+  const SeqNum position = group.arrivals.take();
+  const auto thread = static_cast<unsigned>(g);
 
   // Any core of the group is equally likely to be struck. Detection is
   // certain under the UnSync plan (parity/DMR cover every sequential
@@ -149,19 +175,10 @@ void UnSyncSystem::maybe_inject_error(Group& group, unsigned thread,
 
   const Cycle cost = recovery_cost(group, good);
   const Cycle resume_at = now + cost;
-  ++result->recoveries;
-  result->recovery_cycles_total += cost;
-  result->error_log.push_back({.cycle = now, .position = position,
-                               .thread = thread, .struck_core = bad,
-                               .cost = cost, .rollback = false});
-  if (tracer_.enabled()) {
-    tracer_.emit({.kind = obs::TraceKind::kErrorInjection, .cycle = now,
-                  .thread = thread, .core = bad, .seq = position, .addr = 0,
-                  .value = 0});
-    tracer_.emit({.kind = obs::TraceKind::kRecovery, .cycle = now,
-                  .thread = thread, .core = bad, .seq = position, .addr = 0,
-                  .value = cost});
-  }
+  engine::record_error(acc, tracer_,
+                       {.cycle = now, .position = position, .thread = thread,
+                        .struck_core = bad, .cost = cost, .rollback = false},
+                       position);
 
   // 1-2) Stop every core; flush the erroneous pipeline.
   group.cores[bad]->flush_pipeline();
@@ -174,61 +191,58 @@ void UnSyncSystem::maybe_inject_error(Group& group, unsigned thread,
   group.cbs[bad]->copy_from(*group.cbs[good]);
 }
 
-RunResult UnSyncSystem::run(Cycle max_cycles) {
-  auto group_done = [](const Group& g) {
-    for (const auto& core : g.cores) {
-      if (!core->done()) return false;
-    }
-    for (const auto& cb : g.cbs) {
-      if (!cb->empty()) return false;
-    }
-    return true;
-  };
-  auto all_done = [&] {
-    return std::all_of(groups_.begin(), groups_.end(),
-                       [&](const auto& g) { return group_done(*g); });
-  };
-
-  while (!all_done() && now_ < max_cycles) {
-    for (auto& group : groups_) {
-      if (group_done(*group)) continue;
-      const auto thread = static_cast<unsigned>(&group - groups_.data());
-      for (auto& core : group->cores) {
-        if (!core->done()) core->tick(now_);
-      }
-      drain_cbs(*group, thread, now_);
-      maybe_inject_error(*group, thread, now_, &acc_);
-    }
-    ++now_;
+Cycle UnSyncSystem::next_event(std::size_t g, Cycle now) const {
+  const Group& group = *groups_[g];
+  Cycle cand = kNever;
+  for (const auto& core : group.cores) {
+    const Cycle t = core->next_event(now);
+    if (t <= now) return now;
+    cand = std::min(cand, t);
   }
+  // CB drain is ready exactly when every CB is non-empty and the bus is
+  // free; a CB only becomes non-empty through a store commit, which is a
+  // vetoed core event.
+  bool drainable = true;
+  for (const auto& cb : group.cbs) drainable &= !cb->empty();
+  if (drainable) {
+    if (memory_.bus().free_at(now)) return now;
+    cand = std::min(cand, memory_.bus().next_free());
+  }
+  // Error injection fires when progress has crossed the next arrival;
+  // progress only advances through (vetoed) commits.
+  if (group.arrivals.pending(progress_of(group.cores))) return now;
+  return cand;
+}
 
-  RunResult r = acc_;
-  r.cycles = now_;
-  for (auto& group : groups_) {
+void UnSyncSystem::skip_cycles(std::size_t g, Cycle from, Cycle to) {
+  for (auto& core : groups_[g]->cores) {
+    if (!core->done()) core->skip_cycles(from, to);
+  }
+}
+
+void UnSyncSystem::finish(RunResult& r) const {
+  for (const auto& group : groups_) {
     for (const auto& core : group->cores) {
       r.core_stats.push_back(core->stats());
     }
     r.cb_full_stalls += group->cb_full_stalls;
   }
-  publish_metrics(r);
-  if (metrics_) {
-    for (std::size_t g = 0; g < groups_.size(); ++g) {
-      const auto& cbs = groups_[g]->cbs;
-      for (std::size_t s = 0; s < cbs.size(); ++s) {
-        mem::publish_write_buffer(
-            *metrics_,
-            name_ + ".group" + std::to_string(g) + ".cb" + std::to_string(s),
-            *cbs[s]);
-      }
-    }
-  }
-  return r;
 }
 
-void UnSyncSystem::save_state(ckpt::Serializer& s) const {
-  s.begin_chunk("UNSY");
-  s.u64(now_);
-  save_result(s, acc_);
+void UnSyncSystem::publish_extra_metrics() {
+  if (!metrics_) return;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const auto& cbs = groups_[g]->cbs;
+    for (std::size_t s = 0; s < cbs.size(); ++s) {
+      mem::publish_write_buffer(
+          *metrics_,
+          name_ + ".group" + std::to_string(g) + ".cb" + std::to_string(s),
+          *cbs[s]);
+    }
+  }
+}
+
+void UnSyncSystem::save_policy_state(ckpt::Serializer& s) const {
   for (const std::uint64_t word : rng_.state()) s.u64(word);
   memory_.save_state(s);
   s.u64(groups_.size());
@@ -238,17 +252,12 @@ void UnSyncSystem::save_state(ckpt::Serializer& s) const {
     for (const auto& cb : group->cbs) cb->save_state(s);
     // Arrivals are re-derived deterministically at construction from
     // (seed, ser_per_inst, lengths); only the consumption cursor is state.
-    s.u64(group->error_arrivals.size());
-    s.u64(group->next_error);
+    group->arrivals.save_state(s);
     s.u64(group->cb_full_stalls);
   }
-  s.end_chunk();
 }
 
-void UnSyncSystem::load_state(ckpt::Deserializer& d) {
-  d.begin_chunk("UNSY");
-  now_ = d.u64();
-  load_result(d, acc_);
+void UnSyncSystem::load_policy_state(ckpt::Deserializer& d) {
   std::array<std::uint64_t, 4> rng_state;
   for (std::uint64_t& word : rng_state) word = d.u64();
   rng_.set_state(rng_state);
@@ -262,13 +271,9 @@ void UnSyncSystem::load_state(ckpt::Deserializer& d) {
     }
     for (const auto& core : group->cores) core->load_state(d);
     for (const auto& cb : group->cbs) cb->load_state(d);
-    if (d.u64() != group->error_arrivals.size()) {
-      throw ckpt::CkptError("unsync error-arrival schedule mismatch");
-    }
-    group->next_error = d.u64();
+    group->arrivals.load_state(d, "unsync");
     group->cb_full_stalls = d.u64();
   }
-  d.end_chunk();
 }
 
 }  // namespace unsync::core

@@ -24,6 +24,7 @@
 
 #include "common/rng.hpp"
 #include "core/system.hpp"
+#include "engine/error_injection.hpp"
 #include "fault/protection.hpp"
 #include "mem/hierarchy.hpp"
 #include "mem/write_buffer.hpp"
@@ -70,15 +71,28 @@ class UnSyncSystem final : public System {
   UnSyncSystem(const SystemConfig& config, const UnSyncParams& params,
                const std::vector<const workload::InstStream*>& streams);
 
-  RunResult run(Cycle max_cycles = ~Cycle{0}) override;
   const std::string& name() const override { return name_; }
 
   mem::MemoryHierarchy& memory() override { return memory_; }
   const fault::ProtectionPlan& plan() const { return plan_; }
   unsigned group_size() const { return params_.group_size; }
 
-  void save_state(ckpt::Serializer& s) const override;
-  void load_state(ckpt::Deserializer& d) override;
+  // SystemPolicy phases: one group of redundant cores per thread.
+  std::size_t group_count() const override { return groups_.size(); }
+  bool finished(std::size_t g) const override;
+  void pre_cycle(std::size_t g, Cycle now) override;
+  void sync_phase(std::size_t g, Cycle now) override;
+  void on_error(std::size_t g, Cycle now, RunResult& acc) override;
+  Cycle next_event(std::size_t g, Cycle now) const override;
+  void skip_cycles(std::size_t g, Cycle from, Cycle to) override;
+  void finish(RunResult& r) const override;
+
+  const char* ckpt_tag() const override { return "UNSY"; }
+  void save_policy_state(ckpt::Serializer& s) const override;
+  void load_policy_state(ckpt::Deserializer& d) override;
+
+ protected:
+  void publish_extra_metrics() override;
 
  private:
   struct Group;
@@ -103,14 +117,10 @@ class UnSyncSystem final : public System {
     std::vector<std::unique_ptr<cpu::OooCore>> cores;
     std::vector<std::unique_ptr<CbEnv>> envs;
     std::vector<std::unique_ptr<mem::WriteBuffer>> cbs;
-    std::vector<SeqNum> error_arrivals;  // ascending commit positions
-    std::size_t next_error = 0;
+    engine::ArrivalCursor arrivals;
     std::uint64_t cb_full_stalls = 0;
   };
 
-  void drain_cbs(Group& group, unsigned thread, Cycle now);
-  void maybe_inject_error(Group& group, unsigned thread, Cycle now,
-                          RunResult* result);
   Cycle recovery_cost(const Group& group, unsigned error_free_side) const;
 
   std::string name_ = "unsync";
@@ -121,8 +131,6 @@ class UnSyncSystem final : public System {
   mem::MemoryHierarchy memory_;
   Rng rng_;
   std::vector<std::unique_ptr<Group>> groups_;
-  Cycle now_ = 0;     ///< resumable run cursor (see System::run contract)
-  RunResult acc_;     ///< result fields accumulated across run() segments
 };
 
 }  // namespace unsync::core

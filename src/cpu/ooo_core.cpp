@@ -130,6 +130,179 @@ void OooCore::tick(Cycle now) {
   do_fetch(now);
 }
 
+Cycle OooCore::load_block_bound(const RobEntry& e, Cycle now) const {
+  const Addr word = word_of(e.op.mem_addr);
+  const RobEntry* match = nullptr;
+  for (const RobEntry& other : rob_) {
+    if (other.op.seq >= e.op.seq) break;
+    // Fence: clears only when the serializing instruction retires — a
+    // commit event next_event() already vetoes at the head.
+    if (other.op.is_serializing()) return kNever;
+    if (other.op.is_store() && word_of(other.op.mem_addr) == word) {
+      match = &other;
+    }
+  }
+  if (match) {
+    if (!match->issued) return kNever;  // the store's own issue is covered
+    if (match->complete_at > now) return match->complete_at;
+  }
+  return now;  // lsq_load_can_issue would pass: an issue attempt happens
+}
+
+Cycle OooCore::next_event(Cycle now) const {
+  if (done()) return kNever;
+  if (now < frozen_until_) return frozen_until_;
+
+  Cycle cand = kNever;
+
+  // Commit stage: a ready head acts every cycle (commits, or charges a
+  // gate/store stall) — veto. An issued-but-incomplete head completes at
+  // complete_at; an unissued head is covered by the issue scan below.
+  if (!rob_.empty()) {
+    const RobEntry& head = rob_.front();
+    if (head.issued) {
+      if (head.complete_at <= now) return now;
+      cand = std::min(cand, head.complete_at);
+    }
+  }
+
+  // Issue stage: scan exactly the issue-queue window do_issue examines.
+  std::uint32_t examined = 0;
+  for (const RobEntry& e : rob_) {
+    if (!e.in_iq) continue;
+    if (++examined > config_.iq_entries) break;
+
+    // Source readiness. A source whose producer has not issued yet
+    // (completion kNever) is covered: the producer is an older in_iq
+    // entry inside this same window, so its own issue bounds e's.
+    Cycle bound = now;
+    bool covered = false;
+    for (const SeqNum src : e.op.src) {
+      if (src == kNoSeq) continue;
+      const auto it = completion_.find(src);
+      if (it == completion_.end()) continue;  // producer already committed
+      if (it->second == kNever) {
+        covered = true;
+        break;
+      }
+      bound = std::max(bound, it->second);
+    }
+    if (covered) continue;
+    if (bound > now) {
+      cand = std::min(cand, bound);
+      continue;
+    }
+
+    // Sources ready now: would do_issue attempt (and possibly mutate)?
+    switch (e.op.cls) {
+      case isa::InstClass::kSerializing:
+        // Issues only from the ROB head; becoming head takes an older
+        // commit, which is itself a vetoed event.
+        if (rob_.front().op.seq == e.op.seq) return now;
+        continue;
+      case isa::InstClass::kLoad: {
+        const Cycle block = load_block_bound(e, now);
+        if (block == now) return now;
+        if (block != kNever) cand = std::min(cand, block);
+        continue;
+      }
+      case isa::InstClass::kStore: {
+        // Blocked only by an older in-flight serializing instruction,
+        // whose retirement is a covered commit event.
+        bool fenced = false;
+        for (const RobEntry& other : rob_) {
+          if (other.op.seq >= e.op.seq) break;
+          if (other.op.is_serializing()) {
+            fenced = true;
+            break;
+          }
+        }
+        if (fenced) continue;
+        return now;
+      }
+      default:
+        return now;  // would attempt a functional unit
+    }
+  }
+
+  // Dispatch stage: while the fetch queue is non-empty it either acts or
+  // charges exactly one stall counter per cycle.
+  if (!fetch_queue_.empty()) {
+    const std::uint32_t reserved = env_->reserved_rob_slots_at(id_, now);
+    const workload::DynOp& op = fetch_queue_.front();
+    if (rob_.size() + reserved >= config_.rob_entries) {
+      // ROB-stalled: bounded by the next environment state change
+      // (Reunion fingerprint verification frees reserved slots).
+      cand = std::min(cand, env_->next_state_change(id_, now));
+    } else if (iq_count_ >= config_.iq_entries ||
+               (op.is_load() && lq_count_ >= config_.lq_entries) ||
+               (op.is_store() && sq_count_ >= config_.sq_entries)) {
+      // Queue-stalled: frees only via an issue/commit, already covered.
+    } else {
+      return now;  // dispatch acts
+    }
+  }
+
+  // Fetch stage. A front end blocked on a mispredicted branch un-blocks
+  // when that branch issues — an issue event covered by the scan above.
+  if (fetch_blocked_on_ == kNoSeq) {
+    if (now < fetch_resume_at_) {
+      cand = std::min(cand, fetch_resume_at_);
+    } else if ((!stream_done_ || pending_stream_op_valid_) &&
+               fetch_queue_.size() < config_.fetch_queue_entries) {
+      return now;  // fetch acts
+    }
+  }
+
+  return cand;
+}
+
+void OooCore::skip_cycles(Cycle from, Cycle to) {
+  assert(to > from);
+  const Cycle w = to - from;
+  stats_.cycles += w;
+  stats_.rob_occupancy_accum += static_cast<std::uint64_t>(rob_.size()) * w;
+  if (rob_hist_) rob_hist_->add(static_cast<double>(rob_.size()), w);
+
+  if (config_.sample_interval != 0) {
+    // Replay `if (now >= next_sample_) sample` for each now in [from, to).
+    Cycle c = std::max(from, next_sample_);
+    while (c < to) {
+      stats_.interval_committed.push_back(stats_.committed);
+      next_sample_ = c + config_.sample_interval;
+      c = next_sample_;
+    }
+  }
+
+  if (from < frozen_until_) {
+    assert(to <= frozen_until_ && "skip window overruns a recovery stall");
+    stats_.recovery_stall_cycles += w;
+    return;
+  }
+
+  // The window's stall reason is stable (next_event bounded it on every
+  // input that could flip it), so the one counter the naive loop would
+  // charge per cycle advances by the window length.
+  if (!fetch_queue_.empty()) {
+    const std::uint32_t reserved = env_->reserved_rob_slots(id_, from);
+    const workload::DynOp& op = fetch_queue_.front();
+    if (rob_.size() + reserved >= config_.rob_entries) {
+      stats_.dispatch_stall_rob += w;
+    } else if (iq_count_ >= config_.iq_entries) {
+      stats_.dispatch_stall_iq += w;
+    } else if ((op.is_load() && lq_count_ >= config_.lq_entries) ||
+               (op.is_store() && sq_count_ >= config_.sq_entries)) {
+      stats_.dispatch_stall_lsq += w;
+    }
+  }
+  if (fetch_blocked_on_ != kNoSeq) {
+    stats_.fetch_blocked_branch += w;
+  } else if (from < fetch_resume_at_) {
+    assert(to <= fetch_resume_at_ && "skip window overruns a fetch drain");
+    stats_.fetch_blocked_serialize += w;
+  }
+}
+
 void OooCore::do_commit(Cycle now) {
   for (std::uint32_t n = 0; n < config_.commit_width && !rob_.empty(); ++n) {
     RobEntry& head = rob_.front();

@@ -65,6 +65,23 @@ class CommitEnv {
     (void)core; (void)now;
     return 0;
   }
+
+  /// Side-effect-free view of reserved_rob_slots for fast-forward planning:
+  /// must return the value reserved_rob_slots(core, now) WOULD return,
+  /// without mutating any environment state. Used by OooCore::next_event.
+  virtual std::uint32_t reserved_rob_slots_at(CoreId core, Cycle now) const {
+    (void)core; (void)now;
+    return 0;
+  }
+
+  /// The next cycle > now at which this environment's reserved_rob_slots
+  /// value can change without any core acting (Reunion: the earliest
+  /// pending fingerprint verification). Bounds ROB-stalled fast-forward
+  /// windows; ~Cycle{0} = never.
+  virtual Cycle next_state_change(CoreId core, Cycle now) const {
+    (void)core; (void)now;
+    return ~Cycle{0};
+  }
 };
 
 struct CoreStats {
@@ -124,6 +141,21 @@ class OooCore {
 
   /// Advances the core by one clock cycle.
   void tick(Cycle now);
+
+  /// Quiescence fast-forwarding (docs/ENGINE.md): a conservative lower
+  /// bound on the next cycle at which this core can change state.
+  /// Returning `now` vetoes skipping — some stage may act this cycle.
+  /// Returning T > now guarantees every tick in [now, T) is static: no
+  /// commit, issue, dispatch or fetch occurs, and the only effects are the
+  /// deterministic per-cycle counters that skip_cycles() replays.
+  Cycle next_event(Cycle now) const;
+
+  /// Replays the per-cycle bookkeeping of the static window [from, to)
+  /// that next_event() promised, in closed form: cycle/occupancy counters,
+  /// ROB-histogram samples, interval-IPC samples and the one stall counter
+  /// the window's stable stall reason increments. Bit-identical to calling
+  /// tick() to-from times across a static window.
+  void skip_cycles(Cycle from, Cycle to);
 
   /// True when the stream is exhausted and the pipeline has drained.
   bool done() const;
@@ -199,6 +231,12 @@ class OooCore {
   bool try_fu(FuPool& pool, Cycle now, Cycle* complete_at);
 
   bool lsq_load_can_issue(const RobEntry& e, Cycle now, bool* forwarded) const;
+
+  /// Fast-forward helper for a load whose sources are ready: `now` = the
+  /// load could attempt issue this cycle (veto), kNever = its blocker
+  /// clears only via an event next_event already covers, otherwise the
+  /// cycle the blocking older store completes.
+  Cycle load_block_bound(const RobEntry& e, Cycle now) const;
 
   CoreId id_;
   CoreConfig config_;

@@ -1,0 +1,98 @@
+// The policy interface a simulated system implements to be driven by the
+// SimKernel (see docs/ENGINE.md for the full contract).
+//
+// A system is a set of redundancy *groups* (baseline: one core per group;
+// the DMR systems: one core pair per application thread). The kernel owns
+// the cycle loop; the policy supplies the per-group phases:
+//
+//   pre_cycle   — tick every live core of the group
+//   sync_phase  — system-specific compare/drain work (UnSync CB drain)
+//   on_error    — consume the group's error-arrival schedule
+//   finished    — the group's termination predicate
+//
+// plus the fast-forward hooks (next_event / skip_cycles), the result
+// finaliser (finish / on_run_complete) and the checkpoint body
+// (ckpt_tag / save_policy_state / load_policy_state).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "engine/run_result.hpp"
+
+namespace unsync::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace unsync::ckpt
+
+namespace unsync::engine {
+
+class SystemPolicy {
+ public:
+  virtual ~SystemPolicy() = default;
+
+  /// Number of redundancy groups. Must stay constant for the lifetime of
+  /// the system (the kernel iterates groups in index order every cycle).
+  virtual std::size_t group_count() const = 0;
+
+  /// True when group `g` has retired its whole stream and drained every
+  /// structure the system tracks for it. A finished group receives no
+  /// further phase calls.
+  virtual bool finished(std::size_t g) const = 0;
+
+  /// Advance every live core of group `g` by one cycle.
+  virtual void pre_cycle(std::size_t g, Cycle now) = 0;
+
+  /// System-specific synchronisation after the cores ticked (UnSync drains
+  /// its Communication Buffers here). Default: nothing.
+  virtual void sync_phase(std::size_t g, Cycle now) {
+    (void)g;
+    (void)now;
+  }
+
+  /// Error-arrival check for group `g`; fires at most the next scheduled
+  /// strike into `acc`. Default: error-free system.
+  virtual void on_error(std::size_t g, Cycle now, RunResult& acc) {
+    (void)g;
+    (void)now;
+    (void)acc;
+  }
+
+  /// Fast-forward support: a conservative lower bound on the next cycle at
+  /// which group `g` can change state. Returning `now` vetoes skipping
+  /// (something may act this cycle); returning T > now asserts that every
+  /// cycle in [now, T) is static — ticking it would change nothing except
+  /// deterministic per-cycle counters, which skip_cycles() replays in
+  /// closed form. The default vetoes, so a policy without fast-forward
+  /// support is simply never skipped.
+  virtual Cycle next_event(std::size_t g, Cycle now) const {
+    (void)g;
+    return now;
+  }
+
+  /// Replay the per-cycle counters of group `g` for the static window
+  /// [from, to) that next_event() promised. Only called with to > from.
+  virtual void skip_cycles(std::size_t g, Cycle from, Cycle to) {
+    (void)g;
+    (void)from;
+    (void)to;
+  }
+
+  /// Fold the per-core stats and system counters into the final result
+  /// (called on a copy of the kernel accumulator after the loop exits).
+  virtual void finish(RunResult& r) const = 0;
+
+  /// Invoked with the finished result just before run() returns — the
+  /// metric-publication hook. Default: nothing.
+  virtual void on_run_complete(const RunResult& r) { (void)r; }
+
+  /// Checkpoint body: the 4-character chunk tag identifying this system's
+  /// state layout, and the policy payload written inside the kernel's
+  /// chunk (after the cycle cursor and accumulated result — see
+  /// SimKernel::save_state and docs/CHECKPOINTS.md).
+  virtual const char* ckpt_tag() const = 0;
+  virtual void save_policy_state(ckpt::Serializer& s) const = 0;
+  virtual void load_policy_state(ckpt::Deserializer& d) = 0;
+};
+
+}  // namespace unsync::engine

@@ -4,10 +4,10 @@
 // --format=json, campaign reduction, the golden-file test): key order is
 // fixed, doubles are shortest-round-trip, and interval IPC samples are
 // deliberately excluded (unbounded size; they stay available in CoreStats).
-#include "core/system.hpp"
+#include "engine/run_result.hpp"
 #include "obs/json.hpp"
 
-namespace unsync::core {
+namespace unsync::engine {
 
 namespace {
 
@@ -82,4 +82,4 @@ std::string RunResult::to_json(int indent) const {
   return w.take();
 }
 
-}  // namespace unsync::core
+}  // namespace unsync::engine

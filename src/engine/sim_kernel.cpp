@@ -1,0 +1,76 @@
+#include "engine/sim_kernel.hpp"
+
+#include <algorithm>
+
+#include "ckpt/serializer.hpp"
+
+namespace unsync::engine {
+
+namespace {
+constexpr Cycle kNever = ~Cycle{0};
+}  // namespace
+
+RunResult SimKernel::run(SystemPolicy& policy, Cycle max_cycles,
+                         bool fast_forward) {
+  const std::size_t groups = policy.group_count();
+  auto all_done = [&] {
+    for (std::size_t g = 0; g < groups; ++g) {
+      if (!policy.finished(g)) return false;
+    }
+    return true;
+  };
+
+  while (!all_done() && now_ < max_cycles) {
+    if (fast_forward) {
+      // A skip is sound only when EVERY unfinished group is quiescent:
+      // shared structures (the bus, the L2) stay untouched for the whole
+      // window exactly because no group acts during it.
+      Cycle target = kNever;
+      for (std::size_t g = 0; g < groups && target > now_; ++g) {
+        if (policy.finished(g)) continue;
+        target = std::min(target, policy.next_event(g, now_));
+      }
+      target = std::min(target, max_cycles);
+      if (target > now_) {
+        for (std::size_t g = 0; g < groups; ++g) {
+          if (!policy.finished(g)) policy.skip_cycles(g, now_, target);
+        }
+        now_ = target;
+        continue;
+      }
+    }
+
+    for (std::size_t g = 0; g < groups; ++g) {
+      if (policy.finished(g)) continue;
+      policy.pre_cycle(g, now_);
+      policy.sync_phase(g, now_);
+      policy.on_error(g, now_, acc_);
+    }
+    ++now_;
+  }
+
+  RunResult r = acc_;
+  r.cycles = now_;
+  policy.finish(r);
+  policy.on_run_complete(r);
+  return r;
+}
+
+void SimKernel::save_state(const SystemPolicy& policy,
+                           ckpt::Serializer& s) const {
+  s.begin_chunk(policy.ckpt_tag());
+  s.u64(now_);
+  save_result(s, acc_);
+  policy.save_policy_state(s);
+  s.end_chunk();
+}
+
+void SimKernel::load_state(SystemPolicy& policy, ckpt::Deserializer& d) {
+  d.begin_chunk(policy.ckpt_tag());
+  now_ = d.u64();
+  load_result(d, acc_);
+  policy.load_policy_state(d);
+  d.end_chunk();
+}
+
+}  // namespace unsync::engine

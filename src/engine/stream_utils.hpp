@@ -1,0 +1,52 @@
+// Workload-stream helpers shared by every system constructor (hoisted from
+// per-system duplicates in core/): stream replication, cache pre-warming
+// and per-thread length bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/hierarchy.hpp"
+#include "workload/dyn_op.hpp"
+
+namespace unsync::engine {
+
+/// Homogeneous convenience: the same stream for every thread (the paper's
+/// setup — every core pair runs the benchmark under test).
+inline std::vector<const workload::InstStream*> replicate(
+    const workload::InstStream& stream, unsigned threads) {
+  return std::vector<const workload::InstStream*>(threads, &stream);
+}
+
+/// Pre-warms the L2 / I-caches from every distinct stream's advertised
+/// regions (standard warm-up methodology; see docs/SIMULATOR.md).
+inline void prewarm_from(mem::MemoryHierarchy& memory,
+                         const std::vector<const workload::InstStream*>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) seen |= v[j] == v[i];
+    if (seen) continue;
+    if (const auto warm = v[i]->warm_region()) {
+      memory.prewarm_l2(warm->base, warm->bytes);
+    }
+    if (const auto code = v[i]->code_region()) {
+      memory.prewarm_icaches(code->base, code->bytes);
+    }
+  }
+}
+
+inline std::vector<std::uint64_t> lengths_of(
+    const std::vector<const workload::InstStream*>& v) {
+  std::vector<std::uint64_t> out;
+  out.reserve(v.size());
+  for (const auto* s : v) out.push_back(s->length());
+  return out;
+}
+
+inline std::uint64_t max_length(const std::vector<std::uint64_t>& lengths) {
+  std::uint64_t m = 0;
+  for (const auto l : lengths) m = l > m ? l : m;
+  return m;
+}
+
+}  // namespace unsync::engine

@@ -47,4 +47,10 @@ std::vector<SeqNum> sample_error_arrivals(double ser_per_inst,
   return arrivals;
 }
 
+std::vector<SeqNum> schedule_arrivals(double ser_per_inst,
+                                      std::uint64_t stream_insts, Rng& rng) {
+  if (ser_per_inst <= 0.0 || stream_insts == 0) return {};
+  return sample_error_arrivals(ser_per_inst, stream_insts, rng);
+}
+
 }  // namespace unsync::fault

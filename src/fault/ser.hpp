@@ -41,6 +41,15 @@ double fit_to_per_inst(double fit, double hz, double ipc);
 std::vector<SeqNum> sample_error_arrivals(double ser_per_inst,
                                           std::uint64_t total_insts, Rng& rng);
 
+/// The canonical per-thread arrival-schedule setup every redundant system
+/// uses (UnSync, Reunion, lockstep, DMR-checkpoint): samples the ordered
+/// strike positions for one thread's stream, returning an empty schedule —
+/// with the RNG provably untouched, so draw sequences stay reproducible
+/// across error-free and error-injecting configurations — when the error
+/// process is off (ser_per_inst <= 0) or the stream is empty.
+std::vector<SeqNum> schedule_arrivals(double ser_per_inst,
+                                      std::uint64_t stream_insts, Rng& rng);
+
 /// Expected number of errors for a run (for tests / sanity output).
 inline double expected_errors(double ser_per_inst, std::uint64_t total_insts) {
   return ser_per_inst * static_cast<double>(total_insts);

@@ -93,6 +93,7 @@ std::uint32_t grid_fingerprint(const std::vector<SimJob>& jobs) {
     s.u64(job.insts);
     s.f64(job.ser_per_inst);
     s.u32(job.app_threads);
+    s.b(job.fast_forward);
     s.b(job.seed.has_value());
     s.u64(job.seed.value_or(0));
     const auto& p = job.params;
@@ -293,6 +294,7 @@ core::RunResult CampaignRunner::run_job(const SimJob& job, std::uint64_t seed,
   sys_cfg.num_threads = job.app_threads;
   sys_cfg.ser_per_inst = job.ser_per_inst;
   sys_cfg.seed = seed;
+  sys_cfg.fast_forward = job.fast_forward;
 
   const auto sys = core::make_system(job.system, sys_cfg, *stream, job.params);
   if (metrics || trace) sys->set_observability(metrics, trace);

@@ -84,6 +84,36 @@ TEST(Ser, TinyRateUsuallyNoArrivals) {
   EXPECT_TRUE(arrivals.empty());
 }
 
+TEST(ScheduleArrivals, MatchesSampleWhenActive) {
+  // schedule_arrivals is the shared front door every system uses to build
+  // its error-arrival schedule; it must be draw-for-draw identical to
+  // sample_error_arrivals so pre-refactor results stay reproducible.
+  Rng a(42);
+  Rng b(42);
+  const auto direct = sample_error_arrivals(5e-4, 50000, a);
+  const auto scheduled = schedule_arrivals(5e-4, 50000, b);
+  EXPECT_EQ(scheduled, direct);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(ScheduleArrivals, InactiveRateLeavesRngUntouched) {
+  // A zero/negative rate must not consume any draws: systems share one RNG
+  // between arrival sampling and recovery-cost draws, so a stray draw here
+  // would shift every downstream result.
+  Rng rng(7);
+  const auto before = rng.state();
+  EXPECT_TRUE(schedule_arrivals(0.0, 50000, rng).empty());
+  EXPECT_TRUE(schedule_arrivals(-1.0, 50000, rng).empty());
+  EXPECT_EQ(rng.state(), before);
+}
+
+TEST(ScheduleArrivals, EmptyStreamLeavesRngUntouched) {
+  Rng rng(7);
+  const auto before = rng.state();
+  EXPECT_TRUE(schedule_arrivals(5e-4, 0, rng).empty());
+  EXPECT_EQ(rng.state(), before);
+}
+
 class SerSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(SerSweep, ArrivalProcessStatisticallySound) {

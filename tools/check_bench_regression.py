@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Throughput regression gate for the shared cycle engine.
+
+Consumes a google-benchmark JSON report (BENCH_sim.json, produced by
+    build/bench/bench_sim_throughput \
+        --benchmark_filter='BM_CycleEngine|BM_SyntheticStream' \
+        --benchmark_out=BENCH_sim.json --benchmark_out_format=json)
+and enforces two properties:
+
+1. Fast-forward speedup (machine-independent): on the stall-heavy galgel
+   grid point, the baseline system with engine.fast_forward=1 must simulate
+   cycles at least --ff-min-speedup (default 1.15x) faster than the naive
+   cycle loop. Both sides run in the same process on the same machine, so
+   this ratio is stable across hosts.
+
+2. Absolute throughput vs the committed baseline (10% tolerance): each
+   BM_CycleEngine variant's cycles/sec, *normalised by the
+   BM_SyntheticStream calibration benchmark from the same run*, must not
+   drop more than --tolerance below bench/BENCH_sim_baseline.json. The
+   normalisation divides out raw host speed; what remains is "simulated
+   cycles per generated stream op", which tracks engine efficiency. Skipped
+   (with a notice) if --baseline is not given.
+
+To refresh the committed baseline after a deliberate perf change:
+    python3 tools/check_bench_regression.py BENCH_sim.json \
+        --write-baseline bench/BENCH_sim_baseline.json
+Exit codes: 0 pass, 1 regression detected, 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+CALIBRATION = "BM_SyntheticStream"
+BASELINE_SCHEMA = "unsync.bench_baseline.v1"
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read benchmark report {path}: {e}")
+        sys.exit(2)
+    out = {}
+    for b in report.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if b.get("run_type") == "aggregate":
+            continue
+        if "items_per_second" in b:
+            out[b["name"]] = float(b["items_per_second"])
+    if not out:
+        print(f"error: no items_per_second entries in {path}")
+        sys.exit(2)
+    return out
+
+
+def check_ff_speedup(ips, min_speedup):
+    """The machine-independent gate: ff vs naive, same run, same host."""
+    ok = True
+    pairs = []
+    for name in sorted(ips):
+        if name.endswith("_naive"):
+            ff_name = name[: -len("_naive")] + "_ff"
+            if ff_name in ips:
+                pairs.append((name, ff_name))
+    if not pairs:
+        print("error: no BM_CycleEngine naive/ff pairs in report")
+        sys.exit(2)
+    for naive, ff in pairs:
+        ratio = ips[ff] / ips[naive]
+        gated = "baseline" in naive  # the acceptance point (docs/ENGINE.md)
+        verdict = "ok"
+        if gated and ratio < min_speedup:
+            verdict = f"FAIL (< {min_speedup:.2f}x required)"
+            ok = False
+        print(f"  ff speedup {naive.split('/')[-1].replace('_naive', ''):>10}"
+              f": {ratio:5.2f}x  {'[gated] ' if gated else ''}{verdict}")
+    return ok
+
+
+def normalised(ips):
+    cal = ips.get(CALIBRATION)
+    if not cal:
+        print(f"error: calibration benchmark {CALIBRATION} missing from "
+              "report (do not pass --benchmark_filter that excludes it)")
+        sys.exit(2)
+    return {
+        name: v / cal
+        for name, v in ips.items()
+        if name.startswith("BM_CycleEngine")
+    }
+
+
+def check_against_baseline(ips, baseline_path, tolerance):
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read baseline {baseline_path}: {e}")
+        sys.exit(2)
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        print(f"error: {baseline_path} is not a {BASELINE_SCHEMA} file")
+        sys.exit(2)
+    current = normalised(ips)
+    ok = True
+    for name, base in sorted(baseline["benchmarks"].items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"  vs baseline {name}: MISSING from current report")
+            ok = False
+            continue
+        rel = cur / base
+        verdict = "ok"
+        if rel < 1.0 - tolerance:
+            verdict = f"FAIL (>{tolerance:.0%} regression)"
+            ok = False
+        print(f"  vs baseline {name}: {rel:6.2%} of recorded throughput "
+              f"{verdict}")
+    return ok
+
+
+def write_baseline(ips, path):
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "calibration": CALIBRATION,
+        "note": ("normalised throughput: BM_CycleEngine items_per_second / "
+                 f"{CALIBRATION} items_per_second from the same run"),
+        "benchmarks": {k: round(v, 6) for k, v in sorted(normalised(ips).items())},
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote baseline {path} ({len(doc['benchmarks'])} entries)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("report", help="google-benchmark JSON (BENCH_sim.json)")
+    ap.add_argument("--baseline", help="committed BENCH_sim_baseline.json")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional drop vs baseline (default 0.10)")
+    ap.add_argument("--ff-min-speedup", type=float, default=1.15,
+                    help="required ff/naive speedup on galgel (default 1.15)")
+    ap.add_argument("--write-baseline", metavar="PATH",
+                    help="write a fresh baseline from the report and exit")
+    args = ap.parse_args()
+
+    ips = load_report(args.report)
+    if args.write_baseline:
+        write_baseline(ips, args.write_baseline)
+        return 0
+
+    ok = check_ff_speedup(ips, args.ff_min_speedup)
+    if args.baseline:
+        ok = check_against_baseline(ips, args.baseline, args.tolerance) and ok
+    else:
+        print("  (no --baseline given; skipping absolute-throughput gate)")
+    print("bench gate:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

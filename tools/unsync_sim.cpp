@@ -97,6 +97,8 @@ void print_usage(std::ostream& os) {
       "       output: report=1 csv=1 format=json\n"
       "               metrics=<path>  write the metric tree (.csv or .json)\n"
       "               trace_out=<path> write a JSONL event trace\n"
+      "               trace_flush_every=<N> trace flush cadence (default "
+      "256)\n"
       "       checkpoint: checkpoint=<file> checkpoint_at=<cycle>  save+exit\n"
       "                   resume=<file>  continue a saved snapshot\n"
       "  sweep: param=<cb|fi|latency|group|ser> values=v1,v2,... + run args\n"
@@ -111,6 +113,8 @@ void print_usage(std::ostream& os) {
       "  hw: [fi= cb=]\n"
       "  version: print schema versions and build configuration\n"
       "  global: log=debug|info|warn|error   (diagnostic verbosity)\n"
+      "          engine.fast_forward=1  quiescence fast-forwarding for\n"
+      "            run/sweep/campaign — bit-identical results, fewer ticks\n"
       "          --key=value is accepted for any key; --flag means flag=1\n"
       "exit codes: 0 success, 1 simulation error, 2 configuration error\n";
 }
@@ -197,6 +201,7 @@ core::SystemParams params_from(const Config& cfg) {
 void fill_params(const Config& cfg, runtime::SimJob* job) {
   job->params = params_from(cfg);
   job->ser_per_inst = cfg.get_double("ser", 0.0);
+  job->fast_forward = cfg.get_bool("engine.fast_forward", false);
 }
 
 /// Resolves the sweep/campaign workload into a SimJob template: a profile
@@ -243,6 +248,7 @@ int cmd_run(const Config& cfg) {
   sys_cfg.num_threads = static_cast<unsigned>(cfg.get_int("threads", 1));
   sys_cfg.ser_per_inst = cfg.get_double("ser", 0.0);
   sys_cfg.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  sys_cfg.fast_forward = cfg.get_bool("engine.fast_forward", false);
 
   const bool want_csv = cfg.get_bool("csv", false);
   const bool want_report = cfg.get_bool("report", false);
@@ -261,7 +267,9 @@ int cmd_run(const Config& cfg) {
   obs::MetricsRegistry registry;
   std::unique_ptr<obs::JsonlTraceSink> trace_sink;
   if (!trace_path.empty()) {
-    trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_path);
+    const auto flush_every =
+        static_cast<std::uint64_t>(cfg.get_int("trace_flush_every", 256));
+    trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_path, flush_every);
   }
   if (!metrics_path.empty() || trace_sink) {
     sys->set_observability(metrics_path.empty() ? nullptr : &registry,
