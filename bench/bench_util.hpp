@@ -8,6 +8,8 @@
 //   seed=<N>     workload seed                             (default 42)
 //   threads=<N>  application threads (pairs for redundant) (default 1)
 //   workers=<N>  host threads for grid fan-out             (default cores)
+//   jobs=<N>     grid size for benches that scale job count (default per
+//                bench; only bench_campaign_scaling reads it today)
 //   json=<path>  also dump the raw campaign grid as JSON ("-" = stdout)
 #pragma once
 
@@ -30,18 +32,22 @@ namespace unsync::bench {
 
 struct BenchArgs {
   std::uint64_t insts = 30000;
+  bool insts_set = false;  ///< insts= given explicitly on the command line
   std::uint64_t seed = 42;
   unsigned threads = 1;
   unsigned workers = 0;  // 0 = hardware concurrency
+  std::uint64_t jobs = 0;  // 0 = the bench's own default grid size
   std::string json;      // empty = no JSON dump; "-" = stdout
 
   static BenchArgs parse(int argc, char** argv) {
     const Config cfg = Config::from_args(argc, argv);
     BenchArgs a;
+    a.insts_set = cfg.has("insts");
     a.insts = static_cast<std::uint64_t>(cfg.get_int("insts", 30000));
     a.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
     a.threads = static_cast<unsigned>(cfg.get_int("threads", 1));
     a.workers = static_cast<unsigned>(cfg.get_int("workers", 0));
+    a.jobs = static_cast<std::uint64_t>(cfg.get_int("jobs", 0));
     a.json = cfg.get_string("json", "");
     cfg.report_unused("bench");
     return a;

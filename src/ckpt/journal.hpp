@@ -1,0 +1,103 @@
+// Wire-level primitives of the "unsync.campaign_journal.v1" JSONL format.
+//
+// A campaign journal is a line-oriented crash log: line 0 is a header that
+// pins the campaign identity, every later line records one completed job as
+// a CRC-checked hex blob keyed by its global job index. The same format
+// serves two topologies:
+//
+//   * single-process: one journal per campaign (CampaignRunner::Options),
+//   * distributed:    one journal per *shard* — the header additionally
+//                     carries `shard` / `workers`, entries still use global
+//                     job indices, and a coordinator merges any set of
+//                     shard journals whose headers pin the same campaign.
+//
+// This header owns only the byte-level concerns (hex codec, line field
+// parsing, header/entry line rendering); what goes *inside* a blob
+// (RunResult + metric snapshot) is the runtime layer's business — see
+// src/runtime/campaign_journal.hpp.
+//
+// Robustness contract: any line that fails to parse, whose CRC mismatches,
+// or whose index is out of range is simply *invalid* — callers drop it and
+// re-run that job. Only a header that parses but pins a different campaign
+// is a hard error (resuming against it would silently produce wrong
+// output), and that policy lives in JournalHeader::require_match.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace unsync::ckpt {
+
+/// Schema identifier on every campaign-journal header line.
+inline constexpr std::string_view kCampaignJournalSchema =
+    "unsync.campaign_journal.v1";
+
+// ---- Low-level line utilities ----------------------------------------------
+
+std::string hex_encode(std::string_view bytes);
+/// Returns nullopt on odd length or a non-hex digit.
+std::optional<std::string> hex_decode(std::string_view hex);
+
+/// Finds `"key":` in a journal line and parses the decimal integer after
+/// it. Returns nullopt if absent or malformed — callers drop such lines.
+std::optional<std::uint64_t> find_u64(const std::string& line,
+                                      std::string_view key);
+
+/// Finds `"key":"<value>"` where the value contains no escapes (hex /
+/// schema strings only).
+std::optional<std::string> find_plain_str(const std::string& line,
+                                          std::string_view key);
+
+// ---- Header line -----------------------------------------------------------
+
+/// The identity a journal pins. Two journals with matching headers were
+/// produced by byte-identical campaign definitions, so their entries are
+/// interchangeable (results are pure functions of the grid).
+struct JournalHeader {
+  std::uint64_t campaign_seed = 0;
+  std::uint64_t jobs = 0;  ///< total jobs in the *whole* grid
+  std::uint32_t grid_crc = 0;
+  bool collect_metrics = false;
+  /// Present only in per-shard journals of a distributed campaign: which
+  /// shard this journal belongs to, out of how many.
+  std::optional<std::uint64_t> shard;
+  std::optional<std::uint64_t> workers;
+
+  /// Renders the header line (no trailing newline). Single-process
+  /// journals (no shard) keep the historical byte layout.
+  std::string to_line() const;
+
+  /// Parses a header line; nullopt if it is not a campaign-journal header.
+  static std::optional<JournalHeader> parse(const std::string& line);
+
+  /// Throws CkptError (naming `path`) unless this header pins the same
+  /// campaign as `expect`: campaign_seed, jobs, grid_crc and
+  /// collect_metrics must all match. shard/workers are topology, not
+  /// identity — entries from any shard of the same campaign merge freely —
+  /// but when `expect` carries a worker count, a mismatched worker count
+  /// is rejected (the journal was sharded for a different topology).
+  void require_match(const JournalHeader& expect,
+                     const std::string& path) const;
+};
+
+// ---- Entry lines ------------------------------------------------------------
+
+/// Renders one completed-job line (no trailing newline): index, label and
+/// seed in the clear (label/seed are informational — both are pure
+/// functions of the grid the header pins), plus a CRC-32-guarded hex blob.
+std::string journal_entry_line(std::uint64_t index, std::string_view label,
+                               std::uint64_t seed, std::string_view blob);
+
+struct ParsedEntry {
+  std::uint64_t index = 0;
+  std::string blob;  ///< decoded, CRC-verified payload bytes
+};
+
+/// Parses and CRC-verifies one entry line. Returns nullopt for anything
+/// torn, corrupt, or with index >= max_jobs — the caller re-runs that job.
+std::optional<ParsedEntry> parse_entry_line(const std::string& line,
+                                            std::uint64_t max_jobs);
+
+}  // namespace unsync::ckpt

@@ -3,12 +3,13 @@
 #include <chrono>
 #include <fstream>
 #include <mutex>
-#include <optional>
 #include <stdexcept>
 
+#include "ckpt/journal.hpp"
 #include "ckpt/serializer.hpp"
 #include "common/rng.hpp"
 #include "obs/json.hpp"
+#include "runtime/campaign_journal.hpp"
 #include "runtime/thread_pool.hpp"
 #include "workload/profile.hpp"
 #include "workload/synthetic.hpp"
@@ -49,6 +50,9 @@ std::string CampaignOutput::to_json(int indent, bool include_timing) const {
   }
   if (include_timing) {
     w.key("wall_seconds").value(wall_seconds);
+    if (!scheduler_metrics.empty()) {
+      w.key("scheduler_metrics").raw(scheduler_metrics.to_json());
+    }
   }
   w.end_object();
   return w.take();
@@ -67,220 +71,38 @@ std::unique_ptr<workload::InstStream> make_stream(const SimJob& job,
                               "' selects no workload (profile or trace)");
 }
 
-// ---- Campaign journal ("unsync.campaign_journal.v1") ------------------------
-//
-// Line 0 is a header pinning the campaign identity; every later line is one
-// completed job: {"index":i,"label":...,"seed":s,"crc":c,"blob":"<hex>"}.
-// The blob is the ckpt-serialized RunResult (+ metric snapshot when metrics
-// were collected); `crc` covers the decoded blob bytes, so a torn tail line
-// or flipped bit is detected and that job silently re-runs. Only `index`,
-// `crc` and `blob` are load-bearing on resume — label and seed are
-// informational (both are pure functions of the grid the header validates).
-
-constexpr std::string_view kJournalSchema = "unsync.campaign_journal.v1";
-
-/// CRC-32 fingerprint of the whole job grid: any change to a label,
-/// workload, architecture, knob or seed yields a different fingerprint, so
-/// a journal can never be resumed against a grid it was not written for.
-std::uint32_t grid_fingerprint(const std::vector<SimJob>& jobs) {
-  ckpt::Serializer s;
-  for (const auto& job : jobs) {
-    s.str(job.label);
-    s.str(job.profile);
-    s.b(static_cast<bool>(job.trace));
-    s.u64(job.trace ? job.trace->size() : 0);
-    s.u8(static_cast<std::uint8_t>(job.system));
-    s.u64(job.insts);
-    s.f64(job.ser_per_inst);
-    s.u32(job.app_threads);
-    s.b(job.fast_forward);
-    s.b(job.seed.has_value());
-    s.u64(job.seed.value_or(0));
-    const auto& p = job.params;
-    s.u32(p.unsync.group_size);
-    s.u64(p.unsync.cb_entries);
-    s.u32(p.unsync.drain_per_cycle);
-    s.u64(p.unsync.eih_signal_cycles);
-    s.u64(p.unsync.state_copy_word_cycles);
-    s.u32(p.unsync.arch_state_words);
-    s.u64(p.unsync.l1_copy_line_cycles);
-    s.u32(p.reunion.fingerprint_interval);
-    s.u64(p.reunion.compare_latency);
-    s.u32(p.reunion.csb_entries);
-    s.u64(p.reunion.rollback_penalty);
-    s.u32(p.lockstep.max_skew);
-    s.u64(p.lockstep.load_check_latency);
-    s.u64(p.lockstep.resync_penalty);
-    s.u64(p.checkpoint.checkpoint_interval);
-    s.u64(p.checkpoint.checkpoint_cost);
-    s.u64(p.checkpoint.compare_latency);
-    s.u64(p.checkpoint.restore_cost);
+/// Renders SchedulerStats + per-job wall times into the campaign.scheduler.*
+/// subtree. Measurement only: excluded from the default to_json() exactly
+/// like wall_seconds.
+obs::MetricsSnapshot scheduler_snapshot(
+    const SchedulerStats& stats, const std::vector<double>& job_wall_seconds) {
+  obs::MetricsRegistry reg;
+  const WorkerStats total = stats.total();
+  reg.set_counter("campaign.scheduler.workers", stats.workers.size());
+  reg.set_counter("campaign.scheduler.local_claims", total.local_claims);
+  reg.set_counter("campaign.scheduler.steals", total.steals);
+  reg.set_counter("campaign.scheduler.steal_failures", total.steal_failures);
+  reg.set_counter("campaign.scheduler.idle_ns", total.idle_ns);
+  for (std::size_t w = 0; w < stats.workers.size(); ++w) {
+    const std::string base =
+        "campaign.scheduler.worker" + std::to_string(w) + ".";
+    const auto& ws = stats.workers[w];
+    reg.set_counter(base + "indices", ws.indices);
+    reg.set_counter(base + "local_claims", ws.local_claims);
+    reg.set_counter(base + "steals", ws.steals);
+    reg.set_counter(base + "steal_failures", ws.steal_failures);
+    reg.set_counter(base + "idle_ns", ws.idle_ns);
   }
-  return ckpt::crc32(s.data());
-}
-
-std::string hex_encode(std::string_view bytes) {
-  static const char* digits = "0123456789abcdef";
-  std::string out;
-  out.reserve(bytes.size() * 2);
-  for (const unsigned char c : bytes) {
-    out.push_back(digits[c >> 4]);
-    out.push_back(digits[c & 0xF]);
+  // Per-job wall-time distribution: 100 x 25ms buckets (clamped above
+  // 2.5s into the last bucket) plus an exact-moment gauge.
+  auto& hist =
+      reg.histogram("campaign.scheduler.job_wall_seconds", 0.0, 2.5, 100);
+  auto& gauge = reg.gauge("campaign.scheduler.job_wall_seconds_stat");
+  for (const double s : job_wall_seconds) {
+    hist.add(s);
+    gauge.add(s);
   }
-  return out;
-}
-
-std::optional<std::string> hex_decode(std::string_view hex) {
-  if (hex.size() % 2 != 0) return std::nullopt;
-  auto nibble = [](char c) -> int {
-    if (c >= '0' && c <= '9') return c - '0';
-    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-    return -1;
-  };
-  std::string out;
-  out.reserve(hex.size() / 2);
-  for (std::size_t i = 0; i < hex.size(); i += 2) {
-    const int hi = nibble(hex[i]), lo = nibble(hex[i + 1]);
-    if (hi < 0 || lo < 0) return std::nullopt;
-    out.push_back(static_cast<char>((hi << 4) | lo));
-  }
-  return out;
-}
-
-/// Finds `"key":` in a journal line and parses the decimal integer after
-/// it. Returns nullopt if absent/malformed — callers drop such lines.
-std::optional<std::uint64_t> find_u64(const std::string& line,
-                                      std::string_view key) {
-  const std::string needle = "\"" + std::string(key) + "\":";
-  const auto at = line.find(needle);
-  if (at == std::string::npos) return std::nullopt;
-  std::size_t i = at + needle.size();
-  if (i >= line.size() || line[i] < '0' || line[i] > '9') return std::nullopt;
-  std::uint64_t v = 0;
-  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
-    v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
-    ++i;
-  }
-  return v;
-}
-
-/// Finds `"key":"<value>"` where value contains no escapes (hex / schema
-/// strings only).
-std::optional<std::string> find_plain_str(const std::string& line,
-                                          std::string_view key) {
-  const std::string needle = "\"" + std::string(key) + "\":\"";
-  const auto at = line.find(needle);
-  if (at == std::string::npos) return std::nullopt;
-  const auto start = at + needle.size();
-  const auto end = line.find('"', start);
-  if (end == std::string::npos) return std::nullopt;
-  return line.substr(start, end - start);
-}
-
-struct RestoredJob {
-  core::RunResult result;
-  bool has_metrics = false;
-  obs::MetricsSnapshot metrics;
-};
-
-std::string encode_entry_blob(const core::RunResult& result,
-                              const obs::MetricsSnapshot* metrics) {
-  ckpt::Serializer s;
-  core::save_result(s, result);
-  s.b(metrics != nullptr);
-  if (metrics) metrics->save(s);
-  return s.take();
-}
-
-std::optional<RestoredJob> decode_entry_blob(std::string blob) {
-  try {
-    ckpt::Deserializer d(std::move(blob));
-    RestoredJob r;
-    core::load_result(d, r.result);
-    r.has_metrics = d.b();
-    if (r.has_metrics) r.metrics.load(d);
-    if (!d.at_end()) return std::nullopt;
-    return r;
-  } catch (const ckpt::CkptError&) {
-    return std::nullopt;
-  }
-}
-
-std::string journal_header(std::uint64_t campaign_seed, std::size_t jobs,
-                           std::uint32_t grid_crc, bool collect_metrics) {
-  obs::JsonWriter w;
-  w.begin_object();
-  w.key("schema").value(kJournalSchema);
-  w.key("campaign_seed").value(campaign_seed);
-  w.key("jobs").value(static_cast<std::uint64_t>(jobs));
-  w.key("grid_crc").value(static_cast<std::uint64_t>(grid_crc));
-  w.key("collect_metrics").value(collect_metrics);
-  w.end_object();
-  return w.take();
-}
-
-std::string journal_entry(std::size_t index, const std::string& label,
-                          std::uint64_t seed, std::string_view blob) {
-  obs::JsonWriter w;
-  w.begin_object();
-  w.key("index").value(static_cast<std::uint64_t>(index));
-  w.key("label").value(label);
-  w.key("seed").value(seed);
-  w.key("crc").value(static_cast<std::uint64_t>(ckpt::crc32(blob)));
-  w.key("blob").value(hex_encode(blob));
-  w.end_object();
-  return w.take();
-}
-
-/// Loads a journal for resumption. Header mismatch throws ckpt::CkptError
-/// (the journal belongs to a different campaign — resuming would silently
-/// produce wrong output); corrupt entry lines are dropped (the job
-/// re-runs). Returns one restored job per validated entry, by index.
-std::vector<std::optional<RestoredJob>> load_journal(
-    const std::string& path, std::uint64_t campaign_seed, std::size_t jobs,
-    std::uint32_t grid_crc, bool collect_metrics) {
-  std::vector<std::optional<RestoredJob>> restored(jobs);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return restored;  // missing journal = fresh campaign
-
-  std::string line;
-  if (!std::getline(in, line) || line.empty()) return restored;  // empty file
-
-  const auto schema = find_plain_str(line, "schema");
-  if (!schema || *schema != kJournalSchema) {
-    throw ckpt::CkptError("campaign journal '" + path +
-                          "': missing or unknown schema header");
-  }
-  auto check = [&](std::string_view key, std::uint64_t want) {
-    const auto got = find_u64(line, key);
-    if (!got || *got != want) {
-      throw ckpt::CkptError("campaign journal '" + path + "': " +
-                            std::string(key) +
-                            " does not match this campaign");
-    }
-  };
-  check("campaign_seed", campaign_seed);
-  check("jobs", jobs);
-  check("grid_crc", grid_crc);
-  const bool journal_metrics =
-      line.find("\"collect_metrics\":true") != std::string::npos;
-  if (journal_metrics != collect_metrics) {
-    throw ckpt::CkptError("campaign journal '" + path +
-                          "': collect_metrics does not match this campaign");
-  }
-
-  while (std::getline(in, line)) {
-    const auto index = find_u64(line, "index");
-    const auto crc = find_u64(line, "crc");
-    const auto hex = find_plain_str(line, "blob");
-    if (!index || !crc || !hex || *index >= jobs) continue;
-    const auto blob = hex_decode(*hex);
-    if (!blob || ckpt::crc32(*blob) != *crc) continue;
-    auto entry = decode_entry_blob(*blob);
-    if (!entry || entry->has_metrics != collect_metrics) continue;
-    restored[*index] = std::move(*entry);  // duplicate index: last wins
-  }
-  return restored;
+  return reg.snapshot();
 }
 
 }  // namespace
@@ -323,25 +145,20 @@ CampaignOutput CampaignRunner::run(const std::vector<SimJob>& jobs) const {
   std::vector<char> restored(jobs.size(), 0);
   std::ofstream journal;
   if (!options_.journal.empty()) {
-    const std::uint32_t grid_crc = grid_fingerprint(jobs);
-    std::string rewrite = journal_header(options_.campaign_seed, jobs.size(),
-                                         grid_crc, options_.collect_metrics);
+    const ckpt::JournalHeader header = make_journal_header(
+        jobs, options_.campaign_seed, options_.collect_metrics);
+    std::string rewrite = header.to_line();
     rewrite.push_back('\n');
     if (options_.resume) {
-      auto loaded =
-          load_journal(options_.journal, options_.campaign_seed, jobs.size(),
-                       grid_crc, options_.collect_metrics);
+      auto loaded = load_journal(options_.journal, header);
       for (std::size_t i = 0; i < jobs.size(); ++i) {
         if (!loaded[i]) continue;
         restored[i] = 1;
-        const std::uint64_t seed =
-            jobs[i].seed ? *jobs[i].seed
-                         : derive_seed(options_.campaign_seed,
-                                       static_cast<std::uint64_t>(i));
+        const std::uint64_t seed = job_seed(jobs, options_.campaign_seed, i);
         const std::string blob = encode_entry_blob(
             loaded[i]->result,
             loaded[i]->has_metrics ? &loaded[i]->metrics : nullptr);
-        rewrite += journal_entry(i, jobs[i].label, seed, blob);
+        rewrite += ckpt::journal_entry_line(i, jobs[i].label, seed, blob);
         rewrite.push_back('\n');
         out.results[i] = std::move(loaded[i]->result);
         if (options_.collect_metrics) {
@@ -363,50 +180,52 @@ CampaignOutput CampaignRunner::run(const std::vector<SimJob>& jobs) const {
 
   const auto start = std::chrono::steady_clock::now();
   ThreadPool pool(options_.threads);
-  pool.parallel_for(jobs.size(), [&](std::size_t i) {
-    const std::uint64_t seed =
-        jobs[i].seed ? *jobs[i].seed
-                     : derive_seed(options_.campaign_seed,
-                                   static_cast<std::uint64_t>(i));
-    out.seeds[i] = seed;
-    if (!restored[i]) {
-      const auto job_start = std::chrono::steady_clock::now();
-      if (options_.collect_metrics) {
-        obs::MetricsRegistry reg;
-        out.results[i] = run_job(jobs[i], seed, &reg);
-        job_metrics[i] = reg.snapshot();
-      } else {
-        out.results[i] = run_job(jobs[i], seed);
-      }
-      out.job_wall_seconds[i] =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        job_start)
-              .count();
-    }
-    std::string entry;
-    if (journal.is_open() && !restored[i]) {
-      const std::string blob = encode_entry_blob(
-          out.results[i],
-          options_.collect_metrics ? &job_metrics[i] : nullptr);
-      entry = journal_entry(i, jobs[i].label, seed, blob);
-      entry.push_back('\n');
-    }
-    if (options_.progress || !entry.empty()) {
-      const std::lock_guard<std::mutex> lock(progress_mu);
-      if (!entry.empty()) {
-        journal << entry;
-        if (++unflushed >= options_.checkpoint_every) {
-          journal.flush();
-          unflushed = 0;
+  SchedulerStats sched_stats;
+  pool.parallel_for(
+      jobs.size(),
+      [&](std::size_t i) {
+        const std::uint64_t seed = job_seed(jobs, options_.campaign_seed, i);
+        out.seeds[i] = seed;
+        if (!restored[i]) {
+          const auto job_start = std::chrono::steady_clock::now();
+          if (options_.collect_metrics) {
+            obs::MetricsRegistry reg;
+            out.results[i] = run_job(jobs[i], seed, &reg);
+            job_metrics[i] = reg.snapshot();
+          } else {
+            out.results[i] = run_job(jobs[i], seed);
+          }
+          out.job_wall_seconds[i] =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            job_start)
+                  .count();
         }
-      }
-      if (options_.progress) options_.progress(++completed, jobs.size());
-    }
-  });
+        std::string entry;
+        if (journal.is_open() && !restored[i]) {
+          const std::string blob = encode_entry_blob(
+              out.results[i],
+              options_.collect_metrics ? &job_metrics[i] : nullptr);
+          entry = ckpt::journal_entry_line(i, jobs[i].label, seed, blob);
+          entry.push_back('\n');
+        }
+        if (options_.progress || !entry.empty()) {
+          const std::lock_guard<std::mutex> lock(progress_mu);
+          if (!entry.empty()) {
+            journal << entry;
+            if (++unflushed >= options_.checkpoint_every) {
+              journal.flush();
+              unflushed = 0;
+            }
+          }
+          if (options_.progress) options_.progress(++completed, jobs.size());
+        }
+      },
+      options_.schedule, &sched_stats);
   if (journal.is_open()) journal.flush();
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  out.scheduler_metrics = scheduler_snapshot(sched_stats, out.job_wall_seconds);
 
   // Submission-order merge keeps out.metrics a pure function of the grid.
   // Wall-clock lives only in wall_seconds / job_wall_seconds (and whatever

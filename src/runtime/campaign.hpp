@@ -33,6 +33,7 @@
 #include "core/system.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
 #include "workload/dyn_op.hpp"
 
 namespace unsync::runtime {
@@ -85,13 +86,21 @@ struct CampaignOutput {
   /// Options::collect_metrics was set.
   obs::MetricsSnapshot metrics;
 
+  /// Host-side scheduler observability (campaign.scheduler.*): steal /
+  /// local-claim / idle counters per worker slot plus a per-job wall-time
+  /// histogram. Pure measurement — like wall_seconds it varies run to run,
+  /// so it is excluded from the default to_json() and only emitted with
+  /// `include_timing`.
+  obs::MetricsSnapshot scheduler_metrics;
+
   /// Total simulated program instructions across the grid (throughput
   /// numerator for scaling studies).
   std::uint64_t total_instructions() const;
 
   /// Stable "unsync.campaign.v1" schema. The default output is a pure
   /// function of the grid (byte-identical across worker counts);
-  /// `include_timing` adds wall-clock fields for humans and profilers.
+  /// `include_timing` adds wall-clock fields (and scheduler_metrics) for
+  /// humans and profilers.
   std::string to_json(int indent = 0, bool include_timing = false) const;
 };
 
@@ -101,6 +110,10 @@ class CampaignRunner {
     /// Worker threads (including the caller). 0 = hardware concurrency;
     /// 1 = serial execution on the caller.
     unsigned threads = 0;
+    /// In-process scheduling: sharded work stealing by default; the legacy
+    /// shared-counter queue (chunked) stays selectable for comparison.
+    /// Never affects results — only how fast the grid drains.
+    ScheduleOptions schedule;
     std::uint64_t campaign_seed = 42;
     /// Collect each job's metrics into CampaignOutput::metrics (one
     /// registry per job, merged in submission order).

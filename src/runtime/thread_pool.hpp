@@ -6,12 +6,26 @@
 // where every job is an independent simulation. This pool runs such grids
 // across std::thread workers.
 //
+// Two scheduling modes, selected per parallel_for:
+//
+//   * kWorkStealing (default): the index space is split into one
+//     contiguous shard per worker; each worker claims chunks of K indices
+//     from its own shard with a fetch_add on a cache-line-private counter
+//     (the lock-free fast path — no two workers touch the same line while
+//     their shards last), and only when its shard drains does it probe the
+//     other shards in a per-worker pseudo-random order and steal chunks
+//     from whichever still has work. Load imbalance never leaves a core
+//     idle while work remains, and short-job grids stop ping-ponging one
+//     shared cache line.
+//
+//   * kSharedQueue (legacy): all workers claim from a single shared atomic
+//     counter — still chunked (runs of K indices per fetch_add) so the
+//     line bounces once per chunk, not once per index.
+//
 // Determinism contract: the pool never influences simulation results. Work
-// is identified by dense indices [0, n); workers claim indices with a
-// single atomic fetch_add (a shared work queue — an idle worker simply
-// claims the next undone index, so load imbalance never leaves a core idle
-// while work remains). Callers must derive any randomness from the job
-// *index*, never from thread identity or claim order. With threads == 1 no
+// is identified by dense indices [0, n); every index runs exactly once;
+// callers must derive any randomness from the job *index*, never from
+// thread identity, claim order or steal schedule. With threads == 1 no
 // worker threads exist at all and the body runs inline on the caller,
 // byte-for-byte reproducing a serial loop.
 #pragma once
@@ -22,12 +36,57 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 namespace unsync::runtime {
+
+enum class ScheduleMode {
+  kWorkStealing,  ///< sharded per-worker ranges + randomized stealing
+  kSharedQueue,   ///< one shared counter (legacy), chunked claims
+};
+
+/// Per-parallel_for scheduling knobs. The defaults are right for job grids;
+/// tests force degenerate shapes (chunk=1) to exercise steal schedules.
+struct ScheduleOptions {
+  ScheduleMode mode = ScheduleMode::kWorkStealing;
+  /// Indices claimed per fetch_add. 0 = auto: max(1, min(64, n/(8*threads)))
+  /// — large enough to amortize the atomic, small enough that stealing can
+  /// still rebalance a skewed tail.
+  std::size_t chunk = 0;
+};
+
+/// What one worker did during a parallel_for (measurement only — never
+/// part of any deterministic result surface).
+struct WorkerStats {
+  std::uint64_t indices = 0;       ///< body invocations on this worker
+  std::uint64_t local_claims = 0;  ///< chunks claimed from the own shard
+  std::uint64_t steals = 0;        ///< chunks claimed from another shard
+  std::uint64_t steal_failures = 0;  ///< probes that found a drained shard
+  std::uint64_t idle_ns = 0;  ///< time spent hunting for work after the
+                              ///< local shard drained
+};
+
+/// Scheduler counters for one parallel_for, per worker slot (slot 0 is the
+/// calling thread). kSharedQueue reports every claim as local.
+struct SchedulerStats {
+  std::vector<WorkerStats> workers;
+
+  WorkerStats total() const {
+    WorkerStats t;
+    for (const auto& w : workers) {
+      t.indices += w.indices;
+      t.local_claims += w.local_claims;
+      t.steals += w.steals;
+      t.steal_failures += w.steal_failures;
+      t.idle_ns += w.idle_ns;
+    }
+    return t;
+  }
+};
 
 class ThreadPool {
  public:
@@ -49,23 +108,48 @@ class ThreadPool {
   /// the exception of the *lowest* failed index is rethrown — so error
   /// reporting is independent of scheduling order.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body) {
+    parallel_for(n, body, ScheduleOptions{}, nullptr);
+  }
+
+  /// As above with explicit scheduling; fills `*stats` (when non-null)
+  /// with per-worker scheduler counters for this batch.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body,
+                    const ScheduleOptions& options, SchedulerStats* stats);
 
   /// std::thread::hardware_concurrency with a floor of 1.
   static unsigned default_threads();
 
  private:
+  /// One worker's claim state, padded so the owner's fetch_add fast path
+  /// never shares a cache line with a neighbour.
+  struct alignas(64) Shard {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+  };
+  struct alignas(64) PaddedWorkerStats {
+    WorkerStats s;
+  };
+
   struct Batch {
     const std::function<void(std::size_t)>* body = nullptr;
     std::size_t n = 0;
-    std::atomic<std::size_t> next{0};
+    std::size_t chunk = 1;
+    ScheduleMode mode = ScheduleMode::kWorkStealing;
+    unsigned width = 1;  // worker slots (pool size)
+    std::atomic<std::size_t> shared_next{0};
+    std::unique_ptr<Shard[]> shards;           // width entries (stealing)
+    std::unique_ptr<PaddedWorkerStats[]> ws;   // width entries
     std::mutex error_mu;
     std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
   };
 
-  void worker_loop();
-  /// Claims and runs indices of `batch` until none remain.
-  static void drain(Batch& batch);
+  void worker_loop(unsigned slot);
+  /// Claims and runs indices of `batch` as worker `slot` until none remain.
+  static void drain(Batch& batch, unsigned slot);
+  static void run_range(Batch& batch, std::size_t begin, std::size_t end,
+                        WorkerStats& ws);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;

@@ -1,0 +1,236 @@
+// The work-stealing scheduler's contract: every index exactly once under
+// any mode / chunk / thread count, steals actually happen under skew,
+// stats account for all work, and — the headline — campaign output stays
+// byte-identical however the grid was scheduled.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/campaign.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace unsync {
+namespace {
+
+using runtime::CampaignRunner;
+using runtime::ScheduleMode;
+using runtime::ScheduleOptions;
+using runtime::SchedulerStats;
+using runtime::SimJob;
+using runtime::SystemKind;
+using runtime::ThreadPool;
+
+ScheduleOptions stealing(std::size_t chunk = 0) {
+  ScheduleOptions s;
+  s.mode = ScheduleMode::kWorkStealing;
+  s.chunk = chunk;
+  return s;
+}
+
+ScheduleOptions shared_queue(std::size_t chunk = 0) {
+  ScheduleOptions s;
+  s.mode = ScheduleMode::kSharedQueue;
+  s.chunk = chunk;
+  return s;
+}
+
+void expect_each_index_once(ThreadPool& pool, std::size_t n,
+                            const ScheduleOptions& opts,
+                            SchedulerStats* stats = nullptr) {
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(
+      n, [&](std::size_t i) { hits[i].fetch_add(1); }, opts, stats);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Scheduler, EveryIndexOnceAcrossModesChunksAndWidths) {
+  for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    for (const std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+      for (const std::size_t chunk : {0u, 1u, 3u, 1024u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " n=" + std::to_string(n) +
+                     " chunk=" + std::to_string(chunk));
+        expect_each_index_once(pool, n, stealing(chunk));
+        expect_each_index_once(pool, n, shared_queue(chunk));
+      }
+    }
+  }
+}
+
+TEST(Scheduler, StatsAccountForEveryIndex) {
+  ThreadPool pool(4);
+  for (const auto& opts : {stealing(1), stealing(8), shared_queue(1)}) {
+    SchedulerStats stats;
+    expect_each_index_once(pool, 500, opts, &stats);
+    ASSERT_EQ(stats.workers.size(), pool.size());
+    EXPECT_EQ(stats.total().indices, 500u);
+    EXPECT_GT(stats.total().local_claims + stats.total().steals, 0u);
+  }
+}
+
+TEST(Scheduler, SerialFallbackFillsStats) {
+  ThreadPool pool(1);
+  SchedulerStats stats;
+  expect_each_index_once(pool, 32, stealing(), &stats);
+  ASSERT_EQ(stats.workers.size(), 1u);
+  EXPECT_EQ(stats.workers[0].indices, 32u);
+  EXPECT_EQ(stats.workers[0].steals, 0u);
+}
+
+TEST(Scheduler, SharedQueueReportsOnlyLocalClaims) {
+  ThreadPool pool(4);
+  SchedulerStats stats;
+  expect_each_index_once(pool, 256, shared_queue(1), &stats);
+  EXPECT_EQ(stats.total().steals, 0u);
+  EXPECT_EQ(stats.total().indices, 256u);
+}
+
+TEST(Scheduler, SkewForcesSteals) {
+  // All the real work sits in worker 0's shard: indices [0, n/width) are
+  // slow, everything else is instant. The other workers drain their shards
+  // immediately and must steal from shard 0 to finish the batch. chunk=1
+  // keeps single indices stealable.
+  ThreadPool pool(4);
+  const std::size_t n = 64;
+  const std::size_t slow_end = n / pool.size();
+  std::vector<std::atomic<int>> hits(n);
+  SchedulerStats stats;
+  pool.parallel_for(
+      n,
+      [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        if (i < slow_end) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      },
+      stealing(1), &stats);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_EQ(stats.total().indices, n);
+  EXPECT_GT(stats.total().steals, 0u) << "skewed batch finished with no steal";
+  // A worker that steals first had to notice its own shard was dry; the
+  // sweep over drained victims also records failures.
+  EXPECT_GT(stats.total().steal_failures, 0u);
+}
+
+TEST(Scheduler, ExceptionReportingIsScheduleIndependent) {
+  // The lowest failing index wins under every mode and chunk shape.
+  for (const auto& opts :
+       {stealing(0), stealing(1), shared_queue(0), shared_queue(1)}) {
+    ThreadPool pool(4);
+    try {
+      pool.parallel_for(
+          48,
+          [&](std::size_t i) {
+            if (i == 41 || i == 11) {
+              throw std::runtime_error("job " + std::to_string(i));
+            }
+          },
+          opts, nullptr);
+      FAIL() << "expected parallel_for to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "job 11");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CampaignRunner x scheduler: the determinism contract
+// ---------------------------------------------------------------------------
+
+std::vector<SimJob> small_grid() {
+  std::vector<SimJob> jobs;
+  const char* profiles[] = {"gzip", "susan", "mcf"};
+  for (const auto* p : profiles) {
+    for (const auto s : {SystemKind::kBaseline, SystemKind::kUnSync}) {
+      SimJob j;
+      j.label = p;
+      j.profile = p;
+      j.system = s;
+      j.insts = 2000;
+      j.ser_per_inst = 1e-3;
+      jobs.push_back(j);
+    }
+  }
+  return jobs;
+}
+
+TEST(SchedulerDeterminism, JsonByteIdenticalAcrossThreadsAndSchedules) {
+  const auto jobs = small_grid();
+  CampaignRunner::Options base;
+  base.campaign_seed = 23;
+  base.collect_metrics = true;
+  base.threads = 1;
+  const std::string reference = CampaignRunner(base).run(jobs).to_json();
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const auto& sched :
+         {stealing(0), stealing(1), shared_queue(0), shared_queue(1)}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " mode=" +
+                   (sched.mode == ScheduleMode::kWorkStealing ? "stealing"
+                                                              : "shared") +
+                   " chunk=" + std::to_string(sched.chunk));
+      CampaignRunner::Options opts = base;
+      opts.threads = threads;
+      opts.schedule = sched;
+      EXPECT_EQ(CampaignRunner(opts).run(jobs).to_json(), reference);
+    }
+  }
+}
+
+TEST(SchedulerDeterminism, ForcedStealScheduleDoesNotChangeOutput) {
+  // chunk=1 on a grid whose first jobs are the heaviest maximises steal
+  // traffic; the output must not care.
+  auto jobs = small_grid();
+  jobs[0].insts = 20000;  // a straggler in worker 0's shard
+  CampaignRunner::Options serial;
+  serial.campaign_seed = 9;
+  serial.collect_metrics = true;
+  serial.threads = 1;
+  CampaignRunner::Options steal_heavy = serial;
+  steal_heavy.threads = 8;
+  steal_heavy.schedule = stealing(1);
+  const auto a = CampaignRunner(serial).run(jobs);
+  const auto b = CampaignRunner(steal_heavy).run(jobs);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.metrics.to_csv(), b.metrics.to_csv());
+}
+
+TEST(SchedulerMetrics, OnlyInTimingJson) {
+  const auto jobs = small_grid();
+  CampaignRunner::Options opts;
+  opts.threads = 2;
+  const auto out = CampaignRunner(opts).run(jobs);
+  EXPECT_FALSE(out.scheduler_metrics.empty());
+  EXPECT_EQ(out.to_json().find("scheduler"), std::string::npos)
+      << "scheduler counters leaked into the deterministic surface";
+  EXPECT_NE(out.to_json(0, true).find("campaign.scheduler.workers"),
+            std::string::npos);
+  EXPECT_NE(out.to_json(0, true).find("campaign.scheduler.job_wall_seconds"),
+            std::string::npos);
+}
+
+TEST(SchedulerMetrics, CountersCoverTheGrid) {
+  const auto jobs = small_grid();
+  CampaignRunner::Options opts;
+  opts.threads = 4;
+  const auto out = CampaignRunner(opts).run(jobs);
+  const auto it = out.scheduler_metrics.counters.find(
+      "campaign.scheduler.local_claims");
+  ASSERT_NE(it, out.scheduler_metrics.counters.end());
+  const auto workers =
+      out.scheduler_metrics.counters.find("campaign.scheduler.workers");
+  ASSERT_NE(workers, out.scheduler_metrics.counters.end());
+  EXPECT_EQ(workers->second, 4u);
+}
+
+}  // namespace
+}  // namespace unsync

@@ -24,6 +24,20 @@ and enforces two properties:
 To refresh the committed baseline after a deliberate perf change:
     python3 tools/check_bench_regression.py BENCH_sim.json \
         --write-baseline bench/BENCH_sim_baseline.json
+
+Campaign-scheduler mode (--campaign): consumes the JSON that
+    build/bench/bench_campaign_scaling json=BENCH_campaign.json
+writes ("unsync.bench_campaign_scaling.v1") and enforces:
+1. identical == true — the scheduler never leaked into results.
+2. Work-stealing parallel efficiency at the largest non-oversubscribed
+   worker count (workers <= hardware_concurrency) >= --min-efficiency
+   (default 0.85). On hosts with a single core every multi-worker point is
+   oversubscribed, so the gate falls back to the workers=1 point — which
+   must stay near 1.0 (scheduling overhead, not parallelism, is then what
+   is being bounded).
+3. Work-stealing throughput at the largest measured worker count is not
+   materially below the shared-queue scheduler's (>= 1 - --tolerance).
+
 Exit codes: 0 pass, 1 regression detected, 2 usage/input error.
 """
 
@@ -134,18 +148,90 @@ def write_baseline(ips, path):
     print(f"wrote baseline {path} ({len(doc['benchmarks'])} entries)")
 
 
+CAMPAIGN_SCHEMA = "unsync.bench_campaign_scaling.v1"
+
+
+def check_campaign(path, min_efficiency, tolerance):
+    """Gate the work-stealing scheduler's scaling report."""
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read campaign report {path}: {e}")
+        sys.exit(2)
+    if report.get("schema") != CAMPAIGN_SCHEMA:
+        print(f"error: {path} is not a {CAMPAIGN_SCHEMA} file")
+        sys.exit(2)
+
+    ok = True
+    if report.get("identical") is not True:
+        print("  campaign: FAIL — results were NOT identical across "
+              "schedules (determinism contract broken)")
+        ok = False
+    else:
+        print("  campaign: results identical across every mode and worker "
+              "count")
+
+    cores = int(report.get("hardware_concurrency", 1))
+    stealing = [p for p in report.get("points", [])
+                if p.get("mode") == "stealing"]
+    shared = [p for p in report.get("points", [])
+              if p.get("mode") == "shared"]
+    if not stealing:
+        print("error: no work-stealing points in report")
+        sys.exit(2)
+
+    # The gated point: the largest worker count the host can actually run
+    # in parallel (falls back to workers=1 on a single-core host, where the
+    # gate bounds pure scheduling overhead instead).
+    eligible = [p for p in stealing if p["workers"] <= cores]
+    gated = max(eligible or stealing[:1], key=lambda p: p["workers"])
+    eff = float(gated["efficiency"])
+    verdict = "ok"
+    if eff < min_efficiency:
+        verdict = f"FAIL (< {min_efficiency:.2f} required)"
+        ok = False
+    print(f"  campaign: stealing efficiency at workers={gated['workers']} "
+          f"(cores={cores}): {eff:.2f}  [gated] {verdict}")
+
+    # Work stealing must not lose to the legacy shared queue.
+    top_steal = max(stealing, key=lambda p: p["workers"])
+    top_shared = [p for p in shared if p["workers"] == top_steal["workers"]]
+    if top_shared:
+        rel = top_steal["jobs_per_sec"] / top_shared[0]["jobs_per_sec"]
+        verdict = "ok"
+        if rel < 1.0 - tolerance:
+            verdict = f"FAIL (>{tolerance:.0%} slower than shared queue)"
+            ok = False
+        print(f"  campaign: stealing vs shared throughput at workers="
+              f"{top_steal['workers']}: {rel:6.2%} {verdict}")
+    return ok
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("report", help="google-benchmark JSON (BENCH_sim.json)")
+    ap.add_argument("report", help="google-benchmark JSON (BENCH_sim.json) "
+                    "or, with --campaign, a BENCH_campaign JSON")
     ap.add_argument("--baseline", help="committed BENCH_sim_baseline.json")
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="allowed fractional drop vs baseline (default 0.10)")
     ap.add_argument("--ff-min-speedup", type=float, default=1.15,
                     help="required ff/naive speedup on galgel (default 1.15)")
+    ap.add_argument("--campaign", action="store_true",
+                    help="gate a bench_campaign_scaling JSON instead of a "
+                    "google-benchmark report")
+    ap.add_argument("--min-efficiency", type=float, default=0.85,
+                    help="required work-stealing parallel efficiency at the "
+                    "gated point (default 0.85)")
     ap.add_argument("--write-baseline", metavar="PATH",
                     help="write a fresh baseline from the report and exit")
     args = ap.parse_args()
+
+    if args.campaign:
+        ok = check_campaign(args.report, args.min_efficiency, args.tolerance)
+        print("bench gate:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
 
     ips = load_report(args.report)
     if args.write_baseline:

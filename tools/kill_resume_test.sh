@@ -1,14 +1,22 @@
 #!/bin/sh
-# Crash-safety integration test: SIGKILL a journaled campaign mid-flight,
-# resume it with a different worker count, and require the resumed
+# Crash-safety integration test, two phases:
+#
+# Phase 1 — single process: SIGKILL a journaled campaign mid-flight, resume
+# it with a different worker count, and require the resumed
 # unsync.campaign.v1 JSON to be byte-identical to an uninterrupted run.
+#
+# Phase 2 — multi-process: run the same grid as a distributed campaign
+# (coordinator + 2 shard workers), SIGKILL worker 1 mid-flight, restart it
+# (steal disabled, so resuming the dead worker is load-bearing), and require
+# the coordinator's merged JSON to be byte-identical to the serial
+# reference too.
 #
 # Usage: kill_resume_test.sh <path-to-unsync_sim> <work-dir>
 #
-# The kill lands at an arbitrary point (maybe before the journal header,
+# The kills land at arbitrary points (maybe before the journal header,
 # maybe mid-entry, maybe after the grid finished) — the resume contract
 # covers every case, so the test is deterministic even though the kill
-# point is not.
+# points are not.
 set -eu
 
 SIM=$1
@@ -42,3 +50,50 @@ wait "$PID" 2>/dev/null || true
 
 cmp "$REF" "$GOT"
 echo "kill+resume: byte-identical campaign output"
+
+# ---------------------------------------------------------------------------
+# Phase 2: distributed campaign — coordinator + 2 workers, kill -9 one.
+# ---------------------------------------------------------------------------
+DIST="$WORK/kill_resume_dist"
+DGOT="$WORK/kill_resume_dist.json"
+rm -rf "$DIST" "$DGOT"
+
+# The coordinator emits format=json, so it merges with metrics collected;
+# workers must journal metrics too (collect_metrics=1) or the shard headers
+# would pin a different campaign.
+# shellcheck disable=SC2086
+WGRID="benches=gzip,mcf,susan,bzip2 systems=baseline,unsync,reunion \
+       insts=20000 ser=1e-5 dir=$DIST workers=2 collect_metrics=1 steal=0"
+
+# Worker 0 runs to completion; worker 1 is killed mid-shard. steal=0 keeps
+# worker 0 from covering for it — the killed worker's own resume must do
+# the recovery, which is exactly what phase 2 verifies.
+# shellcheck disable=SC2086
+"$SIM" campaign-worker $WGRID worker=0 > /dev/null &
+W0=$!
+# shellcheck disable=SC2086
+"$SIM" campaign-worker $WGRID worker=1 > /dev/null 2>&1 &
+W1=$!
+sleep 1
+kill -9 "$W1" 2>/dev/null || true
+wait "$W1" 2>/dev/null || true
+wait "$W0"
+
+# Restart the killed worker: its journal's valid lines are restored, the
+# torn tail re-runs.
+# shellcheck disable=SC2086
+"$SIM" campaign-worker $WGRID worker=1 > /dev/null
+
+# The shard journals must now cover the grid; the merge must reproduce the
+# serial reference bytes.
+# shellcheck disable=SC2086
+"$SIM" campaign-coordinator benches=gzip,mcf,susan,bzip2 \
+    systems=baseline,unsync,reunion insts=20000 ser=1e-5 \
+    dir="$DIST" workers=2 timeout=60 format=json > "$DGOT"
+
+cmp "$REF" "$DGOT"
+echo "kill+resume (distributed): byte-identical merged campaign output"
+
+# The status subcommand reads both shard journals without running anything.
+"$SIM" campaign status journal="$DIST/shard_1.jsonl" | grep -q "pending:"
+echo "campaign status: shard journal inspected"

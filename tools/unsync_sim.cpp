@@ -4,6 +4,9 @@
 //   run          simulate a workload on a chosen architecture
 //   sweep        one CSV row per value of a swept parameter
 //   campaign     a (benchmark x system) grid across a host thread pool
+//   campaign-worker       run one shard of a distributed campaign
+//   campaign-coordinator  wait for the shards and merge their journals
+//   campaign status       inspect a campaign journal (done/pending/corrupt)
 //   characterize print a stream characterisation (benchmark-table style)
 //   asm          assemble + functionally execute a URISC source file
 //   record       record a URISC program into a binary UTRC trace file
@@ -63,6 +66,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/campaign.hpp"
+#include "runtime/campaign_journal.hpp"
+#include "runtime/distributed.hpp"
 #include "runtime/thread_pool.hpp"
 #include "workload/kernels.hpp"
 #include "workload/profile.hpp"
@@ -88,7 +93,8 @@ constexpr int kExitConfigError = 2;
 void print_usage(std::ostream& os) {
   os <<
       "usage: unsync_sim "
-      "<run|sweep|campaign|characterize|asm|record|hw|list|version>"
+      "<run|sweep|campaign|campaign-worker|campaign-coordinator|"
+      "characterize|asm|record|hw|list|version>"
       " [key=value...]\n"
       "  run: system=unsync|reunion|baseline|lockstep|checkpoint\n"
       "       bench=|kernel=|program=|trace=   [insts= seed= threads= ser=]\n"
@@ -107,6 +113,13 @@ void print_usage(std::ostream& os) {
       "            [insts= seed= ser= threads=<host workers>]\n"
       "            [csv=1 format=json metrics=<path> progress=1]\n"
       "            [checkpoint=<journal> checkpoint_every=N resume=1]\n"
+      "            [scheduler=stealing|shared chunk=<indices per claim>]\n"
+      "  campaign-worker: dir=<campaign dir> worker=<i> workers=<N>\n"
+      "            + the campaign grid args (systems/benches/insts/seed/...)\n"
+      "            [threads= steal=0 checkpoint_every=N collect_metrics=1]\n"
+      "  campaign-coordinator: dir=<campaign dir> workers=<N> + grid args\n"
+      "            [poll_ms= timeout=<seconds>] + campaign output args\n"
+      "  campaign status: journal=<file>  print done/pending/corrupt counts\n"
       "  characterize: bench=|kernel=|program=|trace=  [insts= seed=]\n"
       "  asm: program=<file.s> [max_steps=]\n"
       "  record: bench=|kernel=|program=  out=<file.utrc> [insts= seed=]\n"
@@ -394,58 +407,145 @@ int cmd_sweep(const Config& cfg) {
   return kExitOk;
 }
 
-/// campaign: a (benchmark x system) grid across the host thread pool.
-/// Job seeds derive from (seed=, job index), so the table/CSV/JSON is
-/// byte-identical for threads=1 and threads=N.
-int cmd_campaign(const Config& cfg) {
+/// In-process scheduler selection shared by campaign / campaign-worker:
+/// scheduler=stealing (default) | shared, chunk=N (0 = auto-size).
+runtime::ScheduleOptions schedule_from(const Config& cfg) {
+  runtime::ScheduleOptions s;
+  const std::string mode = cfg.get_string("scheduler", "stealing");
+  if (mode == "stealing") {
+    s.mode = runtime::ScheduleMode::kWorkStealing;
+  } else if (mode == "shared") {
+    s.mode = runtime::ScheduleMode::kSharedQueue;
+  } else {
+    throw ConfigError("unknown scheduler: " + mode + " (stealing|shared)");
+  }
+  s.chunk = static_cast<std::size_t>(cfg.get_int("chunk", 0));
+  return s;
+}
+
+/// The (benchmark x system) grid shared by campaign / campaign-worker /
+/// campaign-coordinator. Every participant of a distributed campaign must
+/// build the identical grid from identical args — the journal grid-CRC
+/// rejects any divergence.
+struct CampaignGrid {
+  std::vector<runtime::SystemKind> systems;
+  std::vector<std::string> benches;
+  std::vector<runtime::SimJob> jobs;
+  std::uint64_t insts = 0;
+};
+
+CampaignGrid build_campaign_grid(const Config& cfg) {
+  CampaignGrid grid;
   const auto systems_arg =
       split_csv(cfg.get_string("systems", "baseline,unsync,reunion"));
-  std::vector<runtime::SystemKind> systems;
   for (const auto& s : systems_arg) {
     const auto kind = runtime::parse_system(s);
     if (!kind) throw ConfigError("unknown system: " + s);
-    systems.push_back(*kind);
+    grid.systems.push_back(*kind);
   }
 
-  const std::string format = cfg.get_string("format", "text");
-  if (format != "text" && format != "json") {
-    throw ConfigError("unknown format: " + format + " (text|json)");
-  }
-  const std::string metrics_path = cfg.get_string("metrics", "");
-  if (cfg.has("trace_out")) {
-    throw ConfigError(
-        "trace_out= is only supported by `run` (a multi-job event trace "
-        "would interleave nondeterministically)");
-  }
-
-  std::vector<std::string> benches;
   const std::string benches_arg = cfg.get_string("benches", "all");
   if (benches_arg == "all") {
-    for (const auto& p : workload::all_profiles()) benches.push_back(p.name);
+    for (const auto& p : workload::all_profiles()) {
+      grid.benches.push_back(p.name);
+    }
   } else {
-    benches = split_csv(benches_arg);
-    for (const auto& b : benches) (void)workload::profile(b);  // validate
+    grid.benches = split_csv(benches_arg);
+    for (const auto& b : grid.benches) (void)workload::profile(b);  // validate
   }
 
   runtime::SimJob base;
   base.insts = static_cast<std::uint64_t>(cfg.get_int("insts", 50000));
   base.app_threads = static_cast<unsigned>(cfg.get_int("app_threads", 1));
   fill_params(cfg, &base);
+  grid.insts = base.insts;
 
-  std::vector<runtime::SimJob> jobs;
-  jobs.reserve(benches.size() * systems.size());
-  for (const auto& bench : benches) {
-    for (const auto kind : systems) {
+  grid.jobs.reserve(grid.benches.size() * grid.systems.size());
+  for (const auto& bench : grid.benches) {
+    for (const auto kind : grid.systems) {
       runtime::SimJob job = base;
       job.label = bench;
       job.profile = bench;
       job.system = kind;
-      jobs.push_back(std::move(job));
+      grid.jobs.push_back(std::move(job));
     }
   }
+  return grid;
+}
+
+/// Campaign output selection (table/CSV/JSON + metrics file), shared by the
+/// single-process campaign and the distributed coordinator. The default
+/// JSON surface is a pure function of the grid, so both paths emit
+/// identical bytes for identical grids.
+void emit_campaign_output(const Config& cfg, const CampaignGrid& grid,
+                          const runtime::CampaignOutput& out,
+                          const std::string& format,
+                          const std::string& metrics_path) {
+  if (!metrics_path.empty()) {
+    // The file variant may carry wall-time (it is a measurement artifact,
+    // not part of the deterministic result surface).
+    obs::MetricsSnapshot snap = out.metrics;
+    for (const auto s : out.job_wall_seconds) {
+      snap.gauges["campaign.job_wall_seconds"].add(s);
+    }
+    snap.merge(out.scheduler_metrics);
+    write_metrics_file(snap, metrics_path);
+  }
+
+  if (format == "json") {
+    std::cout << out.to_json() << "\n";
+  } else if (cfg.get_bool("csv", false)) {
+    std::cout << "benchmark,system,cycles,ipc,errors,recoveries,rollbacks\n";
+    for (std::size_t i = 0; i < grid.jobs.size(); ++i) {
+      const auto& r = out.results[i];
+      std::cout << grid.jobs[i].label << ',' << name_of(grid.jobs[i].system)
+                << ',' << r.cycles << ',' << TextTable::num(r.thread_ipc(), 4)
+                << ',' << r.errors_injected << ',' << r.recoveries << ','
+                << r.rollbacks << '\n';
+    }
+  } else {
+    TextTable t("Campaign: per-benchmark IPC (" + std::to_string(grid.insts) +
+                " insts/run)");
+    std::vector<std::string> header = {"benchmark"};
+    for (const auto kind : grid.systems) header.emplace_back(name_of(kind));
+    t.set_header(header);
+    for (std::size_t b = 0; b < grid.benches.size(); ++b) {
+      std::vector<std::string> row = {grid.benches[b]};
+      for (std::size_t s = 0; s < grid.systems.size(); ++s) {
+        row.push_back(TextTable::num(
+            out.results[b * grid.systems.size() + s].thread_ipc(), 3));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+}
+
+/// Validates format= and rejects trace_out= for multi-job commands.
+std::string campaign_format(const Config& cfg) {
+  const std::string format = cfg.get_string("format", "text");
+  if (format != "text" && format != "json") {
+    throw ConfigError("unknown format: " + format + " (text|json)");
+  }
+  if (cfg.has("trace_out")) {
+    throw ConfigError(
+        "trace_out= is only supported by `run` (a multi-job event trace "
+        "would interleave nondeterministically)");
+  }
+  return format;
+}
+
+/// campaign: a (benchmark x system) grid across the host thread pool.
+/// Job seeds derive from (seed=, job index), so the table/CSV/JSON is
+/// byte-identical for threads=1 and threads=N.
+int cmd_campaign(const Config& cfg) {
+  const std::string format = campaign_format(cfg);
+  const std::string metrics_path = cfg.get_string("metrics", "");
+  const CampaignGrid grid = build_campaign_grid(cfg);
 
   runtime::CampaignRunner::Options opts;
   opts.threads = static_cast<unsigned>(cfg.get_int("threads", 0));
+  opts.schedule = schedule_from(cfg);
   opts.campaign_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
   opts.collect_metrics = !metrics_path.empty() || format == "json";
   opts.journal = cfg.get_string("checkpoint", "");
@@ -461,49 +561,101 @@ int cmd_campaign(const Config& cfg) {
                 std::to_string(total));
     };
   }
-  const auto out = runtime::CampaignRunner(opts).run(jobs);
+  const auto out = runtime::CampaignRunner(opts).run(grid.jobs);
 
-  if (!metrics_path.empty()) {
-    // The file variant may carry wall-time (it is a measurement artifact,
-    // not part of the deterministic result surface).
-    obs::MetricsSnapshot snap = out.metrics;
-    for (const auto s : out.job_wall_seconds) {
-      snap.gauges["campaign.job_wall_seconds"].add(s);
-    }
-    write_metrics_file(snap, metrics_path);
-  }
-
-  if (format == "json") {
-    std::cout << out.to_json() << "\n";
-  } else if (cfg.get_bool("csv", false)) {
-    std::cout << "benchmark,system,cycles,ipc,errors,recoveries,rollbacks\n";
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      const auto& r = out.results[i];
-      std::cout << jobs[i].label << ',' << name_of(jobs[i].system) << ','
-                << r.cycles << ',' << TextTable::num(r.thread_ipc(), 4)
-                << ',' << r.errors_injected << ',' << r.recoveries << ','
-                << r.rollbacks << '\n';
-    }
-  } else {
-    TextTable t("Campaign: per-benchmark IPC (" + std::to_string(base.insts) +
-                " insts/run)");
-    std::vector<std::string> header = {"benchmark"};
-    for (const auto kind : systems) header.emplace_back(name_of(kind));
-    t.set_header(header);
-    for (std::size_t b = 0; b < benches.size(); ++b) {
-      std::vector<std::string> row = {benches[b]};
-      for (std::size_t s = 0; s < systems.size(); ++s) {
-        row.push_back(TextTable::num(
-            out.results[b * systems.size() + s].thread_ipc(), 3));
-      }
-      t.add_row(row);
-    }
-    t.print(std::cout);
-  }
-  Log::info("[campaign] " + std::to_string(jobs.size()) + " jobs, " +
+  emit_campaign_output(cfg, grid, out, format, metrics_path);
+  Log::info("[campaign] " + std::to_string(grid.jobs.size()) + " jobs, " +
             std::to_string(out.total_instructions()) +
             " simulated instructions in " +
             TextTable::num(out.wall_seconds, 2) + "s");
+  return kExitOk;
+}
+
+/// Distributed-campaign knobs shared by worker and coordinator.
+runtime::DistributedOptions distributed_from(const Config& cfg) {
+  runtime::DistributedOptions opts;
+  opts.dir = cfg.get_string("dir", "");
+  if (opts.dir.empty()) throw ConfigError("dir=<campaign dir> is required");
+  opts.workers = static_cast<unsigned>(cfg.get_int("workers", 0));
+  if (opts.workers == 0) throw ConfigError("workers=<N >= 1> is required");
+  opts.campaign_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  opts.checkpoint_every =
+      static_cast<std::size_t>(cfg.get_int("checkpoint_every", 1));
+  return opts;
+}
+
+/// campaign-worker: run shard worker= of a workers=-way distributed
+/// campaign, journaling into dir=/shard_<worker>.jsonl. Safe to kill -9
+/// and rerun: valid journal lines are restored, torn ones re-run.
+int cmd_campaign_worker(const Config& cfg) {
+  const CampaignGrid grid = build_campaign_grid(cfg);
+  runtime::DistributedOptions opts = distributed_from(cfg);
+  if (!cfg.has("worker")) throw ConfigError("worker=<shard index> is required");
+  opts.shard = static_cast<unsigned>(cfg.get_int("worker", 0));
+  if (opts.shard >= opts.workers) {
+    throw ConfigError("worker= must be < workers=");
+  }
+  opts.threads = static_cast<unsigned>(cfg.get_int("threads", 1));
+  opts.schedule = schedule_from(cfg);
+  opts.steal = cfg.get_bool("steal", true);
+  opts.collect_metrics = cfg.get_bool("collect_metrics", false);
+  if (cfg.get_bool("progress", false)) {
+    const unsigned shard = opts.shard;
+    opts.progress = [shard](std::size_t completed, std::size_t) {
+      Log::info("worker " + std::to_string(shard) + " completed " +
+                std::to_string(completed) + " jobs");
+    };
+  }
+  const std::size_t ran = runtime::run_worker(grid.jobs, opts);
+  std::cout << "worker " << opts.shard << "/" << opts.workers << ": ran "
+            << ran << " of " << grid.jobs.size() << " jobs -> "
+            << runtime::shard_journal_path(opts.dir, opts.shard) << "\n";
+  return kExitOk;
+}
+
+/// campaign-coordinator: pin the campaign manifest, wait until the shard
+/// journals cover every job, and emit output byte-identical to a serial
+/// `campaign` run of the same grid.
+int cmd_campaign_coordinator(const Config& cfg) {
+  const std::string format = campaign_format(cfg);
+  const std::string metrics_path = cfg.get_string("metrics", "");
+  const CampaignGrid grid = build_campaign_grid(cfg);
+  runtime::DistributedOptions opts = distributed_from(cfg);
+  opts.collect_metrics = !metrics_path.empty() || format == "json";
+  opts.poll_ms = static_cast<unsigned>(cfg.get_int("poll_ms", 100));
+  opts.timeout_seconds = cfg.get_double("timeout", 600.0);
+  const auto out = runtime::merge_shards(grid.jobs, opts);
+  emit_campaign_output(cfg, grid, out, format, metrics_path);
+  Log::info("[campaign-coordinator] merged " + std::to_string(opts.workers) +
+            " shards, " + std::to_string(grid.jobs.size()) + " jobs, " +
+            std::to_string(out.total_instructions()) +
+            " simulated instructions");
+  return kExitOk;
+}
+
+/// campaign status journal=<path>: journal health without running anything
+/// (works on single-process journals and distributed shard journals alike).
+int cmd_campaign_status(const Config& cfg) {
+  const std::string path = cfg.get_string("journal", "");
+  if (path.empty()) {
+    throw ConfigError("campaign status needs journal=<file>");
+  }
+  const auto status = runtime::journal_status(path);
+  std::cout << "journal:      " << path << "\n"
+            << "schema:       " << ckpt::kCampaignJournalSchema << "\n"
+            << "campaign_seed " << status.header.campaign_seed << "\n"
+            << "jobs:         " << status.header.jobs << "\n"
+            << "grid_crc:     " << status.header.grid_crc << "\n"
+            << "metrics:      "
+            << (status.header.collect_metrics ? "collected" : "off") << "\n";
+  if (status.header.shard) {
+    std::cout << "shard:        " << *status.header.shard << " of "
+              << status.header.workers.value_or(0) << "\n";
+  }
+  std::cout << "done:         " << status.done << "\n"
+            << "pending:      " << status.pending() << "\n"
+            << "duplicates:   " << status.duplicates << "\n"
+            << "corrupt:      " << status.corrupt << "\n";
   return kExitOk;
 }
 
@@ -660,11 +812,18 @@ int main(int argc, char** argv) {
     print_usage(std::cout);
     return kExitOk;
   }
-  const std::string command = args.front();
+  std::string command = args.front();
+  std::size_t first_option = 1;
+  // "campaign status" is a two-word subcommand (the second word would
+  // otherwise be rejected as a stray positional argument).
+  if (command == "campaign" && args.size() > 1 && args[1] == "status") {
+    command = "campaign-status";
+    first_option = 2;
+  }
 
   std::vector<const char*> arg_ptrs;  // Config::from_args skips argv[0]
   arg_ptrs.push_back("unsync_sim");
-  for (std::size_t i = 1; i < args.size(); ++i) {
+  for (std::size_t i = first_option; i < args.size(); ++i) {
     if (is_help(args[i])) {
       print_usage(std::cout);
       return kExitOk;
@@ -685,6 +844,11 @@ int main(int argc, char** argv) {
     if (command == "run") rc = cmd_run(cfg);
     else if (command == "sweep") rc = cmd_sweep(cfg);
     else if (command == "campaign") rc = cmd_campaign(cfg);
+    else if (command == "campaign-worker") rc = cmd_campaign_worker(cfg);
+    else if (command == "campaign-coordinator") {
+      rc = cmd_campaign_coordinator(cfg);
+    }
+    else if (command == "campaign-status") rc = cmd_campaign_status(cfg);
     else if (command == "characterize") rc = cmd_characterize(cfg);
     else if (command == "asm") rc = cmd_asm(cfg);
     else if (command == "record") rc = cmd_record(cfg);
