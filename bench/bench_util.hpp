@@ -115,7 +115,7 @@ inline runtime::CampaignOutput run_grid(const BenchArgs& a,
   return runtime::CampaignRunner(opts).run(jobs);
 }
 
-/// Honors the json= knob: writes the raw campaign grid ("unsync.campaign.v1")
+/// Honors the json= knob: writes the raw campaign grid ("unsync.campaign.v2")
 /// so a plotting script can consume exactly what the table was built from.
 inline void maybe_dump_json(const BenchArgs& a,
                             const runtime::CampaignOutput& out) {

@@ -11,9 +11,7 @@
 
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "core/baseline.hpp"
-#include "core/reunion_system.hpp"
-#include "core/unsync_system.hpp"
+#include "core/factory.hpp"
 #include "hwmodel/core_model.hpp"
 #include "hwmodel/energy.hpp"
 #include "workload/profile.hpp"
@@ -26,12 +24,16 @@ int main(int argc, char** argv) {
   const auto insts = static_cast<std::uint64_t>(cfg.get_int("insts", 40000));
   const std::uint64_t seed = 11;
 
+  // Every design point is built through core::make_system (the factory the
+  // CLI and campaigns use) — only SystemParams varies between points.
   core::SystemConfig sys_cfg;
   sys_cfg.num_threads = 1;
   workload::SyntheticStream stream(workload::profile(bench), seed, insts);
 
-  core::BaselineSystem base(sys_cfg, stream);
-  const double base_ipc = base.run().thread_ipc();
+  const double base_ipc =
+      core::make_system(core::SystemKind::kBaseline, sys_cfg, stream)
+          ->run()
+          .thread_ipc();
   std::cout << "Workload: " << bench << " (" << insts
             << " insts), baseline IPC " << base_ipc << "\n\n";
 
@@ -41,10 +43,12 @@ int main(int argc, char** argv) {
   double best_unsync_eff = 0;
   std::string best_unsync;
   for (const std::size_t entries : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
-    core::UnSyncParams p;
-    p.cb_entries = entries;
-    core::UnSyncSystem sys(sys_cfg, p, stream);
-    const double ipc = sys.run().thread_ipc();
+    core::SystemParams p;
+    p.unsync.cb_entries = entries;
+    const double ipc =
+        core::make_system(core::SystemKind::kUnSync, sys_cfg, stream, p)
+            ->run()
+            .thread_ipc();
     const auto hw = hwmodel::unsync_core(static_cast<int>(entries));
     const double pair_power = 2 * hw.total_power_w();
     const double pair_area = 2 * hw.total_area_um2() / 1e6;
@@ -67,11 +71,13 @@ int main(int argc, char** argv) {
                  "pair area mm^2", "IPC/W"});
   double best_reunion_eff = 0;
   for (const unsigned fi : {1u, 5u, 10u, 20u, 30u, 50u}) {
-    core::ReunionParams p;
-    p.fingerprint_interval = fi;
-    p.compare_latency = fi + 10;
-    core::ReunionSystem sys(sys_cfg, p, stream);
-    const double ipc = sys.run().thread_ipc();
+    core::SystemParams p;
+    p.reunion.fingerprint_interval = fi;
+    p.reunion.compare_latency = fi + 10;
+    const double ipc =
+        core::make_system(core::SystemKind::kReunion, sys_cfg, stream, p)
+            ->run()
+            .thread_ipc();
     const auto hw = hwmodel::reunion_core(static_cast<int>(fi));
     const double pair_power = 2 * hw.total_power_w();
     const double pair_area = 2 * hw.total_area_um2() / 1e6;
@@ -88,12 +94,13 @@ int main(int argc, char** argv) {
 
   // Whole-run energy comparison at the default points.
   {
-    core::UnSyncParams p;
-    p.cb_entries = 128;
-    core::UnSyncSystem us(sys_cfg, p, stream);
-    const auto ru = us.run();
-    core::ReunionSystem re(sys_cfg, core::ReunionParams{}, stream);
-    const auto rr = re.run();
+    core::SystemParams p;
+    p.unsync.cb_entries = 128;
+    const auto ru =
+        core::make_system(core::SystemKind::kUnSync, sys_cfg, stream, p)
+            ->run();
+    const auto rr =
+        core::make_system(core::SystemKind::kReunion, sys_cfg, stream)->run();
     const auto eu = hwmodel::energy_for_run(hwmodel::unsync_core(128), 2,
                                             ru.cycles, insts);
     const auto er = hwmodel::energy_for_run(hwmodel::reunion_core(10), 2,

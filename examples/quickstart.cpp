@@ -10,9 +10,8 @@
 #include <iostream>
 
 #include "common/config.hpp"
-#include "core/baseline.hpp"
+#include "core/factory.hpp"
 #include "core/report.hpp"
-#include "core/unsync_system.hpp"
 #include "isa/assembler.hpp"
 #include "isa/functional_sim.hpp"
 #include "workload/trace.hpp"
@@ -65,18 +64,22 @@ int main(int argc, char** argv) {
   // 3. Timing runs over the recorded trace.
   workload::TraceStream trace(workload::record_trace(program, 1'000'000));
 
+  // Systems are built through core::make_system — the same factory the CLI
+  // and campaign runner use — so this example stays in lockstep with them.
   core::SystemConfig sys_cfg;
   sys_cfg.num_threads = 1;
-  core::BaselineSystem baseline(sys_cfg, trace);
-  const core::RunResult rb = baseline.run();
+  const auto baseline =
+      core::make_system(core::SystemKind::kBaseline, sys_cfg, trace);
+  const core::RunResult rb = baseline->run();
   std::cout << "\nBaseline CMP:   " << rb.cycles << " cycles, IPC "
             << rb.thread_ipc() << "\n";
 
   sys_cfg.ser_per_inst = ser;
-  core::UnSyncParams params;
-  params.cb_entries = 128;  // 2 KiB CB
-  core::UnSyncSystem unsync(sys_cfg, params, trace);
-  const core::RunResult ru = unsync.run();
+  core::SystemParams params;
+  params.unsync.cb_entries = 128;  // 2 KiB CB
+  const auto unsync =
+      core::make_system(core::SystemKind::kUnSync, sys_cfg, trace, params);
+  const core::RunResult ru = unsync->run();
   std::cout << "UnSync (pair):  " << ru.cycles << " cycles, IPC "
             << ru.thread_ipc() << " at SER " << ser << "/inst\n"
             << "                errors injected: " << ru.errors_injected
@@ -91,7 +94,7 @@ int main(int argc, char** argv) {
 
   if (cfg.get_bool("verbose", false)) {
     std::cout << "\n";
-    core::RunReport(ru, &unsync.memory()).print(std::cout);
+    core::RunReport(ru, &unsync->memory()).print(std::cout);
   } else {
     std::cout << "(run with verbose=1 for the full per-core and memory "
                  "report)\n";

@@ -40,6 +40,10 @@ void Config::set(const std::string& key, const std::string& value) {
 bool Config::has(const std::string& key) const { return find(key).has_value(); }
 
 std::optional<std::string> Config::find(const std::string& key) const {
+  if (std::find(consulted_.begin(), consulted_.end(), key) ==
+      consulted_.end()) {
+    consulted_.push_back(key);
+  }
   for (const auto& e : entries_) {
     if (e.key == key) {
       e.accessed = true;
@@ -103,14 +107,52 @@ std::vector<std::string> Config::unused_keys() const {
   return out;
 }
 
+std::vector<std::string> Config::known_keys() const { return consulted_; }
+
+namespace {
+
+/// Plain Levenshtein distance — the key vocabulary is tiny, so the O(n*m)
+/// table is irrelevant.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
 bool Config::report_unused(const std::string& context) const {
   const auto unused = unused_keys();
   if (unused.empty()) return false;
   std::ostringstream msg;
   msg << context << ": unrecognized option";
   if (unused.size() > 1) msg << 's';
-  for (const auto& k : unused) msg << " '" << k << "'";
-  msg << " (misspelled key=value? see usage)";
+  for (const auto& k : unused) {
+    msg << " '" << k << "'";
+    // Suggest the closest key the command actually consulted, but only
+    // when the typo is plausibly a typo (distance <= 2 and strictly
+    // shorter than the key — "x" must never suggest "ser").
+    std::size_t best = k.size();
+    const std::string* hit = nullptr;
+    for (const auto& known : consulted_) {
+      const std::size_t d = edit_distance(k, known);
+      if (d < best && d <= 2) {
+        best = d;
+        hit = &known;
+      }
+    }
+    if (hit) msg << " (did you mean '" << *hit << "'?)";
+  }
+  msg << " (options are key=value; see usage)";
   Log::error(msg.str());
   return true;
 }

@@ -43,9 +43,16 @@ class Config {
   /// has()), in insertion order — the misspelled-knob detector.
   std::vector<std::string> unused_keys() const;
 
+  /// Every key any getter (or has()) asked about, in first-consulted order
+  /// — the vocabulary the command actually understands, whether or not the
+  /// key was supplied. report_unused() matches unused keys against it to
+  /// suggest the intended spelling.
+  std::vector<std::string> known_keys() const;
+
   /// If any key went unused, prints one stderr line naming them (prefixed
-  /// with `context`) and returns true. Front ends treat that as an error;
-  /// long-form demos may choose to warn only.
+  /// with `context`) and returns true. Keys within a small edit distance of
+  /// a known key get a "did you mean" suggestion. Front ends treat the
+  /// return as an error; long-form demos may choose to warn only.
   bool report_unused(const std::string& context) const;
 
  private:
@@ -57,6 +64,8 @@ class Config {
 
   std::optional<std::string> find(const std::string& key) const;
   std::vector<Entry> entries_;
+  /// Keys consulted through find(), deduplicated, in first-asked order.
+  mutable std::vector<std::string> consulted_;
 };
 
 }  // namespace unsync

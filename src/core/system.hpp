@@ -19,6 +19,7 @@
 #include "engine/policy.hpp"
 #include "engine/run_result.hpp"
 #include "engine/sim_kernel.hpp"
+#include "engine/sim_model.hpp"
 #include "engine/stream_utils.hpp"
 #include "mem/config.hpp"
 #include "mem/hierarchy.hpp"
@@ -74,16 +75,19 @@ using engine::save_result;
 /// optionally publishes into a MetricsRegistry at the end of run(). Both are
 /// attached post-construction via set_observability(). Observability
 /// attachments are NOT part of checkpoint state.
-class System : public engine::SystemPolicy {
+class System : public engine::SystemPolicy, public engine::SimModel {
  public:
   ~System() override = default;
 
   /// Drives this system's policy phases through the shared kernel.
-  RunResult run(Cycle max_cycles = ~Cycle{0}) {
+  RunResult run(Cycle max_cycles = ~Cycle{0}) override {
     return kernel_.run(*this, max_cycles, fast_forward_);
   }
 
-  virtual const std::string& name() const = 0;
+  /// Every System is the cycle-accurate implementation of SimModel.
+  engine::Tier tier() const override { return engine::Tier::kDetailed; }
+
+  const std::string& name() const override = 0;
 
   /// Serialises / restores the complete mutable simulation state (cycle
   /// cursor, accumulated result, RNG, memory hierarchy, every core) as one
@@ -115,7 +119,8 @@ class System : public engine::SystemPolicy {
   /// sink. With a registry attached, per-cycle ROB-occupancy histograms are
   /// sampled under "<name>.<core>.rob.occupancy" and the full metric tree is
   /// published when run() finishes. Call before run().
-  void set_observability(obs::MetricsRegistry* metrics, obs::TraceSink* trace);
+  void set_observability(obs::MetricsRegistry* metrics,
+                         obs::TraceSink* trace) override;
 
   const obs::Tracer& tracer() const { return tracer_; }
   obs::MetricsRegistry* metrics() const { return metrics_; }

@@ -41,6 +41,7 @@ void save_result(ckpt::Serializer& s, const RunResult& r) {
   s.u64(r.fingerprint_syncs);
   s.u64(r.error_log.size());
   for (const ErrorEvent& e : r.error_log) save_error_event(s, e);
+  s.b(r.approximate);
   s.end_chunk();
 }
 
@@ -60,6 +61,7 @@ void load_result(ckpt::Deserializer& d, RunResult& r) {
   r.fingerprint_syncs = d.u64();
   r.error_log.resize(d.u64());
   for (ErrorEvent& e : r.error_log) load_error_event(d, e);
+  r.approximate = d.b();
   d.end_chunk();
 }
 

@@ -1,4 +1,4 @@
-// RunResult -> JSON under the stable "unsync.run_result.v1" schema.
+// RunResult -> JSON under the stable "unsync.run_result.v2" schema.
 //
 // This is the machine-readable contract every consumer shares (the CLI's
 // --format=json, campaign reduction, the golden-file test): key order is
@@ -56,8 +56,10 @@ void write_error_event(obs::JsonWriter& w, const ErrorEvent& e) {
 std::string RunResult::to_json(int indent) const {
   obs::JsonWriter w(indent);
   w.begin_object();
-  w.key("schema").value("unsync.run_result.v1");
+  w.key("schema").value("unsync.run_result.v2");
   w.key("system").value(system);
+  w.key("tier").value(approximate ? "fast" : "detailed");
+  w.key("approximate").value(approximate);
   w.key("cycles").value(cycles);
   w.key("instructions").value(instructions);
   w.key("thread_ipc").value(thread_ipc());

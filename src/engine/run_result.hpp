@@ -53,6 +53,11 @@ struct RunResult {
   /// Chronological log of every injected error (all systems fill this).
   std::vector<ErrorEvent> error_log;
 
+  /// True when the result came from an approximate model tier (the interval
+  /// model); false for the cycle-accurate path. Serialised as both the
+  /// "tier" ("fast"/"detailed") and "approximate" JSON keys.
+  bool approximate = false;
+
   /// Per-thread IPC: program instructions over total cycles (a redundant
   /// pair retires the program once even though two cores execute it).
   double thread_ipc() const {
@@ -61,9 +66,11 @@ struct RunResult {
                   : 0.0;
   }
 
-  /// Serialises the result under the stable "unsync.run_result.v1" schema
-  /// (see docs/OBSERVABILITY.md). `indent` = 0 emits the canonical compact
-  /// form; > 0 pretty-prints. Byte-identical for identical results.
+  /// Serialises the result under the stable "unsync.run_result.v2" schema
+  /// (see docs/OBSERVABILITY.md). v2 adds the "tier" and "approximate" keys
+  /// directly after "system"; all v1 keys are unchanged, so a v1 reader that
+  /// ignores unknown keys still parses v2. `indent` = 0 emits the canonical
+  /// compact form; > 0 pretty-prints. Byte-identical for identical results.
   std::string to_json(int indent = 0) const;
 };
 

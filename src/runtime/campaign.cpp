@@ -28,7 +28,7 @@ std::uint64_t CampaignOutput::total_instructions() const {
 std::string CampaignOutput::to_json(int indent, bool include_timing) const {
   obs::JsonWriter w(indent);
   w.begin_object();
-  w.key("schema").value("unsync.campaign.v1");
+  w.key("schema").value("unsync.campaign.v2");
   w.key("campaign_seed").value(campaign_seed);
   w.key("total_instructions").value(total_instructions());
   w.key("jobs").begin_array();
@@ -107,6 +107,17 @@ obs::MetricsSnapshot scheduler_snapshot(
 
 }  // namespace
 
+double screening_score(const core::RunResult& result) {
+  double score = static_cast<double>(result.errors_injected) +
+                 static_cast<double>(result.recoveries) +
+                 static_cast<double>(result.rollbacks);
+  if (result.cycles != 0) {
+    score += static_cast<double>(result.recovery_cycles_total) /
+             static_cast<double>(result.cycles);
+  }
+  return score;
+}
+
 core::RunResult CampaignRunner::run_job(const SimJob& job, std::uint64_t seed,
                                         obs::MetricsRegistry* metrics,
                                         obs::TraceSink* trace) {
@@ -118,9 +129,36 @@ core::RunResult CampaignRunner::run_job(const SimJob& job, std::uint64_t seed,
   sys_cfg.seed = seed;
   sys_cfg.fast_forward = job.fast_forward;
 
-  const auto sys = core::make_system(job.system, sys_cfg, *stream, job.params);
-  if (metrics || trace) sys->set_observability(metrics, trace);
-  return sys->run();
+  const auto model = core::make_model(job.system, sys_cfg, *stream, job.params);
+  if (metrics || trace) model->set_observability(metrics, trace);
+  return model->run();
+}
+
+core::RunResult CampaignRunner::run_job_screened(const SimJob& job,
+                                                 std::uint64_t seed,
+                                                 double threshold,
+                                                 obs::MetricsSnapshot* metrics) {
+  SimJob screened = job;
+  screened.params.tier = engine::Tier::kFast;
+  core::RunResult result;
+  if (metrics) {
+    obs::MetricsRegistry reg;
+    result = run_job(screened, seed, &reg);
+    *metrics = reg.snapshot();
+  } else {
+    result = run_job(screened, seed);
+  }
+  if (screening_score(result) >= threshold) {
+    screened.params.tier = engine::Tier::kDetailed;
+    if (metrics) {
+      obs::MetricsRegistry reg;
+      result = run_job(screened, seed, &reg);
+      *metrics = reg.snapshot();
+    } else {
+      result = run_job(screened, seed);
+    }
+  }
+  return result;
 }
 
 CampaignOutput CampaignRunner::run(const std::vector<SimJob>& jobs) const {
@@ -146,13 +184,18 @@ CampaignOutput CampaignRunner::run(const std::vector<SimJob>& jobs) const {
   std::ofstream journal;
   if (!options_.journal.empty()) {
     const ckpt::JournalHeader header = make_journal_header(
-        jobs, options_.campaign_seed, options_.collect_metrics);
+        jobs, options_.campaign_seed, options_.collect_metrics,
+        options_.screen, options_.screen_threshold);
     std::string rewrite = header.to_line();
     rewrite.push_back('\n');
     if (options_.resume) {
       auto loaded = load_journal(options_.journal, header);
       for (std::size_t i = 0; i < jobs.size(); ++i) {
-        if (!loaded[i]) continue;
+        if (!loaded[i] ||
+            !entry_acceptable(jobs[i], loaded[i]->result, options_.screen,
+                              options_.screen_threshold)) {
+          continue;
+        }
         restored[i] = 1;
         const std::uint64_t seed = job_seed(jobs, options_.campaign_seed, i);
         const std::string blob = encode_entry_blob(
@@ -188,7 +231,11 @@ CampaignOutput CampaignRunner::run(const std::vector<SimJob>& jobs) const {
         out.seeds[i] = seed;
         if (!restored[i]) {
           const auto job_start = std::chrono::steady_clock::now();
-          if (options_.collect_metrics) {
+          if (options_.screen) {
+            out.results[i] = run_job_screened(
+                jobs[i], seed, options_.screen_threshold,
+                options_.collect_metrics ? &job_metrics[i] : nullptr);
+          } else if (options_.collect_metrics) {
             obs::MetricsRegistry reg;
             out.results[i] = run_job(jobs[i], seed, &reg);
             job_metrics[i] = reg.snapshot();

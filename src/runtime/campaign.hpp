@@ -65,9 +65,17 @@ struct SimJob {
   /// Fixed workload/system seed; unset = derive_seed(campaign_seed, index).
   std::optional<std::uint64_t> seed;
 
-  /// Architecture knobs (only the member matching `system` is read).
+  /// Architecture knobs (only the member matching `system` is read) plus
+  /// the model tier: params.tier == kFast runs the job on the approximate
+  /// interval model instead of the cycle-accurate system (docs/TIERS.md).
   core::SystemParams params;
 };
+
+/// How "interesting" a cell's result is for tier screening: the detected
+/// error / recovery activity plus the fraction of cycles spent recovering.
+/// Always >= 0, so a screen threshold of 0 re-runs EVERY cell detailed
+/// (byte-identical to a pure detailed campaign) and +infinity re-runs none.
+double screening_score(const core::RunResult& result);
 
 struct CampaignOutput {
   /// One result per job, in submission order.
@@ -97,10 +105,11 @@ struct CampaignOutput {
   /// numerator for scaling studies).
   std::uint64_t total_instructions() const;
 
-  /// Stable "unsync.campaign.v1" schema. The default output is a pure
-  /// function of the grid (byte-identical across worker counts);
-  /// `include_timing` adds wall-clock fields (and scheduler_metrics) for
-  /// humans and profilers.
+  /// Stable "unsync.campaign.v2" schema (v2: embedded results are
+  /// "unsync.run_result.v2", which records the tier that produced each
+  /// cell). The default output is a pure function of the grid
+  /// (byte-identical across worker counts); `include_timing` adds
+  /// wall-clock fields (and scheduler_metrics) for humans and profilers.
   std::string to_json(int indent = 0, bool include_timing = false) const;
 };
 
@@ -137,6 +146,15 @@ class CampaignRunner {
     /// (those jobs simply re-run). A missing or empty journal file starts
     /// a fresh campaign.
     bool resume = false;
+    /// Two-phase tier screening (CLI: tier=screen): every job first runs on
+    /// the fast interval model; cells whose screening_score() reaches
+    /// screen_threshold are re-run on the detailed tier and only the final
+    /// result is kept (and journaled). The merged CampaignOutput records
+    /// which tier produced each cell via RunResult::approximate. Jobs'
+    /// params.tier is ignored while screening (the screen policy owns the
+    /// tier choice). threshold 0 == pure detailed, +infinity == pure fast.
+    bool screen = false;
+    double screen_threshold = 0.0;
     /// Invoked after each job completes with (jobs done so far, total).
     /// Called under an internal mutex: thread-safe, but keep it cheap.
     std::function<void(std::size_t completed, std::size_t total)> progress;
@@ -150,12 +168,22 @@ class CampaignRunner {
   CampaignOutput run(const std::vector<SimJob>& jobs) const;
 
   /// Builds and runs one job with an already-derived seed (also the
-  /// single-job path unsync_sim's `run` subcommand uses). Optional
-  /// observability: metrics are published into `metrics`, events into
-  /// `trace`.
+  /// single-job path unsync_sim's `run` subcommand uses), honouring
+  /// job.params.tier via core::make_model. Optional observability: metrics
+  /// are published into `metrics`, events into `trace`.
   static core::RunResult run_job(const SimJob& job, std::uint64_t seed,
                                  obs::MetricsRegistry* metrics = nullptr,
                                  obs::TraceSink* trace = nullptr);
+
+  /// One job under the two-phase screening policy: fast tier first, then a
+  /// detailed re-run iff screening_score(fast result) >= threshold. When
+  /// `metrics` is non-null it receives the snapshot of whichever tier
+  /// produced the returned result. Shared by the in-process runner and the
+  /// distributed fabric so both merge identical bytes.
+  static core::RunResult run_job_screened(const SimJob& job,
+                                          std::uint64_t seed, double threshold,
+                                          obs::MetricsSnapshot* metrics =
+                                              nullptr);
 
   const Options& options() const { return options_; }
 

@@ -40,19 +40,40 @@ std::uint32_t grid_fingerprint(const std::vector<SimJob>& jobs) {
     s.u64(p.checkpoint.checkpoint_cost);
     s.u64(p.checkpoint.compare_latency);
     s.u64(p.checkpoint.restore_cost);
+    s.u8(static_cast<std::uint8_t>(p.tier));
   }
   return ckpt::crc32(s.data());
 }
 
 ckpt::JournalHeader make_journal_header(const std::vector<SimJob>& jobs,
                                         std::uint64_t campaign_seed,
-                                        bool collect_metrics) {
+                                        bool collect_metrics, bool screen,
+                                        double screen_threshold) {
   ckpt::JournalHeader h;
   h.campaign_seed = campaign_seed;
   h.jobs = jobs.size();
   h.grid_crc = grid_fingerprint(jobs);
+  if (screen) {
+    // Fold the screening policy into the grid CRC (the header line format
+    // itself is unchanged): a plain campaign and screening campaigns at
+    // different thresholds all pin distinct identities.
+    ckpt::Serializer s;
+    s.u32(h.grid_crc);
+    s.b(true);
+    s.f64(screen_threshold);
+    h.grid_crc = ckpt::crc32(s.data());
+  }
   h.collect_metrics = collect_metrics;
   return h;
+}
+
+bool entry_acceptable(const SimJob& job, const core::RunResult& result,
+                      bool screen, double screen_threshold) {
+  if (screen) {
+    return !result.approximate ||
+           screening_score(result) < screen_threshold;
+  }
+  return result.approximate == (job.params.tier == engine::Tier::kFast);
 }
 
 std::string encode_entry_blob(const core::RunResult& result,

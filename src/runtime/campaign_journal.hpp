@@ -26,14 +26,30 @@
 namespace unsync::runtime {
 
 /// CRC-32 fingerprint of the whole job grid: any change to a label,
-/// workload, architecture, knob or seed yields a different fingerprint.
+/// workload, architecture, knob, model tier or seed yields a different
+/// fingerprint.
 std::uint32_t grid_fingerprint(const std::vector<SimJob>& jobs);
 
 /// The header that pins `jobs` for a given campaign configuration; shard /
 /// workers are filled by the distributed layer when journaling one shard.
+/// Screening campaigns (fast sweep + thresholded detailed re-run) fold the
+/// screen flag and threshold into the grid CRC, so a journal written under
+/// one screening policy can never be resumed — or merged — under another.
 ckpt::JournalHeader make_journal_header(const std::vector<SimJob>& jobs,
                                         std::uint64_t campaign_seed,
-                                        bool collect_metrics);
+                                        bool collect_metrics,
+                                        bool screen = false,
+                                        double screen_threshold = 0.0);
+
+/// Belt-and-braces restore filter: whether a journaled result could have
+/// been produced by `job` under the given screening policy. Non-screen
+/// campaigns require the entry's tier to match the job's params.tier;
+/// screen campaigns accept detailed entries always and fast entries only
+/// when their screening_score stayed below the threshold (an entry at or
+/// above it would have been re-run detailed before journaling). Entries
+/// failing this simply re-run.
+bool entry_acceptable(const SimJob& job, const core::RunResult& result,
+                      bool screen, double screen_threshold);
 
 /// One journaled job, decoded.
 struct RestoredJob {

@@ -30,7 +30,8 @@ ckpt::JournalHeader shard_header(const std::vector<SimJob>& jobs,
                                  const DistributedOptions& opts,
                                  unsigned shard) {
   ckpt::JournalHeader h =
-      make_journal_header(jobs, opts.campaign_seed, opts.collect_metrics);
+      make_journal_header(jobs, opts.campaign_seed, opts.collect_metrics,
+                          opts.screen, opts.screen_threshold);
   h.shard = shard;
   h.workers = opts.workers;
   return h;
@@ -60,7 +61,8 @@ std::string shard_journal_path(const std::string& dir, unsigned shard) {
 ckpt::JournalHeader manifest_header(const std::vector<SimJob>& jobs,
                                     const DistributedOptions& opts) {
   ckpt::JournalHeader h =
-      make_journal_header(jobs, opts.campaign_seed, opts.collect_metrics);
+      make_journal_header(jobs, opts.campaign_seed, opts.collect_metrics,
+                          opts.screen, opts.screen_threshold);
   h.workers = opts.workers;
   return h;
 }
@@ -110,7 +112,11 @@ std::size_t run_worker(const std::vector<SimJob>& jobs,
     std::string rewrite = header.to_line();
     rewrite.push_back('\n');
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      if (!loaded[i]) continue;
+      if (!loaded[i] ||
+          !entry_acceptable(jobs[i], loaded[i]->result, opts.screen,
+                            opts.screen_threshold)) {
+        continue;
+      }
       done[i] = 1;
       const std::string blob = encode_entry_blob(
           loaded[i]->result,
@@ -134,7 +140,11 @@ std::size_t run_worker(const std::vector<SimJob>& jobs,
     const std::uint64_t seed = job_seed(jobs, opts.campaign_seed, i);
     core::RunResult result;
     obs::MetricsSnapshot metrics;
-    if (opts.collect_metrics) {
+    if (opts.screen) {
+      result = CampaignRunner::run_job_screened(
+          jobs[i], seed, opts.screen_threshold,
+          opts.collect_metrics ? &metrics : nullptr);
+    } else if (opts.collect_metrics) {
       obs::MetricsRegistry reg;
       result = CampaignRunner::run_job(jobs[i], seed, &reg);
       metrics = reg.snapshot();
@@ -249,7 +259,11 @@ CampaignOutput merge_shards(const std::vector<SimJob>& jobs,
     auto loaded =
         load_journal(shard_journal_path(opts.dir, w), shard_header(jobs, opts, w));
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      if (!restored[i] && loaded[i]) restored[i] = std::move(loaded[i]);
+      if (!restored[i] && loaded[i] &&
+          entry_acceptable(jobs[i], loaded[i]->result, opts.screen,
+                           opts.screen_threshold)) {
+        restored[i] = std::move(loaded[i]);
+      }
     }
   }
   for (std::size_t i = 0; i < jobs.size(); ++i) {

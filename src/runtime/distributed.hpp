@@ -44,6 +44,12 @@ struct DistributedOptions {
   /// Off = strict static sharding (a dead sibling's jobs stay pending
   /// until that worker resumes).
   bool steal = true;
+  /// Two-phase tier screening (CampaignRunner::Options semantics): fast
+  /// sweep, detailed re-run of cells whose screening_score reaches the
+  /// threshold. The screening policy is folded into the manifest/journal
+  /// grid CRC, so every participant must agree on it.
+  bool screen = false;
+  double screen_threshold = 0.0;
   /// Flush the shard journal every N completed jobs.
   std::size_t checkpoint_every = 1;
   unsigned poll_ms = 100;        ///< coordinator poll interval

@@ -1,8 +1,10 @@
 // Pins the machine-readable result schemas. The golden file
-// (tests/golden/run_result_v1.json) is a contract with external consumers
+// (tests/golden/run_result_v2.json) is a contract with external consumers
 // (plot scripts, CI dashboards): if this test fails, either fix the code
 // or — for a deliberate schema change — bump the schema version, add a new
-// golden, and document the change in docs/OBSERVABILITY.md.
+// golden, and document the change in docs/OBSERVABILITY.md. The retired
+// run_result_v1.json golden stays checked in to prove v2 is a strict
+// superset of v1 (v1 readers that ignore unknown keys keep working).
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -85,7 +87,37 @@ core::RunResult sample_result() {
 
 TEST(RunResultJson, MatchesGoldenSchema) {
   EXPECT_EQ(sample_result().to_json(2) + "\n",
-            read_golden("run_result_v1.json"));
+            read_golden("run_result_v2.json"));
+}
+
+TEST(RunResultJson, FastTierResultsAreTagged) {
+  core::RunResult r = sample_result();
+  r.approximate = true;
+  const std::string j = r.to_json();
+  EXPECT_NE(j.find("\"tier\":\"fast\""), std::string::npos);
+  EXPECT_NE(j.find("\"approximate\":true"), std::string::npos);
+}
+
+// v2 is v1 plus the "tier"/"approximate" pair inserted after "system": a
+// v1 reader that ignores unknown keys parses a v2 document unchanged.
+// Proven mechanically: deleting those two lines from the pretty v2 output
+// (and reverting the schema tag) must reproduce the v1 golden byte for
+// byte.
+TEST(RunResultJson, V2IsAStrictSupersetOfV1) {
+  std::istringstream v2(sample_result().to_json(2) + "\n");
+  std::string line;
+  std::string back_to_v1;
+  while (std::getline(v2, line)) {
+    if (line == "  \"tier\": \"detailed\"," ||
+        line == "  \"approximate\": false,") {
+      continue;
+    }
+    const std::string::size_type at = line.find("unsync.run_result.v2");
+    if (at != std::string::npos) line.replace(at + 19, 1, "1");
+    back_to_v1 += line;
+    back_to_v1 += '\n';
+  }
+  EXPECT_EQ(back_to_v1, read_golden("run_result_v1.json"));
 }
 
 TEST(RunResultJson, CompactAndPrettyAgreeModuloWhitespace) {
@@ -112,7 +144,7 @@ TEST(RunResultJson, SerialisationIsAPureFunction) {
 TEST(RunResultJson, EmptyResultStillCarriesTheSchema) {
   const core::RunResult r;
   const std::string j = r.to_json();
-  EXPECT_NE(j.find("\"schema\":\"unsync.run_result.v1\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"unsync.run_result.v2\""), std::string::npos);
   EXPECT_NE(j.find("\"cores\":[]"), std::string::npos);
   EXPECT_NE(j.find("\"error_log\":[]"), std::string::npos);
 }
@@ -127,8 +159,8 @@ TEST(CampaignJson, CarriesTheCampaignSchemaAndEmbedsResults) {
   out.wall_seconds = 0.6;
 
   const std::string j = out.to_json();
-  EXPECT_NE(j.find("\"schema\":\"unsync.campaign.v1\""), std::string::npos);
-  EXPECT_NE(j.find("\"schema\":\"unsync.run_result.v1\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"unsync.campaign.v2\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"unsync.run_result.v2\""), std::string::npos);
   EXPECT_NE(j.find("\"label\":\"susan\""), std::string::npos);
   EXPECT_NE(j.find("\"metrics\":null"), std::string::npos);
   // The default output is the deterministic surface: no wall-clock fields.

@@ -3,7 +3,7 @@
 #
 # Phase 1 — single process: SIGKILL a journaled campaign mid-flight, resume
 # it with a different worker count, and require the resumed
-# unsync.campaign.v1 JSON to be byte-identical to an uninterrupted run.
+# unsync.campaign.v2 JSON to be byte-identical to an uninterrupted run.
 #
 # Phase 2 — multi-process: run the same grid as a distributed campaign
 # (coordinator + 2 shard workers), SIGKILL worker 1 mid-flight, restart it

@@ -26,8 +26,17 @@
 //   program=<file.s>  assemble and trace a URISC source file
 //   trace=<file.utrc> replay a previously recorded binary trace
 //
-// Options are key=value; a leading "--" is accepted and stripped
-// (--format=json == format=json; a bare --progress == progress=1).
+// Model tiers (docs/TIERS.md):
+//   run/sweep/campaign tier=detailed|fast selects the cycle-accurate
+//   system or the approximate interval model; campaign additionally
+//   accepts tier=screen screen_threshold=<score|inf> — a fast sweep of
+//   the grid, then a detailed re-run of every cell whose screening score
+//   reaches the threshold.
+//
+// Options are key=value; all keys are snake_case. A leading "--" is
+// accepted and stripped, and kebab-case GNU spellings map onto the
+// snake_case key (--format=json == format=json, --screen-threshold=5 ==
+// screen_threshold=5; a bare --progress == progress=1).
 //
 // Parallelism: sweep and campaign fan their independent simulations out
 // across host threads (threads=N, default: hardware concurrency). Results
@@ -47,8 +56,10 @@
 //   unsync_sim sweep param=cb values=8,64,256 system=unsync bench=susan
 //   unsync_sim characterize bench=susan insts=50000
 //   unsync_sim hw
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -60,6 +71,7 @@
 #include "core/factory.hpp"
 #include "core/report.hpp"
 #include "core/system.hpp"
+#include "engine/sim_model.hpp"
 #include "hwmodel/core_model.hpp"
 #include "isa/assembler.hpp"
 #include "isa/functional_sim.hpp"
@@ -98,6 +110,8 @@ void print_usage(std::ostream& os) {
       " [key=value...]\n"
       "  run: system=unsync|reunion|baseline|lockstep|checkpoint\n"
       "       bench=|kernel=|program=|trace=   [insts= seed= threads= ser=]\n"
+      "       [tier=detailed|fast]  fast = approximate interval model\n"
+      "         (docs/TIERS.md; no checkpoints / memory report)\n"
       "       unsync: cb=<entries> group=<N>   reunion: fi= latency=\n"
       "       checkpoint: interval= capture=\n"
       "       output: report=1 csv=1 format=json\n"
@@ -108,18 +122,24 @@ void print_usage(std::ostream& os) {
       "       checkpoint: checkpoint=<file> checkpoint_at=<cycle>  save+exit\n"
       "                   resume=<file>  continue a saved snapshot\n"
       "  sweep: param=<cb|fi|latency|group|ser> values=v1,v2,... + run args\n"
-      "         [threads=<host workers, default all cores>]\n"
+      "         [threads=<host workers, default all cores>] [tier=]\n"
       "  campaign: [systems=baseline,unsync,reunion] [benches=n1,n2|all]\n"
       "            [insts= seed= ser= threads=<host workers>]\n"
+      "            [tier=detailed|fast|screen screen_threshold=<score|inf>]\n"
+      "              tier=screen: fast sweep, then detailed re-run of every\n"
+      "              cell whose screening score reaches the threshold\n"
       "            [csv=1 format=json metrics=<path> progress=1]\n"
       "            [checkpoint=<journal> checkpoint_every=N resume=1]\n"
       "            [scheduler=stealing|shared chunk=<indices per claim>]\n"
       "  campaign-worker: dir=<campaign dir> worker=<i> workers=<N>\n"
-      "            + the campaign grid args (systems/benches/insts/seed/...)\n"
+      "            + the campaign grid args (systems/benches/insts/seed/\n"
+      "              tier/screen_threshold/...) — all participants must\n"
+      "              pass identical grid args (the manifest CRC checks)\n"
       "            [threads= steal=0 checkpoint_every=N collect_metrics=1]\n"
       "  campaign-coordinator: dir=<campaign dir> workers=<N> + grid args\n"
       "            [poll_ms= timeout=<seconds>] + campaign output args\n"
       "  campaign status: journal=<file>  print done/pending/corrupt counts\n"
+      "            (exit 2 when the journal holds corrupt entries)\n"
       "  characterize: bench=|kernel=|program=|trace=  [insts= seed=]\n"
       "  asm: program=<file.s> [max_steps=]\n"
       "  record: bench=|kernel=|program=  out=<file.utrc> [insts= seed=]\n"
@@ -128,7 +148,11 @@ void print_usage(std::ostream& os) {
       "  global: log=debug|info|warn|error   (diagnostic verbosity)\n"
       "          engine.fast_forward=1  quiescence fast-forwarding for\n"
       "            run/sweep/campaign — bit-identical results, fewer ticks\n"
-      "          --key=value is accepted for any key; --flag means flag=1\n"
+      "key spelling: every option is key=value and every key is snake_case;\n"
+      "  --key=value is accepted for any key, a bare --flag means flag=1,\n"
+      "  and kebab-case GNU spellings map onto the snake_case key\n"
+      "  (--screen-threshold=5 == screen_threshold=5). Unknown keys fail\n"
+      "  (exit 2) with a did-you-mean suggestion.\n"
       "exit codes: 0 success, 1 simulation error, 2 configuration error\n";
 }
 
@@ -195,10 +219,24 @@ std::unique_ptr<workload::InstStream> make_stream(const Config& cfg,
       "select a workload with bench=, kernel=, program= or trace=");
 }
 
-/// Architecture parameter block shared by run/sweep/campaign: reads every
-/// per-system knob from the config (harmless for systems not selected).
-core::SystemParams params_from(const Config& cfg) {
-  core::SystemParams p;
+/// Every simulation knob shared by run/sweep/campaign, parsed in ONE place
+/// so the subcommands cannot drift apart: the SystemParams block (which
+/// carries the architecture knobs AND the model-tier choice, docs/TIERS.md)
+/// plus the run-environment trio seed / SER / fast-forward, plus the
+/// campaign-only screening policy.
+struct CommonKnobs {
+  core::SystemParams params;
+  double ser = 0.0;
+  std::uint64_t seed = 42;
+  bool fast_forward = false;
+  /// tier=screen (two-phase screening; campaign family only).
+  bool screen = false;
+  double screen_threshold = 0.0;
+};
+
+CommonKnobs knobs_from(const Config& cfg, bool allow_screen = false) {
+  CommonKnobs k;
+  auto& p = k.params;
   p.unsync.cb_entries = static_cast<std::size_t>(cfg.get_int("cb", 128));
   p.unsync.group_size = static_cast<unsigned>(cfg.get_int("group", 2));
   p.reunion.fingerprint_interval =
@@ -208,21 +246,54 @@ core::SystemParams params_from(const Config& cfg) {
       static_cast<std::uint64_t>(cfg.get_int("interval", 1000));
   p.checkpoint.checkpoint_cost =
       static_cast<Cycle>(cfg.get_int("capture", 120));
-  return p;
-}
+  k.ser = cfg.get_double("ser", 0.0);
+  k.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  k.fast_forward = cfg.get_bool("engine.fast_forward", false);
 
-void fill_params(const Config& cfg, runtime::SimJob* job) {
-  job->params = params_from(cfg);
-  job->ser_per_inst = cfg.get_double("ser", 0.0);
-  job->fast_forward = cfg.get_bool("engine.fast_forward", false);
+  const std::string tier = cfg.get_string("tier", "detailed");
+  if (tier == "screen") {
+    if (!allow_screen) {
+      throw ConfigError(
+          "tier=screen is campaign-only (this command runs a single "
+          "tier; see docs/TIERS.md)");
+    }
+    // Jobs stay tier=detailed in the grid: the screening policy (not the
+    // per-job tier) decides which model runs each cell.
+    k.screen = true;
+    const std::string threshold = cfg.get_string("screen_threshold", "0");
+    if (threshold == "inf" || threshold == "infinity") {
+      k.screen_threshold = std::numeric_limits<double>::infinity();
+    } else {
+      try {
+        k.screen_threshold = std::stod(threshold);
+      } catch (const std::exception&) {
+        throw ConfigError("screen_threshold= is not a number: " + threshold);
+      }
+    }
+  } else {
+    const auto t = engine::parse_tier(tier);
+    if (!t) {
+      throw ConfigError(std::string("unknown tier: ") + tier +
+                        (allow_screen ? " (detailed|fast|screen)"
+                                      : " (detailed|fast)"));
+    }
+    p.tier = *t;
+    if (cfg.has("screen_threshold")) {
+      throw ConfigError("screen_threshold= needs tier=screen");
+    }
+  }
+  return k;
 }
 
 /// Resolves the sweep/campaign workload into a SimJob template: a profile
 /// name for synthetic benchmarks, or a shared recorded trace otherwise.
-runtime::SimJob job_template(const Config& cfg, std::string* label) {
+runtime::SimJob job_template(const Config& cfg, const CommonKnobs& knobs,
+                             std::string* label) {
   runtime::SimJob job;
   job.insts = static_cast<std::uint64_t>(cfg.get_int("insts", 50000));
-  fill_params(cfg, &job);
+  job.params = knobs.params;
+  job.ser_per_inst = knobs.ser;
+  job.fast_forward = knobs.fast_forward;
   if (cfg.has("bench")) {
     job.profile = cfg.get_string("bench", "");
     *label = job.profile;
@@ -256,12 +327,13 @@ void write_metrics_file(const obs::MetricsSnapshot& snap,
 int cmd_run(const Config& cfg) {
   std::string label;
   const auto stream = make_stream(cfg, &label);
+  const CommonKnobs knobs = knobs_from(cfg);
 
   core::SystemConfig sys_cfg;
   sys_cfg.num_threads = static_cast<unsigned>(cfg.get_int("threads", 1));
-  sys_cfg.ser_per_inst = cfg.get_double("ser", 0.0);
-  sys_cfg.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
-  sys_cfg.fast_forward = cfg.get_bool("engine.fast_forward", false);
+  sys_cfg.ser_per_inst = knobs.ser;
+  sys_cfg.seed = knobs.seed;
+  sys_cfg.fast_forward = knobs.fast_forward;
 
   const bool want_csv = cfg.get_bool("csv", false);
   const bool want_report = cfg.get_bool("report", false);
@@ -275,7 +347,10 @@ int cmd_run(const Config& cfg) {
   const std::string system = cfg.get_string("system", "unsync");
   const auto kind = runtime::parse_system(system);
   if (!kind) throw ConfigError("unknown system: " + system);
-  const auto sys = core::make_system(*kind, sys_cfg, *stream, params_from(cfg));
+  const auto model = core::make_model(*kind, sys_cfg, *stream, knobs.params);
+  // The detailed tier is a full System (checkpoints, memory hierarchy
+  // report); the fast interval model is not — sys stays null for it.
+  auto* sys = dynamic_cast<core::System*>(model.get());
 
   obs::MetricsRegistry registry;
   std::unique_ptr<obs::JsonlTraceSink> trace_sink;
@@ -285,8 +360,8 @@ int cmd_run(const Config& cfg) {
     trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_path, flush_every);
   }
   if (!metrics_path.empty() || trace_sink) {
-    sys->set_observability(metrics_path.empty() ? nullptr : &registry,
-                           trace_sink.get());
+    model->set_observability(metrics_path.empty() ? nullptr : &registry,
+                             trace_sink.get());
   }
 
   // Checkpoint/restore (docs/CHECKPOINTS.md). resume= restores a snapshot
@@ -296,6 +371,12 @@ int cmd_run(const Config& cfg) {
   const std::string resume_path = cfg.get_string("resume", "");
   const std::string ckpt_path = cfg.get_string("checkpoint", "");
   const auto ckpt_at = static_cast<Cycle>(cfg.get_int("checkpoint_at", 0));
+  if (!sys && (want_report || !resume_path.empty() || !ckpt_path.empty())) {
+    throw ConfigError(
+        "tier=fast supports neither checkpoints nor report=1 (the interval "
+        "model recomputes from scratch and has no memory hierarchy to "
+        "report; see docs/TIERS.md)");
+  }
   if (!resume_path.empty()) sys->load_checkpoint_file(resume_path);
   if (ckpt_at > 0) {
     if (ckpt_path.empty()) {
@@ -308,7 +389,7 @@ int cmd_run(const Config& cfg) {
     return kExitOk;
   }
 
-  const core::RunResult result = sys->run();
+  const core::RunResult result = model->run();
   if (!ckpt_path.empty()) sys->save_checkpoint_file(ckpt_path);
 
   if (!metrics_path.empty()) {
@@ -358,13 +439,14 @@ int cmd_sweep(const Config& cfg) {
     throw ConfigError("sweep supports system=unsync|reunion|baseline");
   }
 
+  const CommonKnobs knobs = knobs_from(cfg);
   std::string label;
-  runtime::SimJob base = job_template(cfg, &label);
+  runtime::SimJob base = job_template(cfg, knobs, &label);
   base.system = *kind;
   base.app_threads = 1;
   // Sweeps keep the historical fixed-seed semantics: every point runs the
   // identical workload stream; only the swept parameter varies.
-  base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  base.seed = knobs.seed;
 
   std::vector<runtime::SimJob> jobs;
   jobs.reserve(points.size());
@@ -434,7 +516,7 @@ struct CampaignGrid {
   std::uint64_t insts = 0;
 };
 
-CampaignGrid build_campaign_grid(const Config& cfg) {
+CampaignGrid build_campaign_grid(const Config& cfg, const CommonKnobs& knobs) {
   CampaignGrid grid;
   const auto systems_arg =
       split_csv(cfg.get_string("systems", "baseline,unsync,reunion"));
@@ -457,7 +539,9 @@ CampaignGrid build_campaign_grid(const Config& cfg) {
   runtime::SimJob base;
   base.insts = static_cast<std::uint64_t>(cfg.get_int("insts", 50000));
   base.app_threads = static_cast<unsigned>(cfg.get_int("app_threads", 1));
-  fill_params(cfg, &base);
+  base.params = knobs.params;
+  base.ser_per_inst = knobs.ser;
+  base.fast_forward = knobs.fast_forward;
   grid.insts = base.insts;
 
   grid.jobs.reserve(grid.benches.size() * grid.systems.size());
@@ -541,12 +625,15 @@ std::string campaign_format(const Config& cfg) {
 int cmd_campaign(const Config& cfg) {
   const std::string format = campaign_format(cfg);
   const std::string metrics_path = cfg.get_string("metrics", "");
-  const CampaignGrid grid = build_campaign_grid(cfg);
+  const CommonKnobs knobs = knobs_from(cfg, /*allow_screen=*/true);
+  const CampaignGrid grid = build_campaign_grid(cfg, knobs);
 
   runtime::CampaignRunner::Options opts;
   opts.threads = static_cast<unsigned>(cfg.get_int("threads", 0));
   opts.schedule = schedule_from(cfg);
-  opts.campaign_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  opts.campaign_seed = knobs.seed;
+  opts.screen = knobs.screen;
+  opts.screen_threshold = knobs.screen_threshold;
   opts.collect_metrics = !metrics_path.empty() || format == "json";
   opts.journal = cfg.get_string("checkpoint", "");
   opts.checkpoint_every =
@@ -571,14 +658,19 @@ int cmd_campaign(const Config& cfg) {
   return kExitOk;
 }
 
-/// Distributed-campaign knobs shared by worker and coordinator.
-runtime::DistributedOptions distributed_from(const Config& cfg) {
+/// Distributed-campaign knobs shared by worker and coordinator. The screen
+/// policy rides in `knobs` because it is part of the campaign identity
+/// (folded into the manifest grid CRC) — every participant must agree.
+runtime::DistributedOptions distributed_from(const Config& cfg,
+                                             const CommonKnobs& knobs) {
   runtime::DistributedOptions opts;
   opts.dir = cfg.get_string("dir", "");
   if (opts.dir.empty()) throw ConfigError("dir=<campaign dir> is required");
   opts.workers = static_cast<unsigned>(cfg.get_int("workers", 0));
   if (opts.workers == 0) throw ConfigError("workers=<N >= 1> is required");
-  opts.campaign_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  opts.campaign_seed = knobs.seed;
+  opts.screen = knobs.screen;
+  opts.screen_threshold = knobs.screen_threshold;
   opts.checkpoint_every =
       static_cast<std::size_t>(cfg.get_int("checkpoint_every", 1));
   return opts;
@@ -588,8 +680,9 @@ runtime::DistributedOptions distributed_from(const Config& cfg) {
 /// campaign, journaling into dir=/shard_<worker>.jsonl. Safe to kill -9
 /// and rerun: valid journal lines are restored, torn ones re-run.
 int cmd_campaign_worker(const Config& cfg) {
-  const CampaignGrid grid = build_campaign_grid(cfg);
-  runtime::DistributedOptions opts = distributed_from(cfg);
+  const CommonKnobs knobs = knobs_from(cfg, /*allow_screen=*/true);
+  const CampaignGrid grid = build_campaign_grid(cfg, knobs);
+  runtime::DistributedOptions opts = distributed_from(cfg, knobs);
   if (!cfg.has("worker")) throw ConfigError("worker=<shard index> is required");
   opts.shard = static_cast<unsigned>(cfg.get_int("worker", 0));
   if (opts.shard >= opts.workers) {
@@ -619,8 +712,9 @@ int cmd_campaign_worker(const Config& cfg) {
 int cmd_campaign_coordinator(const Config& cfg) {
   const std::string format = campaign_format(cfg);
   const std::string metrics_path = cfg.get_string("metrics", "");
-  const CampaignGrid grid = build_campaign_grid(cfg);
-  runtime::DistributedOptions opts = distributed_from(cfg);
+  const CommonKnobs knobs = knobs_from(cfg, /*allow_screen=*/true);
+  const CampaignGrid grid = build_campaign_grid(cfg, knobs);
+  runtime::DistributedOptions opts = distributed_from(cfg, knobs);
   opts.collect_metrics = !metrics_path.empty() || format == "json";
   opts.poll_ms = static_cast<unsigned>(cfg.get_int("poll_ms", 100));
   opts.timeout_seconds = cfg.get_double("timeout", 600.0);
@@ -656,7 +750,11 @@ int cmd_campaign_status(const Config& cfg) {
             << "pending:      " << status.pending() << "\n"
             << "duplicates:   " << status.duplicates << "\n"
             << "corrupt:      " << status.corrupt << "\n";
-  return kExitOk;
+  // Corrupt entries are an input problem the caller must know about —
+  // exit 2 (configuration error), same as an unreadable/mismatched header,
+  // so scripts can gate on the journal being healthy. The counts above
+  // still print: "what is broken" beats a bare nonzero exit.
+  return status.corrupt > 0 ? kExitConfigError : kExitOk;
 }
 
 int cmd_characterize(const Config& cfg) {
@@ -724,8 +822,8 @@ int cmd_hw(const Config& cfg) {
 int cmd_version() {
   std::cout << "unsync_sim — UnSync soft-error resilience simulator\n"
             << "schemas:\n"
-            << "  run result        unsync.run_result.v1\n"
-            << "  campaign          unsync.campaign.v1\n"
+            << "  run result        unsync.run_result.v2\n"
+            << "  campaign          unsync.campaign.v2\n"
             << "  metrics           unsync.metrics.v1\n"
             << "  checkpoint        " << ckpt::kSchema << "\n"
             << "  campaign journal  unsync.campaign_journal.v1\n"
@@ -771,7 +869,10 @@ int cmd_list() {
 }
 
 /// Accepts GNU-style spellings: "--key=value" -> "key=value", a bare
-/// "--flag" -> "flag=1". Returns the normalized argument strings.
+/// "--flag" -> "flag=1", and kebab-case keys map onto the snake_case
+/// vocabulary ("--screen-threshold=5" -> "screen_threshold=5"). Only the
+/// key part is rewritten — values (file paths, benchmark lists) keep their
+/// dashes. Returns the normalized argument strings.
 std::vector<std::string> normalize_args(int argc, char** argv) {
   std::vector<std::string> out;
   out.reserve(static_cast<std::size_t>(argc));
@@ -779,7 +880,13 @@ std::vector<std::string> normalize_args(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0 && arg.size() > 2) {
       arg = arg.substr(2);
-      if (arg.find('=') == std::string::npos) arg += "=1";
+      auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        eq = arg.size();
+        arg += "=1";
+      }
+      std::replace(arg.begin(), arg.begin() + static_cast<std::ptrdiff_t>(eq),
+                   '-', '_');
     }
     out.push_back(std::move(arg));
   }
