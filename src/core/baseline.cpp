@@ -24,7 +24,7 @@ BaselineSystem::BaselineSystem(const SystemConfig& config,
 BaselineSystem::BaselineSystem(
     const SystemConfig& config,
     const std::vector<const workload::InstStream*>& streams)
-    : System(config.num_threads, config.fast_forward),
+    : System(config.num_threads, config.fast_forward, config.avf),
       config_(config),
       thread_lengths_(detail::lengths_of(streams)),
       memory_(config.mem, config.num_threads),

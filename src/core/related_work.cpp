@@ -60,7 +60,7 @@ LockstepSystem::LockstepSystem(const SystemConfig& config,
 LockstepSystem::LockstepSystem(
     const SystemConfig& config, const LockstepParams& params,
     const std::vector<const workload::InstStream*>& streams)
-    : System(config.num_threads, config.fast_forward),
+    : System(config.num_threads, config.fast_forward, config.avf),
       config_(config),
       params_(params),
       thread_lengths_(detail::lengths_of(streams)),
@@ -238,7 +238,7 @@ DmrCheckpointSystem::DmrCheckpointSystem(const SystemConfig& config,
 DmrCheckpointSystem::DmrCheckpointSystem(
     const SystemConfig& config, const CheckpointParams& params,
     const std::vector<const workload::InstStream*>& streams)
-    : System(config.num_threads, config.fast_forward),
+    : System(config.num_threads, config.fast_forward, config.avf),
       config_(config),
       params_(params),
       thread_lengths_(detail::lengths_of(streams)),

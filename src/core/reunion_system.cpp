@@ -225,7 +225,7 @@ ReunionSystem::ReunionSystem(const SystemConfig& config,
 ReunionSystem::ReunionSystem(
     const SystemConfig& config, const ReunionParams& params,
     const std::vector<const workload::InstStream*>& streams)
-    : System(config.num_threads, config.fast_forward),
+    : System(config.num_threads, config.fast_forward, config.avf),
       config_(config),
       params_(params),
       plan_(fault::reunion_plan()),

@@ -38,6 +38,47 @@ void System::set_observability(obs::MetricsRegistry* metrics,
       core.set_rob_histogram(nullptr);
     }
   }
+  if (avf_enabled_ && metrics_ && !avf_collector_) wire_avf();
+}
+
+void System::wire_avf() {
+  avf_collector_ = std::make_unique<fault::AvfCollector>();
+  fault::AvfCollector& c = *avf_collector_;
+  mem::MemoryHierarchy& m = memory();
+
+  m.bus().set_avf(c.make_tracker(fault::UncoreStructure::kBusQueue,
+                                 fault::kBusQueueEntries,
+                                 fault::kBusQueueEntryBits));
+  m.dram_channel().set_avf(c.make_tracker(fault::UncoreStructure::kDramQueue,
+                                          fault::kDramQueueEntries,
+                                          fault::kDramQueueEntryBits));
+
+  const auto wire_cache = [&c](mem::Cache& cache) {
+    const auto lines = static_cast<std::uint64_t>(cache.config().num_sets()) *
+                       cache.config().assoc;
+    cache.set_avf(c.make_tracker(fault::UncoreStructure::kCacheTag, lines,
+                                 cache.tag_entry_bits()));
+    cache.mshrs().set_avf(c.make_tracker(fault::UncoreStructure::kMshr,
+                                         cache.mshrs().capacity(),
+                                         fault::kMshrEntryBits));
+  };
+  for (unsigned i = 0; i < m.num_cores(); ++i) {
+    wire_cache(m.l1(i));
+    wire_cache(m.icache(i));
+  }
+  wire_cache(m.l2());
+
+  for (cpu::OooCore* core : registered_cores_) {
+    core->set_tlb_avf(
+        c.make_tracker(fault::UncoreStructure::kTlb,
+                       core->itlb().config().entries, fault::kTlbEntryBits),
+        c.make_tracker(fault::UncoreStructure::kTlb,
+                       core->dtlb().config().entries, fault::kTlbEntryBits));
+  }
+
+  register_avf(c);
+  // Capture prewarmed tag occupancy from cycle 0.
+  m.avf_update_all(0);
 }
 
 void System::publish_metrics(const RunResult& r) {
@@ -58,6 +99,10 @@ void System::publish_metrics(const RunResult& r) {
   reg.set_counter(name() + ".stall.cb_full", r.cb_full_stalls);
   reg.set_counter(name() + ".fingerprint_syncs", r.fingerprint_syncs);
   reg.gauge(name() + ".thread_ipc").add(r.thread_ipc());
+  if (avf_collector_) {
+    avf_collector_->finish(r.cycles);
+    avf_collector_->publish(reg, r.cycles);
+  }
 }
 
 }  // namespace unsync::core

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "cpu/core_config.hpp"
 #include "cpu/ooo_core.hpp"
 #include "engine/policy.hpp"
+#include "fault/avf.hpp"
 #include "engine/run_result.hpp"
 #include "engine/sim_kernel.hpp"
 #include "engine/sim_model.hpp"
@@ -48,6 +50,14 @@ struct SystemConfig {
   /// jumps over provably-static stall windows. Results are bit-identical
   /// to the naive loop; only wall-clock time changes. See docs/ENGINE.md.
   bool fast_forward = false;
+  /// ACE/AVF residency accounting for the uncore (CLI: avf=1; see
+  /// docs/FAULTS.md). Observation-only: enabling it never changes simulated
+  /// results, and with the default 0 every hook is a null-pointer branch.
+  bool avf = false;
+  /// Per-uncore-structure protection choice (CLI: protect.<structure>=).
+  /// Joined with the measured exposure at report time; does not alter
+  /// simulation timing.
+  fault::UncorePlan uncore_protect;
 };
 
 // The result record and its serialisations live in the engine layer (the
@@ -133,8 +143,10 @@ class System : public engine::SystemPolicy, public engine::SimModel {
   }
 
  protected:
-  explicit System(unsigned num_threads = 1, bool fast_forward = false)
-      : fast_forward_(fast_forward), num_threads_(num_threads) {}
+  explicit System(unsigned num_threads = 1, bool fast_forward = false,
+                  bool avf = false)
+      : fast_forward_(fast_forward), avf_enabled_(avf),
+        num_threads_(num_threads) {}
 
   /// Derived constructors register every core in group-major order (group 0
   /// side 0, group 0 side 1, ..., matching RunResult::core_stats). Wires the
@@ -157,6 +169,16 @@ class System : public engine::SystemPolicy, public engine::SimModel {
   /// check metrics() themselves.
   virtual void publish_extra_metrics() {}
 
+  /// System-specific AVF wiring beyond the shared uncore (UnSync registers
+  /// its Communication Buffers as write_buffer instances). Called from
+  /// set_observability() when avf=1 and a registry is attached.
+  virtual void register_avf(fault::AvfCollector& collector) {
+    (void)collector;
+  }
+
+  /// True when avf=1 was requested at construction.
+  bool avf_enabled() const { return avf_enabled_; }
+
   /// The shared cycle engine: owns the cycle cursor and the accumulated
   /// result. Derived constructors seed kernel_.result() with the identity
   /// fields (system name, instruction counts).
@@ -167,9 +189,16 @@ class System : public engine::SystemPolicy, public engine::SimModel {
   obs::MetricsRegistry* metrics_ = nullptr;
 
  private:
+  /// Builds the collector and attaches residency trackers to the memory
+  /// hierarchy (bus, DRAM queue, cache tags, MSHRs) and every registered
+  /// core's TLBs, then gives the concrete system its register_avf() turn.
+  void wire_avf();
+
   bool fast_forward_ = false;
+  bool avf_enabled_ = false;
   unsigned num_threads_ = 1;
   std::vector<cpu::OooCore*> registered_cores_;
+  std::unique_ptr<fault::AvfCollector> avf_collector_;
 };
 
 namespace detail {

@@ -35,6 +35,7 @@ bool UnSyncSystem::CbEnv::on_store_commit(CoreId core,
   // copy enters this core's CB for the group drain to L2.
   sys_->memory_.store_writethrough_local(core, op.mem_addr, now);
   cb.push(op.mem_addr, op.seq, now);
+  cb.avf_update(now);
   return true;
 }
 
@@ -47,7 +48,7 @@ UnSyncSystem::UnSyncSystem(const SystemConfig& config,
 UnSyncSystem::UnSyncSystem(
     const SystemConfig& config, const UnSyncParams& params,
     const std::vector<const workload::InstStream*>& streams)
-    : System(config.num_threads, config.fast_forward),
+    : System(config.num_threads, config.fast_forward, config.avf),
       config_(config),
       params_(params),
       plan_(fault::unsync_plan()),
@@ -135,7 +136,10 @@ void UnSyncSystem::sync_phase(std::size_t g, Cycle now) {
                     .value = 0});
     }
     memory_.push_word_to_l2(head.addr, now);
-    for (const auto& cb : group.cbs) cb->pop();
+    for (const auto& cb : group.cbs) {
+      cb->pop();
+      cb->avf_update(now);
+    }
   }
 }
 
@@ -189,6 +193,7 @@ void UnSyncSystem::on_error(std::size_t g, Cycle now, RunResult& acc) {
   // 4-5) In-flight CB transfers complete (drain continues naturally); the
   // erroneous CB is overwritten from the error-free CB.
   group.cbs[bad]->copy_from(*group.cbs[good]);
+  group.cbs[bad]->avf_update(now);
 }
 
 Cycle UnSyncSystem::next_event(std::size_t g, Cycle now) const {
@@ -238,6 +243,17 @@ void UnSyncSystem::publish_extra_metrics() {
           *metrics_,
           name_ + ".group" + std::to_string(g) + ".cb" + std::to_string(s),
           *cbs[s]);
+    }
+  }
+}
+
+void UnSyncSystem::register_avf(fault::AvfCollector& collector) {
+  // Each CB is a write-buffer instance: 16-byte entries = 128 bits.
+  for (auto& group : groups_) {
+    for (auto& cb : group->cbs) {
+      cb->set_avf(collector.make_tracker(
+          fault::UncoreStructure::kWriteBuffer, cb->capacity(),
+          fault::kWriteBufferEntryBits));
     }
   }
 }

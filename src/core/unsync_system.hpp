@@ -93,6 +93,7 @@ class UnSyncSystem final : public System {
 
  protected:
   void publish_extra_metrics() override;
+  void register_avf(fault::AvfCollector& collector) override;
 
  private:
   struct Group;

@@ -421,6 +421,7 @@ void OooCore::do_issue(Cycle now) {
           start += config_.tlb_walk_latency;
           ++stats_.dtlb_misses;
         }
+        dtlb_.avf_update(now);
         if (forwarded) {
           complete_at = start + config_.store_forward_latency;
         } else {
@@ -448,6 +449,7 @@ void OooCore::do_issue(Cycle now) {
           complete_at += config_.tlb_walk_latency;
           ++stats_.dtlb_misses;
         }
+        dtlb_.avf_update(now);
         break;
       }
       default: {
@@ -542,6 +544,7 @@ void OooCore::do_fetch(Cycle now) {
         ++stats_.itlb_misses;
         blocked_until = now + config_.tlb_walk_latency;
       }
+      itlb_.avf_update(now);
       const auto fetch_result = memory_->ifetch(id_, op.pc, now);
       if (!fetch_result.l1_hit) {
         blocked_until = std::max(blocked_until, fetch_result.done);

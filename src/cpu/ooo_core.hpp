@@ -192,6 +192,17 @@ class OooCore {
   /// to detach.
   void set_rob_histogram(Histogram* hist) { rob_hist_ = hist; }
 
+  /// Attaches ACE residency trackers (fault/avf.hpp) to the core's TLBs;
+  /// valid-entry occupancy is integrated at each translation site. Like the
+  /// tracer, detached trackers cost one branch per site.
+  void set_tlb_avf(fault::ResidencyTracker* itlb, fault::ResidencyTracker* dtlb) {
+    itlb_.set_avf(itlb);
+    dtlb_.set_avf(dtlb);
+  }
+
+  const mem::Tlb& itlb() const { return itlb_; }
+  const mem::Tlb& dtlb() const { return dtlb_; }
+
   GsharePredictor& predictor() { return bpred_; }
 
   /// Checkpoint hooks: the complete per-core mutable state — fetch queue,

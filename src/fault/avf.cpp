@@ -1,0 +1,211 @@
+#include "fault/avf.hpp"
+
+#include <cstdlib>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace unsync::fault {
+
+const char* name_of(UncoreStructure s) {
+  switch (s) {
+    case UncoreStructure::kBusQueue: return "bus_queue";
+    case UncoreStructure::kMshr: return "mshr";
+    case UncoreStructure::kWriteBuffer: return "write_buffer";
+    case UncoreStructure::kCacheTag: return "cache_tag";
+    case UncoreStructure::kTlb: return "tlb";
+    case UncoreStructure::kDramQueue: return "dram_queue";
+    case UncoreStructure::kCount: break;
+  }
+  return "?";
+}
+
+double UncorePlan::detection_coverage(UncoreStructure s, int flips) const {
+  return mechanism_detection_coverage(of(s), flips);
+}
+
+bool UncorePlan::corrects_in_place(UncoreStructure s, int flips) const {
+  return mechanism_corrects_in_place(of(s), flips);
+}
+
+std::string UncorePlan::id() const {
+  std::string out;
+  for (std::size_t i = 0; i < kUncoreStructureCount; ++i) {
+    if (!out.empty()) out += ',';
+    out += name_of(static_cast<UncoreStructure>(i));
+    out += '=';
+    out += name_of(mechanism[i]);
+  }
+  return out;
+}
+
+UncorePlan uniform_uncore_plan(Mechanism m) {
+  UncorePlan p;
+  p.name = m == Mechanism::kNone     ? "none"
+           : m == Mechanism::kParity1 ? "parity"
+           : m == Mechanism::kSecded  ? "secded"
+                                      : name_of(m);
+  p.mechanism.fill(m);
+  return p;
+}
+
+bool parse_protect_mechanism(std::string_view text, Mechanism* out) {
+  if (text == "none") {
+    *out = Mechanism::kNone;
+  } else if (text == "parity" || text == "parity-1") {
+    *out = Mechanism::kParity1;
+  } else if (text == "secded" || text == "SECDED" || text == "ecc") {
+    *out = Mechanism::kSecded;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_uncore_structure(std::string_view text, UncoreStructure* out) {
+  for (std::size_t i = 0; i < kUncoreStructureCount; ++i) {
+    const auto s = static_cast<UncoreStructure>(i);
+    if (text == name_of(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+ResidencyTracker* AvfCollector::make_tracker(UncoreStructure s,
+                                             std::uint64_t capacity_entries,
+                                             std::uint32_t bits_per_entry) {
+  instances_.push_back({s, capacity_entries, bits_per_entry, {}});
+  return &instances_.back().tracker;
+}
+
+void AvfCollector::finish(Cycle end) {
+  for (auto& inst : instances_) inst.tracker.finish(end);
+}
+
+void AvfCollector::publish(obs::MetricsRegistry& reg, Cycle cycles) const {
+  // Sum instances per structure first so each published counter is one
+  // set(); counters then *add* across campaign-job snapshots.
+  struct Totals {
+    std::uint64_t entry_cycles = 0, bit_cycles = 0, events = 0,
+                  capacity_bits = 0;
+  };
+  std::array<Totals, kUncoreStructureCount> totals{};
+  for (const auto& inst : instances_) {
+    auto& t = totals[static_cast<std::size_t>(inst.structure)];
+    t.entry_cycles += inst.tracker.entry_cycles();
+    t.bit_cycles += inst.tracker.entry_cycles() * inst.bits_per_entry;
+    t.events += inst.tracker.events();
+    t.capacity_bits += inst.capacity_entries * inst.bits_per_entry;
+  }
+  reg.set_counter("fault.avf.cycles", cycles);
+  for (std::size_t i = 0; i < kUncoreStructureCount; ++i) {
+    if (totals[i].capacity_bits == 0) continue;
+    const std::string prefix =
+        std::string("fault.avf.") + name_of(static_cast<UncoreStructure>(i));
+    reg.set_counter(prefix + ".entry_cycles", totals[i].entry_cycles);
+    reg.set_counter(prefix + ".bit_cycles", totals[i].bit_cycles);
+    reg.set_counter(prefix + ".events", totals[i].events);
+    reg.set_counter(prefix + ".capacity_bits", totals[i].capacity_bits);
+    reg.set_counter(prefix + ".capacity_bit_cycles",
+                    totals[i].capacity_bits * cycles);
+  }
+}
+
+double AvfReport::total_avf() const {
+  std::uint64_t bit_cycles = 0, capacity = 0;
+  for (const auto& s : structures) {
+    bit_cycles += s.bit_cycles;
+    capacity += s.capacity_bit_cycles;
+  }
+  return capacity ? static_cast<double>(bit_cycles) /
+                        static_cast<double>(capacity)
+                  : 0.0;
+}
+
+double AvfReport::total_residual_avf() const {
+  double residual = 0.0;
+  std::uint64_t capacity = 0;
+  for (const auto& s : structures) {
+    residual += (1.0 - s.coverage) * static_cast<double>(s.bit_cycles);
+    capacity += s.capacity_bit_cycles;
+  }
+  return capacity ? residual / static_cast<double>(capacity) : 0.0;
+}
+
+double AvfReport::area_delta_um2() const {
+  double total = 0.0;
+  for (const auto& s : structures) total += s.area_delta_um2;
+  return total;
+}
+
+double AvfReport::power_delta_w() const {
+  double total = 0.0;
+  for (const auto& s : structures) total += s.power_delta_w;
+  return total;
+}
+
+std::string AvfReport::to_json(int indent) const {
+  obs::JsonWriter w(indent);
+  w.begin_object();
+  w.key("schema").value("unsync.avf_report.v1");
+  w.key("plan").value(plan);
+  w.key("cycles").value(cycles);
+  w.key("structures").begin_array();
+  for (const auto& s : structures) {
+    w.begin_object();
+    w.key("structure").value(name_of(s.structure));
+    w.key("mechanism").value(name_of(s.mechanism));
+    w.key("entry_cycles").value(s.entry_cycles);
+    w.key("bit_cycles").value(s.bit_cycles);
+    w.key("events").value(s.events);
+    w.key("capacity_bits").value(s.capacity_bits);
+    w.key("capacity_bit_cycles").value(s.capacity_bit_cycles);
+    w.key("avf").value(s.avf);
+    w.key("coverage").value(s.coverage);
+    w.key("residual_avf").value(s.residual_avf);
+    w.key("area_delta_um2").value(s.area_delta_um2);
+    w.key("power_delta_w").value(s.power_delta_w);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("total_avf").value(total_avf());
+  w.key("total_residual_avf").value(total_residual_avf());
+  w.key("area_delta_um2").value(area_delta_um2());
+  w.key("power_delta_w").value(power_delta_w());
+  w.end_object();
+  return w.take();
+}
+
+AvfReport build_avf_report(const obs::MetricsSnapshot& snap,
+                           const UncorePlan& plan) {
+  AvfReport report;
+  report.plan = plan.name;
+  const auto counter = [&](const std::string& path) -> std::uint64_t {
+    const auto it = snap.counters.find(path);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  report.cycles = counter("fault.avf.cycles");
+  for (std::size_t i = 0; i < kUncoreStructureCount; ++i) {
+    const auto structure = static_cast<UncoreStructure>(i);
+    const std::string prefix = std::string("fault.avf.") + name_of(structure);
+    AvfStructureReport s;
+    s.structure = structure;
+    s.mechanism = plan.of(structure);
+    s.entry_cycles = counter(prefix + ".entry_cycles");
+    s.bit_cycles = counter(prefix + ".bit_cycles");
+    s.events = counter(prefix + ".events");
+    s.capacity_bits = counter(prefix + ".capacity_bits");
+    s.capacity_bit_cycles = counter(prefix + ".capacity_bit_cycles");
+    if (s.capacity_bit_cycles == 0) continue;  // not instrumented this run
+    s.avf = static_cast<double>(s.bit_cycles) /
+            static_cast<double>(s.capacity_bit_cycles);
+    s.coverage = plan.detection_coverage(structure, 1);
+    s.residual_avf = s.avf * (1.0 - s.coverage);
+    report.structures.push_back(s);
+  }
+  return report;
+}
+
+}  // namespace unsync::fault

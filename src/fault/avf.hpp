@@ -1,0 +1,228 @@
+// ACE/AVF analysis for uncore structures — residency-based exposure.
+//
+// The paper's protection plan (§III-B.1) covers core-private sequential
+// state; "Understanding Soft Errors in Uncore Components" (PAPERS.md) shows
+// the unprotected residual of modern designs lives in the uncore: bus
+// request queues, MSHRs, write buffers, cache tag arrays, TLBs and the DRAM
+// queue. This layer measures that exposure the way AVF studies do — by
+// integrating *ACE bit-cycles* (cycles during which a bit holds live,
+// architecturally consequential state) and dividing by the structure's
+// capacity bit-cycles:
+//
+//   AVF(s) = sum(live_bits(s, t) dt) / (capacity_bits(s) * cycles)
+//
+// Two accounting styles cover every hook site:
+//   * event-duration  — ResidencyTracker::add(cycles) when an entry's
+//     lifetime is known at allocation (bus grants, MSHR fills);
+//   * live-occupancy  — ResidencyTracker::set_live(now, n) whenever the
+//     number of valid entries changes (cache tags, TLB entries, write
+//     buffers), integrated piecewise to the run's end cycle.
+//
+// Layering: this header is intentionally link-free (all tracker methods are
+// inline) so src/mem and src/cpu can hold ResidencyTracker pointers without
+// a mem -> fault link edge (fault links cpu links mem). The collector,
+// report and JSON live in avf.cpp (unsync_fault). Hooks are observation
+// only: with no tracker attached each site costs one null-pointer branch,
+// and attaching one never perturbs simulated state — avf=1 is bit-invisible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fault/protection.hpp"
+
+namespace unsync::obs {
+class MetricsRegistry;
+class MetricsSnapshot;
+}  // namespace unsync::obs
+
+namespace unsync::fault {
+
+/// The six uncore structures instrumented for residency (ROADMAP item 4).
+enum class UncoreStructure : std::uint8_t {
+  kBusQueue,     ///< L1<->L2 interconnect request queue
+  kMshr,         ///< miss-status holding registers (L1s + L2)
+  kWriteBuffer,  ///< post-commit store buffers / UnSync CBs
+  kCacheTag,     ///< tag + state arrays of every cache
+  kTlb,          ///< I-TLB + D-TLB entries
+  kDramQueue,    ///< memory-controller / DRAM channel queue
+  kCount,
+};
+
+inline constexpr std::size_t kUncoreStructureCount =
+    static_cast<std::size_t>(UncoreStructure::kCount);
+
+const char* name_of(UncoreStructure s);
+
+/// Bits held per occupied entry (documented in docs/FAULTS.md). Tag-array
+/// bits depend on cache geometry and are computed at wiring time; the rest
+/// are fixed micro-architectural constants.
+inline constexpr std::uint32_t kBusQueueEntryBits = 72;   // addr+cmd+src tag
+inline constexpr std::uint32_t kMshrEntryBits = 64;       // line addr+targets
+inline constexpr std::uint32_t kWriteBufferEntryBits = 128;  // 16-B CB entry
+inline constexpr std::uint32_t kTlbEntryBits = 106;       // VPN+PPN+flags
+inline constexpr std::uint32_t kDramQueueEntryBits = 128; // cmd+addr+burst
+
+/// Modelled queue depths for the serially-granted resources (the Bus class
+/// tracks a reservation horizon, not discrete slots; these bound the AVF
+/// capacity denominator the way a real request queue would).
+inline constexpr std::uint64_t kBusQueueEntries = 16;
+inline constexpr std::uint64_t kDramQueueEntries = 32;
+
+/// Integer ACE bit-cycle accumulator for one structure *instance*.
+///
+/// All state is exact 64-bit integers so per-job published counters add
+/// associatively under the campaign snapshot merge — the aggregate (and the
+/// AVF ratio computed from it at report time) is byte-identical across
+/// worker counts.
+class ResidencyTracker {
+ public:
+  /// Event-duration accounting: one entry was live for `cycles` cycles.
+  void add(std::uint64_t cycles) {
+    entry_cycles_ += cycles;
+    ++events_;
+  }
+
+  /// Live-occupancy accounting: integrates the previous occupancy over
+  /// (last, now], then records `live` valid entries from `now` on. Calls
+  /// with non-monotonic `now` integrate nothing (clamped), keeping the
+  /// accumulator exact under replayed or out-of-order hook sites.
+  void set_live(Cycle now, std::uint64_t live) {
+    integrate(now);
+    if (live != live_) {
+      live_ = live;
+      ++events_;
+    }
+  }
+
+  /// Closes the integration window at the run's final cycle.
+  void finish(Cycle end) { integrate(end); }
+
+  std::uint64_t entry_cycles() const { return entry_cycles_; }
+  std::uint64_t events() const { return events_; }
+  std::uint64_t live() const { return live_; }
+
+ private:
+  void integrate(Cycle now) {
+    if (now > last_) {
+      entry_cycles_ += live_ * (now - last_);
+      last_ = now;
+    }
+  }
+
+  std::uint64_t entry_cycles_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t live_ = 0;
+  Cycle last_ = 0;
+};
+
+/// Per-structure uncore protection choice (`protect.<structure>=` knobs).
+/// Shares the Mechanism vocabulary — and the detection/correction model —
+/// with the core-side ProtectionPlan.
+struct UncorePlan {
+  std::string name = "none";
+  std::array<Mechanism, kUncoreStructureCount> mechanism{};  // all kNone
+
+  Mechanism of(UncoreStructure s) const {
+    return mechanism[static_cast<std::size_t>(s)];
+  }
+  void set(UncoreStructure s, Mechanism m) {
+    mechanism[static_cast<std::size_t>(s)] = m;
+  }
+
+  double detection_coverage(UncoreStructure s, int flips) const;
+  bool corrects_in_place(UncoreStructure s, int flips) const;
+
+  /// Canonical identity string, "bus_queue=none,mshr=parity-1,..." in enum
+  /// order — folded into campaign journal fingerprints.
+  std::string id() const;
+};
+
+/// All-structures-uniform plan ("none", "parity", "secded" presets).
+UncorePlan uniform_uncore_plan(Mechanism m);
+
+/// Parses a `protect.*` knob value: none | parity | secded (plus the
+/// canonical mechanism names). Returns false on an unknown value.
+bool parse_protect_mechanism(std::string_view text, Mechanism* out);
+
+/// Parses a structure key as spelled in `protect.<structure>=` knobs.
+bool parse_uncore_structure(std::string_view text, UncoreStructure* out);
+
+/// Owns one ResidencyTracker per instrumented structure instance and folds
+/// them into the `fault.avf.*` metrics tree. Created by the System layer
+/// when `avf=1`; mem/cpu components only ever see the tracker pointers.
+class AvfCollector {
+ public:
+  /// Registers one instance of `s` holding up to `capacity_entries` entries
+  /// of `bits_per_entry` bits. The returned tracker stays valid for the
+  /// collector's lifetime.
+  ResidencyTracker* make_tracker(UncoreStructure s,
+                                 std::uint64_t capacity_entries,
+                                 std::uint32_t bits_per_entry);
+
+  /// Closes every live-occupancy integration window at `end`.
+  void finish(Cycle end);
+
+  /// Publishes integer exposure counters under `fault.avf.<structure>.*`:
+  /// entry_cycles, bit_cycles, events, capacity_bits, capacity_bit_cycles —
+  /// plus `fault.avf.cycles`. All uint64, so campaign merges stay
+  /// worker-count independent.
+  void publish(obs::MetricsRegistry& reg, Cycle cycles) const;
+
+ private:
+  struct Instance {
+    UncoreStructure structure;
+    std::uint64_t capacity_entries;
+    std::uint32_t bits_per_entry;
+    ResidencyTracker tracker;
+  };
+  std::deque<Instance> instances_;  // deque: stable tracker addresses
+};
+
+/// One row of the AVF report. The hwmodel join (area/power deltas of the
+/// chosen mechanism) is filled by the caller layer — fault cannot link
+/// hwmodel — via apply_protection_costs().
+struct AvfStructureReport {
+  UncoreStructure structure = UncoreStructure::kBusQueue;
+  Mechanism mechanism = Mechanism::kNone;
+  std::uint64_t entry_cycles = 0;
+  std::uint64_t bit_cycles = 0;
+  std::uint64_t events = 0;
+  std::uint64_t capacity_bits = 0;
+  std::uint64_t capacity_bit_cycles = 0;
+  double avf = 0.0;           ///< bit_cycles / capacity_bit_cycles
+  double coverage = 0.0;      ///< single-bit detection coverage of mechanism
+  double residual_avf = 0.0;  ///< avf * (1 - coverage): unprotected exposure
+  double area_delta_um2 = 0.0;
+  double power_delta_w = 0.0;
+};
+
+/// The versioned AVF report ("unsync.avf_report.v1").
+struct AvfReport {
+  std::string plan = "none";
+  std::uint64_t cycles = 0;
+  std::vector<AvfStructureReport> structures;  // enum order
+
+  double total_avf() const;           ///< capacity-weighted mean AVF
+  double total_residual_avf() const;  ///< capacity-weighted residual
+  double area_delta_um2() const;
+  double power_delta_w() const;
+
+  /// Deterministic JSON; compact when indent == 0. Doubles use the
+  /// shortest round-trip form, so the bytes are a pure function of the
+  /// integer counters and the plan.
+  std::string to_json(int indent = 2) const;
+};
+
+/// Builds a report from the merged `fault.avf.*` counters of a campaign (or
+/// single-run) snapshot under `plan`. Structures with zero registered
+/// capacity are omitted.
+AvfReport build_avf_report(const obs::MetricsSnapshot& snap,
+                           const UncorePlan& plan);
+
+}  // namespace unsync::fault

@@ -13,8 +13,39 @@ const char* name_of(FaultSite s) {
     case FaultSite::kFpRegisterFile: return "fp_register_file";
     case FaultSite::kProgramCounter: return "program_counter";
     case FaultSite::kMemoryData: return "memory_data";
+    case FaultSite::kBusQueue: return "bus_queue";
+    case FaultSite::kMshrEntry: return "mshr";
+    case FaultSite::kWriteBufferEntry: return "write_buffer";
+    case FaultSite::kCacheTag: return "cache_tag";
+    case FaultSite::kTlbEntry: return "tlb";
+    case FaultSite::kDramQueue: return "dram_queue";
   }
   return "?";
+}
+
+bool is_uncore(FaultSite s) {
+  return static_cast<std::uint8_t>(s) >=
+         static_cast<std::uint8_t>(FaultSite::kBusQueue);
+}
+
+UncoreStructure uncore_structure_of(FaultSite s) {
+  switch (s) {
+    case FaultSite::kBusQueue: return UncoreStructure::kBusQueue;
+    case FaultSite::kMshrEntry: return UncoreStructure::kMshr;
+    case FaultSite::kWriteBufferEntry: return UncoreStructure::kWriteBuffer;
+    case FaultSite::kCacheTag: return UncoreStructure::kCacheTag;
+    case FaultSite::kTlbEntry: return UncoreStructure::kTlb;
+    case FaultSite::kDramQueue: return UncoreStructure::kDramQueue;
+    default: break;
+  }
+  assert(false && "not an uncore fault site");
+  return UncoreStructure::kBusQueue;
+}
+
+std::vector<FaultSite> uncore_fault_sites() {
+  return {FaultSite::kBusQueue,    FaultSite::kMshrEntry,
+          FaultSite::kWriteBufferEntry, FaultSite::kCacheTag,
+          FaultSite::kTlbEntry,    FaultSite::kDramQueue};
 }
 
 const char* name_of(Outcome o) {
@@ -52,6 +83,8 @@ Structure structure_of(FaultSite site) {
       return Structure::kProgramCounter;
     case FaultSite::kMemoryData:
       return Structure::kL1Data;
+    default:
+      break;  // uncore sites use uncore_structure_of()
   }
   return Structure::kRegisterFile;
 }
@@ -146,7 +179,17 @@ CampaignResult run_campaign(const isa::Program& program,
         st.pc = old_value ^ flip_mask(16);
         break;
       }
-      case FaultSite::kMemoryData: {
+      case FaultSite::kMemoryData:
+      case FaultSite::kBusQueue:
+      case FaultSite::kMshrEntry:
+      case FaultSite::kWriteBufferEntry:
+      case FaultSite::kCacheTag:
+      case FaultSite::kTlbEntry:
+      case FaultSite::kDramQueue: {
+        // Every memory-side strike manifests on a previously-written word:
+        // the word resident in the line (kMemoryData / kCacheTag), held by
+        // the in-flight structure (bus / MSHR / write buffer / DRAM queue),
+        // or reached through the struck translation (kTlbEntry).
         if (written.empty()) {
           injected = false;
           break;
@@ -154,8 +197,12 @@ CampaignResult run_campaign(const isa::Program& program,
         mem_addr = written[rng.below(written.size())];
         old_value = sim.memory().read64(mem_addr);
         // Under write-back, a written-and-resident line is dirty: the only
-        // up-to-date copy is the corrupted one (paper Fig. 2).
-        dirty_line = !config.l1_write_through;
+        // up-to-date copy is the corrupted one (paper Fig. 2). This hazard
+        // applies to the line's data word and to its tag entry — a detected
+        // tag error on a dirty line has also lost the sole copy.
+        dirty_line = !config.l1_write_through &&
+                     (site == FaultSite::kMemoryData ||
+                      site == FaultSite::kCacheTag);
         sim.mutable_memory().write64(mem_addr, old_value ^ flip_mask(64));
         break;
       }
@@ -168,11 +215,21 @@ CampaignResult run_campaign(const isa::Program& program,
       continue;
     }
 
-    // --- Detection, per the protection plan. -----------------------------
-    const Structure structure = structure_of(site);
-    const double coverage = plan.detection_coverage(structure, flips);
+    // --- Detection: core sites follow the ProtectionPlan, uncore sites
+    // follow the per-structure UncorePlan. ---------------------------------
+    double coverage;
+    bool corrects;
+    if (is_uncore(site)) {
+      const UncoreStructure us = uncore_structure_of(site);
+      coverage = config.uncore.detection_coverage(us, flips);
+      corrects = config.uncore.corrects_in_place(us, flips);
+    } else {
+      const Structure structure = structure_of(site);
+      coverage = plan.detection_coverage(structure, flips);
+      corrects = plan.corrects_in_place(structure, flips);
+    }
     const bool detected = rng.chance(coverage);
-    const bool in_place = detected && plan.corrects_in_place(structure, flips);
+    const bool in_place = detected && corrects;
 
     Outcome outcome;
     if (in_place) {
@@ -180,14 +237,23 @@ CampaignResult run_campaign(const isa::Program& program,
       // recovery engages at all.
       outcome = Outcome::kCorrectedInPlace;
     } else if (detected) {
-      if (site == FaultSite::kMemoryData && dirty_line) {
+      if (dirty_line) {
         // Detected on read, but the dirty line has no clean copy in L2:
         // unrecoverable (this is exactly the write-back hazard of Fig. 2).
         outcome = Outcome::kDetectedUnrecoverable;
+      } else if (site == FaultSite::kWriteBufferEntry &&
+                 !config.redundant_write_buffer) {
+        // A write buffer is a *write-path* structure: the committed store it
+        // holds exists nowhere upstream, so parity detection alone cannot
+        // restore it. Only a redundant copy (UnSync's per-core CB) or an
+        // in-place-correcting code saves the entry.
+        outcome = Outcome::kDetectedUnrecoverable;
       } else {
         // Recovery: architectural state is re-supplied by the error-free
-        // redundant core (UnSync state copy) or the clean L2 copy
-        // (write-through invalidate+refill); performed below.
+        // redundant core (UnSync state copy), the clean L2 copy
+        // (write-through invalidate+refill), a request retry (bus / MSHR /
+        // DRAM queue), a page-table walk (TLB), or the redundant write
+        // buffer; performed below.
         outcome = Outcome::kDetectedRecovered;
       }
     } else {
@@ -209,6 +275,14 @@ CampaignResult run_campaign(const isa::Program& program,
           break;
         }
         case FaultSite::kMemoryData:
+        case FaultSite::kBusQueue:
+        case FaultSite::kMshrEntry:
+        case FaultSite::kWriteBufferEntry:
+        case FaultSite::kCacheTag:
+        case FaultSite::kTlbEntry:
+        case FaultSite::kDramQueue:
+          // The clean upstream copy / redundant buffer entry / refetched
+          // translation re-supplies the exact pre-fault word.
           sim.mutable_memory().write64(mem_addr, old_value);
           break;
       }

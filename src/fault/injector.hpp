@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/avf.hpp"
 #include "fault/protection.hpp"
 #include "isa/assembler.hpp"
 #include "obs/metrics.hpp"
@@ -28,9 +29,30 @@ enum class FaultSite : std::uint8_t {
   kFpRegisterFile,
   kProgramCounter,
   kMemoryData,  ///< a previously-written (cache-resident) data word
+
+  // Uncore sites: the strike lands in a shared structure while it holds (or
+  // indexes) a previously-written word. Detection follows the per-structure
+  // UncorePlan rather than the core ProtectionPlan; see docs/FAULTS.md.
+  kBusQueue,          ///< request queued at the L1-L2 bus
+  kMshrEntry,         ///< in-flight miss tracked by an MSHR
+  kWriteBufferEntry,  ///< committed store waiting in a write/communication
+                      ///< buffer (UnSync CB) — a *write-path* structure
+  kCacheTag,          ///< tag+state array entry of a resident line
+  kTlbEntry,          ///< cached translation covering the word's page
+  kDramQueue,         ///< request queued at the DRAM channel
 };
 
 const char* name_of(FaultSite s);
+
+/// True for the sites whose detection is governed by the UncorePlan.
+bool is_uncore(FaultSite s);
+
+/// The UncorePlan structure a given uncore site strikes (callable only for
+/// is_uncore() sites).
+UncoreStructure uncore_structure_of(FaultSite s);
+
+/// The six uncore sites, in enum order — convenience for campaign configs.
+std::vector<FaultSite> uncore_fault_sites();
 
 enum class Outcome : std::uint8_t {
   kMasked,                 ///< fault never affected the result
@@ -57,6 +79,14 @@ struct InjectionConfig {
                                   FaultSite::kFpRegisterFile,
                                   FaultSite::kProgramCounter,
                                   FaultSite::kMemoryData};
+  /// Per-structure protection for the uncore sites (defaults to none — every
+  /// uncore strike is undetected). Ignored by the four core sites.
+  UncorePlan uncore;
+  /// The write buffer is duplicated across redundant cores (UnSync keeps one
+  /// CB per core of a group, §III-A): a detected write-buffer strike is then
+  /// recovered by overwriting from the error-free copy instead of being
+  /// unrecoverable.
+  bool redundant_write_buffer = false;
 };
 
 struct TrialRecord {

@@ -52,9 +52,9 @@ double ProtectionPlan::detection_coverage(Structure s) const {
   return detection_coverage(s, 1);
 }
 
-double ProtectionPlan::detection_coverage(Structure s, int flips) const {
+double mechanism_detection_coverage(Mechanism m, int flips) {
   if (flips <= 0) return 1.0;
-  switch (of(s)) {
+  switch (m) {
     case Mechanism::kNone:
       return 0.0;
     case Mechanism::kParity1:
@@ -78,8 +78,12 @@ double ProtectionPlan::detection_coverage(Structure s, int flips) const {
   return 0.0;
 }
 
-bool ProtectionPlan::corrects_in_place(Structure s, int flips) const {
-  switch (of(s)) {
+double ProtectionPlan::detection_coverage(Structure s, int flips) const {
+  return mechanism_detection_coverage(of(s), flips);
+}
+
+bool mechanism_corrects_in_place(Mechanism m, int flips) {
+  switch (m) {
     case Mechanism::kSecded:
       return flips == 1;
     case Mechanism::kTmr:
@@ -89,6 +93,10 @@ bool ProtectionPlan::corrects_in_place(Structure s, int flips) const {
     default:
       return false;
   }
+}
+
+bool ProtectionPlan::corrects_in_place(Structure s, int flips) const {
+  return mechanism_corrects_in_place(of(s), flips);
 }
 
 std::uint64_t ProtectionPlan::covered_bits() const {

@@ -45,6 +45,15 @@ enum class Mechanism : std::uint8_t {
 const char* name_of(Structure s);
 const char* name_of(Mechanism m);
 
+/// Mechanism-level detection model (shared by the core-side ProtectionPlan
+/// and the uncore UncorePlan in fault/avf.hpp): probability an error of
+/// `flips` adjacent bits inside one protected word is detected.
+double mechanism_detection_coverage(Mechanism m, int flips);
+
+/// True when the mechanism repairs the error locally (SECDED single-bit,
+/// TMR) with no recovery action needed.
+bool mechanism_corrects_in_place(Mechanism m, int flips);
+
 /// Residency class drives the mechanism choice rule above.
 enum class Residency : std::uint8_t {
   kEveryCycle,  ///< read/written every cycle (parity's 1-cycle lag unusable)

@@ -135,6 +135,38 @@ BlockHw detection_hardware(const fault::ProtectionPlan& plan) {
   return total;
 }
 
+BlockHw uncore_protection_hardware(fault::Mechanism m,
+                                   std::uint64_t capacity_bits) {
+  using fault::Mechanism;
+  switch (m) {
+    case Mechanism::kParity1: {
+      // Byte parity: 1 check bit per 8 data bits in RF cells plus one
+      // generate/verify tree, drawing the same per-structure share of the
+      // calibrated parity power as detection_hardware().
+      const double check_bits = static_cast<double>(capacity_bits) / 8.0;
+      return {.area_um2 = check_bits * kPaperRfCellArea +
+                          kParityTreeAreaPerStructure,
+              .power_w = kParityCorePower / 5.0};
+    }
+    case Mechanism::kSecded:
+      return secded_structure(capacity_bits);
+    case Mechanism::kDmr: {
+      const auto bits = static_cast<double>(capacity_bits);
+      return {.area_um2 = bits * kDmrAreaPerBit,
+              .power_w = bits * kDmrPowerPerBit};
+    }
+    case Mechanism::kTmr: {
+      const auto bits = static_cast<double>(capacity_bits);
+      return {.area_um2 = bits * kDmrAreaPerBit * 2.2,
+              .power_w = bits * kDmrPowerPerBit * 2.2};
+    }
+    case Mechanism::kNone:
+    case Mechanism::kFingerprint:
+      break;  // free here; fingerprinting is priced by check_stage()
+  }
+  return {};
+}
+
 BlockHw communication_buffer(int entries) {
   return {.area_um2 = entries * kCbAreaPerEntry,
           .power_w = entries * kCbPowerPerEntry};

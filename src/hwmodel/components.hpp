@@ -69,6 +69,14 @@ BlockHw secded_structure(std::uint64_t bits);
 /// mechanisms are priced by check_stage()).
 BlockHw detection_hardware(const fault::ProtectionPlan& plan);
 
+/// Prices protecting one uncore structure of `capacity_bits` data bits with
+/// `m`: byte parity adds 1 check bit per 8 data bits plus a generate/verify
+/// tree; SECDED reuses the (72,64) structure model. kNone is free; the
+/// join of these costs with measured AVF is the protection frontier
+/// (docs/FAULTS.md).
+BlockHw uncore_protection_hardware(fault::Mechanism m,
+                                   std::uint64_t capacity_bits);
+
 /// Communication Buffer (per core).
 BlockHw communication_buffer(int entries);
 

@@ -11,6 +11,7 @@ Cycle Bus::acquire(Cycle now, Cycle hold) {
   next_free_ = grant + hold;
   busy_cycles_ += hold;
   ++transactions_;
+  if (avf_) avf_->add(grant + hold - now);
   return grant;
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "fault/avf.hpp"
 
 namespace unsync::ckpt {
 class Serializer;
@@ -22,6 +23,11 @@ class Bus {
  public:
   /// Reserves the bus for [grant, grant+hold) and returns grant.
   Cycle acquire(Cycle now, Cycle hold);
+
+  /// Attaches an ACE residency tracker (fault/avf.hpp): each transaction's
+  /// queue-occupancy window [now, grant+hold) is charged as entry-cycles.
+  /// Observation only — never perturbs grant timing. Null detaches.
+  void set_avf(fault::ResidencyTracker* avf) { avf_ = avf; }
 
   /// True when the bus would grant immediately at `now`.
   bool free_at(Cycle now) const { return next_free_ <= now; }
@@ -42,6 +48,7 @@ class Bus {
   Cycle next_free_ = 0;
   Cycle busy_cycles_ = 0;
   std::uint64_t transactions_ = 0;
+  fault::ResidencyTracker* avf_ = nullptr;  // observability; not checkpointed
 };
 
 }  // namespace unsync::mem

@@ -31,6 +31,7 @@ void MshrFile::allocate(Addr line_addr, Cycle now, Cycle done) {
   prune(now);
   assert(misses_.size() < entries_);
   misses_.push_back({line_addr, done});
+  if (avf_) avf_->add(done > now ? done - now : 0);
 }
 
 std::uint32_t MshrFile::occupancy(Cycle now) const {
@@ -131,6 +132,7 @@ LookupResult Cache::lookup(Addr addr, bool is_write) {
     ++writebacks_;
     r.dirty_victim = ((v.tag << set_shift_) | set_bits) << line_shift_;
   }
+  if (!v.valid) ++valid_count_;
   v.valid = true;
   v.tag = tag;
   v.dirty = is_write && config_.write_policy == WritePolicy::kWriteBack;
@@ -150,6 +152,7 @@ bool Cache::invalidate(Addr addr) {
     if (l.valid && l.tag == tag) {
       l.valid = false;
       l.dirty = false;
+      --valid_count_;
       return true;
     }
   }
@@ -161,12 +164,7 @@ void Cache::invalidate_all() {
     l.valid = false;
     l.dirty = false;
   }
-}
-
-std::uint64_t Cache::lines_valid() const {
-  return static_cast<std::uint64_t>(
-      std::count_if(lines_.begin(), lines_.end(),
-                    [](const Line& l) { return l.valid; }));
+  valid_count_ = 0;
 }
 
 std::uint64_t Cache::lines_dirty() const {
@@ -228,11 +226,13 @@ void Cache::load_state(ckpt::Deserializer& d) {
   if (d.u64() != lines_.size()) {
     throw ckpt::CkptError("cache geometry mismatch");
   }
+  valid_count_ = 0;
   for (Line& l : lines_) {
     l.tag = d.u64();
     l.valid = d.b();
     l.dirty = d.b();
     l.lru = d.u64();
+    if (l.valid) ++valid_count_;
   }
   lru_clock_ = d.u64();
   hits_ = d.u64();

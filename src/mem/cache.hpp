@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/avf.hpp"
 #include "mem/config.hpp"
 
 namespace unsync::ckpt {
@@ -39,6 +40,10 @@ class MshrFile {
   /// ensured a free entry via first_free().
   void allocate(Addr line_addr, Cycle now, Cycle done);
 
+  /// ACE residency hook (fault/avf.hpp): each allocated MSHR is charged its
+  /// lifetime [now, done) as entry-cycles. Observation only; null detaches.
+  void set_avf(fault::ResidencyTracker* avf) { avf_ = avf; }
+
   std::uint32_t capacity() const { return entries_; }
   std::uint32_t occupancy(Cycle now) const;
 
@@ -61,6 +66,7 @@ class MshrFile {
   std::uint32_t entries_;
   mutable std::vector<Entry> misses_;  // expired entries pruned lazily
   Cycle stall_cycles_ = 0;
+  fault::ResidencyTracker* avf_ = nullptr;  // observability; not checkpointed
 
   void prune(Cycle now) const;
 };
@@ -100,8 +106,23 @@ class Cache {
   /// Invalidates everything (recovery: "invalidate both the cache lines").
   void invalidate_all();
 
-  std::uint64_t lines_valid() const;
+  std::uint64_t lines_valid() const { return valid_count_; }
   std::uint64_t lines_dirty() const;
+
+  /// Tag-array bits held per valid line: the tag itself plus valid+dirty
+  /// state (the strike surface of a tag-array upset — an LRU flip only
+  /// perturbs replacement, never correctness).
+  std::uint32_t tag_entry_bits() const {
+    return 64 - line_shift_ - set_shift_ + 2;
+  }
+
+  /// ACE residency hook for the tag array (fault/avf.hpp): integrates the
+  /// valid-line count over cycles. Call after any access/invalidate with
+  /// the current cycle; observation only, null tracker = one branch.
+  void set_avf(fault::ResidencyTracker* avf) { avf_ = avf; }
+  void avf_update(Cycle now) {
+    if (avf_) avf_->set_live(now, valid_count_);
+  }
 
   // Statistics.
   std::uint64_t hits() const { return hits_; }
@@ -141,7 +162,9 @@ class Cache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t writebacks_ = 0;
+  std::uint64_t valid_count_ = 0;  // incremental lines_valid()
   MshrFile mshrs_;
+  fault::ResidencyTracker* avf_ = nullptr;  // observability; not checkpointed
 };
 
 }  // namespace unsync::mem

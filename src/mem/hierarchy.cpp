@@ -18,6 +18,7 @@ MemoryHierarchy::MemoryHierarchy(const MemConfig& config, unsigned num_cores)
 std::pair<Cycle, bool> MemoryHierarchy::l2_read(Addr addr, Cycle t) {
   const Addr line = l2_.line_addr(addr);
   const LookupResult r = l2_.access_read(addr);
+  l2_.avf_update(t);
   if (r.dirty_victim) {
     // Dirty L2 victim drains to DRAM; consumes channel bandwidth but is off
     // the critical path of this access.
@@ -46,6 +47,7 @@ std::pair<Cycle, bool> MemoryHierarchy::l2_read(Addr addr, Cycle t) {
 void MemoryHierarchy::l2_write_state(Addr addr, Cycle t) {
   const Addr line = l2_.line_addr(addr);
   const LookupResult r = l2_.access_write(addr);
+  l2_.avf_update(t);
   if (r.dirty_victim) {
     dram_chan_.acquire(t, config_.dram_line_cycles);
   }
@@ -79,6 +81,7 @@ MemAccessResult MemoryHierarchy::read_through(CoreId core, Cache& l1,
                                               Addr addr, Cycle now) {
   const Addr line = l1.line_addr(addr);
   const LookupResult r = l1.access_read(addr);
+  l1.avf_update(now);
   if (r.hit) {
     // The line may still be in flight (allocated at miss time): a "hit"
     // under the fill waits for the outstanding MSHR to complete.
@@ -131,6 +134,7 @@ MemAccessResult MemoryHierarchy::store_writeback(CoreId core, Addr addr,
   Cache& l1 = *l1d_.at(core);
   const Addr line = l1.line_addr(addr);
   const LookupResult r = l1.access_write(addr);
+  l1.avf_update(now);
   if (r.hit) {
     if (l1.mshrs().in_flight(line, now)) {
       // Store to a line whose fill is in flight: the data merges into the
@@ -167,6 +171,7 @@ Cycle MemoryHierarchy::store_writethrough_local(CoreId core, Addr addr,
                                                 Cycle now) {
   Cache& l1 = *l1d_.at(core);
   l1.access_write(addr);  // refresh if present; no-write-allocate on miss
+  l1.avf_update(now);
   return now + config_.l1d.hit_latency;
 }
 

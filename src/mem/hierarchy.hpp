@@ -83,6 +83,17 @@ class MemoryHierarchy {
   /// one branch per transfer.
   void set_tracer(const obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Re-integrates every cache tag array's ACE residency at `now` (one
+  /// null-pointer branch per cache when no trackers are attached). The
+  /// System layer calls this once when wiring AVF trackers so prewarmed
+  /// occupancy is captured from cycle 0; per-access updates happen inline
+  /// on the touched caches only.
+  void avf_update_all(Cycle now) {
+    for (auto& c : l1d_) c->avf_update(now);
+    for (auto& c : l1i_) c->avf_update(now);
+    l2_.avf_update(now);
+  }
+
   /// Publishes cache / bus / DRAM-channel counters into `reg` under
   /// `prefix` (e.g. "unsync.mem"): per-core L1D/L1I, shared L2, buses.
   void publish_metrics(obs::MetricsRegistry& reg,

@@ -46,12 +46,14 @@ bool Tlb::access(Addr addr) {
     }
     if (entries_[base + w].lru < entries_[victim].lru) victim = base + w;
   }
+  if (!entries_[victim].valid) ++valid_count_;
   entries_[victim] = {vpn, true, clock_};
   return false;
 }
 
 void Tlb::flush() {
   for (auto& e : entries_) e.valid = false;
+  valid_count_ = 0;
 }
 
 void Tlb::save_state(ckpt::Serializer& s) const {
@@ -73,10 +75,12 @@ void Tlb::load_state(ckpt::Deserializer& d) {
   if (d.u64() != entries_.size()) {
     throw ckpt::CkptError("TLB geometry mismatch");
   }
+  valid_count_ = 0;
   for (Entry& e : entries_) {
     e.vpn = d.u64();
     e.valid = d.b();
     e.lru = d.u64();
+    if (e.valid) ++valid_count_;
   }
   clock_ = d.u64();
   hits_ = d.u64();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/avf.hpp"
 
 namespace unsync::ckpt {
 class Serializer;
@@ -48,6 +49,16 @@ class Tlb {
                  : 0.0;
   }
 
+  std::uint64_t valid_count() const { return valid_count_; }
+
+  /// ACE residency hook (fault/avf.hpp): integrates the valid-entry count
+  /// over cycles. access() takes no cycle argument, so the owning core
+  /// calls avf_update(now) at each translation site. Observation only.
+  void set_avf(fault::ResidencyTracker* avf) { avf_ = avf; }
+  void avf_update(Cycle now) {
+    if (avf_) avf_->set_live(now, valid_count_);
+  }
+
   /// Checkpoint hooks: serialise / restore all mutable state (entries, LRU
   /// clock, hit/miss counters). Geometry must match the saved instance.
   void save_state(ckpt::Serializer& s) const;
@@ -71,6 +82,8 @@ class Tlb {
   std::uint64_t clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t valid_count_ = 0;  // incremental count of valid entries
+  fault::ResidencyTracker* avf_ = nullptr;  // observability; not checkpointed
 };
 
 }  // namespace unsync::mem

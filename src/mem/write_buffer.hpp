@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "fault/avf.hpp"
 #include "obs/metrics.hpp"
 
 namespace unsync::ckpt {
@@ -73,6 +74,14 @@ class WriteBuffer {
   std::size_t peak_occupancy() const { return peak_; }
   std::uint64_t total_pushed() const { return total_pushed_; }
 
+  /// ACE residency hook (fault/avf.hpp): integrates occupancy over cycles.
+  /// push/pop/copy_from take no cycle argument, so the owning system calls
+  /// avf_update(now) at its commit/drain/recovery sites. Observation only.
+  void set_avf(fault::ResidencyTracker* avf) { avf_ = avf; }
+  void avf_update(Cycle now) {
+    if (avf_) avf_->set_live(now, entries_.size());
+  }
+
   /// Checkpoint hooks: entries plus occupancy counters. Capacity must match
   /// the saved instance. Defined in hierarchy.cpp with the other mem hooks.
   void save_state(ckpt::Serializer& s) const;
@@ -83,6 +92,7 @@ class WriteBuffer {
   std::deque<WriteBufferEntry> entries_;
   std::size_t peak_ = 0;
   std::uint64_t total_pushed_ = 0;
+  fault::ResidencyTracker* avf_ = nullptr;  // observability; not checkpointed
 };
 
 /// Publishes a write buffer's occupancy counters into `reg` under `prefix`

@@ -128,6 +128,8 @@ core::RunResult CampaignRunner::run_job(const SimJob& job, std::uint64_t seed,
   sys_cfg.ser_per_inst = job.ser_per_inst;
   sys_cfg.seed = seed;
   sys_cfg.fast_forward = job.fast_forward;
+  sys_cfg.avf = job.avf;
+  sys_cfg.uncore_protect = job.protect;
 
   const auto model = core::make_model(job.system, sys_cfg, *stream, job.params);
   if (metrics || trace) model->set_observability(metrics, trace);
@@ -139,25 +141,24 @@ core::RunResult CampaignRunner::run_job_screened(const SimJob& job,
                                                  double threshold,
                                                  obs::MetricsSnapshot* metrics) {
   SimJob screened = job;
-  screened.params.tier = engine::Tier::kFast;
-  core::RunResult result;
-  if (metrics) {
+  // The reported snapshot must come from exactly the tier that produced the
+  // reported result: run_tier REPLACES `snap` wholesale (never merges), and
+  // `*metrics` is assigned once, at the end — so a detailed re-run cannot
+  // leak fast-tier counters into the cell, structurally.
+  obs::MetricsSnapshot snap;
+  const auto run_tier = [&](engine::Tier tier) {
+    screened.params.tier = tier;
+    if (!metrics) return run_job(screened, seed);
     obs::MetricsRegistry reg;
-    result = run_job(screened, seed, &reg);
-    *metrics = reg.snapshot();
-  } else {
-    result = run_job(screened, seed);
-  }
+    core::RunResult r = run_job(screened, seed, &reg);
+    snap = reg.snapshot();
+    return r;
+  };
+  core::RunResult result = run_tier(engine::Tier::kFast);
   if (screening_score(result) >= threshold) {
-    screened.params.tier = engine::Tier::kDetailed;
-    if (metrics) {
-      obs::MetricsRegistry reg;
-      result = run_job(screened, seed, &reg);
-      *metrics = reg.snapshot();
-    } else {
-      result = run_job(screened, seed);
-    }
+    result = run_tier(engine::Tier::kDetailed);
   }
+  if (metrics) *metrics = std::move(snap);
   return result;
 }
 

@@ -31,6 +31,7 @@
 
 #include "core/factory.hpp"
 #include "core/system.hpp"
+#include "fault/avf.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
@@ -64,6 +65,13 @@ struct SimJob {
   bool fast_forward = false;
   /// Fixed workload/system seed; unset = derive_seed(campaign_seed, index).
   std::optional<std::uint64_t> seed;
+  /// ACE/AVF residency accounting (CLI: avf=1). Observation-only and
+  /// bit-invisible in results; part of the grid fingerprint because it
+  /// changes which metrics a journaled campaign carries.
+  bool avf = false;
+  /// Per-uncore-structure protection plan joined with the measured AVF at
+  /// report time (CLI: protect.<structure>=none|parity|secded).
+  fault::UncorePlan protect;
 
   /// Architecture knobs (only the member matching `system` is read) plus
   /// the model tier: params.tier == kFast runs the job on the approximate

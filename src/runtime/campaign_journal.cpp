@@ -21,6 +21,10 @@ std::uint32_t grid_fingerprint(const std::vector<SimJob>& jobs) {
     s.b(job.fast_forward);
     s.b(job.seed.has_value());
     s.u64(job.seed.value_or(0));
+    s.b(job.avf);
+    for (const auto m : job.protect.mechanism) {
+      s.u8(static_cast<std::uint8_t>(m));
+    }
     const auto& p = job.params;
     s.u32(p.unsync.group_size);
     s.u64(p.unsync.cb_entries);

@@ -11,6 +11,7 @@
 #include <limits>
 
 #include "core/factory.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/campaign.hpp"
 #include "runtime/campaign_journal.hpp"
 
@@ -92,6 +93,30 @@ TEST(TierScreening, FastTierReproducesTheArrivalSchedule) {
   // approximate tier may mistime recoveries but never miscount strikes.
   EXPECT_EQ(fast.errors_injected, detailed.errors_injected);
   EXPECT_EQ(fast.instructions, detailed.instructions);
+}
+
+TEST(TierScreening, ScreenedCellMetricsComeFromTheProducingTierOnly) {
+  // A promoted cell's metrics must be those of the detailed re-run alone —
+  // not a fast+detailed merge, and not the stale fast-pass snapshot.
+  runtime::SimJob job = small_grid()[1];  // unsync cell with error activity
+  const std::uint64_t seed = 7;
+
+  const auto pure_metrics = [&](engine::Tier tier) {
+    runtime::SimJob j = job;
+    j.params.tier = tier;
+    obs::MetricsRegistry reg;
+    runtime::CampaignRunner::run_job(j, seed, &reg);
+    return reg.snapshot().to_json();
+  };
+
+  obs::MetricsSnapshot promoted;
+  runtime::CampaignRunner::run_job_screened(job, seed, 0.0, &promoted);
+  EXPECT_EQ(promoted.to_json(), pure_metrics(engine::Tier::kDetailed));
+
+  obs::MetricsSnapshot fast_only;
+  runtime::CampaignRunner::run_job_screened(job, seed, kInf, &fast_only);
+  EXPECT_EQ(fast_only.to_json(), pure_metrics(engine::Tier::kFast));
+  EXPECT_NE(promoted.to_json(), fast_only.to_json());
 }
 
 TEST(TierScreening, ScreeningScoreReflectsErrorActivity) {

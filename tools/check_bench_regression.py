@@ -348,6 +348,146 @@ def write_tier_baseline(report, path, headroom, margin):
     print(f"wrote tier baseline {path} ({len(bounds)} cell bounds)")
 
 
+AVF_SCHEMA = "unsync.bench_avf.v1"
+AVF_BASELINE_SCHEMA = "unsync.avf_baseline.v1"
+
+
+def load_avf_report(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read avf report {path}: {e}")
+        sys.exit(2)
+    if report.get("schema") != AVF_SCHEMA:
+        print(f"error: {path} is not a {AVF_SCHEMA} file")
+        sys.exit(2)
+    if not report.get("plans"):
+        print(f"error: no plans in {path}")
+        sys.exit(2)
+    return report
+
+
+def check_avf(report, baseline_path):
+    """Gate the uncore protection-frontier report.
+
+    The plans are ordered by increasing protection (none -> parity ->
+    secded): residual AVF and SDC must never increase along the frontier,
+    area/power must never decrease, any plan with full single-bit coverage
+    must have zero SDC, and the per-structure bit-cycle integers must be
+    identical across plans (protection joins at report time only) and
+    exactly equal to the committed baseline.
+    """
+    ok = True
+    plans = report["plans"]
+
+    if report.get("identical") is not True:
+        print("  avf: FAIL — bit-cycle counters differed across worker "
+              "counts or plans (observation-only contract broken)")
+        ok = False
+    else:
+        print("  avf: counters identical across worker counts and plans")
+
+    for prev, cur in zip(plans, plans[1:]):
+        pair = f"{prev['plan']} -> {cur['plan']}"
+        if cur["total_residual_avf"] > prev["total_residual_avf"] + 1e-12:
+            print(f"  avf: FAIL — residual AVF rose along {pair}")
+            ok = False
+        if cur["sdc"] > prev["sdc"]:
+            print(f"  avf: FAIL — SDC count rose along {pair}")
+            ok = False
+        if (cur["area_delta_um2"] < prev["area_delta_um2"] - 1e-9 or
+                cur["power_delta_w"] < prev["power_delta_w"] - 1e-12):
+            print(f"  avf: FAIL — protection cost fell along {pair}")
+            ok = False
+    print(f"  avf: frontier monotone over {len(plans)} plans "
+          f"({' -> '.join(p['plan'] for p in plans)})")
+
+    for p in plans:
+        if p["plan"] != "none" and p["sdc"] != 0:
+            print(f"  avf: FAIL — plan {p['plan']} has {p['sdc']} silent "
+                  "corruptions under full single-bit coverage")
+            ok = False
+
+    first = {s["structure"]: s["bit_cycles"]
+             for s in plans[0]["structures"]}
+    if len(first) < 6:
+        print(f"  avf: FAIL — only {len(first)} uncore structures measured "
+              "(expected >= 6)")
+        ok = False
+    for p in plans[1:]:
+        for s in p["structures"]:
+            if first.get(s["structure"]) != s["bit_cycles"]:
+                print(f"  avf: FAIL — {s['structure']} bit_cycles differ "
+                      f"between plans {plans[0]['plan']} and {p['plan']}")
+                ok = False
+    print(f"  avf: {len(first)} structures, bit-cycles equal across plans")
+
+    if not baseline_path:
+        print("  (no --avf-baseline given; skipping exact bit-cycle gate)")
+        return ok
+
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read avf baseline {baseline_path}: {e}")
+        sys.exit(2)
+    if baseline.get("schema") != AVF_BASELINE_SCHEMA:
+        print(f"error: {baseline_path} is not a {AVF_BASELINE_SCHEMA} file")
+        sys.exit(2)
+    if (baseline.get("source_insts") != report.get("insts") or
+            baseline.get("source_seed") != report.get("seed")):
+        print(f"  avf: FAIL — report (insts={report.get('insts')}, "
+              f"seed={report.get('seed')}) does not match the baseline's "
+              f"grid (insts={baseline.get('source_insts')}, "
+              f"seed={baseline.get('source_seed')})")
+        return False
+    for name, bits in sorted(baseline["bit_cycles"].items()):
+        cur = first.get(name)
+        if cur is None:
+            print(f"  avf baseline {name}: MISSING from current report")
+            ok = False
+        elif cur != bits:
+            print(f"  avf baseline {name}: bit_cycles {cur} != committed "
+                  f"{bits} FAIL (exact integer equality required)")
+            ok = False
+    extra = sorted(set(first) - set(baseline["bit_cycles"]))
+    if extra:
+        print(f"  avf baseline: {len(extra)} structure(s) have no committed "
+              f"value (refresh with --write-avf-baseline): "
+              f"{', '.join(extra)}")
+        ok = False
+    if ok:
+        print(f"  avf baseline: all {len(baseline['bit_cycles'])} "
+              "structures exactly match")
+    return ok
+
+
+def write_avf_baseline(report, path):
+    """Pin the exact per-structure ACE bit-cycle integers.
+
+    The simulation is deterministic, so for a fixed (insts, seed) grid the
+    integers are machine-independent and the gate is exact equality — any
+    drift means the measurement (or a hook site) changed.
+    """
+    doc = {
+        "schema": AVF_BASELINE_SCHEMA,
+        "note": ("exact ACE bit-cycle integers per uncore structure from "
+                 "bench_avf_frontier; gate with check_bench_regression.py "
+                 "--avf --avf-baseline"),
+        "source_insts": report.get("insts"),
+        "source_seed": report.get("seed"),
+        "bit_cycles": {s["structure"]: s["bit_cycles"]
+                       for s in report["plans"][0]["structures"]},
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote avf baseline {path} "
+          f"({len(doc['bit_cycles'])} structures)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -383,7 +523,25 @@ def main():
     ap.add_argument("--write-tier-baseline", metavar="PATH",
                     help="with --tier: write a fresh error envelope from "
                     "the report and exit")
+    ap.add_argument("--avf", action="store_true",
+                    help="gate a bench_avf_frontier JSON instead of a "
+                    "google-benchmark report")
+    ap.add_argument("--avf-baseline", metavar="PATH",
+                    help="committed BENCH_avf_baseline.json (exact "
+                    "per-structure bit-cycle integers)")
+    ap.add_argument("--write-avf-baseline", metavar="PATH",
+                    help="with --avf: pin the current per-structure "
+                    "bit-cycle integers and exit")
     args = ap.parse_args()
+
+    if args.avf:
+        report = load_avf_report(args.report)
+        if args.write_avf_baseline:
+            write_avf_baseline(report, args.write_avf_baseline)
+            return 0
+        ok = check_avf(report, args.avf_baseline)
+        print("bench gate:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
 
     if args.tier:
         report = load_tier_report(args.report)

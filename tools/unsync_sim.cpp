@@ -72,6 +72,8 @@
 #include "core/report.hpp"
 #include "core/system.hpp"
 #include "engine/sim_model.hpp"
+#include "fault/avf.hpp"
+#include "hwmodel/components.hpp"
 #include "hwmodel/core_model.hpp"
 #include "isa/assembler.hpp"
 #include "isa/functional_sim.hpp"
@@ -106,7 +108,7 @@ void print_usage(std::ostream& os) {
   os <<
       "usage: unsync_sim "
       "<run|sweep|campaign|campaign-worker|campaign-coordinator|"
-      "characterize|asm|record|hw|list|version>"
+      "characterize|asm|record|hw|avf-report|list|version>"
       " [key=value...]\n"
       "  run: system=unsync|reunion|baseline|lockstep|checkpoint\n"
       "       bench=|kernel=|program=|trace=   [insts= seed= threads= ser=]\n"
@@ -144,10 +146,22 @@ void print_usage(std::ostream& os) {
       "  asm: program=<file.s> [max_steps=]\n"
       "  record: bench=|kernel=|program=  out=<file.utrc> [insts= seed=]\n"
       "  hw: [fi= cb=]\n"
+      "  avf-report: [systems=unsync] [benches=gzip] [insts= seed= threads=]\n"
+      "            [protect= protect.<structure>=] [indent=2] [out=<path>]\n"
+      "            run an avf=1 campaign and print the unsync.avf_report.v1\n"
+      "            JSON (per-structure ACE exposure + protection coverage +\n"
+      "            hwmodel area/power deltas); byte-identical for any\n"
+      "            threads= value (docs/FAULTS.md)\n"
       "  version: print schema versions and build configuration\n"
       "  global: log=debug|info|warn|error   (diagnostic verbosity)\n"
       "          engine.fast_forward=1  quiescence fast-forwarding for\n"
       "            run/sweep/campaign — bit-identical results, fewer ticks\n"
+      "          avf=1  ACE/AVF residency accounting for run/sweep/campaign\n"
+      "            (observation-only: simulated results are bit-identical;\n"
+      "            adds the fault.avf.* metric tree)\n"
+      "          protect=<none|parity|secded>  uniform uncore protection\n"
+      "            plan; protect.<bus_queue|mshr|write_buffer|cache_tag|\n"
+      "            tlb|dram_queue>=<mech> overrides one structure\n"
       "key spelling: every option is key=value and every key is snake_case;\n"
       "  --key=value is accepted for any key, a bare --flag means flag=1,\n"
       "  and kebab-case GNU spellings map onto the snake_case key\n"
@@ -232,7 +246,42 @@ struct CommonKnobs {
   /// tier=screen (two-phase screening; campaign family only).
   bool screen = false;
   double screen_threshold = 0.0;
+  /// avf=1: ACE/AVF residency accounting (observation-only; docs/FAULTS.md).
+  bool avf = false;
+  /// protect= / protect.<structure>= — the uncore protection plan joined
+  /// with the measured AVF at report time.
+  fault::UncorePlan protect;
 };
+
+/// Parses protect=<mech> (uniform) and the per-structure
+/// protect.<structure>=<mech> overrides. Consults every per-structure key
+/// even when absent so each participates in did-you-mean suggestions.
+fault::UncorePlan protect_plan_from(const Config& cfg) {
+  fault::UncorePlan plan;
+  const auto parse = [](const std::string& key, const std::string& value) {
+    fault::Mechanism m;
+    if (!fault::parse_protect_mechanism(value, &m)) {
+      throw ConfigError("unknown mechanism for " + key + ": " + value +
+                        " (none|parity|secded)");
+    }
+    return m;
+  };
+  if (cfg.has("protect")) {
+    plan = fault::uniform_uncore_plan(
+        parse("protect", cfg.get_string("protect", "none")));
+  }
+  bool custom = false;
+  for (std::size_t i = 0; i < fault::kUncoreStructureCount; ++i) {
+    const auto s = static_cast<fault::UncoreStructure>(i);
+    const std::string key = std::string("protect.") + fault::name_of(s);
+    const std::string value = cfg.get_string(key, "");
+    if (value.empty()) continue;
+    plan.set(s, parse(key, value));
+    custom = true;
+  }
+  if (custom) plan.name = "custom";
+  return plan;
+}
 
 CommonKnobs knobs_from(const Config& cfg, bool allow_screen = false) {
   CommonKnobs k;
@@ -249,6 +298,8 @@ CommonKnobs knobs_from(const Config& cfg, bool allow_screen = false) {
   k.ser = cfg.get_double("ser", 0.0);
   k.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
   k.fast_forward = cfg.get_bool("engine.fast_forward", false);
+  k.avf = cfg.get_bool("avf", false);
+  k.protect = protect_plan_from(cfg);
 
   const std::string tier = cfg.get_string("tier", "detailed");
   if (tier == "screen") {
@@ -294,6 +345,8 @@ runtime::SimJob job_template(const Config& cfg, const CommonKnobs& knobs,
   job.params = knobs.params;
   job.ser_per_inst = knobs.ser;
   job.fast_forward = knobs.fast_forward;
+  job.avf = knobs.avf;
+  job.protect = knobs.protect;
   if (cfg.has("bench")) {
     job.profile = cfg.get_string("bench", "");
     *label = job.profile;
@@ -334,6 +387,8 @@ int cmd_run(const Config& cfg) {
   sys_cfg.ser_per_inst = knobs.ser;
   sys_cfg.seed = knobs.seed;
   sys_cfg.fast_forward = knobs.fast_forward;
+  sys_cfg.avf = knobs.avf;
+  sys_cfg.uncore_protect = knobs.protect;
 
   const bool want_csv = cfg.get_bool("csv", false);
   const bool want_report = cfg.get_bool("report", false);
@@ -542,6 +597,8 @@ CampaignGrid build_campaign_grid(const Config& cfg, const CommonKnobs& knobs) {
   base.params = knobs.params;
   base.ser_per_inst = knobs.ser;
   base.fast_forward = knobs.fast_forward;
+  base.avf = knobs.avf;
+  base.protect = knobs.protect;
   grid.insts = base.insts;
 
   grid.jobs.reserve(grid.benches.size() * grid.systems.size());
@@ -816,6 +873,85 @@ int cmd_hw(const Config& cfg) {
   return kExitOk;
 }
 
+/// avf-report: run an avf=1 campaign (default: unsync on one benchmark) and
+/// emit the "unsync.avf_report.v1" JSON — measured per-structure ACE
+/// exposure joined with the protection plan's coverage and hwmodel costs.
+/// The default unsync grid covers all six uncore structures (the CBs are
+/// the write_buffer instances). Byte-identical for any threads= value: the
+/// report is built from the worker-count-independent merged counters.
+int cmd_avf_report(const Config& cfg) {
+  const CommonKnobs knobs = knobs_from(cfg);
+  if (cfg.has("avf") && !knobs.avf) {
+    throw ConfigError("avf-report implies avf=1 (drop avf=0)");
+  }
+  if (knobs.params.tier != engine::Tier::kDetailed) {
+    throw ConfigError(
+        "avf-report needs tier=detailed (the interval model has no uncore "
+        "residency to measure; see docs/TIERS.md)");
+  }
+
+  const auto systems_arg = split_csv(cfg.get_string("systems", "unsync"));
+  std::vector<runtime::SystemKind> systems;
+  for (const auto& s : systems_arg) {
+    const auto kind = runtime::parse_system(s);
+    if (!kind) throw ConfigError("unknown system: " + s);
+    systems.push_back(*kind);
+  }
+  const auto benches = split_csv(cfg.get_string("benches", "gzip"));
+  for (const auto& b : benches) (void)workload::profile(b);  // validate
+
+  runtime::SimJob base;
+  base.insts = static_cast<std::uint64_t>(cfg.get_int("insts", 20000));
+  base.app_threads = static_cast<unsigned>(cfg.get_int("app_threads", 1));
+  base.params = knobs.params;
+  base.ser_per_inst = knobs.ser;
+  base.fast_forward = knobs.fast_forward;
+  base.avf = true;
+  base.protect = knobs.protect;
+
+  std::vector<runtime::SimJob> jobs;
+  jobs.reserve(benches.size() * systems.size());
+  for (const auto& bench : benches) {
+    for (const auto kind : systems) {
+      runtime::SimJob job = base;
+      job.label = bench;
+      job.profile = bench;
+      job.system = kind;
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  runtime::CampaignRunner::Options opts;
+  opts.threads = static_cast<unsigned>(cfg.get_int("threads", 0));
+  opts.schedule = schedule_from(cfg);
+  opts.campaign_seed = knobs.seed;
+  opts.collect_metrics = true;
+  const auto out = runtime::CampaignRunner(opts).run(jobs);
+
+  fault::AvfReport report = fault::build_avf_report(out.metrics, knobs.protect);
+  // hwmodel join: the published capacity_bits sum over jobs; every job
+  // instruments the identical structures, so per-chip bits = sum / jobs.
+  for (auto& s : report.structures) {
+    const auto hw = hwmodel::uncore_protection_hardware(
+        s.mechanism, s.capacity_bits / jobs.size());
+    s.area_delta_um2 = hw.area_um2;
+    s.power_delta_w = hw.power_w;
+  }
+
+  const auto indent = static_cast<int>(cfg.get_int("indent", 2));
+  const std::string report_json = report.to_json(indent);
+  const std::string out_path = cfg.get_string("out", "");
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    if (!f) throw std::runtime_error("cannot write " + out_path);
+    f << report_json << "\n";
+    Log::info("wrote AVF report to " + out_path);
+  } else {
+    std::cout << report_json << "\n";
+  }
+  return kExitOk;
+}
+
 /// Prints every stable serialization schema this binary reads or writes,
 /// plus the build configuration — the first thing to capture in a bug
 /// report, and what scripts check before trusting archived artifacts.
@@ -827,6 +963,7 @@ int cmd_version() {
             << "  metrics           unsync.metrics.v1\n"
             << "  checkpoint        " << ckpt::kSchema << "\n"
             << "  campaign journal  unsync.campaign_journal.v1\n"
+            << "  avf report        unsync.avf_report.v1\n"
             << "build:\n"
             << "  compiler          " <<
 #if defined(__clang__)
@@ -960,6 +1097,9 @@ int main(int argc, char** argv) {
     else if (command == "asm") rc = cmd_asm(cfg);
     else if (command == "record") rc = cmd_record(cfg);
     else if (command == "hw") rc = cmd_hw(cfg);
+    else if (command == "avf-report" || command == "avf_report") {
+      rc = cmd_avf_report(cfg);
+    }
     else if (command == "list") rc = cmd_list();
     // normalize_args rewrites a bare --version to "version=1".
     else if (command == "version" || command == "version=1") {
