@@ -1,13 +1,17 @@
 // Checkpoint subsystem overhead: what does snapshotting cost, and what does
 // journaling cost a campaign?
 //
-// Three questions, one table each:
+// Four questions, one table each:
 //   1. Snapshot size and save/load wall time per architecture (the state a
 //      mid-run "unsync.ckpt.v1" file carries).
-//   2. Simulation throughput with periodic snapshots vs. none (save_state
+//   2. In-memory container round trip (save_checkpoint_bytes /
+//      load_checkpoint_bytes — the buffer-backed path the prefix-sharing
+//      engine caches and restores from): blob size plus save and restore
+//      latency into a fresh system.
+//   3. Simulation throughput with periodic snapshots vs. none (save_state
 //      is called from a paused simulation, so the only cost is the
 //      serialization itself).
-//   3. Campaign wall time with and without a job journal (the per-job blob
+//   4. Campaign wall time with and without a job journal (the per-job blob
 //      encode + append + flush).
 //
 // Run with default knobs for CI-scale numbers; raise insts= for stable
@@ -73,7 +77,30 @@ int main(int argc, char** argv) {
   }
   t1.print(std::cout);
 
-  // 2) Run-to-completion wall time, plain vs. snapshot-every-quarter.
+  // 2) In-memory container round trip — the prefix engine's hot path: one
+  //    save per golden interval, one restore per shared injection job.
+  TextTable t1b("In-memory container: blob size and save/restore latency");
+  t1b.set_header({"system", "blob bytes", "save ms", "restore ms"});
+  for (const auto kind : kinds) {
+    auto sys = make(a, kind);
+    sys->run(static_cast<Cycle>(a.insts / 2));
+
+    auto t0 = std::chrono::steady_clock::now();
+    const std::string blob = sys->save_checkpoint_bytes();
+    const double save_s = seconds_since(t0);
+
+    auto fresh = make(a, kind);
+    t0 = std::chrono::steady_clock::now();
+    fresh->load_checkpoint_bytes(blob);
+    const double restore_s = seconds_since(t0);
+
+    t1b.add_row({core::name_of(kind), std::to_string(blob.size()),
+                 TextTable::num(save_s * 1e3, 3),
+                 TextTable::num(restore_s * 1e3, 3)});
+  }
+  t1b.print(std::cout);
+
+  // 3) Run-to-completion wall time, plain vs. snapshot-every-quarter.
   TextTable t2("Simulation wall time: none vs. 4 snapshots per run");
   t2.set_header({"system", "plain ms", "snapshotting ms", "overhead"});
   for (const auto kind : kinds) {
@@ -96,7 +123,7 @@ int main(int argc, char** argv) {
   }
   t2.print(std::cout);
 
-  // 3) Campaign with vs. without a job journal.
+  // 4) Campaign with vs. without a job journal.
   std::vector<runtime::SimJob> jobs;
   for (const char* b : {"gzip", "mcf", "susan", "bzip2"}) {
     for (const auto kind : {runtime::SystemKind::kBaseline,

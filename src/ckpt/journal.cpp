@@ -165,4 +165,19 @@ std::optional<ParsedEntry> parse_entry_line(const std::string& line,
   return e;
 }
 
+std::string journal_stats_line(std::string_view blob) {
+  std::string out = "{\"crc\":" + std::to_string(crc32(blob));
+  out += ",\"stats\":\"" + hex_encode(blob) + "\"}";
+  return out;
+}
+
+std::optional<std::string> parse_stats_line(const std::string& line) {
+  const auto crc = find_u64(line, "crc");
+  const auto hex = find_plain_str(line, "stats");
+  if (!crc || !hex) return std::nullopt;
+  auto blob = hex_decode(*hex);
+  if (!blob || crc32(*blob) != *crc) return std::nullopt;
+  return blob;
+}
+
 }  // namespace unsync::ckpt

@@ -100,4 +100,18 @@ struct ParsedEntry {
 std::optional<ParsedEntry> parse_entry_line(const std::string& line,
                                             std::uint64_t max_jobs);
 
+// ---- Stats lines -------------------------------------------------------------
+
+/// Renders a campaign-statistics line (no trailing newline): a
+/// CRC-32-guarded hex blob keyed "stats" instead of "index". Entry readers
+/// skip it automatically (parse_entry_line returns nullopt — no index), so
+/// stats lines never affect resume or merge; `campaign status` decodes the
+/// last valid one. What goes inside the blob is the runtime layer's
+/// business (PrefixStats today).
+std::string journal_stats_line(std::string_view blob);
+
+/// Parses and CRC-verifies a stats line; nullopt if `line` is not a valid
+/// stats line (callers then treat it as a torn entry).
+std::optional<std::string> parse_stats_line(const std::string& line);
+
 }  // namespace unsync::ckpt

@@ -41,6 +41,20 @@ inline std::uint32_t crc32(std::string_view s, std::uint32_t seed = 0) {
   return crc32(s.data(), s.size(), seed);
 }
 
+/// FNV-1a 64-bit hash. Used where a 32-bit CRC's collision rate is too high
+/// for comfort — e.g. the per-interval architectural-state fingerprints of
+/// prefix-shared campaigns, where a collision would silently splice the
+/// wrong tail onto a run. Not cryptographic; fine for states produced by
+/// the deterministic simulator rather than an adversary.
+inline std::uint64_t hash64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
 class Serializer {
  public:
   void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }

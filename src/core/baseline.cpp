@@ -69,6 +69,13 @@ void BaselineSystem::save_policy_state(ckpt::Serializer& s) const {
   for (const auto& core : cores_) core->save_state(s);
 }
 
+std::vector<SeqNum> BaselineSystem::group_progress() const {
+  std::vector<SeqNum> p;
+  p.reserve(cores_.size());
+  for (const auto& core : cores_) p.push_back(core->retired());
+  return p;
+}
+
 void BaselineSystem::load_policy_state(ckpt::Deserializer& d) {
   memory_.load_state(d);
   env_.load_state(d);

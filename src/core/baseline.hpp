@@ -44,6 +44,14 @@ class BaselineSystem final : public System {
   void save_policy_state(ckpt::Serializer& s) const override;
   void load_policy_state(ckpt::Deserializer& d) override;
 
+  // Prefix-sharing hooks: the baseline has no error process at all, so its
+  // fault channel is empty and its fingerprint is the full policy state.
+  bool supports_prefix() const override { return true; }
+  std::vector<SeqNum> group_progress() const override;
+  void save_fingerprint_state(ckpt::Serializer& s) const override {
+    save_policy_state(s);
+  }
+
  private:
   /// Commit environment: a small post-commit store buffer in front of the
   /// write-back L1; commit stalls when it fills.

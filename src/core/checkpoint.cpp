@@ -39,4 +39,24 @@ void System::load_checkpoint_file(const std::string& path) {
   }
 }
 
+std::string System::save_checkpoint_bytes() const {
+  ckpt::Serializer s;
+  save_checkpoint(s);
+  return ckpt::wrap_container(s.data());
+}
+
+void System::load_checkpoint_bytes(std::string_view blob) {
+  ckpt::Deserializer d(ckpt::unwrap_container(blob));
+  load_checkpoint(d);
+  if (!d.at_end()) {
+    throw ckpt::CkptError("trailing bytes after system checkpoint");
+  }
+}
+
+std::uint64_t System::state_fingerprint() const {
+  ckpt::Serializer s;
+  save_fingerprint_state(s);
+  return ckpt::hash64(s.data());
+}
+
 }  // namespace unsync::core

@@ -164,6 +164,47 @@ void LockstepSystem::save_policy_state(ckpt::Serializer& s) const {
   }
 }
 
+void LockstepSystem::save_fault_channel(ckpt::Serializer& s) const {
+  for (const std::uint64_t word : rng_.state()) s.u64(word);
+  s.u64(pairs_.size());
+  for (const auto& pair : pairs_) {
+    engine::save_arrival_schedule(s, pair->arrivals);
+  }
+}
+
+void LockstepSystem::load_fault_channel(ckpt::Deserializer& d) {
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = d.u64();
+  rng_.set_state(rng_state);
+  if (d.u64() != pairs_.size()) {
+    throw ckpt::CkptError("lockstep fault-channel pair-count mismatch");
+  }
+  for (const auto& pair : pairs_) {
+    engine::load_arrival_schedule(d, pair->arrivals);
+  }
+}
+
+std::vector<SeqNum> LockstepSystem::group_progress() const {
+  std::vector<SeqNum> p;
+  p.reserve(pairs_.size());
+  for (const auto& pair : pairs_) {
+    p.push_back(std::max(pair->core[0]->retired(), pair->core[1]->retired()));
+  }
+  return p;
+}
+
+void LockstepSystem::save_fingerprint_state(ckpt::Serializer& s) const {
+  memory_.save_state(s);
+  s.u64(pairs_.size());
+  for (const auto& pair : pairs_) {
+    for (unsigned side = 0; side < 2; ++side) {
+      pair->core[side]->save_state(s);
+      ckpt::save_u64_vec(s, pair->store_buffer[side]);
+    }
+    s.u64(pair->lockstep_stalls);
+  }
+}
+
 void LockstepSystem::load_policy_state(ckpt::Deserializer& d) {
   std::array<std::uint64_t, 4> rng_state;
   for (std::uint64_t& word : rng_state) word = d.u64();
@@ -357,6 +398,54 @@ void DmrCheckpointSystem::save_policy_state(ckpt::Serializer& s) const {
     s.u64(pair->checkpoint_done);
     s.u64(pair->last_committed_boundary);
     pair->arrivals.save_state(s);
+  }
+}
+
+void DmrCheckpointSystem::save_fault_channel(ckpt::Serializer& s) const {
+  for (const std::uint64_t word : rng_.state()) s.u64(word);
+  s.u64(pairs_.size());
+  for (const auto& pair : pairs_) {
+    engine::save_arrival_schedule(s, pair->arrivals);
+  }
+}
+
+void DmrCheckpointSystem::load_fault_channel(ckpt::Deserializer& d) {
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = d.u64();
+  rng_.set_state(rng_state);
+  if (d.u64() != pairs_.size()) {
+    throw ckpt::CkptError("dmr-checkpoint fault-channel pair-count mismatch");
+  }
+  for (const auto& pair : pairs_) {
+    engine::load_arrival_schedule(d, pair->arrivals);
+  }
+}
+
+std::vector<SeqNum> DmrCheckpointSystem::group_progress() const {
+  std::vector<SeqNum> p;
+  p.reserve(pairs_.size());
+  for (const auto& pair : pairs_) {
+    p.push_back(std::max(pair->core[0]->retired(), pair->core[1]->retired()));
+  }
+  return p;
+}
+
+void DmrCheckpointSystem::save_fingerprint_state(ckpt::Serializer& s) const {
+  memory_.save_state(s);
+  s.u64(checkpoints_taken_);
+  s.u64(pairs_.size());
+  for (const auto& pair : pairs_) {
+    for (unsigned side = 0; side < 2; ++side) {
+      pair->core[side]->save_state(s);
+      ckpt::save_u64_vec(s, pair->store_buffer[side]);
+    }
+    s.u64(pair->next_boundary);
+    s.b(pair->reached[0]);
+    s.b(pair->reached[1]);
+    s.u64(pair->reached_at[0]);
+    s.u64(pair->reached_at[1]);
+    s.u64(pair->checkpoint_done);
+    s.u64(pair->last_committed_boundary);
   }
 }
 

@@ -64,6 +64,13 @@ class LockstepSystem final : public System {
   void save_policy_state(ckpt::Serializer& s) const override;
   void load_policy_state(ckpt::Deserializer& d) override;
 
+  // Prefix-sharing hooks (see core/system.hpp).
+  bool supports_prefix() const override { return true; }
+  void save_fault_channel(ckpt::Serializer& s) const override;
+  void load_fault_channel(ckpt::Deserializer& d) override;
+  std::vector<SeqNum> group_progress() const override;
+  void save_fingerprint_state(ckpt::Serializer& s) const override;
+
  private:
   struct Pair;
 
@@ -139,6 +146,13 @@ class DmrCheckpointSystem final : public System {
   const char* ckpt_tag() const override { return "DMRC"; }
   void save_policy_state(ckpt::Serializer& s) const override;
   void load_policy_state(ckpt::Deserializer& d) override;
+
+  // Prefix-sharing hooks (see core/system.hpp).
+  bool supports_prefix() const override { return true; }
+  void save_fault_channel(ckpt::Serializer& s) const override;
+  void load_fault_channel(ckpt::Deserializer& d) override;
+  std::vector<SeqNum> group_progress() const override;
+  void save_fingerprint_state(ckpt::Serializer& s) const override;
 
  protected:
   void publish_extra_metrics() override;

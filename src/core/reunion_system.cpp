@@ -362,6 +362,68 @@ void ReunionSystem::save_policy_state(ckpt::Serializer& s) const {
   }
 }
 
+void ReunionSystem::save_fault_channel(ckpt::Serializer& s) const {
+  for (const std::uint64_t word : rng_.state()) s.u64(word);
+  s.u64(pairs_.size());
+  for (const auto& pair : pairs_) {
+    engine::save_arrival_schedule(s, pair->arrivals);
+  }
+}
+
+void ReunionSystem::load_fault_channel(ckpt::Deserializer& d) {
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = d.u64();
+  rng_.set_state(rng_state);
+  if (d.u64() != pairs_.size()) {
+    throw ckpt::CkptError("reunion fault-channel pair-count mismatch");
+  }
+  for (const auto& pair : pairs_) {
+    engine::load_arrival_schedule(d, pair->arrivals);
+  }
+}
+
+std::vector<SeqNum> ReunionSystem::group_progress() const {
+  std::vector<SeqNum> p;
+  p.reserve(pairs_.size());
+  for (const auto& pair : pairs_) {
+    p.push_back(std::max(pair->core[0]->retired(), pair->core[1]->retired()));
+  }
+  return p;
+}
+
+void ReunionSystem::save_fingerprint_state(ckpt::Serializer& s) const {
+  memory_.save_state(s);
+  s.u64(pairs_.size());
+  for (const auto& pair : pairs_) {
+    for (unsigned side = 0; side < 2; ++side) {
+      pair->core[side]->save_state(s);
+    }
+    s.u64(pair->fingerprints.size());
+    for (const Fingerprint& fp : pair->fingerprints) {
+      for (unsigned side = 0; side < 2; ++side) {
+        s.u64(fp.count[side]);
+        s.b(fp.closed[side]);
+        s.u64(fp.closed_at[side]);
+      }
+      s.u64(fp.verify_done);
+    }
+    s.u64(pair->serialize_queue.size());
+    for (const SerializeSync& sync : pair->serialize_queue) {
+      s.u64(sync.seq);
+      for (unsigned side = 0; side < 2; ++side) {
+        s.b(sync.requested[side]);
+        s.b(sync.committed[side]);
+        s.u64(sync.request_at[side]);
+      }
+      s.u64(sync.ready_at);
+    }
+    for (const auto& buf : pair->store_buffer) ckpt::save_u64_vec(s, buf);
+    s.u64(pair->serializing_syncs);
+    s.u64(pair->verified_watermark[0]);
+    s.u64(pair->verified_watermark[1]);
+  }
+}
+
 void ReunionSystem::load_policy_state(ckpt::Deserializer& d) {
   std::array<std::uint64_t, 4> rng_state;
   for (std::uint64_t& word : rng_state) word = d.u64();

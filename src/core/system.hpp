@@ -118,6 +118,50 @@ class System : public engine::SystemPolicy, public engine::SimModel {
   void save_checkpoint_file(const std::string& path) const;
   void load_checkpoint_file(const std::string& path);
 
+  /// In-memory convenience: the exact bytes save_checkpoint_file() would
+  /// write, returned as a "unsync.ckpt.v1" container blob with no
+  /// filesystem round trip. load_checkpoint_bytes() verifies magic /
+  /// schema / CRC and rejects trailing bytes (ckpt::CkptError), just like
+  /// the file path. This is what the campaign prefix-sharing cache holds.
+  std::string save_checkpoint_bytes() const;
+  void load_checkpoint_bytes(std::string_view blob);
+
+  // ---- Prefix-sharing hooks (docs/CAMPAIGNS.md, "Prefix-sharing") -------
+  //
+  // A faulty run differs from the ser=0 golden run of the same
+  // configuration ONLY in its fault channel — the RNG words and the
+  // per-group arrival schedules — until the first arrival fires. Systems
+  // that expose that channel let the campaign layer build the golden run
+  // once, restore its checkpoints into per-job systems, and install each
+  // job's own channel on top.
+
+  /// Whether this system implements the fault-channel / fingerprint hooks
+  /// below (i.e. whether golden-run checkpoints can seed faulty runs).
+  virtual bool supports_prefix() const { return false; }
+
+  /// Serialises / installs the fault channel: RNG words plus the FULL
+  /// per-group arrival schedules (positions, not just the cursor —
+  /// save_state pins only the length because construction re-derives the
+  /// positions, which a golden-configured system cannot).
+  virtual void save_fault_channel(ckpt::Serializer& s) const { (void)s; }
+  virtual void load_fault_channel(ckpt::Deserializer& d) { (void)d; }
+
+  /// Per-group commit progress: the same watermark arrival consumption is
+  /// keyed on (max retired over the group's cores). Used to pick the
+  /// latest golden checkpoint that provably precedes a job's first strike.
+  virtual std::vector<SeqNum> group_progress() const { return {}; }
+
+  /// Fingerprintable architectural state: save_policy_state minus the
+  /// fault channel. Two runs with equal fingerprints at the same cycle
+  /// boundary — and no arrivals left to fire — evolve identically from
+  /// there, which is what makes convergence splicing exact.
+  virtual void save_fingerprint_state(ckpt::Serializer& s) const {
+    (void)s;
+  }
+
+  /// ckpt::hash64 over save_fingerprint_state().
+  std::uint64_t state_fingerprint() const;
+
   /// The system's memory hierarchy (every concrete system owns exactly one).
   virtual mem::MemoryHierarchy& memory() = 0;
 

@@ -273,6 +273,44 @@ void UnSyncSystem::save_policy_state(ckpt::Serializer& s) const {
   }
 }
 
+void UnSyncSystem::save_fault_channel(ckpt::Serializer& s) const {
+  for (const std::uint64_t word : rng_.state()) s.u64(word);
+  s.u64(groups_.size());
+  for (const auto& group : groups_) {
+    engine::save_arrival_schedule(s, group->arrivals);
+  }
+}
+
+void UnSyncSystem::load_fault_channel(ckpt::Deserializer& d) {
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = d.u64();
+  rng_.set_state(rng_state);
+  if (d.u64() != groups_.size()) {
+    throw ckpt::CkptError("unsync fault-channel group-count mismatch");
+  }
+  for (const auto& group : groups_) {
+    engine::load_arrival_schedule(d, group->arrivals);
+  }
+}
+
+std::vector<SeqNum> UnSyncSystem::group_progress() const {
+  std::vector<SeqNum> p;
+  p.reserve(groups_.size());
+  for (const auto& group : groups_) p.push_back(progress_of(group->cores));
+  return p;
+}
+
+void UnSyncSystem::save_fingerprint_state(ckpt::Serializer& s) const {
+  memory_.save_state(s);
+  s.u64(groups_.size());
+  for (const auto& group : groups_) {
+    s.u64(group->cores.size());
+    for (const auto& core : group->cores) core->save_state(s);
+    for (const auto& cb : group->cbs) cb->save_state(s);
+    s.u64(group->cb_full_stalls);
+  }
+}
+
 void UnSyncSystem::load_policy_state(ckpt::Deserializer& d) {
   std::array<std::uint64_t, 4> rng_state;
   for (std::uint64_t& word : rng_state) word = d.u64();

@@ -91,6 +91,14 @@ class UnSyncSystem final : public System {
   void save_policy_state(ckpt::Serializer& s) const override;
   void load_policy_state(ckpt::Deserializer& d) override;
 
+  // Prefix-sharing hooks: RNG + per-group arrival schedules are the fault
+  // channel; the fingerprint is the policy state with that channel removed.
+  bool supports_prefix() const override { return true; }
+  void save_fault_channel(ckpt::Serializer& s) const override;
+  void load_fault_channel(ckpt::Deserializer& d) override;
+  std::vector<SeqNum> group_progress() const override;
+  void save_fingerprint_state(ckpt::Serializer& s) const override;
+
  protected:
   void publish_extra_metrics() override;
   void register_avf(fault::AvfCollector& collector) override;

@@ -51,6 +51,28 @@ struct ArrivalCursor {
   }
 };
 
+/// Full-schedule serialisation for the prefix-sharing fault channel. Unlike
+/// ArrivalCursor::save_state (which pins only the schedule length plus the
+/// cursor, because construction re-derives the positions), this round-trips
+/// the positions themselves — so a schedule sampled under one configuration
+/// can be installed into a system constructed with a *different* (golden,
+/// ser=0) configuration whose own schedule is empty.
+inline void save_arrival_schedule(ckpt::Serializer& s,
+                                  const ArrivalCursor& c) {
+  s.u64(c.positions.size());
+  for (const SeqNum p : c.positions) s.u64(p);
+  s.u64(c.next);
+}
+
+inline void load_arrival_schedule(ckpt::Deserializer& d, ArrivalCursor& c) {
+  c.positions.resize(d.u64());
+  for (SeqNum& p : c.positions) p = d.u64();
+  c.next = d.u64();
+  if (c.next > c.positions.size()) {
+    throw ckpt::CkptError("arrival-schedule cursor out of range");
+  }
+}
+
 /// Applies the common accounting for one handled error: result counters
 /// (recoveries vs rollbacks keyed on e.rollback), the chronological error
 /// log, and the kErrorInjection + kRecovery/kRollback trace pair.

@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "obs/json.hpp"
 #include "runtime/campaign_journal.hpp"
+#include "runtime/prefix.hpp"
 #include "runtime/thread_pool.hpp"
 #include "workload/profile.hpp"
 #include "workload/synthetic.hpp"
@@ -58,10 +59,8 @@ std::string CampaignOutput::to_json(int indent, bool include_timing) const {
   return w.take();
 }
 
-namespace {
-
-std::unique_ptr<workload::InstStream> make_stream(const SimJob& job,
-                                                  std::uint64_t seed) {
+std::unique_ptr<workload::InstStream> make_job_stream(const SimJob& job,
+                                                      std::uint64_t seed) {
   if (!job.profile.empty()) {
     return std::make_unique<workload::SyntheticStream>(
         workload::profile(job.profile), seed, job.insts);
@@ -70,6 +69,19 @@ std::unique_ptr<workload::InstStream> make_stream(const SimJob& job,
   throw std::invalid_argument("job '" + job.label +
                               "' selects no workload (profile or trace)");
 }
+
+core::SystemConfig job_system_config(const SimJob& job, std::uint64_t seed) {
+  core::SystemConfig sys_cfg;
+  sys_cfg.num_threads = job.app_threads;
+  sys_cfg.ser_per_inst = job.ser_per_inst;
+  sys_cfg.seed = seed;
+  sys_cfg.fast_forward = job.fast_forward;
+  sys_cfg.avf = job.avf;
+  sys_cfg.uncore_protect = job.protect;
+  return sys_cfg;
+}
+
+namespace {
 
 /// Renders SchedulerStats + per-job wall times into the campaign.scheduler.*
 /// subtree. Measurement only: excluded from the default to_json() exactly
@@ -121,17 +133,9 @@ double screening_score(const core::RunResult& result) {
 core::RunResult CampaignRunner::run_job(const SimJob& job, std::uint64_t seed,
                                         obs::MetricsRegistry* metrics,
                                         obs::TraceSink* trace) {
-  const auto stream = make_stream(job, seed);
-
-  core::SystemConfig sys_cfg;
-  sys_cfg.num_threads = job.app_threads;
-  sys_cfg.ser_per_inst = job.ser_per_inst;
-  sys_cfg.seed = seed;
-  sys_cfg.fast_forward = job.fast_forward;
-  sys_cfg.avf = job.avf;
-  sys_cfg.uncore_protect = job.protect;
-
-  const auto model = core::make_model(job.system, sys_cfg, *stream, job.params);
+  const auto stream = make_job_stream(job, seed);
+  const auto model = core::make_model(job.system, job_system_config(job, seed),
+                                      *stream, job.params);
   if (metrics || trace) model->set_observability(metrics, trace);
   return model->run();
 }
@@ -176,6 +180,16 @@ CampaignOutput CampaignRunner::run(const std::vector<SimJob>& jobs) const {
   std::vector<obs::MetricsSnapshot> job_metrics(
       options_.collect_metrics ? jobs.size() : 0);
 
+  // Prefix-sharing engine. Screening campaigns never construct one (the
+  // fast tier already is the shortcut); metrics-collecting campaigns keep
+  // the engine but route every job around it (per-cycle histograms depend
+  // on the cycles a shared prefix would skip), so `campaign status` still
+  // reports why nothing was shared.
+  const bool prefix_on = options_.prefix.enabled && !options_.screen;
+  std::unique_ptr<PrefixEngine> engine;
+  if (prefix_on) engine = std::make_unique<PrefixEngine>(options_.prefix);
+  const bool prefix_jobs = prefix_on && !options_.collect_metrics;
+
   // Journal setup. On resume the surviving entries are re-encoded into a
   // fresh journal via atomic rewrite (dropping torn/corrupt lines), then
   // the stream continues in append mode — so after any number of
@@ -186,7 +200,8 @@ CampaignOutput CampaignRunner::run(const std::vector<SimJob>& jobs) const {
   if (!options_.journal.empty()) {
     const ckpt::JournalHeader header = make_journal_header(
         jobs, options_.campaign_seed, options_.collect_metrics,
-        options_.screen, options_.screen_threshold);
+        options_.screen, options_.screen_threshold, prefix_on,
+        options_.prefix.interval);
     std::string rewrite = header.to_line();
     rewrite.push_back('\n');
     if (options_.resume) {
@@ -222,12 +237,20 @@ CampaignOutput CampaignRunner::run(const std::vector<SimJob>& jobs) const {
   std::size_t completed = 0;
   std::size_t unflushed = 0;
 
+  // Execution-order permutation: jobs that share a golden configuration
+  // are claimed together (and ordered by first arrival), so each golden is
+  // built once and stays hot in the LRU. Results are still stored by the
+  // true submission index — output bytes never depend on this.
+  std::vector<std::size_t> order;
+  if (prefix_jobs) order = engine->schedule_order(jobs, options_.campaign_seed);
+
   const auto start = std::chrono::steady_clock::now();
   ThreadPool pool(options_.threads);
   SchedulerStats sched_stats;
   pool.parallel_for(
       jobs.size(),
-      [&](std::size_t i) {
+      [&](std::size_t idx) {
+        const std::size_t i = order.empty() ? idx : order[idx];
         const std::uint64_t seed = job_seed(jobs, options_.campaign_seed, i);
         out.seeds[i] = seed;
         if (!restored[i]) {
@@ -237,9 +260,12 @@ CampaignOutput CampaignRunner::run(const std::vector<SimJob>& jobs) const {
                 jobs[i], seed, options_.screen_threshold,
                 options_.collect_metrics ? &job_metrics[i] : nullptr);
           } else if (options_.collect_metrics) {
+            if (engine) engine->note_bypass();
             obs::MetricsRegistry reg;
             out.results[i] = run_job(jobs[i], seed, &reg);
             job_metrics[i] = reg.snapshot();
+          } else if (engine) {
+            out.results[i] = engine->run_job(jobs[i], seed);
           } else {
             out.results[i] = run_job(jobs[i], seed);
           }
@@ -269,11 +295,21 @@ CampaignOutput CampaignRunner::run(const std::vector<SimJob>& jobs) const {
         }
       },
       options_.schedule, &sched_stats);
-  if (journal.is_open()) journal.flush();
+  if (journal.is_open()) {
+    // Completed prefix-sharing campaigns record the engine totals as a
+    // trailing "stats" line. Entry readers skip it; `campaign status`
+    // decodes it. Resume's atomic rewrite above drops any earlier one, so
+    // a finished journal carries exactly one.
+    if (engine) {
+      journal << ckpt::journal_stats_line(engine->stats().encode()) << '\n';
+    }
+    journal.flush();
+  }
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   out.scheduler_metrics = scheduler_snapshot(sched_stats, out.job_wall_seconds);
+  if (engine) out.scheduler_metrics.merge(engine->stats().snapshot());
 
   // Submission-order merge keeps out.metrics a pure function of the grid.
   // Wall-clock lives only in wall_seconds / job_wall_seconds (and whatever

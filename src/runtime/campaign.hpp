@@ -79,6 +79,33 @@ struct SimJob {
   core::SystemParams params;
 };
 
+/// Prefix-sharing policy (docs/CAMPAIGNS.md, "Prefix-sharing"; the engine
+/// itself lives in runtime/prefix.hpp). Execution strategy only: results
+/// are byte-identical whether it is on or off.
+struct PrefixOptions {
+  /// CLI: prefix_share=1. Off by default; prefix_share=0 campaigns are
+  /// byte-identical to builds that predate the engine.
+  bool enabled = false;
+  /// Checkpoint + fingerprint cadence of the golden run, in cycles
+  /// (CLI: prefix_interval=). Folded into journal identity when the
+  /// engine is active, so a journal records how its campaign ran.
+  Cycle interval = 5000;
+  /// LRU budget for cached golden checkpoints, in MiB (CLI:
+  /// prefix_cache_mb=). Purely a performance knob: never part of campaign
+  /// identity.
+  std::size_t cache_mb = 256;
+};
+
+/// Builds the workload stream one job consumes: `profile` yields a
+/// synthetic stream generated from the job seed, `trace` a shared replay
+/// of the recorded ops. Exposed for the prefix engine, which must build
+/// streams for golden (fault-free) twins of a job.
+std::unique_ptr<workload::InstStream> make_job_stream(const SimJob& job,
+                                                      std::uint64_t seed);
+
+/// The core::SystemConfig run_job constructs for a job (exposed likewise).
+core::SystemConfig job_system_config(const SimJob& job, std::uint64_t seed);
+
 /// How "interesting" a cell's result is for tier screening: the detected
 /// error / recovery activity plus the fraction of cycles spent recovering.
 /// Always >= 0, so a screen threshold of 0 re-runs EVERY cell detailed
@@ -163,6 +190,15 @@ class CampaignRunner {
     /// tier choice). threshold 0 == pure detailed, +infinity == pure fast.
     bool screen = false;
     double screen_threshold = 0.0;
+    /// Prefix-sharing (CLI: prefix_share= / prefix_interval= /
+    /// prefix_cache_mb=): golden runs are simulated once per unique
+    /// fault-free configuration and injection jobs restore from their
+    /// in-memory checkpoints, finishing early when they provably converge
+    /// back onto the golden trajectory. Results stay byte-identical at any
+    /// worker count; inert while screening (the fast tier already is the
+    /// shortcut) or while collect_metrics is on (per-cycle histograms
+    /// depend on the cycles a shared prefix would skip).
+    PrefixOptions prefix;
     /// Invoked after each job completes with (jobs done so far, total).
     /// Called under an internal mutex: thread-safe, but keep it cheap.
     std::function<void(std::size_t completed, std::size_t total)> progress;

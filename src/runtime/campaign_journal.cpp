@@ -52,7 +52,8 @@ std::uint32_t grid_fingerprint(const std::vector<SimJob>& jobs) {
 ckpt::JournalHeader make_journal_header(const std::vector<SimJob>& jobs,
                                         std::uint64_t campaign_seed,
                                         bool collect_metrics, bool screen,
-                                        double screen_threshold) {
+                                        double screen_threshold, bool prefix,
+                                        Cycle prefix_interval) {
   ckpt::JournalHeader h;
   h.campaign_seed = campaign_seed;
   h.jobs = jobs.size();
@@ -65,6 +66,16 @@ ckpt::JournalHeader make_journal_header(const std::vector<SimJob>& jobs,
     s.u32(h.grid_crc);
     s.b(true);
     s.f64(screen_threshold);
+    h.grid_crc = ckpt::crc32(s.data());
+  }
+  if (prefix) {
+    // Same trick for an active prefix engine: fold the policy only when it
+    // is on, so prefix_share=0 journals stay byte-identical to builds that
+    // predate the engine.
+    ckpt::Serializer s;
+    s.u32(h.grid_crc);
+    s.b(true);
+    s.u64(prefix_interval);
     h.grid_crc = ckpt::crc32(s.data());
   }
   h.collect_metrics = collect_metrics;
@@ -187,6 +198,16 @@ JournalStatus journal_status(const std::string& path) {
   std::vector<char> seen(static_cast<std::size_t>(header->jobs), 0);
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    if (auto stats_blob = ckpt::parse_stats_line(line)) {
+      // Prefix-engine totals appended at campaign end. Last valid line
+      // wins (resume rewrites the journal, then appends a fresh one).
+      if (auto stats = PrefixStats::decode(std::move(*stats_blob))) {
+        status.prefix = *stats;
+      } else {
+        ++status.corrupt;
+      }
+      continue;
+    }
     auto entry = ckpt::parse_entry_line(line, header->jobs);
     const std::optional<RestoredJob> job =
         entry ? decode_entry_blob(std::move(entry->blob))

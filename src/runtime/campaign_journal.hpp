@@ -22,6 +22,7 @@
 #include "core/system.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/campaign.hpp"
+#include "runtime/prefix.hpp"
 
 namespace unsync::runtime {
 
@@ -35,11 +36,18 @@ std::uint32_t grid_fingerprint(const std::vector<SimJob>& jobs);
 /// Screening campaigns (fast sweep + thresholded detailed re-run) fold the
 /// screen flag and threshold into the grid CRC, so a journal written under
 /// one screening policy can never be resumed — or merged — under another.
+/// Prefix-sharing campaigns fold their activation and golden-checkpoint
+/// interval the same way when (and only when) the engine is actually
+/// active, so prefix_share=0 journals keep the historical bytes while an
+/// active engine pins how its campaign ran. The cache budget is a pure
+/// performance knob and is never part of identity.
 ckpt::JournalHeader make_journal_header(const std::vector<SimJob>& jobs,
                                         std::uint64_t campaign_seed,
                                         bool collect_metrics,
                                         bool screen = false,
-                                        double screen_threshold = 0.0);
+                                        double screen_threshold = 0.0,
+                                        bool prefix = false,
+                                        Cycle prefix_interval = 0);
 
 /// Belt-and-braces restore filter: whether a journaled result could have
 /// been produced by `job` under the given screening policy. Non-screen
@@ -92,6 +100,10 @@ struct JournalStatus {
   std::size_t done = 0;       ///< unique job indices with a valid entry
   std::size_t duplicates = 0; ///< extra valid lines for an already-done job
   std::size_t corrupt = 0;    ///< torn / CRC-mismatched / malformed lines
+  /// Prefix-engine totals from the journal's last valid "stats" line
+  /// (appended when a prefix-sharing campaign completes); absent on
+  /// journals of prefix_share=0 campaigns or ones killed before the end.
+  std::optional<PrefixStats> prefix;
   std::size_t pending() const {
     return static_cast<std::size_t>(header.jobs) - done;
   }

@@ -26,12 +26,18 @@ std::string read_first_line(const std::string& path) {
   return line;
 }
 
+/// Whether this topology runs the prefix engine (screening wins: the fast
+/// tier already is the shortcut, so the engine stays out of the identity).
+bool prefix_on(const DistributedOptions& opts) {
+  return opts.prefix.enabled && !opts.screen;
+}
+
 ckpt::JournalHeader shard_header(const std::vector<SimJob>& jobs,
                                  const DistributedOptions& opts,
                                  unsigned shard) {
-  ckpt::JournalHeader h =
-      make_journal_header(jobs, opts.campaign_seed, opts.collect_metrics,
-                          opts.screen, opts.screen_threshold);
+  ckpt::JournalHeader h = make_journal_header(
+      jobs, opts.campaign_seed, opts.collect_metrics, opts.screen,
+      opts.screen_threshold, prefix_on(opts), opts.prefix.interval);
   h.shard = shard;
   h.workers = opts.workers;
   return h;
@@ -60,9 +66,9 @@ std::string shard_journal_path(const std::string& dir, unsigned shard) {
 
 ckpt::JournalHeader manifest_header(const std::vector<SimJob>& jobs,
                                     const DistributedOptions& opts) {
-  ckpt::JournalHeader h =
-      make_journal_header(jobs, opts.campaign_seed, opts.collect_metrics,
-                          opts.screen, opts.screen_threshold);
+  ckpt::JournalHeader h = make_journal_header(
+      jobs, opts.campaign_seed, opts.collect_metrics, opts.screen,
+      opts.screen_threshold, prefix_on(opts), opts.prefix.interval);
   h.workers = opts.workers;
   return h;
 }
@@ -133,6 +139,13 @@ std::size_t run_worker(const std::vector<SimJob>& jobs,
                              "' for append");
   }
 
+  // Per-process prefix engine: the golden-trace cache is shared by this
+  // worker's threads (own shard AND stolen jobs — a thief re-derives the
+  // same golden bytes a sibling would, so stolen results stay identical).
+  std::unique_ptr<PrefixEngine> engine;
+  if (prefix_on(opts)) engine = std::make_unique<PrefixEngine>(opts.prefix);
+  const bool prefix_jobs = engine && !opts.collect_metrics;
+
   std::mutex journal_mu;
   std::size_t executed = 0;
   std::size_t unflushed = 0;
@@ -145,9 +158,12 @@ std::size_t run_worker(const std::vector<SimJob>& jobs,
           jobs[i], seed, opts.screen_threshold,
           opts.collect_metrics ? &metrics : nullptr);
     } else if (opts.collect_metrics) {
+      if (engine) engine->note_bypass();
       obs::MetricsRegistry reg;
       result = CampaignRunner::run_job(jobs[i], seed, &reg);
       metrics = reg.snapshot();
+    } else if (engine) {
+      result = engine->run_job(jobs[i], seed);
     } else {
       result = CampaignRunner::run_job(jobs[i], seed);
     }
@@ -169,6 +185,20 @@ std::size_t run_worker(const std::vector<SimJob>& jobs,
   std::vector<std::size_t> own;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (i % opts.workers == opts.shard && !done[i]) own.push_back(i);
+  }
+  if (prefix_jobs && !own.empty()) {
+    // Claim golden-sharing jobs together (schedule_order semantics),
+    // filtered to this shard. Journal entries stay keyed by global index,
+    // so ordering never changes any bytes.
+    std::vector<char> mine(jobs.size(), 0);
+    for (const std::size_t i : own) mine[i] = 1;
+    std::vector<std::size_t> reordered;
+    reordered.reserve(own.size());
+    for (const std::size_t i :
+         engine->schedule_order(jobs, opts.campaign_seed)) {
+      if (mine[i]) reordered.push_back(i);
+    }
+    own = std::move(reordered);
   }
   ThreadPool pool(opts.threads);
   pool.parallel_for(
@@ -213,6 +243,12 @@ std::size_t run_worker(const std::vector<SimJob>& jobs,
       // new gap appeared (it cannot — shards never refill), then stop.
       if (!ran_any) break;
     }
+    journal.flush();
+  }
+  if (engine) {
+    // Per-shard engine totals; `campaign status` on a shard journal reads
+    // the last one back. The resume rewrite above drops stale stats lines.
+    journal << ckpt::journal_stats_line(engine->stats().encode()) << '\n';
     journal.flush();
   }
   return executed;

@@ -50,6 +50,12 @@ struct DistributedOptions {
   /// grid CRC, so every participant must agree on it.
   bool screen = false;
   double screen_threshold = 0.0;
+  /// Prefix-sharing (CampaignRunner::Options semantics): each worker
+  /// process owns one golden-trace cache shared by its in-process threads.
+  /// The activation + interval are folded into the manifest/journal grid
+  /// CRC (like the screening policy), so every participant must agree on
+  /// them; the cache budget stays per-process and free to differ.
+  PrefixOptions prefix;
   /// Flush the shard journal every N completed jobs.
   std::size_t checkpoint_every = 1;
   unsigned poll_ms = 100;        ///< coordinator poll interval

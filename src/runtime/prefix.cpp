@@ -1,0 +1,493 @@
+#include "runtime/prefix.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "ckpt/serializer.hpp"
+#include "common/rng.hpp"
+#include "core/factory.hpp"
+#include "fault/ser.hpp"
+#include "runtime/campaign_journal.hpp"
+
+namespace unsync::runtime {
+
+namespace {
+
+/// Serialised u64 fields of a PrefixStats, in encode() order.
+constexpr std::size_t kStatsFields = 10;
+
+std::uint64_t* stats_fields(PrefixStats& s, std::size_t i) {
+  std::uint64_t* fields[kStatsFields] = {
+      &s.goldens_built, &s.hits,           &s.misses,        &s.evictions,
+      &s.bytes,         &s.restore_ns,     &s.cycles_skipped,
+      &s.jobs_restored, &s.jobs_spliced,   &s.jobs_bypassed};
+  return fields[i];
+}
+
+/// Per-thread stream length of a job — what construction hands to
+/// fault::schedule_arrivals. Every thread replays a clone of the same
+/// stream, so all groups share one length.
+std::uint64_t job_stream_length(const SimJob& job) {
+  if (!job.profile.empty()) return job.insts;
+  return job.trace ? job.trace->size() : 0;
+}
+
+/// The golden twin of a job: identical cell, error process off.
+SimJob golden_job(const SimJob& job) {
+  SimJob g = job;
+  g.ser_per_inst = 0.0;
+  return g;
+}
+
+/// Whether the engine can even try to share this job: only the detailed
+/// tier runs on a System exposing the prefix hooks (the interval model is
+/// already the fast path and keeps its own contract).
+bool eligible(const SimJob& job) {
+  return job.params.tier == engine::Tier::kDetailed;
+}
+
+/// True once every group's arrival cursor is exhausted, read back through
+/// the system's own fault-channel serialisation (the cursor is not
+/// otherwise observable from outside).
+bool channel_exhausted(const core::System& sys) {
+  ckpt::Serializer s;
+  sys.save_fault_channel(s);
+  ckpt::Deserializer d(s.take());
+  if (d.at_end()) return true;  // no error process at all
+  for (int i = 0; i < 4; ++i) d.u64();
+  const std::uint64_t groups = d.u64();
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    const std::uint64_t npos = d.u64();
+    for (std::uint64_t p = 0; p < npos; ++p) d.u64();
+    if (d.u64() != npos) return false;
+  }
+  return true;
+}
+
+/// Latest golden checkpoint that provably precedes every group's first
+/// arrival: safe iff no group's commit watermark has reached its first
+/// strike position (arrivals fire when progress >= position, so equality
+/// already means "fired"). nullptr when even the first boundary is too
+/// late.
+const GoldenTrace::Snap* latest_safe_snap(const GoldenTrace& golden,
+                                          const FaultChannel& channel) {
+  for (auto it = golden.snaps.rbegin(); it != golden.snaps.rend(); ++it) {
+    const GoldenTrace::Snap& snap = *it;
+    if (snap.progress.size() != channel.schedules.size()) return nullptr;
+    bool safe = true;
+    for (std::size_t g = 0; g < channel.schedules.size() && safe; ++g) {
+      safe = channel.schedules[g].empty() ||
+             snap.progress[g] < channel.schedules[g].front();
+    }
+    if (safe) return &snap;
+  }
+  return nullptr;
+}
+
+/// Splices a converged (or arrival-free) job's error channel into the
+/// golden run's final result. Exact because the fingerprinted state fully
+/// determines the post-convergence evolution and the error counters can no
+/// longer change once every arrival has fired.
+core::RunResult splice_result(const GoldenTrace& golden,
+                              const core::RunResult& faulty_segment) {
+  core::RunResult out = golden.final_result;
+  out.errors_injected = faulty_segment.errors_injected;
+  out.recoveries = faulty_segment.recoveries;
+  out.rollbacks = faulty_segment.rollbacks;
+  out.recovery_cycles_total = faulty_segment.recovery_cycles_total;
+  out.error_log = faulty_segment.error_log;
+  return out;
+}
+
+}  // namespace
+
+void PrefixStats::merge(const PrefixStats& o) {
+  PrefixStats copy = o;  // const-friendly field access
+  for (std::size_t i = 0; i < kStatsFields; ++i) {
+    *stats_fields(*this, i) += *stats_fields(copy, i);
+  }
+}
+
+obs::MetricsSnapshot PrefixStats::snapshot() const {
+  obs::MetricsRegistry reg;
+  reg.set_counter("campaign.prefix_cache.goldens_built", goldens_built);
+  reg.set_counter("campaign.prefix_cache.hits", hits);
+  reg.set_counter("campaign.prefix_cache.misses", misses);
+  reg.set_counter("campaign.prefix_cache.evictions", evictions);
+  reg.set_counter("campaign.prefix_cache.bytes", bytes);
+  reg.set_counter("campaign.prefix_cache.restore_ns", restore_ns);
+  reg.set_counter("campaign.prefix_cache.cycles_skipped", cycles_skipped);
+  reg.set_counter("campaign.prefix_cache.jobs_restored", jobs_restored);
+  reg.set_counter("campaign.prefix_cache.jobs_early_terminated",
+                  jobs_spliced);
+  reg.set_counter("campaign.prefix_cache.jobs_bypassed", jobs_bypassed);
+  return reg.snapshot();
+}
+
+std::string PrefixStats::encode() const {
+  ckpt::Serializer s;
+  PrefixStats copy = *this;
+  for (std::size_t i = 0; i < kStatsFields; ++i) {
+    s.u64(*stats_fields(copy, i));
+  }
+  return s.take();
+}
+
+std::optional<PrefixStats> PrefixStats::decode(std::string blob) {
+  try {
+    ckpt::Deserializer d(std::move(blob));
+    PrefixStats out;
+    for (std::size_t i = 0; i < kStatsFields; ++i) {
+      *stats_fields(out, i) = d.u64();
+    }
+    if (!d.at_end()) return std::nullopt;
+    return out;
+  } catch (const ckpt::CkptError&) {
+    return std::nullopt;
+  }
+}
+
+const std::uint64_t* GoldenTrace::fingerprint_at(Cycle boundary) const {
+  if (interval == 0 || boundary % interval != 0) return nullptr;
+  const Cycle k = boundary / interval;
+  if (k == 0 || k > fingerprints.size()) return nullptr;
+  return &fingerprints[static_cast<std::size_t>(k - 1)];
+}
+
+FaultChannel compute_fault_channel(const SimJob& job, std::uint64_t seed) {
+  FaultChannel ch;
+  if (job.system == core::SystemKind::kBaseline) {
+    // The baseline has no error process: empty channel, empty wire bytes
+    // (its load_fault_channel is a no-op).
+    ch.schedules.assign(job.app_threads, {});
+    return ch;
+  }
+  // Exactly the construction-time draw sequence of every redundant system:
+  // one RNG seeded with the job seed, one schedule_arrivals call per
+  // thread, in thread order.
+  Rng rng(seed);
+  const std::uint64_t len = job_stream_length(job);
+  ch.schedules.reserve(job.app_threads);
+  for (unsigned t = 0; t < job.app_threads; ++t) {
+    ch.schedules.push_back(
+        fault::schedule_arrivals(job.ser_per_inst, len, rng));
+  }
+  ch.rng_words = rng.state();
+  ch.has_rng = true;
+
+  ckpt::Serializer s;
+  for (const std::uint64_t word : ch.rng_words) s.u64(word);
+  s.u64(ch.schedules.size());
+  for (const auto& sched : ch.schedules) {
+    s.u64(sched.size());
+    for (const SeqNum p : sched) s.u64(p);
+    s.u64(0);  // cursor: nothing fired yet
+  }
+  ch.encoded = s.take();
+  return ch;
+}
+
+std::string golden_job_key(const SimJob& job, std::uint64_t seed) {
+  ckpt::Serializer s;
+  s.u8(static_cast<std::uint8_t>(job.system));
+  s.str(job.profile);
+  s.u64(reinterpret_cast<std::uintptr_t>(job.trace.get()));
+  s.u64(job.trace ? job.trace->size() : 0);
+  s.u64(job.insts);
+  s.u32(job.app_threads);
+  s.b(job.fast_forward);
+  s.b(job.avf);
+  for (const auto m : job.protect.mechanism) {
+    s.u8(static_cast<std::uint8_t>(m));
+  }
+  // Synthetic streams are generated from the seed, so profile cells only
+  // share a golden within one seed; trace replays are seed-independent, so
+  // every Monte-Carlo trial of a trace cell shares one golden run.
+  s.b(!job.profile.empty());
+  s.u64(job.profile.empty() ? 0 : seed);
+  const auto& p = job.params;
+  s.u32(p.unsync.group_size);
+  s.u64(p.unsync.cb_entries);
+  s.u32(p.unsync.drain_per_cycle);
+  s.u64(p.unsync.eih_signal_cycles);
+  s.u64(p.unsync.state_copy_word_cycles);
+  s.u32(p.unsync.arch_state_words);
+  s.u64(p.unsync.l1_copy_line_cycles);
+  s.u32(p.reunion.fingerprint_interval);
+  s.u64(p.reunion.compare_latency);
+  s.u32(p.reunion.csb_entries);
+  s.u64(p.reunion.rollback_penalty);
+  s.u32(p.lockstep.max_skew);
+  s.u64(p.lockstep.load_check_latency);
+  s.u64(p.lockstep.resync_penalty);
+  s.u64(p.checkpoint.checkpoint_interval);
+  s.u64(p.checkpoint.checkpoint_cost);
+  s.u64(p.checkpoint.compare_latency);
+  s.u64(p.checkpoint.restore_cost);
+  s.u8(static_cast<std::uint8_t>(p.tier));
+  return s.take();
+}
+
+PrefixStats PrefixEngine::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PrefixEngine::note_bypass() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.jobs_bypassed;
+}
+
+std::vector<std::size_t> PrefixEngine::schedule_order(
+    const std::vector<SimJob>& jobs, std::uint64_t campaign_seed) const {
+  struct Key {
+    std::string golden;
+    SeqNum first_arrival = 0;
+    std::size_t index = 0;
+  };
+  std::vector<Key> keys;
+  keys.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    Key k;
+    k.index = i;
+    const std::uint64_t seed = job_seed(jobs, campaign_seed, i);
+    k.golden = golden_job_key(jobs[i], seed);
+    if (eligible(jobs[i])) {
+      const FaultChannel ch = compute_fault_channel(jobs[i], seed);
+      SeqNum first = kNoSeq;
+      for (const auto& sched : ch.schedules) {
+        if (!sched.empty()) first = std::min(first, sched.front());
+      }
+      // Arrival-free jobs sort first within their group: they splice off
+      // the golden result directly, so running one early builds the golden
+      // every sibling needs.
+      k.first_arrival = first == kNoSeq ? 0 : first;
+    }
+    keys.push_back(std::move(k));
+  }
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const Key& ka = keys[a];
+                     const Key& kb = keys[b];
+                     if (ka.golden != kb.golden) return ka.golden < kb.golden;
+                     if (ka.first_arrival != kb.first_arrival) {
+                       return ka.first_arrival < kb.first_arrival;
+                     }
+                     return ka.index < kb.index;
+                   });
+  return order;
+}
+
+std::shared_ptr<const GoldenTrace> PrefixEngine::build_golden(
+    const SimJob& job, std::uint64_t seed) const {
+  const SimJob gjob = golden_job(job);
+  const auto stream = make_job_stream(gjob, seed);
+  const auto model = core::make_model(
+      gjob.system, job_system_config(gjob, seed), *stream, gjob.params);
+  auto* sys = dynamic_cast<core::System*>(model.get());
+  if (!sys || !sys->supports_prefix()) return nullptr;
+
+  auto trace = std::make_shared<GoldenTrace>();
+  trace->interval = options_.interval;
+  for (Cycle k = 1;; ++k) {
+    const Cycle boundary = k * options_.interval;
+    core::RunResult r = sys->run(boundary);
+    if (r.cycles < boundary) {
+      trace->final_result = std::move(r);
+      break;
+    }
+    trace->fingerprints.push_back(sys->state_fingerprint());
+    GoldenTrace::Snap snap;
+    snap.boundary = boundary;
+    snap.state = sys->save_checkpoint_bytes();
+    snap.progress = sys->group_progress();
+    trace->bytes += snap.state.size();
+    trace->snaps.push_back(std::move(snap));
+  }
+  return trace;
+}
+
+void PrefixEngine::evict_over_budget_locked(const std::string& keep) {
+  const std::size_t budget = options_.cache_mb * std::size_t{1024} * 1024;
+  while (stats_.bytes > budget && !lru_.empty()) {
+    // Least-recently-used ready entry other than the one being kept.
+    auto victim = lru_.end();
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (*it == keep) continue;
+      const auto found = cache_.find(*it);
+      if (found != cache_.end() && found->second.ready) {
+        victim = std::prev(it.base());
+        break;
+      }
+    }
+    if (victim == lru_.end()) break;
+    const auto found = cache_.find(*victim);
+    stats_.bytes -= found->second.bytes;
+    ++stats_.evictions;
+    cache_.erase(found);
+    lru_.erase(victim);
+  }
+}
+
+void PrefixEngine::insert_golden(const std::string& key,
+                                 std::shared_ptr<const GoldenTrace> trace) {
+  const std::size_t budget = options_.cache_mb * std::size_t{1024} * 1024;
+  // A single golden larger than the whole budget is thinned before
+  // publication (dropping every other checkpoint halves the bytes while
+  // keeping restore coverage; the fingerprint stream is never thinned).
+  if (trace && trace->bytes > budget) {
+    auto thinned = std::make_shared<GoldenTrace>(*trace);
+    while (thinned->bytes > budget && thinned->snaps.size() > 1) {
+      std::vector<GoldenTrace::Snap> kept;
+      kept.reserve(thinned->snaps.size() / 2 + 1);
+      thinned->bytes = 0;
+      for (std::size_t i = 0; i < thinned->snaps.size(); ++i) {
+        if (i % 2 == 0) continue;  // keep the later of each pair
+        thinned->bytes += thinned->snaps[i].state.size();
+        kept.push_back(std::move(thinned->snaps[i]));
+      }
+      thinned->snaps = std::move(kept);
+    }
+    trace = std::move(thinned);
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  CacheEntry& entry = cache_[key];
+  entry.ready = true;
+  entry.trace = trace;
+  entry.bytes = trace ? trace->bytes : 0;
+  stats_.bytes += entry.bytes;
+  ++stats_.goldens_built;
+  evict_over_budget_locked(key);
+  cv_.notify_all();
+}
+
+std::shared_ptr<const GoldenTrace> PrefixEngine::acquire_golden(
+    const SimJob& job, std::uint64_t seed) {
+  const std::string key = golden_job_key(job, seed);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      ++stats_.misses;
+      CacheEntry entry;
+      lru_.push_front(key);
+      entry.lru = lru_.begin();
+      cache_.emplace(key, std::move(entry));
+    } else {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      it->second.lru = lru_.begin();
+      cv_.wait(lock, [&] {
+        const auto found = cache_.find(key);
+        return found == cache_.end() || found->second.ready;
+      });
+      const auto found = cache_.find(key);
+      if (found != cache_.end()) return found->second.trace;
+      // The builder failed (exception) or the entry was evicted while we
+      // waited: become the builder ourselves.
+      CacheEntry entry;
+      lru_.push_front(key);
+      entry.lru = lru_.begin();
+      cache_.emplace(key, std::move(entry));
+    }
+  }
+  std::shared_ptr<const GoldenTrace> trace;
+  try {
+    trace = build_golden(job, seed);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      lru_.erase(it->second.lru);
+      cache_.erase(it);
+    }
+    cv_.notify_all();
+    throw;
+  }
+  insert_golden(key, trace);
+  return trace;
+}
+
+core::RunResult PrefixEngine::run_job(const SimJob& job, std::uint64_t seed) {
+  if (!options_.enabled || !eligible(job)) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.jobs_bypassed;
+    }
+    return CampaignRunner::run_job(job, seed);
+  }
+  const FaultChannel channel = compute_fault_channel(job, seed);
+  const std::shared_ptr<const GoldenTrace> golden = acquire_golden(job, seed);
+  if (!golden) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.jobs_bypassed;
+    }
+    return CampaignRunner::run_job(job, seed);
+  }
+
+  if (channel.empty()) {
+    // No arrival anywhere: the job IS the golden run (the only state that
+    // differs — RNG words — is never consumed and never reported).
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.jobs_spliced;
+    stats_.cycles_skipped += golden->final_result.cycles;
+    return golden->final_result;
+  }
+
+  // Construct the golden twin and overlay the job's fault channel: before
+  // the first arrival the two runs are state-identical except for that
+  // channel, so a golden checkpoint plus the channel reproduces the faulty
+  // run exactly.
+  const SimJob gjob = golden_job(job);
+  const auto stream = make_job_stream(gjob, seed);
+  const auto model = core::make_model(
+      gjob.system, job_system_config(gjob, seed), *stream, gjob.params);
+  auto* sys = dynamic_cast<core::System*>(model.get());
+
+  Cycle resumed_from = 0;
+  if (const GoldenTrace::Snap* snap = latest_safe_snap(*golden, channel)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    sys->load_checkpoint_bytes(snap->state);
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    resumed_from = snap->boundary;
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.jobs_restored;
+    stats_.cycles_skipped += snap->boundary;
+    stats_.restore_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+  }
+  {
+    ckpt::Deserializer d(channel.encoded);
+    sys->load_fault_channel(d);
+    if (!d.at_end()) {
+      throw ckpt::CkptError("trailing bytes after fault channel");
+    }
+  }
+
+  const Cycle last_golden_boundary =
+      static_cast<Cycle>(golden->fingerprints.size()) * options_.interval;
+  for (Cycle k = resumed_from / options_.interval + 1;; ++k) {
+    const Cycle boundary = k * options_.interval;
+    const core::RunResult r = sys->run(boundary);
+    if (r.cycles < boundary) return r;  // finished naturally
+    if (boundary > last_golden_boundary) {
+      // Ran past the golden fingerprint stream (recovery pushed the run
+      // beyond the golden finish): no splice possible any more.
+      return sys->run();
+    }
+    if (!channel_exhausted(*sys)) continue;
+    const std::uint64_t* gfp = golden->fingerprint_at(boundary);
+    if (gfp != nullptr && *gfp == sys->state_fingerprint()) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.jobs_spliced;
+      stats_.cycles_skipped += golden->final_result.cycles - boundary;
+      return splice_result(*golden, r);
+    }
+  }
+}
+
+}  // namespace unsync::runtime

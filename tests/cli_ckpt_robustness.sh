@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# CLI robustness gate (ctest: cli_ckpt_robustness): corrupt "unsync.ckpt.v1"
+# checkpoint containers and campaign journals must make unsync_sim exit 2
+# (configuration error) — never crash and never succeed silently. Pairs with
+# the in-process CkptFuzz suite in test_ckpt.cpp, which sweeps many more
+# corruption points; this script pins the exit-code contract end to end.
+set -u
+
+SIM="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# Expect exit code $1 from the command in the remaining args.
+expect_rc() {
+  local want="$1"
+  shift
+  "$@" >/dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    fail "expected exit $want, got $got: $*"
+  fi
+}
+
+RUN_ARGS=(run system=unsync bench=gzip insts=4000 ser=1e-5)
+
+# A healthy save/resume cycle works.
+expect_rc 0 "$SIM" "${RUN_ARGS[@]}" checkpoint="$DIR/snap.ckpt" \
+  checkpoint_at=1000
+expect_rc 0 "$SIM" "${RUN_ARGS[@]}" resume="$DIR/snap.ckpt"
+
+SIZE=$(wc -c < "$DIR/snap.ckpt")
+
+# Truncated container (mid-payload and mid-header) -> exit 2.
+head -c $((SIZE / 2)) "$DIR/snap.ckpt" > "$DIR/trunc.ckpt"
+expect_rc 2 "$SIM" "${RUN_ARGS[@]}" resume="$DIR/trunc.ckpt"
+head -c 11 "$DIR/snap.ckpt" > "$DIR/header.ckpt"
+expect_rc 2 "$SIM" "${RUN_ARGS[@]}" resume="$DIR/header.ckpt"
+
+# Trailing garbage -> advertised-length mismatch -> exit 2.
+cat "$DIR/snap.ckpt" > "$DIR/trail.ckpt"
+printf 'junk' >> "$DIR/trail.ckpt"
+expect_rc 2 "$SIM" "${RUN_ARGS[@]}" resume="$DIR/trail.ckpt"
+
+# Not a checkpoint container at all -> bad magic -> exit 2.
+echo "this is not a checkpoint" > "$DIR/bad.ckpt"
+expect_rc 2 "$SIM" "${RUN_ARGS[@]}" resume="$DIR/bad.ckpt"
+
+# Campaign journals: a complete journal is healthy (exit 0), a torn one
+# reports corrupt lines with exit 2 — including under prefix-sharing, whose
+# trailing stats line must parse cleanly too.
+CAMPAIGN=(campaign systems=baseline,unsync benches=gzip insts=3000 ser=1e-5
+  csv=1 prefix_share=1 prefix_interval=1500)
+expect_rc 0 "$SIM" "${CAMPAIGN[@]}" checkpoint="$DIR/j.jsonl"
+expect_rc 0 "$SIM" campaign status journal="$DIR/j.jsonl"
+
+JSIZE=$(wc -c < "$DIR/j.jsonl")
+head -c $((JSIZE - 5)) "$DIR/j.jsonl" > "$DIR/torn.jsonl"
+expect_rc 2 "$SIM" campaign status journal="$DIR/torn.jsonl"
+
+echo "cli_ckpt_robustness: OK"

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ckpt/serializer.hpp"
 #include "common/rng.hpp"
@@ -457,6 +458,110 @@ TEST(SystemCkptMismatch, RejectsTrailingGarbageInFile) {
   auto fresh = core::make_system(core::SystemKind::kBaseline, cfg, stream);
   EXPECT_THROW(fresh->load_checkpoint_file(path), ckpt::CkptError);
   std::remove(path.c_str());
+}
+
+// ---- Container fuzzing ------------------------------------------------------
+//
+// The robustness contract of every "unsync.ckpt.v1" consumer (file AND
+// in-memory blob): arbitrary truncation or bit corruption throws CkptError —
+// never a crash, never a silently-wrong restore. The container CRC makes
+// this provable for single-bit flips; truncation trips the magic / length /
+// CRC checks depending on where the cut lands.
+
+class CkptFuzz : public ::testing::Test {
+ protected:
+  std::unique_ptr<core::System> make() const {
+    core::SystemConfig cfg;
+    cfg.num_threads = 1;
+    cfg.ser_per_inst = 5e-5;
+    cfg.seed = 99;
+    workload::SyntheticStream stream(workload::profile("gzip"), cfg.seed,
+                                     1500);
+    return core::make_system(core::SystemKind::kUnSync, cfg, stream);
+  }
+
+  std::string snapshot() const {
+    auto sys = make();
+    sys->run(400);
+    return sys->save_checkpoint_bytes();
+  }
+
+  /// Offsets spread over the whole blob, dense in the container header.
+  static std::vector<std::size_t> sample_offsets(std::size_t size) {
+    std::vector<std::size_t> at;
+    for (std::size_t i = 0; i < size && i < 40; ++i) at.push_back(i);
+    for (std::size_t i = 40; i < size; i += size / 64 + 1) at.push_back(i);
+    if (size > 0) at.push_back(size - 1);
+    return at;
+  }
+};
+
+TEST_F(CkptFuzz, TruncatedCheckpointBytesAlwaysThrow) {
+  const std::string blob = snapshot();
+  ASSERT_GT(blob.size(), 100u);
+  auto sys = make();  // unwrap_container throws before any state is touched
+  for (const std::size_t keep : sample_offsets(blob.size())) {
+    EXPECT_THROW(sys->load_checkpoint_bytes(blob.substr(0, keep)),
+                 ckpt::CkptError)
+        << "truncated to " << keep << " of " << blob.size() << " bytes";
+  }
+}
+
+TEST_F(CkptFuzz, BitFlippedCheckpointBytesAlwaysThrow) {
+  const std::string blob = snapshot();
+  auto sys = make();
+  for (const std::size_t at : sample_offsets(blob.size())) {
+    for (const unsigned bit : {0u, 3u, 7u}) {
+      std::string corrupt = blob;
+      corrupt[at] = static_cast<char>(corrupt[at] ^ (1u << bit));
+      EXPECT_THROW(sys->load_checkpoint_bytes(corrupt), ckpt::CkptError)
+          << "bit " << bit << " of byte " << at;
+    }
+  }
+}
+
+TEST_F(CkptFuzz, CorruptCheckpointFilesAlwaysThrow) {
+  const std::string path = ::testing::TempDir() + "fuzz.ckpt";
+  {
+    auto sys = make();
+    sys->run(400);
+    sys->save_checkpoint_file(path);
+  }
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  const auto rewrite = [&](const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  };
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, std::size_t{17}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    rewrite(bytes.substr(0, keep));
+    auto sys = make();
+    EXPECT_THROW(sys->load_checkpoint_file(path), ckpt::CkptError)
+        << "file truncated to " << keep;
+  }
+  std::string flipped = bytes;
+  flipped[bytes.size() / 3] = static_cast<char>(flipped[bytes.size() / 3] ^ 0x40);
+  rewrite(flipped);
+  auto sys = make();
+  EXPECT_THROW(sys->load_checkpoint_file(path), ckpt::CkptError);
+  std::remove(path.c_str());
+}
+
+TEST_F(CkptFuzz, SaveLoadBytesRoundTripsBitExactly) {
+  // The in-memory path mirrors the file path: save_checkpoint_bytes ->
+  // load_checkpoint_bytes resumes to a bit-identical final result.
+  const core::RunResult full = make()->run();
+  const std::string blob = snapshot();
+  auto resumed = make();
+  resumed->load_checkpoint_bytes(blob);
+  EXPECT_EQ(resumed->save_checkpoint_bytes(), blob);
+  EXPECT_EQ(resumed->run().to_json(), full.to_json());
 }
 
 }  // namespace

@@ -59,6 +59,26 @@ To refresh the committed envelope after a deliberate model change:
     python3 tools/check_bench_regression.py BENCH_tier.json --tier \
         --write-tier-baseline bench/BENCH_tier_baseline.json
 
+Prefix-sharing mode (--prefix): consumes the JSON that
+    build/bench/bench_injection_prefix json=BENCH_prefix.json
+writes ("unsync.bench_prefix.v1") and enforces the prefix-engine contract
+(docs/CAMPAIGNS.md, "Prefix-sharing"):
+1. identical == true — the prefix-shared campaign stayed byte-identical
+   to the naive full-run campaign.
+2. Whole-grid speedup >= --min-prefix-speedup (default 3x). Both
+   campaigns run in the same process on the same grid, so the ratio is
+   machine-independent the same way the tier gate is.
+3. The deterministic engine counters (goldens built, jobs restored /
+   spliced / bypassed, cycles skipped) exactly match the committed
+   baseline (--prefix-baseline bench/BENCH_prefix_baseline.json) — they
+   are a pure function of the grid, so any drift means the engine's
+   sharing decisions changed. Skipped (with a notice) if
+   --prefix-baseline is not given.
+
+To refresh after a deliberate engine change:
+    python3 tools/check_bench_regression.py BENCH_prefix.json --prefix \
+        --write-prefix-baseline bench/BENCH_prefix_baseline.json
+
 Exit codes: 0 pass, 1 regression detected, 2 usage/input error.
 """
 
@@ -348,6 +368,112 @@ def write_tier_baseline(report, path, headroom, margin):
     print(f"wrote tier baseline {path} ({len(bounds)} cell bounds)")
 
 
+PREFIX_SCHEMA = "unsync.bench_prefix.v1"
+PREFIX_BASELINE_SCHEMA = "unsync.prefix_baseline.v1"
+# The counters that are a pure function of the grid (worker-count and
+# host independent); timing counters (restore_ns) and cache-shape ones
+# that scheduling may perturb (hits/misses under eviction) are not gated.
+PREFIX_GATED_COUNTERS = ("goldens_built", "jobs_restored",
+                         "jobs_early_terminated", "jobs_bypassed",
+                         "cycles_skipped")
+
+
+def load_prefix_report(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read prefix report {path}: {e}")
+        sys.exit(2)
+    if report.get("schema") != PREFIX_SCHEMA:
+        print(f"error: {path} is not a {PREFIX_SCHEMA} file")
+        sys.exit(2)
+    return report
+
+
+def check_prefix(report, min_speedup, baseline_path):
+    """Gate the prefix-sharing campaign report."""
+    ok = True
+
+    if report.get("identical") is not True:
+        print("  prefix: FAIL — prefix-shared campaign was NOT "
+              "byte-identical to the naive run (execution-strategy "
+              "contract broken)")
+        ok = False
+    else:
+        print("  prefix: prefix-shared campaign byte-identical to naive")
+
+    speedup = float(report.get("speedup", 0.0))
+    verdict = "ok"
+    if speedup < min_speedup:
+        verdict = f"FAIL (< {min_speedup:.1f}x required)"
+        ok = False
+    print(f"  prefix: whole-grid speedup: {speedup:5.1f}x  [gated] "
+          f"{verdict}")
+
+    if not baseline_path:
+        print("  (no --prefix-baseline given; skipping counter gate)")
+        return ok
+
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read prefix baseline {baseline_path}: {e}")
+        sys.exit(2)
+    if baseline.get("schema") != PREFIX_BASELINE_SCHEMA:
+        print(f"error: {baseline_path} is not a "
+              f"{PREFIX_BASELINE_SCHEMA} file")
+        sys.exit(2)
+    for field in ("insts", "seed", "trials", "prefix_interval"):
+        if baseline.get(f"source_{field}") != report.get(field):
+            print(f"  prefix: FAIL — report {field}={report.get(field)} "
+                  f"does not match the baseline's grid "
+                  f"({field}={baseline.get(f'source_{field}')})")
+            return False
+
+    counters = report.get("counters", {})
+    for name, want in sorted(baseline["counters"].items()):
+        got = counters.get(name)
+        if got is None:
+            print(f"  prefix counter {name}: MISSING from current report")
+            ok = False
+        elif int(got) != int(want):
+            print(f"  prefix counter {name}: {got} != committed {want} "
+                  "FAIL (exact integer equality required)")
+            ok = False
+    if ok:
+        print(f"  prefix: all {len(baseline['counters'])} gated counters "
+              "exactly match")
+    return ok
+
+
+def write_prefix_baseline(report, path):
+    """Pin the grid-deterministic engine counters.
+
+    The simulation and the engine's sharing decisions are deterministic,
+    so for a fixed grid the gated counters are machine- and worker-count
+    independent — the gate is exact integer equality.
+    """
+    doc = {
+        "schema": PREFIX_BASELINE_SCHEMA,
+        "note": ("grid-deterministic prefix-engine counters from "
+                 "bench_injection_prefix; gate with "
+                 "check_bench_regression.py --prefix --prefix-baseline"),
+        "source_insts": report.get("insts"),
+        "source_seed": report.get("seed"),
+        "source_trials": report.get("trials"),
+        "source_prefix_interval": report.get("prefix_interval"),
+        "counters": {name: int(report["counters"][name])
+                     for name in PREFIX_GATED_COUNTERS},
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote prefix baseline {path} "
+          f"({len(doc['counters'])} counters)")
+
+
 AVF_SCHEMA = "unsync.bench_avf.v1"
 AVF_BASELINE_SCHEMA = "unsync.avf_baseline.v1"
 
@@ -523,6 +649,18 @@ def main():
     ap.add_argument("--write-tier-baseline", metavar="PATH",
                     help="with --tier: write a fresh error envelope from "
                     "the report and exit")
+    ap.add_argument("--prefix", action="store_true",
+                    help="gate a bench_injection_prefix JSON instead of a "
+                    "google-benchmark report")
+    ap.add_argument("--min-prefix-speedup", type=float, default=3.0,
+                    help="required prefix-sharing whole-grid speedup "
+                    "(default 3.0)")
+    ap.add_argument("--prefix-baseline", metavar="PATH",
+                    help="committed BENCH_prefix_baseline.json (exact "
+                    "engine counters)")
+    ap.add_argument("--write-prefix-baseline", metavar="PATH",
+                    help="with --prefix: pin the current engine counters "
+                    "and exit")
     ap.add_argument("--avf", action="store_true",
                     help="gate a bench_avf_frontier JSON instead of a "
                     "google-benchmark report")
@@ -533,6 +671,16 @@ def main():
                     help="with --avf: pin the current per-structure "
                     "bit-cycle integers and exit")
     args = ap.parse_args()
+
+    if args.prefix:
+        report = load_prefix_report(args.report)
+        if args.write_prefix_baseline:
+            write_prefix_baseline(report, args.write_prefix_baseline)
+            return 0
+        ok = check_prefix(report, args.min_prefix_speedup,
+                          args.prefix_baseline)
+        print("bench gate:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
 
     if args.avf:
         report = load_avf_report(args.report)

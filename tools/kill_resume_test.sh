@@ -11,6 +11,12 @@
 # the coordinator's merged JSON to be byte-identical to the serial
 # reference too.
 #
+# Phases 3/4 — the same two shapes with prefix_share=1: prefix-sharing is an
+# execution strategy, so a killed-and-resumed prefix campaign (single and
+# distributed) must still emit bytes identical to the naive prefix_share=0
+# reference. CSV output here: format=json implies metrics collection, which
+# routes jobs around the engine — CSV keeps the engine load-bearing.
+#
 # Usage: kill_resume_test.sh <path-to-unsync_sim> <work-dir>
 #
 # The kills land at arbitrary points (maybe before the journal header,
@@ -97,3 +103,69 @@ echo "kill+resume (distributed): byte-identical merged campaign output"
 # The status subcommand reads both shard journals without running anything.
 "$SIM" campaign status journal="$DIST/shard_1.jsonl" | grep -q "pending:"
 echo "campaign status: shard journal inspected"
+
+# ---------------------------------------------------------------------------
+# Phase 3: prefix-sharing campaign — kill -9 mid-flight, resume, compare
+# against the naive (prefix_share=0) reference bytes.
+# ---------------------------------------------------------------------------
+PJOURNAL="$WORK/kill_resume_prefix.jsonl"
+PREF="$WORK/kill_resume_prefix_ref.csv"
+PGOT="$WORK/kill_resume_prefix_got.csv"
+rm -f "$PJOURNAL" "$PREF" "$PGOT"
+
+PGRID="campaign benches=gzip,mcf,susan,bzip2 systems=baseline,unsync,reunion \
+       insts=20000 ser=1e-5 csv=1"
+PREFIX="prefix_share=1 prefix_interval=4000"
+
+# shellcheck disable=SC2086
+"$SIM" $PGRID threads=2 > "$PREF"
+
+# shellcheck disable=SC2086
+"$SIM" $PGRID $PREFIX threads=2 checkpoint="$PJOURNAL" > /dev/null 2>&1 &
+PID=$!
+sleep 1
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+# shellcheck disable=SC2086
+"$SIM" $PGRID $PREFIX threads=4 checkpoint="$PJOURNAL" resume=1 > "$PGOT"
+
+cmp "$PREF" "$PGOT"
+echo "kill+resume (prefix-sharing): byte-identical campaign output"
+
+# ---------------------------------------------------------------------------
+# Phase 4: distributed prefix-sharing campaign — kill -9 worker 1, restart,
+# merge, compare against the same naive reference.
+# ---------------------------------------------------------------------------
+PDIST="$WORK/kill_resume_prefix_dist"
+PDGOT="$WORK/kill_resume_prefix_dist.csv"
+rm -rf "$PDIST" "$PDGOT"
+
+PWGRID="benches=gzip,mcf,susan,bzip2 systems=baseline,unsync,reunion \
+        insts=20000 ser=1e-5 dir=$PDIST workers=2 steal=0 $PREFIX"
+
+# shellcheck disable=SC2086
+"$SIM" campaign-worker $PWGRID worker=0 > /dev/null &
+W0=$!
+# shellcheck disable=SC2086
+"$SIM" campaign-worker $PWGRID worker=1 > /dev/null 2>&1 &
+W1=$!
+sleep 1
+kill -9 "$W1" 2>/dev/null || true
+wait "$W1" 2>/dev/null || true
+wait "$W0"
+
+# shellcheck disable=SC2086
+"$SIM" campaign-worker $PWGRID worker=1 > /dev/null
+
+# shellcheck disable=SC2086
+"$SIM" campaign-coordinator benches=gzip,mcf,susan,bzip2 \
+    systems=baseline,unsync,reunion insts=20000 ser=1e-5 \
+    dir="$PDIST" workers=2 timeout=60 csv=1 $PREFIX > "$PDGOT"
+
+cmp "$PREF" "$PDGOT"
+echo "kill+resume (distributed prefix-sharing): byte-identical merged output"
+
+# The trailing stats line of a prefix shard journal parses cleanly.
+"$SIM" campaign status journal="$PDIST/shard_0.jsonl" | grep -q "prefix cache:"
+echo "campaign status: prefix stats line inspected"

@@ -133,6 +133,10 @@ void print_usage(std::ostream& os) {
       "            [csv=1 format=json metrics=<path> progress=1]\n"
       "            [checkpoint=<journal> checkpoint_every=N resume=1]\n"
       "            [scheduler=stealing|shared chunk=<indices per claim>]\n"
+      "            [prefix_share=1 prefix_interval=<cycles>\n"
+      "              prefix_cache_mb=<MiB>]  share each cell's fault-free\n"
+      "              prefix via cached golden checkpoints; byte-identical\n"
+      "              results, detailed tier only (docs/CAMPAIGNS.md)\n"
       "  campaign-worker: dir=<campaign dir> worker=<i> workers=<N>\n"
       "            + the campaign grid args (systems/benches/insts/seed/\n"
       "              tier/screen_threshold/...) — all participants must\n"
@@ -560,6 +564,27 @@ runtime::ScheduleOptions schedule_from(const Config& cfg) {
   return s;
 }
 
+/// Prefix-sharing knobs shared by campaign / campaign-worker /
+/// campaign-coordinator: prefix_share=1 turns the engine on,
+/// prefix_interval= sets the golden checkpoint cadence (campaign identity
+/// — all distributed participants must agree), prefix_cache_mb= the
+/// per-process LRU budget (performance only, free to differ).
+runtime::PrefixOptions prefix_from(const Config& cfg) {
+  runtime::PrefixOptions p;
+  p.enabled = cfg.get_bool("prefix_share", false);
+  p.interval = static_cast<Cycle>(cfg.get_int("prefix_interval", 5000));
+  p.cache_mb = static_cast<std::size_t>(cfg.get_int("prefix_cache_mb", 256));
+  if (!p.enabled &&
+      (cfg.has("prefix_interval") || cfg.has("prefix_cache_mb"))) {
+    throw ConfigError(
+        "prefix_interval=/prefix_cache_mb= need prefix_share=1");
+  }
+  if (p.enabled && p.interval == 0) {
+    throw ConfigError("prefix_interval= must be >= 1");
+  }
+  return p;
+}
+
 /// The (benchmark x system) grid shared by campaign / campaign-worker /
 /// campaign-coordinator. Every participant of a distributed campaign must
 /// build the identical grid from identical args — the journal grid-CRC
@@ -692,6 +717,7 @@ int cmd_campaign(const Config& cfg) {
   opts.screen = knobs.screen;
   opts.screen_threshold = knobs.screen_threshold;
   opts.collect_metrics = !metrics_path.empty() || format == "json";
+  opts.prefix = prefix_from(cfg);
   opts.journal = cfg.get_string("checkpoint", "");
   opts.checkpoint_every =
       static_cast<std::size_t>(cfg.get_int("checkpoint_every", 1));
@@ -728,6 +754,7 @@ runtime::DistributedOptions distributed_from(const Config& cfg,
   opts.campaign_seed = knobs.seed;
   opts.screen = knobs.screen;
   opts.screen_threshold = knobs.screen_threshold;
+  opts.prefix = prefix_from(cfg);
   opts.checkpoint_every =
       static_cast<std::size_t>(cfg.get_int("checkpoint_every", 1));
   return opts;
@@ -807,6 +834,16 @@ int cmd_campaign_status(const Config& cfg) {
             << "pending:      " << status.pending() << "\n"
             << "duplicates:   " << status.duplicates << "\n"
             << "corrupt:      " << status.corrupt << "\n";
+  if (status.prefix) {
+    const auto& p = *status.prefix;
+    std::cout << "prefix cache: goldens=" << p.goldens_built
+              << " hits=" << p.hits << " misses=" << p.misses
+              << " evictions=" << p.evictions << " bytes=" << p.bytes << "\n"
+              << "prefix jobs:  restored=" << p.jobs_restored
+              << " spliced=" << p.jobs_spliced
+              << " bypassed=" << p.jobs_bypassed
+              << " cycles_skipped=" << p.cycles_skipped << "\n";
+  }
   // Corrupt entries are an input problem the caller must know about —
   // exit 2 (configuration error), same as an unreadable/mismatched header,
   // so scripts can gate on the journal being healthy. The counts above
