@@ -62,8 +62,8 @@ int main(int argc, char** argv) {
                            "bzip2"};
   const runtime::SystemKind systems[] = {
       runtime::SystemKind::kBaseline, runtime::SystemKind::kUnSync,
-      runtime::SystemKind::kReunion, runtime::SystemKind::kLockstep,
-      runtime::SystemKind::kCheckpoint};
+      runtime::SystemKind::kReunion,  runtime::SystemKind::kLockstep,
+      runtime::SystemKind::kCheckpoint, runtime::SystemKind::kHetero};
 
   std::vector<runtime::SimJob> detailed_jobs;
   for (const char* b : benches) {

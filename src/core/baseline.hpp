@@ -30,13 +30,23 @@ class BaselineSystem final : public System {
 
   // SystemPolicy phases: one group per thread, one core per group.
   std::size_t group_count() const override { return cores_.size(); }
-  bool finished(std::size_t g) const override { return cores_[g]->done(); }
-  void pre_cycle(std::size_t g, Cycle now) override { cores_[g]->tick(now); }
-  Cycle next_event(std::size_t g, Cycle now) const override {
+  std::size_t member_count(std::size_t) const override { return 1; }
+  bool member_finished(std::size_t g, std::size_t) const override {
+    return cores_[g]->done();
+  }
+  void member_tick(std::size_t g, std::size_t, Cycle now) override {
+    cores_[g]->tick(now);
+  }
+  Cycle member_next_event(std::size_t g, std::size_t,
+                          Cycle now) const override {
     return cores_[g]->next_event(now);
   }
-  void skip_cycles(std::size_t g, Cycle from, Cycle to) override {
+  void member_skip_cycles(std::size_t g, std::size_t, Cycle from,
+                          Cycle to) override {
     cores_[g]->skip_cycles(from, to);
+  }
+  Cycle next_event(std::size_t g, Cycle now) const override {
+    return members_next_event(g, now);
   }
   void finish(RunResult& r) const override;
 

@@ -1,4 +1,4 @@
-#include "core/related_work.hpp"
+#include "core/dmr_checkpoint_system.hpp"
 
 #include <algorithm>
 #include <array>
@@ -13,8 +13,6 @@ namespace unsync::core {
 
 namespace {
 
-constexpr Cycle kNever = ~Cycle{0};
-
 /// Shared write-back store-buffer behaviour (same as the baseline CMP).
 bool store_buffer_commit(mem::MemoryHierarchy& memory,
                          std::vector<Cycle>& buffer, CoreId core, Addr addr,
@@ -26,204 +24,6 @@ bool store_buffer_commit(mem::MemoryHierarchy& memory,
 }
 
 }  // namespace
-
-// ---- LockstepSystem -----------------------------------------------------------
-
-bool LockstepSystem::LockstepEnv::can_commit(CoreId core,
-                                             const workload::DynOp& op,
-                                             Cycle now) {
-  (void)core;
-  (void)now;
-  // Tight coupling: neither core may retire past its partner by more than
-  // one commit group.
-  const auto& other = *pair_->core[1 - side_];
-  if (op.seq >= other.retired() + sys_->params_.max_skew) {
-    ++pair_->lockstep_stalls;
-    return false;
-  }
-  return true;
-}
-
-bool LockstepSystem::LockstepEnv::on_store_commit(CoreId core,
-                                                  const workload::DynOp& op,
-                                                  Cycle now) {
-  return store_buffer_commit(sys_->memory_, pair_->store_buffer[side_], core,
-                             op.mem_addr, now);
-}
-
-LockstepSystem::LockstepSystem(const SystemConfig& config,
-                               const LockstepParams& params,
-                               const workload::InstStream& stream)
-    : LockstepSystem(config, params,
-                     detail::replicate(stream, config.num_threads)) {}
-
-LockstepSystem::LockstepSystem(
-    const SystemConfig& config, const LockstepParams& params,
-    const std::vector<const workload::InstStream*>& streams)
-    : System(config.num_threads, config.fast_forward, config.avf),
-      config_(config),
-      params_(params),
-      thread_lengths_(detail::lengths_of(streams)),
-      memory_(config.mem, config.num_threads * 2),
-      rng_(config.seed) {
-  if (streams.size() != config_.num_threads) {
-    throw std::invalid_argument("LockstepSystem: need one stream per thread");
-  }
-  detail::prewarm_from(memory_, streams);
-  cpu::CoreConfig core_cfg = config_.core;
-  core_cfg.extra_load_latency = params_.load_check_latency;
-  for (unsigned t = 0; t < config_.num_threads; ++t) {
-    auto pair = std::make_unique<Pair>();
-    pair->store_buffer.resize(2);
-    for (unsigned side = 0; side < 2; ++side) {
-      pair->env[side] = std::make_unique<LockstepEnv>(this, pair.get(), side);
-      pair->core[side] = std::make_unique<cpu::OooCore>(
-          t * 2 + side, core_cfg, &memory_, streams[t]->clone(),
-          pair->env[side].get());
-      register_core(*pair->core[side]);
-    }
-    pair->arrivals.positions = fault::schedule_arrivals(
-        config_.ser_per_inst, thread_lengths_[t], rng_);
-    pairs_.push_back(std::move(pair));
-  }
-  RunResult& acc = kernel_.result();
-  acc.system = name_;
-  acc.thread_instructions = thread_lengths_;
-  acc.instructions = detail::max_length(thread_lengths_);
-}
-
-void LockstepSystem::pre_cycle(std::size_t g, Cycle now) {
-  Pair& pair = *pairs_[g];
-  for (unsigned side = 0; side < 2; ++side) {
-    if (!pair.core[side]->done()) pair.core[side]->tick(now);
-  }
-}
-
-void LockstepSystem::on_error(std::size_t g, Cycle now, RunResult& acc) {
-  Pair& pair = *pairs_[g];
-  const SeqNum progress =
-      std::max(pair.core[0]->retired(), pair.core[1]->retired());
-  if (!pair.arrivals.pending(progress)) return;
-  const SeqNum position = pair.arrivals.take();
-  // Lock-step sees the divergence the cycle it occurs; recovery is a
-  // flush + instruction retry on both cores.
-  const Cycle resume_at = now + params_.resync_penalty;
-  const auto struck = static_cast<unsigned>(rng_.below(2));
-  engine::record_error(acc, tracer_,
-                       {.cycle = now, .position = position,
-                        .thread = static_cast<unsigned>(g),
-                        .struck_core = struck, .cost = params_.resync_penalty,
-                        .rollback = false},
-                       position);
-  for (unsigned side = 0; side < 2; ++side) {
-    pair.core[side]->stall_until(resume_at);
-  }
-}
-
-Cycle LockstepSystem::next_event(std::size_t g, Cycle now) const {
-  const Pair& pair = *pairs_[g];
-  Cycle cand = kNever;
-  for (unsigned side = 0; side < 2; ++side) {
-    const Cycle t = pair.core[side]->next_event(now);
-    if (t <= now) return now;
-    cand = std::min(cand, t);
-  }
-  const SeqNum progress =
-      std::max(pair.core[0]->retired(), pair.core[1]->retired());
-  if (pair.arrivals.pending(progress)) return now;
-  return cand;
-}
-
-void LockstepSystem::skip_cycles(std::size_t g, Cycle from, Cycle to) {
-  Pair& pair = *pairs_[g];
-  for (unsigned side = 0; side < 2; ++side) {
-    if (!pair.core[side]->done()) pair.core[side]->skip_cycles(from, to);
-  }
-}
-
-void LockstepSystem::finish(RunResult& r) const {
-  for (const auto& pair : pairs_) {
-    for (unsigned side = 0; side < 2; ++side) {
-      r.core_stats.push_back(pair->core[side]->stats());
-    }
-    r.fingerprint_syncs += pair->lockstep_stalls;  // repurposed: sync stalls
-  }
-}
-
-void LockstepSystem::save_policy_state(ckpt::Serializer& s) const {
-  for (const std::uint64_t word : rng_.state()) s.u64(word);
-  memory_.save_state(s);
-  s.u64(pairs_.size());
-  for (const auto& pair : pairs_) {
-    for (unsigned side = 0; side < 2; ++side) {
-      pair->core[side]->save_state(s);
-      ckpt::save_u64_vec(s, pair->store_buffer[side]);
-    }
-    pair->arrivals.save_state(s);
-    s.u64(pair->lockstep_stalls);
-  }
-}
-
-void LockstepSystem::save_fault_channel(ckpt::Serializer& s) const {
-  for (const std::uint64_t word : rng_.state()) s.u64(word);
-  s.u64(pairs_.size());
-  for (const auto& pair : pairs_) {
-    engine::save_arrival_schedule(s, pair->arrivals);
-  }
-}
-
-void LockstepSystem::load_fault_channel(ckpt::Deserializer& d) {
-  std::array<std::uint64_t, 4> rng_state;
-  for (std::uint64_t& word : rng_state) word = d.u64();
-  rng_.set_state(rng_state);
-  if (d.u64() != pairs_.size()) {
-    throw ckpt::CkptError("lockstep fault-channel pair-count mismatch");
-  }
-  for (const auto& pair : pairs_) {
-    engine::load_arrival_schedule(d, pair->arrivals);
-  }
-}
-
-std::vector<SeqNum> LockstepSystem::group_progress() const {
-  std::vector<SeqNum> p;
-  p.reserve(pairs_.size());
-  for (const auto& pair : pairs_) {
-    p.push_back(std::max(pair->core[0]->retired(), pair->core[1]->retired()));
-  }
-  return p;
-}
-
-void LockstepSystem::save_fingerprint_state(ckpt::Serializer& s) const {
-  memory_.save_state(s);
-  s.u64(pairs_.size());
-  for (const auto& pair : pairs_) {
-    for (unsigned side = 0; side < 2; ++side) {
-      pair->core[side]->save_state(s);
-      ckpt::save_u64_vec(s, pair->store_buffer[side]);
-    }
-    s.u64(pair->lockstep_stalls);
-  }
-}
-
-void LockstepSystem::load_policy_state(ckpt::Deserializer& d) {
-  std::array<std::uint64_t, 4> rng_state;
-  for (std::uint64_t& word : rng_state) word = d.u64();
-  rng_.set_state(rng_state);
-  memory_.load_state(d);
-  if (d.u64() != pairs_.size()) {
-    throw ckpt::CkptError("lockstep pair-count mismatch");
-  }
-  for (const auto& pair : pairs_) {
-    for (unsigned side = 0; side < 2; ++side) {
-      pair->core[side]->load_state(d);
-      ckpt::load_u64_vec(d, pair->store_buffer[side]);
-    }
-    pair->arrivals.load_state(d, "lockstep");
-    pair->lockstep_stalls = d.u64();
-  }
-}
-
-// ---- DmrCheckpointSystem --------------------------------------------------------
 
 bool DmrCheckpointSystem::CheckpointEnv::can_commit(CoreId core,
                                                     const workload::DynOp& op,
@@ -313,11 +113,21 @@ DmrCheckpointSystem::DmrCheckpointSystem(
   acc.instructions = detail::max_length(thread_lengths_);
 }
 
-void DmrCheckpointSystem::pre_cycle(std::size_t g, Cycle now) {
-  Pair& pair = *pairs_[g];
-  for (unsigned side = 0; side < 2; ++side) {
-    if (!pair.core[side]->done()) pair.core[side]->tick(now);
-  }
+void DmrCheckpointSystem::member_tick(std::size_t g, std::size_t m,
+                                      Cycle now) {
+  auto& core = *pairs_[g]->core[m];
+  if (!core.done()) core.tick(now);
+}
+
+Cycle DmrCheckpointSystem::member_next_event(std::size_t g, std::size_t m,
+                                             Cycle now) const {
+  return pairs_[g]->core[m]->next_event(now);
+}
+
+void DmrCheckpointSystem::member_skip_cycles(std::size_t g, std::size_t m,
+                                             Cycle from, Cycle to) {
+  auto& core = *pairs_[g]->core[m];
+  if (!core.done()) core.skip_cycles(from, to);
 }
 
 void DmrCheckpointSystem::on_error(std::size_t g, Cycle now, RunResult& acc) {
@@ -348,23 +158,12 @@ void DmrCheckpointSystem::on_error(std::size_t g, Cycle now, RunResult& acc) {
 
 Cycle DmrCheckpointSystem::next_event(std::size_t g, Cycle now) const {
   const Pair& pair = *pairs_[g];
-  Cycle cand = kNever;
-  for (unsigned side = 0; side < 2; ++side) {
-    const Cycle t = pair.core[side]->next_event(now);
-    if (t <= now) return now;
-    cand = std::min(cand, t);
-  }
+  const Cycle cand = members_next_event(g, now);
+  if (cand <= now) return now;
   const SeqNum progress =
       std::max(pair.core[0]->retired(), pair.core[1]->retired());
   if (pair.arrivals.pending(progress)) return now;
   return cand;
-}
-
-void DmrCheckpointSystem::skip_cycles(std::size_t g, Cycle from, Cycle to) {
-  Pair& pair = *pairs_[g];
-  for (unsigned side = 0; side < 2; ++side) {
-    if (!pair.core[side]->done()) pair.core[side]->skip_cycles(from, to);
-  }
 }
 
 void DmrCheckpointSystem::finish(RunResult& r) const {

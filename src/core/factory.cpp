@@ -11,6 +11,7 @@ const char* name_of(SystemKind kind) {
     case SystemKind::kReunion: return "reunion";
     case SystemKind::kLockstep: return "lockstep";
     case SystemKind::kCheckpoint: return "checkpoint";
+    case SystemKind::kHetero: return "hetero";
   }
   return "?";
 }
@@ -21,6 +22,7 @@ std::optional<SystemKind> parse_system(const std::string& name) {
   if (name == "reunion") return SystemKind::kReunion;
   if (name == "lockstep") return SystemKind::kLockstep;
   if (name == "checkpoint") return SystemKind::kCheckpoint;
+  if (name == "hetero") return SystemKind::kHetero;
   return std::nullopt;
 }
 
@@ -43,6 +45,9 @@ std::unique_ptr<System> construct(SystemKind kind, const SystemConfig& config,
                                               workload);
     case SystemKind::kCheckpoint:
       return std::make_unique<DmrCheckpointSystem>(config, params.checkpoint,
+                                                   workload);
+    case SystemKind::kHetero:
+      return std::make_unique<HeteroCheckerSystem>(config, params.hetero,
                                                    workload);
   }
   return nullptr;  // unreachable: the switch covers every kind
@@ -110,6 +115,15 @@ engine::IntervalSpec interval_spec_for(SystemKind kind,
       spec.rollback_window = p.checkpoint_interval;
       spec.checkpoint_interval = p.checkpoint_interval;
       spec.checkpoint_cycles = p.checkpoint_cost + p.compare_latency;
+      break;
+    }
+    case SystemKind::kHetero: {
+      const HeteroParams& p = params.hetero;
+      spec.group_size = 2;
+      spec.inject_errors = true;
+      spec.error_rollback = true;  // roll back to the last verified commit
+      spec.error_penalty = p.rollback_penalty;
+      spec.rollback_window = p.log_entries;
       break;
     }
   }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/hetero_checker_system.hpp"
 #include "core/related_work.hpp"
 #include "core/reunion_system.hpp"
 #include "core/system.hpp"
@@ -30,6 +31,7 @@ enum class SystemKind : std::uint8_t {
   kReunion,
   kLockstep,
   kCheckpoint,
+  kHetero,
 };
 
 const char* name_of(SystemKind kind);
@@ -45,6 +47,7 @@ struct SystemParams {
   ReunionParams reunion;
   LockstepParams lockstep;
   CheckpointParams checkpoint;
+  HeteroParams hetero;
   engine::Tier tier = engine::Tier::kDetailed;
 };
 

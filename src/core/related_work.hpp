@@ -1,201 +1,7 @@
-// Related-work redundancy schemes (paper §II), implemented as additional
-// comparison points around UnSync and Reunion:
-//
-//  * LockstepSystem — mainframe-style tight lock-step (IBM S/390 G5 [15]):
-//    the two cores stay cycle-coupled (neither may retire past the other by
-//    more than a commit group), and every load value passes through the
-//    input-replication checker before use. Divergence is detected the cycle
-//    it happens, so recovery is a cheap pipeline flush — but the coupling
-//    and load-path checker tax every error-free cycle, which is exactly why
-//    "lock-step becomes an increasing burden as device scaling continues".
-//
-//  * DmrCheckpointSystem — Fingerprinting-style checkpointing (Smolens et
-//    al. [19]): cores run decoupled between checkpoints; every
-//    `checkpoint_interval` instructions both cores synchronise, capture a
-//    heavyweight checkpoint (architectural + memory state), and exchange a
-//    hash. Errors surface at the *next* checkpoint and roll back to the
-//    previous one — long detection latency and a per-checkpoint capture
-//    cost, traded against zero coupling in between.
+// Compatibility shim: the related-work redundancy schemes (paper §II) used
+// to live together in this header. They now have one file per system —
+// include those directly in new code.
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "common/rng.hpp"
-#include "core/system.hpp"
-#include "engine/error_injection.hpp"
-#include "mem/hierarchy.hpp"
-#include "workload/dyn_op.hpp"
-
-namespace unsync::core {
-
-struct LockstepParams {
-  /// Maximum retirement skew between the coupled cores, in instructions
-  /// (one commit group).
-  std::uint32_t max_skew = 4;
-  /// Checker delay added to every load (input replication).
-  Cycle load_check_latency = 2;
-  /// Pipeline flush + resynchronisation penalty on a detected divergence.
-  Cycle resync_penalty = 30;
-};
-
-class LockstepSystem final : public System {
- public:
-  LockstepSystem(const SystemConfig& config, const LockstepParams& params,
-                 const workload::InstStream& stream);
-  LockstepSystem(const SystemConfig& config, const LockstepParams& params,
-                 const std::vector<const workload::InstStream*>& streams);
-
-  const std::string& name() const override { return name_; }
-  mem::MemoryHierarchy& memory() override { return memory_; }
-
-  // SystemPolicy phases: one coupled pair per thread.
-  std::size_t group_count() const override { return pairs_.size(); }
-  bool finished(std::size_t g) const override {
-    return pairs_[g]->core[0]->done() && pairs_[g]->core[1]->done();
-  }
-  void pre_cycle(std::size_t g, Cycle now) override;
-  void on_error(std::size_t g, Cycle now, RunResult& acc) override;
-  Cycle next_event(std::size_t g, Cycle now) const override;
-  void skip_cycles(std::size_t g, Cycle from, Cycle to) override;
-  void finish(RunResult& r) const override;
-
-  const char* ckpt_tag() const override { return "LOCK"; }
-  void save_policy_state(ckpt::Serializer& s) const override;
-  void load_policy_state(ckpt::Deserializer& d) override;
-
-  // Prefix-sharing hooks (see core/system.hpp).
-  bool supports_prefix() const override { return true; }
-  void save_fault_channel(ckpt::Serializer& s) const override;
-  void load_fault_channel(ckpt::Deserializer& d) override;
-  std::vector<SeqNum> group_progress() const override;
-  void save_fingerprint_state(ckpt::Serializer& s) const override;
-
- private:
-  struct Pair;
-
-  class LockstepEnv final : public cpu::CommitEnv {
-   public:
-    LockstepEnv(LockstepSystem* sys, Pair* pair, unsigned side)
-        : sys_(sys), pair_(pair), side_(side) {}
-    bool can_commit(CoreId core, const workload::DynOp& op,
-                    Cycle now) override;
-    bool on_store_commit(CoreId core, const workload::DynOp& op,
-                         Cycle now) override;
-
-   private:
-    LockstepSystem* sys_;
-    Pair* pair_;
-    unsigned side_;
-  };
-
-  struct Pair {
-    std::unique_ptr<cpu::OooCore> core[2];
-    std::unique_ptr<LockstepEnv> env[2];
-    std::vector<std::vector<Cycle>> store_buffer;
-    engine::ArrivalCursor arrivals;
-    std::uint64_t lockstep_stalls = 0;
-  };
-
-  std::string name_ = "lockstep";
-  SystemConfig config_;
-  LockstepParams params_;
-  std::vector<std::uint64_t> thread_lengths_;
-  mem::MemoryHierarchy memory_;
-  Rng rng_;
-  std::vector<std::unique_ptr<Pair>> pairs_;
-};
-
-struct CheckpointParams {
-  /// Instructions between checkpoints.
-  std::uint64_t checkpoint_interval = 1000;
-  /// Cycles both cores stall to capture a checkpoint (architectural state
-  /// plus the memory-state capture the paper calls "heavy-weight").
-  Cycle checkpoint_cost = 120;
-  /// Hash exchange + compare latency at each checkpoint.
-  Cycle compare_latency = 10;
-  /// Checkpoint-restore cost on rollback (before re-execution begins).
-  Cycle restore_cost = 200;
-};
-
-class DmrCheckpointSystem final : public System {
- public:
-  DmrCheckpointSystem(const SystemConfig& config,
-                      const CheckpointParams& params,
-                      const workload::InstStream& stream);
-  DmrCheckpointSystem(const SystemConfig& config,
-                      const CheckpointParams& params,
-                      const std::vector<const workload::InstStream*>& streams);
-
-  const std::string& name() const override { return name_; }
-  mem::MemoryHierarchy& memory() override { return memory_; }
-
-  std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
-
-  // SystemPolicy phases: one decoupled pair per thread.
-  std::size_t group_count() const override { return pairs_.size(); }
-  bool finished(std::size_t g) const override {
-    return pairs_[g]->core[0]->done() && pairs_[g]->core[1]->done();
-  }
-  void pre_cycle(std::size_t g, Cycle now) override;
-  void on_error(std::size_t g, Cycle now, RunResult& acc) override;
-  Cycle next_event(std::size_t g, Cycle now) const override;
-  void skip_cycles(std::size_t g, Cycle from, Cycle to) override;
-  void finish(RunResult& r) const override;
-
-  const char* ckpt_tag() const override { return "DMRC"; }
-  void save_policy_state(ckpt::Serializer& s) const override;
-  void load_policy_state(ckpt::Deserializer& d) override;
-
-  // Prefix-sharing hooks (see core/system.hpp).
-  bool supports_prefix() const override { return true; }
-  void save_fault_channel(ckpt::Serializer& s) const override;
-  void load_fault_channel(ckpt::Deserializer& d) override;
-  std::vector<SeqNum> group_progress() const override;
-  void save_fingerprint_state(ckpt::Serializer& s) const override;
-
- protected:
-  void publish_extra_metrics() override;
-
- private:
-  struct Pair;
-
-  class CheckpointEnv final : public cpu::CommitEnv {
-   public:
-    CheckpointEnv(DmrCheckpointSystem* sys, Pair* pair, unsigned side)
-        : sys_(sys), pair_(pair), side_(side) {}
-    bool can_commit(CoreId core, const workload::DynOp& op,
-                    Cycle now) override;
-    bool on_store_commit(CoreId core, const workload::DynOp& op,
-                         Cycle now) override;
-
-   private:
-    DmrCheckpointSystem* sys_;
-    Pair* pair_;
-    unsigned side_;
-  };
-
-  struct Pair {
-    std::unique_ptr<cpu::OooCore> core[2];
-    std::unique_ptr<CheckpointEnv> env[2];
-    std::vector<std::vector<Cycle>> store_buffer;
-    /// Next checkpoint boundary (instruction count) and sync state.
-    SeqNum next_boundary = 0;
-    bool reached[2] = {false, false};
-    Cycle reached_at[2] = {0, 0};
-    Cycle checkpoint_done = 0;  ///< when the in-progress capture finishes
-    SeqNum last_committed_boundary = 0;  ///< rollback target
-    engine::ArrivalCursor arrivals;
-  };
-
-  std::string name_ = "dmr-checkpoint";
-  SystemConfig config_;
-  CheckpointParams params_;
-  std::vector<std::uint64_t> thread_lengths_;
-  mem::MemoryHierarchy memory_;
-  Rng rng_;
-  std::vector<std::unique_ptr<Pair>> pairs_;
-  std::uint64_t checkpoints_taken_ = 0;
-};
-
-}  // namespace unsync::core
+#include "core/dmr_checkpoint_system.hpp"  // IWYU pragma: export
+#include "core/lockstep_system.hpp"        // IWYU pragma: export

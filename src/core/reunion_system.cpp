@@ -260,11 +260,20 @@ ReunionSystem::ReunionSystem(
   acc.instructions = detail::max_length(thread_lengths_);
 }
 
-void ReunionSystem::pre_cycle(std::size_t g, Cycle now) {
-  Pair& pair = *pairs_[g];
-  for (unsigned side = 0; side < 2; ++side) {
-    if (!pair.core[side]->done()) pair.core[side]->tick(now);
-  }
+void ReunionSystem::member_tick(std::size_t g, std::size_t m, Cycle now) {
+  auto& core = *pairs_[g]->core[m];
+  if (!core.done()) core.tick(now);
+}
+
+Cycle ReunionSystem::member_next_event(std::size_t g, std::size_t m,
+                                       Cycle now) const {
+  return pairs_[g]->core[m]->next_event(now);
+}
+
+void ReunionSystem::member_skip_cycles(std::size_t g, std::size_t m, Cycle from,
+                                       Cycle to) {
+  auto& core = *pairs_[g]->core[m];
+  if (!core.done()) core.skip_cycles(from, to);
 }
 
 void ReunionSystem::on_error(std::size_t g, Cycle now, RunResult& acc) {
@@ -297,25 +306,14 @@ void ReunionSystem::on_error(std::size_t g, Cycle now, RunResult& acc) {
 
 Cycle ReunionSystem::next_event(std::size_t g, Cycle now) const {
   const Pair& pair = *pairs_[g];
-  Cycle cand = kNever;
-  for (unsigned side = 0; side < 2; ++side) {
-    const Cycle t = pair.core[side]->next_event(now);
-    if (t <= now) return now;
-    cand = std::min(cand, t);
-  }
+  const Cycle cand = members_next_event(g, now);
+  if (cand <= now) return now;
   // Error injection fires when progress has crossed the next arrival;
   // progress only advances through (vetoed) commits.
   const SeqNum progress =
       std::max(pair.core[0]->retired(), pair.core[1]->retired());
   if (pair.arrivals.pending(progress)) return now;
   return cand;
-}
-
-void ReunionSystem::skip_cycles(std::size_t g, Cycle from, Cycle to) {
-  Pair& pair = *pairs_[g];
-  for (unsigned side = 0; side < 2; ++side) {
-    if (!pair.core[side]->done()) pair.core[side]->skip_cycles(from, to);
-  }
 }
 
 void ReunionSystem::finish(RunResult& r) const {

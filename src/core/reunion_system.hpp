@@ -74,13 +74,17 @@ class ReunionSystem final : public System {
 
   // SystemPolicy phases: one vocal/mute pair per thread.
   std::size_t group_count() const override { return pairs_.size(); }
-  bool finished(std::size_t g) const override {
-    return pairs_[g]->core[0]->done() && pairs_[g]->core[1]->done();
+  std::size_t member_count(std::size_t) const override { return 2; }
+  bool member_finished(std::size_t g, std::size_t m) const override {
+    return pairs_[g]->core[m]->done();
   }
-  void pre_cycle(std::size_t g, Cycle now) override;
+  void member_tick(std::size_t g, std::size_t m, Cycle now) override;
+  Cycle member_next_event(std::size_t g, std::size_t m,
+                          Cycle now) const override;
+  void member_skip_cycles(std::size_t g, std::size_t m, Cycle from,
+                          Cycle to) override;
   void on_error(std::size_t g, Cycle now, RunResult& acc) override;
   Cycle next_event(std::size_t g, Cycle now) const override;
-  void skip_cycles(std::size_t g, Cycle from, Cycle to) override;
   void finish(RunResult& r) const override;
 
   const char* ckpt_tag() const override { return "REUN"; }

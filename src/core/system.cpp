@@ -67,6 +67,15 @@ void System::wire_avf() {
     wire_cache(m.icache(i));
   }
   wire_cache(m.l2());
+  // The shared L2's data array dominates uncore SRAM capacity; per the ACE
+  // model every valid line's payload is live state (line_bytes*8 bits).
+  {
+    mem::Cache& l2 = m.l2();
+    const auto lines = static_cast<std::uint64_t>(l2.config().num_sets()) *
+                       l2.config().assoc;
+    l2.set_data_avf(c.make_tracker(fault::UncoreStructure::kCacheData, lines,
+                                   l2.config().line_bytes * 8));
+  }
 
   for (cpu::OooCore* core : registered_cores_) {
     core->set_tlb_avf(

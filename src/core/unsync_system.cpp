@@ -11,8 +11,6 @@
 namespace unsync::core {
 
 namespace {
-constexpr Cycle kNever = ~Cycle{0};
-
 /// Program progress of a redundancy group: the leading core's watermark.
 SeqNum progress_of(const std::vector<std::unique_ptr<cpu::OooCore>>& cores) {
   SeqNum progress = 0;
@@ -88,21 +86,25 @@ UnSyncSystem::UnSyncSystem(
   acc.instructions = detail::max_length(thread_lengths_);
 }
 
-bool UnSyncSystem::finished(std::size_t g) const {
+bool UnSyncSystem::member_finished(std::size_t g, std::size_t m) const {
   const Group& group = *groups_[g];
-  for (const auto& core : group.cores) {
-    if (!core->done()) return false;
-  }
-  for (const auto& cb : group.cbs) {
-    if (!cb->empty()) return false;
-  }
-  return true;
+  return group.cores[m]->done() && group.cbs[m]->empty();
 }
 
-void UnSyncSystem::pre_cycle(std::size_t g, Cycle now) {
-  for (auto& core : groups_[g]->cores) {
-    if (!core->done()) core->tick(now);
-  }
+void UnSyncSystem::member_tick(std::size_t g, std::size_t m, Cycle now) {
+  auto& core = *groups_[g]->cores[m];
+  if (!core.done()) core.tick(now);
+}
+
+Cycle UnSyncSystem::member_next_event(std::size_t g, std::size_t m,
+                                      Cycle now) const {
+  return groups_[g]->cores[m]->next_event(now);
+}
+
+void UnSyncSystem::member_skip_cycles(std::size_t g, std::size_t m, Cycle from,
+                                      Cycle to) {
+  auto& core = *groups_[g]->cores[m];
+  if (!core.done()) core.skip_cycles(from, to);
 }
 
 void UnSyncSystem::sync_phase(std::size_t g, Cycle now) {
@@ -198,12 +200,8 @@ void UnSyncSystem::on_error(std::size_t g, Cycle now, RunResult& acc) {
 
 Cycle UnSyncSystem::next_event(std::size_t g, Cycle now) const {
   const Group& group = *groups_[g];
-  Cycle cand = kNever;
-  for (const auto& core : group.cores) {
-    const Cycle t = core->next_event(now);
-    if (t <= now) return now;
-    cand = std::min(cand, t);
-  }
+  Cycle cand = members_next_event(g, now);
+  if (cand <= now) return now;
   // CB drain is ready exactly when every CB is non-empty and the bus is
   // free; a CB only becomes non-empty through a store commit, which is a
   // vetoed core event.
@@ -217,12 +215,6 @@ Cycle UnSyncSystem::next_event(std::size_t g, Cycle now) const {
   // progress only advances through (vetoed) commits.
   if (group.arrivals.pending(progress_of(group.cores))) return now;
   return cand;
-}
-
-void UnSyncSystem::skip_cycles(std::size_t g, Cycle from, Cycle to) {
-  for (auto& core : groups_[g]->cores) {
-    if (!core->done()) core->skip_cycles(from, to);
-  }
 }
 
 void UnSyncSystem::finish(RunResult& r) const {

@@ -77,14 +77,21 @@ class UnSyncSystem final : public System {
   const fault::ProtectionPlan& plan() const { return plan_; }
   unsigned group_size() const { return params_.group_size; }
 
-  // SystemPolicy phases: one group of redundant cores per thread.
+  // SystemPolicy phases: one group of redundant cores per thread; each
+  // member is one core plus its Communication Buffer.
   std::size_t group_count() const override { return groups_.size(); }
-  bool finished(std::size_t g) const override;
-  void pre_cycle(std::size_t g, Cycle now) override;
+  std::size_t member_count(std::size_t g) const override {
+    return groups_[g]->cores.size();
+  }
+  bool member_finished(std::size_t g, std::size_t m) const override;
+  void member_tick(std::size_t g, std::size_t m, Cycle now) override;
+  Cycle member_next_event(std::size_t g, std::size_t m,
+                          Cycle now) const override;
+  void member_skip_cycles(std::size_t g, std::size_t m, Cycle from,
+                          Cycle to) override;
   void sync_phase(std::size_t g, Cycle now) override;
   void on_error(std::size_t g, Cycle now, RunResult& acc) override;
   Cycle next_event(std::size_t g, Cycle now) const override;
-  void skip_cycles(std::size_t g, Cycle from, Cycle to) override;
   void finish(RunResult& r) const override;
 
   const char* ckpt_tag() const override { return "UNSY"; }

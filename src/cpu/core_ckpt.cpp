@@ -5,6 +5,8 @@
 
 #include "ckpt/serializer.hpp"
 #include "cpu/bpred.hpp"
+#include "cpu/check_log.hpp"
+#include "cpu/in_order_core.hpp"
 #include "cpu/ooo_core.hpp"
 
 namespace unsync::cpu {
@@ -208,6 +210,73 @@ void OooCore::load_state(ckpt::Deserializer& d) {
 
   committed_store_words_.resize(d.u64());
   for (Addr& a : committed_store_words_) a = d.u64();
+  d.end_chunk();
+}
+
+void InOrderCore::save_state(ckpt::Serializer& s) const {
+  s.begin_chunk("IOC0");
+  s.u32(id_);
+  save_stats(s, stats_);
+  s.u64(next_sample_);
+  s.u64(frozen_until_);
+  stream_->save_state(s);
+  s.b(stream_done_);
+  s.b(op_valid_);
+  workload::save_op(s, op_);
+  s.b(started_);
+  s.u64(complete_at_);
+  s.end_chunk();
+}
+
+void InOrderCore::load_state(ckpt::Deserializer& d) {
+  d.begin_chunk("IOC0");
+  if (d.u32() != id_) {
+    throw ckpt::CkptError("in-order core id mismatch");
+  }
+  load_stats(d, stats_);
+  next_sample_ = d.u64();
+  frozen_until_ = d.u64();
+  stream_->load_state(d);
+  stream_done_ = d.b();
+  op_valid_ = d.b();
+  workload::load_op(d, op_);
+  started_ = d.b();
+  complete_at_ = d.u64();
+  d.end_chunk();
+}
+
+void CheckLog::save_state(ckpt::Serializer& s) const {
+  s.begin_chunk("CLOG");
+  s.u64(capacity_);
+  s.u64(entries_.size());
+  for (const CheckLogEntry& e : entries_) {
+    s.u64(e.seq);
+    s.u64(e.addr);
+    s.u8(static_cast<std::uint8_t>(e.kind));
+    s.b(e.taken);
+  }
+  s.u64(peak_);
+  s.u64(total_pushed_);
+  s.end_chunk();
+}
+
+void CheckLog::load_state(ckpt::Deserializer& d) {
+  d.begin_chunk("CLOG");
+  if (d.u64() != capacity_) {
+    throw ckpt::CkptError("check-log capacity mismatch");
+  }
+  entries_.resize(d.u64());
+  if (entries_.size() > capacity_) {
+    throw ckpt::CkptError("check-log over capacity");
+  }
+  for (CheckLogEntry& e : entries_) {
+    e.seq = d.u64();
+    e.addr = d.u64();
+    e.kind = static_cast<CheckKind>(d.u8());
+    e.taken = d.b();
+  }
+  peak_ = d.u64();
+  total_pushed_ = d.u64();
   d.end_chunk();
 }
 

@@ -1,18 +1,24 @@
 // The policy interface a simulated system implements to be driven by the
 // SimKernel (see docs/ENGINE.md for the full contract).
 //
-// A system is a set of redundancy *groups* (baseline: one core per group;
-// the DMR systems: one core pair per application thread). The kernel owns
-// the cycle loop; the policy supplies the per-group phases:
+// A system is a set of redundancy *groups*, and a group is an ordered list
+// of *members* — one simulated core plus whatever per-core structure the
+// system couples to it (an UnSync Communication Buffer, a hetero-checker
+// log cursor). Members need not be identical: the heterogeneous checker
+// system pairs a big out-of-order leader with a small in-order checker in
+// the same group. The kernel owns the cycle loop; the policy supplies the
+// per-member and per-group phases:
 //
-//   pre_cycle   — tick every live core of the group
-//   sync_phase  — system-specific compare/drain work (UnSync CB drain)
+//   member_tick — advance one member by one cycle (self-gating: a member
+//                 whose core has drained simply does nothing)
+//   sync_phase  — system-specific compare/drain work (UnSync CB drain,
+//                 checker-log comparison)
 //   on_error    — consume the group's error-arrival schedule
-//   finished    — the group's termination predicate
+//   member_finished / finished — per-member and group termination
 //
-// plus the fast-forward hooks (next_event / skip_cycles), the result
-// finaliser (finish / on_run_complete) and the checkpoint body
-// (ckpt_tag / save_policy_state / load_policy_state).
+// plus the fast-forward hooks (next_event / skip_cycles, with per-member
+// defaults), the result finaliser (finish / on_run_complete) and the
+// checkpoint body (ckpt_tag / save_policy_state / load_policy_state).
 #pragma once
 
 #include <cstddef>
@@ -35,16 +41,33 @@ class SystemPolicy {
   /// the system (the kernel iterates groups in index order every cycle).
   virtual std::size_t group_count() const = 0;
 
+  /// Number of members in group `g` (baseline: 1; the DMR systems: 2;
+  /// UnSync: the configured group size). Must stay constant per group.
+  virtual std::size_t member_count(std::size_t g) const = 0;
+
+  /// True when member `m` of group `g` has retired its stream and drained
+  /// every per-member structure the system tracks for it (CB contents,
+  /// un-consumed log entries, ...).
+  virtual bool member_finished(std::size_t g, std::size_t m) const = 0;
+
+  /// Advance member `m` of group `g` by one cycle. The kernel calls this
+  /// for every member of an unfinished group, in member-index order, so
+  /// implementations self-gate (a drained core ignores the tick).
+  virtual void member_tick(std::size_t g, std::size_t m, Cycle now) = 0;
+
   /// True when group `g` has retired its whole stream and drained every
   /// structure the system tracks for it. A finished group receives no
-  /// further phase calls.
-  virtual bool finished(std::size_t g) const = 0;
+  /// further phase calls. Default: every member is finished.
+  virtual bool finished(std::size_t g) const {
+    const std::size_t members = member_count(g);
+    for (std::size_t m = 0; m < members; ++m) {
+      if (!member_finished(g, m)) return false;
+    }
+    return true;
+  }
 
-  /// Advance every live core of group `g` by one cycle.
-  virtual void pre_cycle(std::size_t g, Cycle now) = 0;
-
-  /// System-specific synchronisation after the cores ticked (UnSync drains
-  /// its Communication Buffers here). Default: nothing.
+  /// System-specific synchronisation after the members ticked (UnSync
+  /// drains its Communication Buffers here). Default: nothing.
   virtual void sync_phase(std::size_t g, Cycle now) {
     (void)g;
     (void)now;
@@ -58,13 +81,35 @@ class SystemPolicy {
     (void)acc;
   }
 
-  /// Fast-forward support: a conservative lower bound on the next cycle at
-  /// which group `g` can change state. Returning `now` vetoes skipping
-  /// (something may act this cycle); returning T > now asserts that every
-  /// cycle in [now, T) is static — ticking it would change nothing except
-  /// deterministic per-cycle counters, which skip_cycles() replays in
-  /// closed form. The default vetoes, so a policy without fast-forward
+  /// Fast-forward support, per member: a conservative lower bound on the
+  /// next cycle at which member `m` can change state. Returning `now`
+  /// vetoes skipping. The default vetoes, so a member without fast-forward
   /// support is simply never skipped.
+  virtual Cycle member_next_event(std::size_t g, std::size_t m,
+                                  Cycle now) const {
+    (void)g;
+    (void)m;
+    return now;
+  }
+
+  /// Replay member `m`'s per-cycle counters for a static window [from, to)
+  /// that member_next_event() promised. Self-gating like member_tick.
+  virtual void member_skip_cycles(std::size_t g, std::size_t m, Cycle from,
+                                  Cycle to) {
+    (void)g;
+    (void)m;
+    (void)from;
+    (void)to;
+  }
+
+  /// Fast-forward support, per group: a conservative lower bound on the
+  /// next cycle at which group `g` can change state. Returning `now` vetoes
+  /// skipping (something may act this cycle); returning T > now asserts
+  /// that every cycle in [now, T) is static — ticking it would change
+  /// nothing except deterministic per-cycle counters, which skip_cycles()
+  /// replays in closed form. The default vetoes; systems with group-level
+  /// coupling (arrival schedules, drain buses) fold members_next_event()
+  /// into their own bound.
   virtual Cycle next_event(std::size_t g, Cycle now) const {
     (void)g;
     return now;
@@ -72,10 +117,12 @@ class SystemPolicy {
 
   /// Replay the per-cycle counters of group `g` for the static window
   /// [from, to) that next_event() promised. Only called with to > from.
+  /// Default: replay every member.
   virtual void skip_cycles(std::size_t g, Cycle from, Cycle to) {
-    (void)g;
-    (void)from;
-    (void)to;
+    const std::size_t members = member_count(g);
+    for (std::size_t m = 0; m < members; ++m) {
+      member_skip_cycles(g, m, from, to);
+    }
   }
 
   /// Fold the per-core stats and system counters into the final result
@@ -93,6 +140,21 @@ class SystemPolicy {
   virtual const char* ckpt_tag() const = 0;
   virtual void save_policy_state(ckpt::Serializer& s) const = 0;
   virtual void load_policy_state(ckpt::Deserializer& d) = 0;
+
+ protected:
+  /// Minimum of member_next_event over every member of `g`; `now` (veto)
+  /// as soon as any member vetoes. The building block group-level
+  /// next_event overrides combine with their arrival / drain bounds.
+  Cycle members_next_event(std::size_t g, Cycle now) const {
+    Cycle cand = ~Cycle{0};
+    const std::size_t members = member_count(g);
+    for (std::size_t m = 0; m < members; ++m) {
+      const Cycle t = member_next_event(g, m, now);
+      if (t <= now) return now;
+      cand = t < cand ? t : cand;
+    }
+    return cand;
+  }
 };
 
 }  // namespace unsync::engine

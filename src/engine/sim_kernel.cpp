@@ -42,7 +42,13 @@ RunResult SimKernel::run(SystemPolicy& policy, Cycle max_cycles,
 
     for (std::size_t g = 0; g < groups; ++g) {
       if (policy.finished(g)) continue;
-      policy.pre_cycle(g, now_);
+      // The kernel — not the policy — owns the member walk: every member
+      // of an unfinished group gets its tick in index order, whatever the
+      // group's shape (one core, an identical pair, a leader + checker).
+      const std::size_t members = policy.member_count(g);
+      for (std::size_t m = 0; m < members; ++m) {
+        policy.member_tick(g, m, now_);
+      }
       policy.sync_phase(g, now_);
       policy.on_error(g, now_, acc_);
     }

@@ -15,6 +15,8 @@ const char* name_of(UncoreStructure s) {
     case UncoreStructure::kCacheTag: return "cache_tag";
     case UncoreStructure::kTlb: return "tlb";
     case UncoreStructure::kDramQueue: return "dram_queue";
+    case UncoreStructure::kCacheData: return "cache_data";
+    case UncoreStructure::kCheckLog: return "check_log";
     case UncoreStructure::kCount: break;
   }
   return "?";

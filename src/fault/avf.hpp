@@ -43,7 +43,9 @@ class MetricsSnapshot;
 
 namespace unsync::fault {
 
-/// The six uncore structures instrumented for residency (ROADMAP item 4).
+/// The uncore structures instrumented for residency (ROADMAP item 4).
+/// Append-only: the ordinal order is baked into fault-site numbering
+/// (fault/injector.hpp) and the UncorePlan::id() string.
 enum class UncoreStructure : std::uint8_t {
   kBusQueue,     ///< L1<->L2 interconnect request queue
   kMshr,         ///< miss-status holding registers (L1s + L2)
@@ -51,6 +53,8 @@ enum class UncoreStructure : std::uint8_t {
   kCacheTag,     ///< tag + state arrays of every cache
   kTlb,          ///< I-TLB + D-TLB entries
   kDramQueue,    ///< memory-controller / DRAM channel queue
+  kCacheData,    ///< shared-L2 data array (valid-line payload bits)
+  kCheckLog,     ///< hetero-checker leader→checker verification log
   kCount,
 };
 
@@ -67,6 +71,8 @@ inline constexpr std::uint32_t kMshrEntryBits = 64;       // line addr+targets
 inline constexpr std::uint32_t kWriteBufferEntryBits = 128;  // 16-B CB entry
 inline constexpr std::uint32_t kTlbEntryBits = 106;       // VPN+PPN+flags
 inline constexpr std::uint32_t kDramQueueEntryBits = 128; // cmd+addr+burst
+// kCacheData bits per entry = line_bytes * 8 and kCheckLog bits per entry
+// (cpu/check_log.hpp kCheckLogEntryBits) are computed at wiring time.
 
 /// Modelled queue depths for the serially-granted resources (the Bus class
 /// tracks a reservation horizon, not discrete slots; these bound the AVF

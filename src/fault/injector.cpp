@@ -19,6 +19,7 @@ const char* name_of(FaultSite s) {
     case FaultSite::kCacheTag: return "cache_tag";
     case FaultSite::kTlbEntry: return "tlb";
     case FaultSite::kDramQueue: return "dram_queue";
+    case FaultSite::kCheckLogEntry: return "check_log";
   }
   return "?";
 }
@@ -36,6 +37,7 @@ UncoreStructure uncore_structure_of(FaultSite s) {
     case FaultSite::kCacheTag: return UncoreStructure::kCacheTag;
     case FaultSite::kTlbEntry: return UncoreStructure::kTlb;
     case FaultSite::kDramQueue: return UncoreStructure::kDramQueue;
+    case FaultSite::kCheckLogEntry: return UncoreStructure::kCheckLog;
     default: break;
   }
   assert(false && "not an uncore fault site");
@@ -43,9 +45,10 @@ UncoreStructure uncore_structure_of(FaultSite s) {
 }
 
 std::vector<FaultSite> uncore_fault_sites() {
-  return {FaultSite::kBusQueue,    FaultSite::kMshrEntry,
+  return {FaultSite::kBusQueue,       FaultSite::kMshrEntry,
           FaultSite::kWriteBufferEntry, FaultSite::kCacheTag,
-          FaultSite::kTlbEntry,    FaultSite::kDramQueue};
+          FaultSite::kTlbEntry,       FaultSite::kDramQueue,
+          FaultSite::kCheckLogEntry};
 }
 
 const char* name_of(Outcome o) {
@@ -185,11 +188,14 @@ CampaignResult run_campaign(const isa::Program& program,
       case FaultSite::kWriteBufferEntry:
       case FaultSite::kCacheTag:
       case FaultSite::kTlbEntry:
-      case FaultSite::kDramQueue: {
+      case FaultSite::kDramQueue:
+      case FaultSite::kCheckLogEntry: {
         // Every memory-side strike manifests on a previously-written word:
         // the word resident in the line (kMemoryData / kCacheTag), held by
-        // the in-flight structure (bus / MSHR / write buffer / DRAM queue),
-        // or reached through the struck translation (kTlbEntry).
+        // the in-flight structure (bus / MSHR / write buffer / DRAM queue /
+        // check log), or reached through the struck translation (kTlbEntry).
+        // A check-log entry is never the sole copy — the leader's
+        // architectural state persists — so it takes no dirty-line hazard.
         if (written.empty()) {
           injected = false;
           break;
@@ -281,8 +287,10 @@ CampaignResult run_campaign(const isa::Program& program,
         case FaultSite::kCacheTag:
         case FaultSite::kTlbEntry:
         case FaultSite::kDramQueue:
+        case FaultSite::kCheckLogEntry:
           // The clean upstream copy / redundant buffer entry / refetched
-          // translation re-supplies the exact pre-fault word.
+          // translation / leader re-append re-supplies the exact pre-fault
+          // word.
           sim.mutable_memory().write64(mem_addr, old_value);
           break;
       }

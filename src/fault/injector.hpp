@@ -40,6 +40,8 @@ enum class FaultSite : std::uint8_t {
   kCacheTag,          ///< tag+state array entry of a resident line
   kTlbEntry,          ///< cached translation covering the word's page
   kDramQueue,         ///< request queued at the DRAM channel
+  kCheckLogEntry,     ///< leader→checker verification-log entry (hetero);
+                      ///< the leader's clean copy makes detection recoverable
 };
 
 const char* name_of(FaultSite s);
@@ -51,7 +53,7 @@ bool is_uncore(FaultSite s);
 /// is_uncore() sites).
 UncoreStructure uncore_structure_of(FaultSite s);
 
-/// The six uncore sites, in enum order — convenience for campaign configs.
+/// The uncore sites, in enum order — convenience for campaign configs.
 std::vector<FaultSite> uncore_fault_sites();
 
 enum class Outcome : std::uint8_t {

@@ -116,12 +116,16 @@ class Cache {
     return 64 - line_shift_ - set_shift_ + 2;
   }
 
-  /// ACE residency hook for the tag array (fault/avf.hpp): integrates the
-  /// valid-line count over cycles. Call after any access/invalidate with
-  /// the current cycle; observation only, null tracker = one branch.
+  /// ACE residency hooks (fault/avf.hpp): integrate the valid-line count
+  /// over cycles for the tag array and (where wired — the shared L2) the
+  /// data array, whose per-entry bits are line_bytes*8. Call after any
+  /// access/invalidate with the current cycle; observation only, null
+  /// trackers = one branch each.
   void set_avf(fault::ResidencyTracker* avf) { avf_ = avf; }
+  void set_data_avf(fault::ResidencyTracker* avf) { data_avf_ = avf; }
   void avf_update(Cycle now) {
     if (avf_) avf_->set_live(now, valid_count_);
+    if (data_avf_) data_avf_->set_live(now, valid_count_);
   }
 
   // Statistics.
@@ -164,7 +168,9 @@ class Cache {
   std::uint64_t writebacks_ = 0;
   std::uint64_t valid_count_ = 0;  // incremental lines_valid()
   MshrFile mshrs_;
-  fault::ResidencyTracker* avf_ = nullptr;  // observability; not checkpointed
+  // Observability; not checkpointed.
+  fault::ResidencyTracker* avf_ = nullptr;
+  fault::ResidencyTracker* data_avf_ = nullptr;
 };
 
 }  // namespace unsync::mem

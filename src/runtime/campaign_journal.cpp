@@ -44,6 +44,10 @@ std::uint32_t grid_fingerprint(const std::vector<SimJob>& jobs) {
     s.u64(p.checkpoint.checkpoint_cost);
     s.u64(p.checkpoint.compare_latency);
     s.u64(p.checkpoint.restore_cost);
+    s.u64(p.hetero.log_entries);
+    s.u32(p.hetero.checker_width);
+    s.u64(p.hetero.checker_load_latency);
+    s.u64(p.hetero.rollback_penalty);
     s.u8(static_cast<std::uint8_t>(p.tier));
   }
   return ckpt::crc32(s.data());

@@ -225,6 +225,10 @@ std::string golden_job_key(const SimJob& job, std::uint64_t seed) {
   s.u64(p.checkpoint.checkpoint_cost);
   s.u64(p.checkpoint.compare_latency);
   s.u64(p.checkpoint.restore_cost);
+  s.u64(p.hetero.log_entries);
+  s.u32(p.hetero.checker_width);
+  s.u64(p.hetero.checker_load_latency);
+  s.u64(p.hetero.rollback_penalty);
   s.u8(static_cast<std::uint8_t>(p.tier));
   return s.take();
 }

@@ -100,7 +100,8 @@ TEST(UncorePlan, IdListsEveryStructureInEnumOrder) {
   // One key per structure, enum order, canonical mechanism names.
   EXPECT_EQ(id,
             "bus_queue=parity-1,mshr=parity-1,write_buffer=parity-1,"
-            "cache_tag=parity-1,tlb=SECDED,dram_queue=parity-1");
+            "cache_tag=parity-1,tlb=SECDED,dram_queue=parity-1,"
+            "cache_data=parity-1,check_log=parity-1");
 }
 
 TEST(UncorePlan, CoverageAndCorrectionFollowMechanism) {
@@ -157,6 +158,9 @@ void drive_collector(AvfCollector& c) {
   tags->set_live(0, 256);
   c.make_tracker(UncoreStructure::kTlb, 64, 106)->set_live(50, 48);
   c.make_tracker(UncoreStructure::kDramQueue, 32, 128)->add(900);
+  auto* data = c.make_tracker(UncoreStructure::kCacheData, 512, 512);
+  data->set_live(0, 256);
+  c.make_tracker(UncoreStructure::kCheckLog, 64, 160)->set_live(200, 32);
   c.finish(1000);
 }
 
@@ -268,7 +272,7 @@ TEST(AvfReport, MissingStructuresAreOmitted) {
 }
 
 TEST(AvfReport, GoldenJson) {
-  // Byte-pinned unsync.avf_report.v1 covering all six uncore structures —
+  // Byte-pinned unsync.avf_report.v1 covering all eight uncore structures —
   // the contract consumed by `unsync_sim avf-report` users and the CI
   // frontier gate. Regenerate deliberately, never casually (docs/FAULTS.md).
   auto report = build_avf_report(sample_snapshot(),
@@ -328,6 +332,10 @@ TEST(AvfEndToEnd, MergedCountersAreWorkerCountIndependent) {
   std::vector<runtime::SimJob> jobs = {avf_job("gzip", true),
                                        avf_job("susan", true),
                                        avf_job("mcf", true)};
+  // UnSync covers the write buffers (its CBs); the hetero checker is the
+  // only system with a check log. Together the grid lights every structure.
+  jobs.push_back(avf_job("mcf", true));
+  jobs.back().system = runtime::SystemKind::kHetero;
   runtime::CampaignRunner::Options serial;
   serial.threads = 1;
   serial.collect_metrics = true;
@@ -336,7 +344,7 @@ TEST(AvfEndToEnd, MergedCountersAreWorkerCountIndependent) {
   const auto a = runtime::CampaignRunner(serial).run(jobs);
   const auto b = runtime::CampaignRunner(parallel).run(jobs);
   EXPECT_EQ(a.metrics.to_json(), b.metrics.to_json());
-  // All six structures are live in a real unsync run.
+  // Every structure is live somewhere in the merged grid.
   for (std::size_t i = 0; i < kUncoreStructureCount; ++i) {
     const std::string key = std::string("fault.avf.") +
                             name_of(static_cast<UncoreStructure>(i)) +

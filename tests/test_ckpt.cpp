@@ -407,7 +407,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllSystems, SystemCkpt,
     ::testing::Values(core::SystemKind::kBaseline, core::SystemKind::kUnSync,
                       core::SystemKind::kReunion, core::SystemKind::kLockstep,
-                      core::SystemKind::kCheckpoint),
+                      core::SystemKind::kCheckpoint, core::SystemKind::kHetero),
     [](const auto& info) { return std::string(core::name_of(info.param)); });
 
 TEST(SystemCkptMismatch, RejectsCheckpointFromAnotherSystemKind) {
@@ -423,6 +423,32 @@ TEST(SystemCkptMismatch, RejectsCheckpointFromAnotherSystemKind) {
   auto unsync_sys = core::make_system(core::SystemKind::kUnSync, cfg, stream);
   ckpt::Deserializer d(s.take());
   EXPECT_THROW(unsync_sys->load_checkpoint(d), ckpt::CkptError);
+}
+
+TEST(SystemCkptMismatch, HeteroTagRejectsForeignCheckpoints) {
+  // HTRO is its own wire tag: a hetero system refuses an UnSync snapshot and
+  // vice versa, even though both serialise a two-member group per thread.
+  core::SystemConfig cfg;
+  cfg.num_threads = 1;
+  workload::SyntheticStream stream(workload::profile("gzip"), 42, 2000);
+
+  auto hetero = core::make_system(core::SystemKind::kHetero, cfg, stream);
+  hetero->run(500);
+  ckpt::Serializer s;
+  hetero->save_checkpoint(s);
+  const std::string hetero_bytes = s.take();
+
+  auto unsync_sys = core::make_system(core::SystemKind::kUnSync, cfg, stream);
+  {
+    ckpt::Deserializer d(hetero_bytes);
+    EXPECT_THROW(unsync_sys->load_checkpoint(d), ckpt::CkptError);
+  }
+
+  ckpt::Serializer s2;
+  unsync_sys->save_checkpoint(s2);
+  auto hetero2 = core::make_system(core::SystemKind::kHetero, cfg, stream);
+  ckpt::Deserializer d2(s2.take());
+  EXPECT_THROW(hetero2->load_checkpoint(d2), ckpt::CkptError);
 }
 
 TEST(SystemCkptMismatch, RejectsConfigurationMismatch) {
@@ -468,7 +494,7 @@ TEST(SystemCkptMismatch, RejectsTrailingGarbageInFile) {
 // this provable for single-bit flips; truncation trips the magic / length /
 // CRC checks depending on where the cut lands.
 
-class CkptFuzz : public ::testing::Test {
+class CkptFuzz : public ::testing::TestWithParam<core::SystemKind> {
  protected:
   std::unique_ptr<core::System> make() const {
     core::SystemConfig cfg;
@@ -477,7 +503,7 @@ class CkptFuzz : public ::testing::Test {
     cfg.seed = 99;
     workload::SyntheticStream stream(workload::profile("gzip"), cfg.seed,
                                      1500);
-    return core::make_system(core::SystemKind::kUnSync, cfg, stream);
+    return core::make_system(GetParam(), cfg, stream);
   }
 
   std::string snapshot() const {
@@ -496,7 +522,7 @@ class CkptFuzz : public ::testing::Test {
   }
 };
 
-TEST_F(CkptFuzz, TruncatedCheckpointBytesAlwaysThrow) {
+TEST_P(CkptFuzz, TruncatedCheckpointBytesAlwaysThrow) {
   const std::string blob = snapshot();
   ASSERT_GT(blob.size(), 100u);
   auto sys = make();  // unwrap_container throws before any state is touched
@@ -507,7 +533,7 @@ TEST_F(CkptFuzz, TruncatedCheckpointBytesAlwaysThrow) {
   }
 }
 
-TEST_F(CkptFuzz, BitFlippedCheckpointBytesAlwaysThrow) {
+TEST_P(CkptFuzz, BitFlippedCheckpointBytesAlwaysThrow) {
   const std::string blob = snapshot();
   auto sys = make();
   for (const std::size_t at : sample_offsets(blob.size())) {
@@ -520,7 +546,7 @@ TEST_F(CkptFuzz, BitFlippedCheckpointBytesAlwaysThrow) {
   }
 }
 
-TEST_F(CkptFuzz, CorruptCheckpointFilesAlwaysThrow) {
+TEST_P(CkptFuzz, CorruptCheckpointFilesAlwaysThrow) {
   const std::string path = ::testing::TempDir() + "fuzz.ckpt";
   {
     auto sys = make();
@@ -553,7 +579,7 @@ TEST_F(CkptFuzz, CorruptCheckpointFilesAlwaysThrow) {
   std::remove(path.c_str());
 }
 
-TEST_F(CkptFuzz, SaveLoadBytesRoundTripsBitExactly) {
+TEST_P(CkptFuzz, SaveLoadBytesRoundTripsBitExactly) {
   // The in-memory path mirrors the file path: save_checkpoint_bytes ->
   // load_checkpoint_bytes resumes to a bit-identical final result.
   const core::RunResult full = make()->run();
@@ -563,5 +589,10 @@ TEST_F(CkptFuzz, SaveLoadBytesRoundTripsBitExactly) {
   EXPECT_EQ(resumed->save_checkpoint_bytes(), blob);
   EXPECT_EQ(resumed->run().to_json(), full.to_json());
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    WireFormats, CkptFuzz,
+    ::testing::Values(core::SystemKind::kUnSync, core::SystemKind::kHetero),
+    [](const auto& info) { return std::string(core::name_of(info.param)); });
 
 }  // namespace

@@ -1,9 +1,11 @@
 // Bit-exactness contract for the shared cycle engine (src/engine/).
 //
 // The goldens under tests/golden/engine/ were captured BEFORE the SimKernel
-// refactor, from the five systems' original bespoke run() loops. These tests
-// prove the kernel reproduces those loops bit for bit — counters, error log,
-// per-core stats, everything RunResult::to_json serialises — in three modes:
+// refactor, from the five original systems' bespoke run() loops (the hetero
+// goldens were captured when that system was introduced, already on the
+// member-hook kernel, and pin it the same three ways). These tests prove the
+// kernel reproduces those loops bit for bit — counters, error log, per-core
+// stats, everything RunResult::to_json serialises — in three modes:
 //
 //   1. naive: the cycle-by-cycle loop (fast_forward off, the default);
 //   2. fast-forward: quiescence skipping on (engine.fast_forward=1), which
@@ -32,9 +34,9 @@ namespace unsync {
 namespace {
 
 constexpr core::SystemKind kKinds[] = {
-    core::SystemKind::kBaseline, core::SystemKind::kUnSync,
-    core::SystemKind::kReunion, core::SystemKind::kLockstep,
-    core::SystemKind::kCheckpoint};
+    core::SystemKind::kBaseline,   core::SystemKind::kUnSync,
+    core::SystemKind::kReunion,    core::SystemKind::kLockstep,
+    core::SystemKind::kCheckpoint, core::SystemKind::kHetero};
 constexpr const char* kProfiles[] = {"galgel", "gzip"};
 constexpr std::uint64_t kSeeds[] = {7, 21, 1234};
 

@@ -79,6 +79,24 @@ To refresh after a deliberate engine change:
     python3 tools/check_bench_regression.py BENCH_prefix.json --prefix \
         --write-prefix-baseline bench/BENCH_prefix_baseline.json
 
+System-matrix mode (--systems): consumes the JSON that
+    build/bench/bench_system_matrix json=BENCH_systems.json
+writes ("unsync.bench_systems.v1") and enforces the cross-architecture
+acceptance surface (docs/SYSTEMS.md):
+1. identical == true — the matrix is worker-count deterministic.
+2. Coverage: at every ser>0 point hetero detects ALL injected strikes
+   and at least matches lockstep's coverage.
+3. Overhead: hetero's error-free cycles undercut reunion's (the
+   fingerprint-synchronised DMR) on every benchmark.
+4. Every gated per-cell integer (cycles, injected, detected, ...)
+   exactly matches the committed baseline
+   (--systems-baseline bench/BENCH_systems_baseline.json). Skipped
+   (with a notice) if --systems-baseline is not given.
+
+To refresh after a deliberate model change:
+    python3 tools/check_bench_regression.py BENCH_systems.json --systems \
+        --write-systems-baseline bench/BENCH_systems_baseline.json
+
 Exit codes: 0 pass, 1 regression detected, 2 usage/input error.
 """
 
@@ -474,6 +492,183 @@ def write_prefix_baseline(report, path):
           f"({len(doc['counters'])} counters)")
 
 
+SYSTEMS_SCHEMA = "unsync.bench_systems.v1"
+SYSTEMS_BASELINE_SCHEMA = "unsync.systems_baseline.v1"
+# Per-cell integers that are a pure function of the grid (the simulation
+# is deterministic): exact-equality gated against the committed baseline.
+SYSTEMS_GATED_FIELDS = ("cycles", "injected", "detected", "rollbacks",
+                        "recoveries", "cb_full_stalls", "fingerprint_syncs")
+
+
+def load_systems_report(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read systems report {path}: {e}")
+        sys.exit(2)
+    if report.get("schema") != SYSTEMS_SCHEMA:
+        print(f"error: {path} is not a {SYSTEMS_SCHEMA} file")
+        sys.exit(2)
+    if not report.get("cells"):
+        print(f"error: no cells in {path}")
+        sys.exit(2)
+    return report
+
+
+def systems_cell_key(cell):
+    return f"{cell['bench']}/{cell['system']}/ser={cell['ser']:g}"
+
+
+def check_systems(report, baseline_path):
+    """Gate the six-architecture comparison matrix.
+
+    Properties: worker-count determinism; full detection coverage on the
+    redundant systems at ser>0 — hetero must detect every injected strike
+    and at least match lockstep's coverage; the heterogeneous checker's
+    error-free overhead must undercut the fingerprint-synchronised DMR
+    (reunion) on every benchmark; and every gated per-cell integer must
+    exactly equal the committed baseline.
+    """
+    ok = True
+    cells = report["cells"]
+
+    if report.get("identical") is not True:
+        print("  systems: FAIL — matrix differed across worker counts "
+              "(determinism contract broken)")
+        ok = False
+    else:
+        print("  systems: matrix identical across worker counts")
+
+    by_key = {}
+    benches = set()
+    for c in cells:
+        by_key[(c["bench"], c["system"], float(c["ser"]))] = c
+        benches.add(c["bench"])
+
+    sers = sorted({float(c["ser"]) for c in cells})
+    error_sers = [s for s in sers if s > 0.0]
+    if not error_sers:
+        print("  systems: FAIL — no ser>0 rows to measure coverage on")
+        return False
+
+    for bench in sorted(benches):
+        for ser in error_sers:
+            het = by_key.get((bench, "hetero", ser))
+            lock = by_key.get((bench, "lockstep", ser))
+            if het is None or lock is None:
+                print(f"  systems: FAIL — {bench}/ser={ser:g} missing a "
+                      "hetero or lockstep cell")
+                ok = False
+                continue
+            if het["injected"] == 0:
+                print(f"  systems: FAIL — {bench}/ser={ser:g} injected no "
+                      "strikes into hetero (grid too small to gate coverage)")
+                ok = False
+                continue
+            het_cov = het["detected"] / het["injected"]
+            lock_cov = (lock["detected"] / lock["injected"]
+                        if lock["injected"] else 1.0)
+            verdict = "ok"
+            if het["detected"] != het["injected"]:
+                verdict = "FAIL (hetero missed a strike)"
+                ok = False
+            elif het_cov < lock_cov:
+                verdict = "FAIL (below lockstep coverage)"
+                ok = False
+            print(f"  systems coverage {bench}/ser={ser:g}: hetero "
+                  f"{het['detected']}/{het['injected']} vs lockstep "
+                  f"{lock['detected']}/{lock['injected']} {verdict}")
+
+        het0 = by_key.get((bench, "hetero", 0.0))
+        reun0 = by_key.get((bench, "reunion", 0.0))
+        if het0 is None or reun0 is None:
+            print(f"  systems: FAIL — {bench} missing an error-free hetero "
+                  "or reunion cell")
+            ok = False
+            continue
+        rel = het0["cycles"] / reun0["cycles"]
+        verdict = "ok"
+        if het0["cycles"] >= reun0["cycles"]:
+            verdict = "FAIL (checker core costs more than fingerprint sync)"
+            ok = False
+        print(f"  systems overhead {bench}: hetero error-free cycles at "
+              f"{rel:6.2%} of reunion's {verdict}")
+
+    if not baseline_path:
+        print("  (no --systems-baseline given; skipping exact cell gate)")
+        return ok
+
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read systems baseline {baseline_path}: {e}")
+        sys.exit(2)
+    if baseline.get("schema") != SYSTEMS_BASELINE_SCHEMA:
+        print(f"error: {baseline_path} is not a "
+              f"{SYSTEMS_BASELINE_SCHEMA} file")
+        sys.exit(2)
+    if (baseline.get("source_insts") != report.get("insts") or
+            baseline.get("source_seed") != report.get("seed")):
+        print(f"  systems: FAIL — report (insts={report.get('insts')}, "
+              f"seed={report.get('seed')}) does not match the baseline's "
+              f"grid (insts={baseline.get('source_insts')}, "
+              f"seed={baseline.get('source_seed')})")
+        return False
+
+    current = {systems_cell_key(c): c for c in cells}
+    mismatches = 0
+    for key, want in sorted(baseline["cells"].items()):
+        cell = current.get(key)
+        if cell is None:
+            print(f"  systems baseline {key}: MISSING from current report")
+            ok = False
+            continue
+        for field, value in sorted(want.items()):
+            if int(cell.get(field, -1)) != int(value):
+                print(f"  systems baseline {key}.{field}: "
+                      f"{cell.get(field)} != committed {value} FAIL "
+                      "(exact integer equality required)")
+                ok = False
+                mismatches += 1
+    uncovered = sorted(set(current) - set(baseline["cells"]))
+    if uncovered:
+        print(f"  systems baseline: {len(uncovered)} cell(s) have no "
+              f"committed values (refresh with --write-systems-baseline): "
+              f"{', '.join(uncovered[:5])}")
+        ok = False
+    if ok:
+        print(f"  systems baseline: all {len(baseline['cells'])} cells "
+              "exactly match")
+    return ok
+
+
+def write_systems_baseline(report, path):
+    """Pin the exact per-cell integers of the six-architecture matrix.
+
+    The simulation is deterministic, so for a fixed (insts, seed) grid
+    every gated field is machine-independent and the gate is exact
+    equality — any drift means an architecture model changed.
+    """
+    doc = {
+        "schema": SYSTEMS_BASELINE_SCHEMA,
+        "note": ("exact per-cell integers of the six-system comparison "
+                 "matrix from bench_system_matrix; gate with "
+                 "check_bench_regression.py --systems --systems-baseline"),
+        "source_insts": report.get("insts"),
+        "source_seed": report.get("seed"),
+        "cells": {
+            systems_cell_key(c): {f: int(c[f]) for f in SYSTEMS_GATED_FIELDS}
+            for c in report["cells"]
+        },
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote systems baseline {path} ({len(doc['cells'])} cells)")
+
+
 AVF_SCHEMA = "unsync.bench_avf.v1"
 AVF_BASELINE_SCHEMA = "unsync.avf_baseline.v1"
 
@@ -661,6 +856,15 @@ def main():
     ap.add_argument("--write-prefix-baseline", metavar="PATH",
                     help="with --prefix: pin the current engine counters "
                     "and exit")
+    ap.add_argument("--systems", action="store_true",
+                    help="gate a bench_system_matrix JSON instead of a "
+                    "google-benchmark report")
+    ap.add_argument("--systems-baseline", metavar="PATH",
+                    help="committed BENCH_systems_baseline.json (exact "
+                    "per-cell integers)")
+    ap.add_argument("--write-systems-baseline", metavar="PATH",
+                    help="with --systems: pin the current per-cell "
+                    "integers and exit")
     ap.add_argument("--avf", action="store_true",
                     help="gate a bench_avf_frontier JSON instead of a "
                     "google-benchmark report")
@@ -679,6 +883,15 @@ def main():
             return 0
         ok = check_prefix(report, args.min_prefix_speedup,
                           args.prefix_baseline)
+        print("bench gate:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
+
+    if args.systems:
+        report = load_systems_report(args.report)
+        if args.write_systems_baseline:
+            write_systems_baseline(report, args.write_systems_baseline)
+            return 0
+        ok = check_systems(report, args.systems_baseline)
         print("bench gate:", "PASS" if ok else "FAIL")
         return 0 if ok else 1
 

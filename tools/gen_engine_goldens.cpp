@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   const core::SystemKind kinds[] = {
       core::SystemKind::kBaseline, core::SystemKind::kUnSync,
       core::SystemKind::kReunion, core::SystemKind::kLockstep,
-      core::SystemKind::kCheckpoint};
+      core::SystemKind::kCheckpoint, core::SystemKind::kHetero};
   const char* profiles[] = {"galgel", "gzip"};
   const std::uint64_t seeds[] = {7, 21, 1234};
 

@@ -110,12 +110,14 @@ void print_usage(std::ostream& os) {
       "<run|sweep|campaign|campaign-worker|campaign-coordinator|"
       "characterize|asm|record|hw|avf-report|list|version>"
       " [key=value...]\n"
-      "  run: system=unsync|reunion|baseline|lockstep|checkpoint\n"
+      "  run: system=unsync|reunion|baseline|lockstep|checkpoint|hetero\n"
       "       bench=|kernel=|program=|trace=   [insts= seed= threads= ser=]\n"
       "       [tier=detailed|fast]  fast = approximate interval model\n"
       "         (docs/TIERS.md; no checkpoints / memory report)\n"
       "       unsync: cb=<entries> group=<N>   reunion: fi= latency=\n"
       "       checkpoint: interval= capture=\n"
+      "       hetero: checker.log=<entries> checker.width=<N>\n"
+      "               checker.rollback=<cycles>  (docs/SYSTEMS.md)\n"
       "       output: report=1 csv=1 format=json\n"
       "               metrics=<path>  write the metric tree (.csv or .json)\n"
       "               trace_out=<path> write a JSONL event trace\n"
@@ -123,7 +125,8 @@ void print_usage(std::ostream& os) {
       "256)\n"
       "       checkpoint: checkpoint=<file> checkpoint_at=<cycle>  save+exit\n"
       "                   resume=<file>  continue a saved snapshot\n"
-      "  sweep: param=<cb|fi|latency|group|ser> values=v1,v2,... + run args\n"
+      "  sweep: param=<cb|fi|latency|group|log|ser> values=v1,v2,...\n"
+      "         + run args\n"
       "         [threads=<host workers, default all cores>] [tier=]\n"
       "  campaign: [systems=baseline,unsync,reunion] [benches=n1,n2|all]\n"
       "            [insts= seed= ser= threads=<host workers>]\n"
@@ -299,6 +302,18 @@ CommonKnobs knobs_from(const Config& cfg, bool allow_screen = false) {
       static_cast<std::uint64_t>(cfg.get_int("interval", 1000));
   p.checkpoint.checkpoint_cost =
       static_cast<Cycle>(cfg.get_int("capture", 120));
+  p.hetero.log_entries =
+      static_cast<std::size_t>(cfg.get_int("checker.log", 64));
+  p.hetero.checker_width =
+      static_cast<std::uint32_t>(cfg.get_int("checker.width", 2));
+  p.hetero.rollback_penalty =
+      static_cast<Cycle>(cfg.get_int("checker.rollback", 60));
+  if (p.hetero.log_entries == 0) {
+    throw ConfigError("checker.log= must be >= 1");
+  }
+  if (p.hetero.checker_width == 0) {
+    throw ConfigError("checker.width= must be >= 1");
+  }
   k.ser = cfg.get_double("ser", 0.0);
   k.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
   k.fast_forward = cfg.get_bool("engine.fast_forward", false);
@@ -494,8 +509,9 @@ int cmd_sweep(const Config& cfg) {
   const auto kind = runtime::parse_system(system);
   if (!kind || (*kind != runtime::SystemKind::kUnSync &&
                 *kind != runtime::SystemKind::kReunion &&
-                *kind != runtime::SystemKind::kBaseline)) {
-    throw ConfigError("sweep supports system=unsync|reunion|baseline");
+                *kind != runtime::SystemKind::kBaseline &&
+                *kind != runtime::SystemKind::kHetero)) {
+    throw ConfigError("sweep supports system=unsync|reunion|baseline|hetero");
   }
 
   const CommonKnobs knobs = knobs_from(cfg);
@@ -523,11 +539,14 @@ int cmd_sweep(const Config& cfg) {
     } else if (param == "latency") {
       job.params.reunion.compare_latency =
           static_cast<Cycle>(std::stoll(point));
+    } else if (param == "log") {
+      job.params.hetero.log_entries =
+          static_cast<std::size_t>(std::stoll(point));
     } else if (param == "ser") {
       job.ser_per_inst = std::stod(point);
     } else {
       throw ConfigError("unknown sweep param: " + param +
-                        " (cb|fi|latency|group|ser)");
+                        " (cb|fi|latency|group|log|ser)");
     }
     jobs.push_back(std::move(job));
   }
@@ -1001,6 +1020,7 @@ int cmd_version() {
             << "  checkpoint        " << ckpt::kSchema << "\n"
             << "  campaign journal  unsync.campaign_journal.v1\n"
             << "  avf report        unsync.avf_report.v1\n"
+            << "  system ckpt tags  BASE UNSY REUN LOCK DMRC HTRO\n"
             << "build:\n"
             << "  compiler          " <<
 #if defined(__clang__)
@@ -1038,7 +1058,7 @@ int cmd_list() {
   for (const auto& k : workload::standard_kernel_suite()) {
     std::cout << "  " << k.name << "\n";
   }
-  std::cout << "systems: baseline unsync reunion lockstep checkpoint\n";
+  std::cout << "systems: baseline unsync reunion lockstep checkpoint hetero\n";
   return kExitOk;
 }
 
